@@ -1,0 +1,21 @@
+//! Shared setup for the criterion benches: a bench-sized scale preset.
+//!
+//! Criterion re-runs the measured closure many times, so the datasets here
+//! are smaller than `repro`'s; the `repro` binary is the place for
+//! paper-scale numbers, these benches guard against regressions in each
+//! experiment's code path.
+
+use dgf_bench::BenchScale;
+
+/// A sub-second lab scale for criterion iteration.
+pub fn bench_scale() -> BenchScale {
+    let mut s = BenchScale::small();
+    s.meter.users = 600;
+    s.meter.days = 30;
+    s.tpch.rows = 15_000;
+    s.ingest_rows = 6_000;
+    s.runs = 1;
+    s.kv_latency = dgf_kvstore::LatencyModel::ZERO;
+    s.hadoopdb.per_chunk_overhead = std::time::Duration::ZERO;
+    s
+}

@@ -1,0 +1,40 @@
+//! Figures 11–13 / Table 4: the GROUP BY query (no pre-computation
+//! shortcut applies) at the paper's three selectivities.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dgf_bench::{IntervalSize, MeterLab};
+use dgf_query::Engine;
+use dgf_workload::{group_by_query, Selectivity};
+
+fn bench(c: &mut Criterion) {
+    let lab = MeterLab::build(common::bench_scale()).unwrap();
+    let mut g = c.benchmark_group("fig11_13_groupby");
+    g.sample_size(10);
+    for sel in Selectivity::paper_settings() {
+        let q = group_by_query(&lab.scale.meter, sel);
+        for size in IntervalSize::all() {
+            let engine = lab.dgf_engine(size);
+            g.bench_function(format!("dgf_{}/{}", size.label(), sel.label()), |b| {
+                b.iter(|| engine.run(&q).unwrap())
+            });
+        }
+        let engine = lab.compact_engine();
+        g.bench_function(format!("compact2/{}", sel.label()), |b| {
+            b.iter(|| engine.run(&q).unwrap())
+        });
+        let engine = lab.hadoopdb_engine();
+        g.bench_function(format!("hadoopdb/{}", sel.label()), |b| {
+            b.iter(|| engine.run(&q).unwrap())
+        });
+        let engine = lab.scan_engine();
+        g.bench_function(format!("scan/{}", sel.label()), |b| {
+            b.iter(|| engine.run(&q).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Figures 14–16: the meterdata ⋈ userInfo join query at the paper's
+//! three selectivities.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dgf_bench::{IntervalSize, MeterLab};
+use dgf_query::Engine;
+use dgf_workload::{join_query, Selectivity};
+
+fn bench(c: &mut Criterion) {
+    let lab = MeterLab::build(common::bench_scale()).unwrap();
+    let mut g = c.benchmark_group("fig14_16_join");
+    g.sample_size(10);
+    for sel in Selectivity::paper_settings() {
+        let q = join_query(&lab.scale.meter, sel);
+        for size in IntervalSize::all() {
+            let engine = lab.dgf_engine(size);
+            g.bench_function(format!("dgf_{}/{}", size.label(), sel.label()), |b| {
+                b.iter(|| engine.run(&q).unwrap())
+            });
+        }
+        let engine = lab.compact_engine();
+        g.bench_function(format!("compact2/{}", sel.label()), |b| {
+            b.iter(|| engine.run(&q).unwrap())
+        });
+        let engine = lab.hadoopdb_engine();
+        g.bench_function(format!("hadoopdb/{}", sel.label()), |b| {
+            b.iter(|| engine.run(&q).unwrap())
+        });
+        let engine = lab.scan_engine();
+        g.bench_function(format!("scan/{}", sel.label()), |b| {
+            b.iter(|| engine.run(&q).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Figure 17: the partially-specified query (no userId condition) —
+//! DGF with and without pre-computation, vs Compact.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dgf_bench::{IntervalSize, MeterLab};
+use dgf_query::Engine;
+use dgf_workload::partial_query;
+
+fn bench(c: &mut Criterion) {
+    let lab = MeterLab::build(common::bench_scale()).unwrap();
+    let q = partial_query(&lab.scale.meter);
+    let mut g = c.benchmark_group("fig17_partial_query");
+    g.sample_size(10);
+    for size in IntervalSize::all() {
+        let engine = lab.dgf_engine(size);
+        g.bench_function(format!("dgf_precompute/{}", size.label()), |b| {
+            b.iter(|| engine.run(&q).unwrap())
+        });
+        let engine = lab.dgf_engine(size).without_precompute();
+        g.bench_function(format!("dgf_noprecompute/{}", size.label()), |b| {
+            b.iter(|| engine.run(&q).unwrap())
+        });
+    }
+    let engine = lab.compact_engine();
+    g.bench_function("compact2", |b| b.iter(|| engine.run(&q).unwrap()));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

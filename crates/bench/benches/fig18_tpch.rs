@@ -1,0 +1,29 @@
+//! Figure 18 / Tables 5–6: TPC-H Q6 over DGF, Compact-2D/3D, and scan.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dgf_bench::TpchLab;
+use dgf_query::Engine;
+use dgf_workload::tpch::q6;
+
+fn bench(c: &mut Criterion) {
+    let lab = TpchLab::build(common::bench_scale()).unwrap();
+    let q = q6(1994, 0.06, 24.0);
+    let mut g = c.benchmark_group("fig18_tpch_q6");
+    g.sample_size(10);
+    let engine = lab.dgf_engine();
+    g.bench_function("dgf", |b| b.iter(|| engine.run(&q).unwrap()));
+    let engine = lab.dgf_engine().without_precompute();
+    g.bench_function("dgf_noprecompute", |b| b.iter(|| engine.run(&q).unwrap()));
+    let engine = lab.compact2_engine();
+    g.bench_function("compact_2d", |b| b.iter(|| engine.run(&q).unwrap()));
+    let engine = lab.compact3_engine();
+    g.bench_function("compact_3d", |b| b.iter(|| engine.run(&q).unwrap()));
+    let engine = lab.scan_engine();
+    g.bench_function("scan", |b| b.iter(|| engine.run(&q).unwrap()));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Figure 3: write-throughput of DBMS-X (with/without index) vs HDFS.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dgf_common::TempDir;
+use dgf_rdbms::{measure_ingest, IngestTarget};
+use dgf_workload::{generate_meter_data, MeterConfig};
+
+fn bench(c: &mut Criterion) {
+    let scale = common::bench_scale();
+    let cfg = MeterConfig {
+        users: (scale.ingest_rows / 30).max(1),
+        days: 30,
+        ..scale.meter.clone()
+    };
+    let rows = generate_meter_data(&cfg);
+    let mut g = c.benchmark_group("fig3_write_throughput");
+    g.sample_size(10);
+    g.bench_function("dbmsx_with_index", |b| {
+        b.iter(|| {
+            let t = TempDir::new("bench-btree").unwrap();
+            measure_ingest(t.path(), &rows, IngestTarget::BTree { key_col: 0 }).unwrap()
+        })
+    });
+    g.bench_function("dbmsx_without_index", |b| {
+        b.iter(|| {
+            let t = TempDir::new("bench-heap").unwrap();
+            measure_ingest(t.path(), &rows, IngestTarget::Heap).unwrap()
+        })
+    });
+    g.bench_function("hdfs", |b| {
+        b.iter(|| {
+            let t = TempDir::new("bench-hdfs").unwrap();
+            let hdfs = dgf_storage::SimHdfs::open(t.path()).unwrap();
+            let mut w = dgf_format::TextWriter::create(&hdfs, "/ingest/part-0").unwrap();
+            for r in &rows {
+                w.write_row(r).unwrap();
+            }
+            w.close().unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Figures 8–10 / Table 3: the MDRQ aggregation query at the paper's
+//! three selectivities across all engines.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dgf_bench::{IntervalSize, MeterLab};
+use dgf_query::Engine;
+use dgf_workload::{aggregation_query, Selectivity};
+
+fn bench(c: &mut Criterion) {
+    let lab = MeterLab::build(common::bench_scale()).unwrap();
+    let mut g = c.benchmark_group("fig8_10_aggregation");
+    g.sample_size(10);
+    for sel in Selectivity::paper_settings() {
+        let q = aggregation_query(&lab.scale.meter, sel);
+        for size in IntervalSize::all() {
+            let engine = lab.dgf_engine(size);
+            g.bench_function(format!("dgf_{}/{}", size.label(), sel.label()), |b| {
+                b.iter(|| engine.run(&q).unwrap())
+            });
+        }
+        let engine = lab.compact_engine();
+        g.bench_function(format!("compact2/{}", sel.label()), |b| {
+            b.iter(|| engine.run(&q).unwrap())
+        });
+        let engine = lab.hadoopdb_engine();
+        g.bench_function(format!("hadoopdb/{}", sel.label()), |b| {
+            b.iter(|| engine.run(&q).unwrap())
+        });
+        let engine = lab.scan_engine();
+        g.bench_function(format!("scan/{}", sel.label()), |b| {
+            b.iter(|| engine.run(&q).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Micro-benchmarks of the DGFIndex hot paths: grid planning, GFU key
+//! codec, range coalescing, and key-value store operations.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dgf_bench::{IntervalSize, MeterLab};
+use dgf_core::GfuKey;
+use dgf_format::{coalesce_ranges, ByteRange};
+use dgf_kvstore::{KvStore, MemKvStore};
+use dgf_workload::{aggregation_query, Selectivity};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("micro");
+
+    g.bench_function("gfu_key_encode_decode", |b| {
+        let key = GfuKey::new(vec![1234, 5, 17_532]);
+        b.iter(|| {
+            let e = key.encode();
+            GfuKey::decode(&e, 3).unwrap()
+        })
+    });
+
+    g.bench_function("coalesce_1000_ranges", |b| {
+        let ranges: Vec<ByteRange> = (0..1000u64)
+            .map(|i| ByteRange::new(i * 37 % 5000, i * 37 % 5000 + 20))
+            .collect();
+        b.iter(|| coalesce_ranges(ranges.clone()))
+    });
+
+    g.bench_function("memkv_get", |b| {
+        let kv = MemKvStore::new();
+        for i in 0..10_000u64 {
+            kv.put(&i.to_be_bytes(), &[0u8; 32]).unwrap();
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 997) % 10_000;
+            kv.get(&i.to_be_bytes()).unwrap()
+        })
+    });
+
+    let lab = MeterLab::build(common::bench_scale()).unwrap();
+    let q = aggregation_query(&lab.scale.meter, Selectivity::Frac(0.12));
+    g.bench_function("dgf_plan_only_12pct", |b| {
+        let idx = &lab.dgf[IntervalSize::Small.idx()];
+        b.iter(|| idx.plan(&q, true).unwrap())
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Table 2: index construction cost — Compact vs DGF Large/Medium/Small.
+
+mod common;
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dgf_core::{DgfIndex, DimPolicy, SplittingPolicy};
+use dgf_format::FileFormat;
+use dgf_hive::{CompactIndex, HiveContext};
+use dgf_kvstore::MemKvStore;
+use dgf_mapreduce::MrEngine;
+use dgf_storage::{HdfsConfig, SimHdfs};
+use dgf_workload::{generate_meter_data, meter_schema};
+
+fn bench(c: &mut Criterion) {
+    let scale = common::bench_scale();
+    let rows = generate_meter_data(&scale.meter);
+    let tmp = dgf_common::TempDir::new("bench-build").unwrap();
+    let hdfs = SimHdfs::new(
+        tmp.path(),
+        HdfsConfig {
+            block_size: scale.block_size,
+            replication: 1,
+        },
+    )
+    .unwrap();
+    let ctx = HiveContext::new(hdfs, MrEngine::new(scale.threads));
+    let text = ctx
+        .create_table("meter_text", meter_schema(), FileFormat::Text)
+        .unwrap();
+    ctx.load_rows(&text, &rows, scale.files).unwrap();
+    let rc = ctx
+        .create_table("meter_rc", meter_schema(), FileFormat::RcFile)
+        .unwrap();
+    ctx.load_rows(&rc, &rows, scale.files).unwrap();
+
+    let mut g = c.benchmark_group("table2_index_build");
+    g.sample_size(10);
+    let counter = std::sync::atomic::AtomicU64::new(0);
+    g.bench_function("compact_2d", |b| {
+        b.iter(|| {
+            let n = counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            let (idx, report) = CompactIndex::build(
+                Arc::clone(&ctx),
+                Arc::clone(&rc),
+                vec!["region_id".into(), "ts".into()],
+                &format!("bench_c2_{n}"),
+            )
+            .unwrap();
+            ctx.drop_table(idx.index_table().name.as_str()).unwrap();
+            report
+        })
+    });
+    for (label, count) in [("large", 10u64), ("medium", 30), ("small", 90)] {
+        g.bench_function(format!("dgf_{label}"), |b| {
+            b.iter(|| {
+                let n = counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let interval = (scale.meter.users / count).max(1) as i64;
+                let policy = SplittingPolicy::new(vec![
+                    DimPolicy::int("user_id", 0, interval),
+                    DimPolicy::int("region_id", 0, 1),
+                    DimPolicy::date("ts", scale.meter.start_day, 1),
+                ])
+                .unwrap();
+                let (idx, report) = DgfIndex::build(
+                    Arc::clone(&ctx),
+                    Arc::clone(&text),
+                    policy,
+                    vec![dgf_query::AggFunc::Sum("power_consumed".into())],
+                    Arc::new(MemKvStore::new()),
+                    &format!("bench_dgf_{label}_{n}"),
+                )
+                .unwrap();
+                ctx.drop_table(&idx.data.name).unwrap();
+                report
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,146 @@
+//! Plain-text report tables, printed in the same row/series layout as the
+//! paper's tables and figures.
+
+use std::fmt;
+
+/// One experiment's output table.
+#[derive(Debug, Clone)]
+pub struct ReportTable {
+    /// e.g. `"Table 2: Index Size and Construction Time"`.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows (already formatted).
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes (substitutions, expected shape).
+    pub notes: Vec<String>,
+}
+
+impl ReportTable {
+    /// Start a table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> ReportTable {
+        ReportTable {
+            title: title.into(),
+            headers: headers.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        debug_assert_eq!(cells.len(), self.headers.len());
+        self.rows.push(cells);
+    }
+
+    /// Append a note.
+    pub fn note(&mut self, n: impl Into<String>) {
+        self.notes.push(n.into());
+    }
+
+    /// Render as a Markdown table (for EXPERIMENTS output files).
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!("### {}\n\n", self.title);
+        out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
+        out.push_str(&format!(
+            "|{}\n",
+            self.headers.iter().map(|_| "---|").collect::<String>()
+        ));
+        for r in &self.rows {
+            out.push_str(&format!("| {} |\n", r.join(" | ")));
+        }
+        for n in &self.notes {
+            out.push_str(&format!("\n_{n}_\n"));
+        }
+        out.push('\n');
+        out
+    }
+}
+
+impl fmt::Display for ReportTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        writeln!(f, "== {} ==", self.title)?;
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, c) in cells.iter().enumerate() {
+                write!(f, "{:<w$}  ", c, w = widths[i])?;
+            }
+            writeln!(f)
+        };
+        line(f, &self.headers)?;
+        writeln!(f, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()))?;
+        for r in &self.rows {
+            line(f, r)?;
+        }
+        for n in &self.notes {
+            writeln!(f, "note: {n}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Format a byte count like the paper's tables (GB / MB / KB).
+pub fn fmt_bytes(b: u64) -> String {
+    const K: f64 = 1024.0;
+    let b = b as f64;
+    if b >= K * K * K {
+        format!("{:.2}GB", b / (K * K * K))
+    } else if b >= K * K {
+        format!("{:.2}MB", b / (K * K))
+    } else if b >= K {
+        format!("{:.2}KB", b / K)
+    } else {
+        format!("{b:.0}B")
+    }
+}
+
+/// Format a duration in seconds with millisecond resolution.
+pub fn fmt_secs(d: std::time::Duration) -> String {
+    format!("{:.3}s", d.as_secs_f64())
+}
+
+/// Thousands-separated integer (the paper prints `4, 756, 501, 768`).
+pub fn fmt_count(n: u64) -> String {
+    let s = n.to_string();
+    let mut out = String::with_capacity(s.len() + s.len() / 3);
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders() {
+        let mut t = ReportTable::new("Table X", &["a", "bee"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.note("hello");
+        let text = t.to_string();
+        assert!(text.contains("Table X"));
+        assert!(text.contains("bee"));
+        assert!(text.contains("note: hello"));
+        let md = t.to_markdown();
+        assert!(md.contains("| a | bee |"));
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt_bytes(512), "512B");
+        assert_eq!(fmt_bytes(2048), "2.00KB");
+        assert_eq!(fmt_bytes(3 * 1024 * 1024), "3.00MB");
+        assert_eq!(fmt_count(1234567), "1,234,567");
+        assert_eq!(fmt_count(42), "42");
+        assert_eq!(fmt_secs(std::time::Duration::from_millis(1500)), "1.500s");
+    }
+}

@@ -1,0 +1,314 @@
+//! Binary codecs.
+//!
+//! Two codecs live here:
+//!
+//! * A length-prefixed little-endian **frame codec** (`BufWriter`/`BufReader`
+//!   helpers) used for row-group files, key-value store logs, and persisted
+//!   index metadata.
+//! * An **order-preserving key codec** used for grid-file unit keys so the
+//!   key-value store can range-scan cells in coordinate order (`encode_key_i64`
+//!   encodes sign-flipped big-endian).
+
+use std::io::{Read, Write};
+
+use crate::error::{DgfError, Result};
+use crate::value::Value;
+
+// ---------------------------------------------------------------------------
+// Frame codec: little-endian primitives with explicit lengths.
+// ---------------------------------------------------------------------------
+
+/// Append a `u32` little-endian.
+pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a `u64` little-endian.
+pub fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append an `i64` little-endian.
+pub fn put_i64(buf: &mut Vec<u8>, v: i64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append an `f64` little-endian.
+pub fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a length-prefixed byte string.
+pub fn put_bytes(buf: &mut Vec<u8>, v: &[u8]) {
+    put_u32(buf, v.len() as u32);
+    buf.extend_from_slice(v);
+}
+
+/// Append a length-prefixed UTF-8 string.
+pub fn put_str(buf: &mut Vec<u8>, v: &str) {
+    put_bytes(buf, v.as_bytes());
+}
+
+/// A cursor over an encoded frame, returning typed reads with bounds checks.
+#[derive(Debug)]
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// Wrap a byte slice.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Decoder { buf, pos: 0 }
+    }
+
+    /// Bytes remaining.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Current offset.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(DgfError::Corrupt(format!(
+                "frame truncated: need {n} bytes at offset {}, have {}",
+                self.pos,
+                self.remaining()
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read a single byte.
+    pub fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a `u32`.
+    pub fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Read a `u64`.
+    pub fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read an `i64`.
+    pub fn i64(&mut self) -> Result<i64> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read an `f64`.
+    pub fn f64(&mut self) -> Result<f64> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read a length-prefixed byte string.
+    pub fn bytes(&mut self) -> Result<&'a [u8]> {
+        let n = self.u32()? as usize;
+        self.take(n)
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<&'a str> {
+        std::str::from_utf8(self.bytes()?)
+            .map_err(|e| DgfError::Corrupt(format!("invalid utf-8 in frame: {e}")))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Value codec: rows inside binary row groups and aggregate headers.
+// ---------------------------------------------------------------------------
+
+const TAG_NULL: u8 = 0;
+const TAG_INT: u8 = 1;
+const TAG_FLOAT: u8 = 2;
+const TAG_STR: u8 = 3;
+const TAG_DATE: u8 = 4;
+
+/// Append a tagged [`Value`].
+pub fn put_value(buf: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Null => buf.push(TAG_NULL),
+        Value::Int(x) => {
+            buf.push(TAG_INT);
+            put_i64(buf, *x);
+        }
+        Value::Float(x) => {
+            buf.push(TAG_FLOAT);
+            put_f64(buf, *x);
+        }
+        Value::Str(s) => {
+            buf.push(TAG_STR);
+            put_str(buf, s);
+        }
+        Value::Date(x) => {
+            buf.push(TAG_DATE);
+            put_i64(buf, *x);
+        }
+    }
+}
+
+/// Read a tagged [`Value`].
+pub fn get_value(dec: &mut Decoder<'_>) -> Result<Value> {
+    let tag = dec.take(1)?[0];
+    Ok(match tag {
+        TAG_NULL => Value::Null,
+        TAG_INT => Value::Int(dec.i64()?),
+        TAG_FLOAT => Value::Float(dec.f64()?),
+        TAG_STR => Value::Str(dec.str()?.to_owned()),
+        TAG_DATE => Value::Date(dec.i64()?),
+        other => return Err(DgfError::Corrupt(format!("unknown value tag {other}"))),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Order-preserving key codec.
+// ---------------------------------------------------------------------------
+
+/// Encode an `i64` so that byte-wise lexicographic order equals numeric
+/// order: flip the sign bit, write big-endian.
+pub fn encode_key_i64(buf: &mut Vec<u8>, v: i64) {
+    buf.extend_from_slice(&((v as u64) ^ (1u64 << 63)).to_be_bytes());
+}
+
+/// Decode one key-encoded `i64` from the front of `buf`, returning the rest.
+pub fn decode_key_i64(buf: &[u8]) -> Result<(i64, &[u8])> {
+    if buf.len() < 8 {
+        return Err(DgfError::Corrupt("key truncated".into()));
+    }
+    let raw = u64::from_be_bytes(buf[..8].try_into().unwrap());
+    Ok(((raw ^ (1u64 << 63)) as i64, &buf[8..]))
+}
+
+// ---------------------------------------------------------------------------
+// Checksums and stream helpers.
+// ---------------------------------------------------------------------------
+
+/// FNV-1a 64-bit hash, used as a log-record checksum and as the default
+/// shuffle partitioner hash. Deterministic across runs (unlike `RandomState`),
+/// which keeps MapReduce output placement reproducible.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Write a length-prefixed frame to a stream.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> Result<()> {
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    Ok(())
+}
+
+/// Read a length-prefixed frame; `Ok(None)` at clean EOF.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Vec<u8>>> {
+    let mut len = [0u8; 4];
+    match r.read_exact(&mut len) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e.into()),
+    }
+    let n = u32::from_le_bytes(len) as usize;
+    let mut payload = vec![0u8; n];
+    r.read_exact(&mut payload)
+        .map_err(|_| DgfError::Corrupt("frame body truncated".into()))?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_primitives_round_trip() {
+        let mut buf = Vec::new();
+        put_u32(&mut buf, 7);
+        put_u64(&mut buf, u64::MAX);
+        put_i64(&mut buf, -9);
+        put_f64(&mut buf, 2.5);
+        put_str(&mut buf, "hello");
+        let mut d = Decoder::new(&buf);
+        assert_eq!(d.u32().unwrap(), 7);
+        assert_eq!(d.u64().unwrap(), u64::MAX);
+        assert_eq!(d.i64().unwrap(), -9);
+        assert_eq!(d.f64().unwrap(), 2.5);
+        assert_eq!(d.str().unwrap(), "hello");
+        assert_eq!(d.remaining(), 0);
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let mut buf = Vec::new();
+        put_str(&mut buf, "hello");
+        let mut d = Decoder::new(&buf[..6]);
+        assert!(d.str().is_err());
+    }
+
+    #[test]
+    fn value_round_trip() {
+        let vals = vec![
+            Value::Null,
+            Value::Int(-1),
+            Value::Float(3.25),
+            Value::Str("x|y".into()),
+            Value::Date(15706),
+        ];
+        let mut buf = Vec::new();
+        for v in &vals {
+            put_value(&mut buf, v);
+        }
+        let mut d = Decoder::new(&buf);
+        for v in &vals {
+            assert_eq!(&get_value(&mut d).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn key_i64_preserves_order() {
+        let samples = [i64::MIN, -100, -1, 0, 1, 99, i64::MAX];
+        let mut encoded: Vec<Vec<u8>> = Vec::new();
+        for v in samples {
+            let mut b = Vec::new();
+            encode_key_i64(&mut b, v);
+            encoded.push(b);
+        }
+        for w in encoded.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        for (i, v) in samples.iter().enumerate() {
+            let (got, rest) = decode_key_i64(&encoded[i]).unwrap();
+            assert_eq!(got, *v);
+            assert!(rest.is_empty());
+        }
+    }
+
+    #[test]
+    fn frames_stream_round_trip() {
+        let mut out = Vec::new();
+        write_frame(&mut out, b"one").unwrap();
+        write_frame(&mut out, b"").unwrap();
+        write_frame(&mut out, b"three").unwrap();
+        let mut r = &out[..];
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"one");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"three");
+        assert!(read_frame(&mut r).unwrap().is_none());
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(fnv1a(b"a"), fnv1a(b"b"));
+    }
+}

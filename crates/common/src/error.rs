@@ -1,0 +1,79 @@
+//! Error types shared across the DGFIndex workspace.
+
+use std::fmt;
+use std::io;
+
+/// The unified error type for all DGFIndex crates.
+#[derive(Debug)]
+pub enum DgfError {
+    /// An underlying I/O failure (file system, simulated HDFS, key-value store log).
+    Io(io::Error),
+    /// On-disk or in-flight data failed to decode (bad magic, truncated frame, checksum).
+    Corrupt(String),
+    /// A schema violation: unknown column, arity mismatch, type mismatch.
+    Schema(String),
+    /// A malformed or unsupported query (e.g. non-additive aggregate in a header).
+    Query(String),
+    /// An index-level failure (bad splitting policy, missing metadata, rebuild required).
+    Index(String),
+    /// A key-value store failure.
+    KvStore(String),
+    /// A MapReduce task panicked or the job was misconfigured.
+    Job(String),
+    /// A feature deliberately out of scope for this reproduction.
+    Unsupported(String),
+}
+
+impl fmt::Display for DgfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DgfError::Io(e) => write!(f, "io error: {e}"),
+            DgfError::Corrupt(m) => write!(f, "corrupt data: {m}"),
+            DgfError::Schema(m) => write!(f, "schema error: {m}"),
+            DgfError::Query(m) => write!(f, "query error: {m}"),
+            DgfError::Index(m) => write!(f, "index error: {m}"),
+            DgfError::KvStore(m) => write!(f, "kv store error: {m}"),
+            DgfError::Job(m) => write!(f, "job error: {m}"),
+            DgfError::Unsupported(m) => write!(f, "unsupported: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DgfError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DgfError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for DgfError {
+    fn from(e: io::Error) -> Self {
+        DgfError::Io(e)
+    }
+}
+
+/// Workspace-wide result alias.
+pub type Result<T> = std::result::Result<T, DgfError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = DgfError::Corrupt("bad magic".into());
+        assert_eq!(e.to_string(), "corrupt data: bad magic");
+        let e = DgfError::Schema("no such column".into());
+        assert!(e.to_string().contains("schema"));
+    }
+
+    #[test]
+    fn io_error_converts_and_sources() {
+        let e: DgfError = io::Error::new(io::ErrorKind::NotFound, "gone").into();
+        assert!(matches!(e, DgfError::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(std::error::Error::source(&DgfError::Query("q".into())).is_none());
+    }
+}

@@ -1,0 +1,211 @@
+//! Lightweight atomic counters and timing helpers.
+//!
+//! The paper's Tables 3, 4 and 6 report *records read after index filtering*;
+//! those numbers come out of these counters rather than timings, so they are
+//! exact and deterministic.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A shareable monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A fresh zeroed counter.
+    pub fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Reset to zero, returning the previous value.
+    pub fn reset(&self) -> u64 {
+        self.0.swap(0, Ordering::Relaxed)
+    }
+}
+
+/// I/O accounting shared by the storage layer, formats, and engines.
+///
+/// One `IoStats` is typically owned by a `SimHdfs` instance and handed to
+/// every reader it opens, so a whole query's I/O is visible in one place.
+#[derive(Debug, Default)]
+pub struct IoStats {
+    /// Bytes read from data files.
+    pub bytes_read: Counter,
+    /// Bytes written to data files.
+    pub bytes_written: Counter,
+    /// Records decoded by record readers (the paper's "records read").
+    pub records_read: Counter,
+    /// Records appended by writers.
+    pub records_written: Counter,
+    /// Seek operations issued by skipping readers.
+    pub seeks: Counter,
+}
+
+/// Shared handle to [`IoStats`].
+pub type IoStatsRef = Arc<IoStats>;
+
+impl IoStats {
+    /// A fresh zeroed stats block behind an `Arc`.
+    pub fn new_ref() -> IoStatsRef {
+        Arc::new(IoStats::default())
+    }
+
+    /// Reset every counter (between benchmark runs).
+    pub fn reset(&self) {
+        self.bytes_read.reset();
+        self.bytes_written.reset();
+        self.records_read.reset();
+        self.records_written.reset();
+        self.seeks.reset();
+    }
+
+    /// A point-in-time copy of all counters.
+    pub fn snapshot(&self) -> IoSnapshot {
+        IoSnapshot {
+            bytes_read: self.bytes_read.get(),
+            bytes_written: self.bytes_written.get(),
+            records_read: self.records_read.get(),
+            records_written: self.records_written.get(),
+            seeks: self.seeks.get(),
+        }
+    }
+}
+
+/// A copyable snapshot of [`IoStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoSnapshot {
+    /// Bytes read from data files.
+    pub bytes_read: u64,
+    /// Bytes written to data files.
+    pub bytes_written: u64,
+    /// Records decoded by record readers.
+    pub records_read: u64,
+    /// Records appended by writers.
+    pub records_written: u64,
+    /// Seek operations issued by skipping readers.
+    pub seeks: u64,
+}
+
+impl IoSnapshot {
+    /// Counter deltas `self - earlier` (saturating).
+    pub fn since(&self, earlier: &IoSnapshot) -> IoSnapshot {
+        IoSnapshot {
+            bytes_read: self.bytes_read.saturating_sub(earlier.bytes_read),
+            bytes_written: self.bytes_written.saturating_sub(earlier.bytes_written),
+            records_read: self.records_read.saturating_sub(earlier.records_read),
+            records_written: self.records_written.saturating_sub(earlier.records_written),
+            seeks: self.seeks.saturating_sub(earlier.seeks),
+        }
+    }
+}
+
+impl fmt::Display for IoSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "read {} B / {} rec, wrote {} B / {} rec, {} seeks",
+            self.bytes_read, self.records_read, self.bytes_written, self.records_written, self.seeks
+        )
+    }
+}
+
+/// Wall-clock stopwatch for benchmark phases.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Start timing now.
+    pub fn start() -> Self {
+        Stopwatch {
+            start: Instant::now(),
+        }
+    }
+
+    /// Elapsed time since start.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Elapsed time in fractional seconds.
+    pub fn secs(&self) -> f64 {
+        self.elapsed().as_secs_f64()
+    }
+}
+
+impl Default for Stopwatch {
+    fn default() -> Self {
+        Stopwatch::start()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        assert_eq!(c.reset(), 5);
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn counter_is_thread_safe() {
+        let c = Arc::new(Counter::new());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let c = Arc::clone(&c);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    c.inc();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.get(), 8000);
+    }
+
+    #[test]
+    fn snapshot_deltas() {
+        let s = IoStats::default();
+        s.bytes_read.add(10);
+        let a = s.snapshot();
+        s.bytes_read.add(7);
+        s.records_read.add(2);
+        let b = s.snapshot();
+        let d = b.since(&a);
+        assert_eq!(d.bytes_read, 7);
+        assert_eq!(d.records_read, 2);
+        assert_eq!(d.bytes_written, 0);
+    }
+
+    #[test]
+    fn stopwatch_moves_forward() {
+        let w = Stopwatch::start();
+        assert!(w.secs() >= 0.0);
+    }
+}

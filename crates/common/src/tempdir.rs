@@ -1,0 +1,78 @@
+//! A minimal RAII temporary directory, so tests and benches need no external
+//! `tempfile` dependency.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A uniquely named directory under the system temp dir, removed on drop.
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+static NEXT_ID: AtomicU64 = AtomicU64::new(0);
+
+impl TempDir {
+    /// Create `"$TMPDIR/dgf-<prefix>-<pid>-<seq>"`.
+    pub fn new(prefix: &str) -> std::io::Result<TempDir> {
+        let seq = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!(
+            "dgf-{prefix}-{}-{seq}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&path)?;
+        Ok(TempDir { path })
+    }
+
+    /// The directory path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Keep the directory on drop (for debugging), returning its path.
+    pub fn into_path(self) -> PathBuf {
+        let p = self.path.clone();
+        std::mem::forget(self);
+        p
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        // Best-effort cleanup; failure to remove a temp dir must not panic a
+        // test that is already unwinding.
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn creates_and_removes() {
+        let p;
+        {
+            let t = TempDir::new("unit").unwrap();
+            p = t.path().to_path_buf();
+            assert!(p.is_dir());
+            std::fs::write(p.join("f"), b"x").unwrap();
+        }
+        assert!(!p.exists());
+    }
+
+    #[test]
+    fn unique_names() {
+        let a = TempDir::new("u").unwrap();
+        let b = TempDir::new("u").unwrap();
+        assert_ne!(a.path(), b.path());
+    }
+
+    #[test]
+    fn into_path_keeps_dir() {
+        let t = TempDir::new("keep").unwrap();
+        let p = t.into_path();
+        assert!(p.is_dir());
+        std::fs::remove_dir_all(&p).unwrap();
+    }
+}

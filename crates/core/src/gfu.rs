@@ -1,0 +1,307 @@
+//! Grid File Units: keys, values, and their key-value store encoding.
+//!
+//! A GFU is one grid cell (paper §4.1). Its key is the standardized
+//! coordinate vector (the paper prints it as `"7_13"`; here it is the
+//! order-preserving binary encoding of the cell indexes, so time-prefix
+//! range scans work). Its value is the **header** (pre-computed additive
+//! aggregate states) plus the **locations of its Slices** — contiguous
+//! byte ranges of reorganized data files holding exactly this cell's
+//! records. A freshly built index has one slice per GFU; incremental
+//! appends (paper §4.2, time-extension) add more.
+
+use dgf_common::codec::{self, Decoder};
+use dgf_common::{DgfError, Result};
+
+/// Key prefix for GFU entries in the key-value store.
+pub const GFU_PREFIX: &[u8] = b"g:";
+/// Key of the persisted splitting policy.
+pub const META_POLICY_KEY: &[u8] = b"m:policy";
+/// Key of the persisted per-dimension cell extents.
+pub const META_EXTENT_KEY: &[u8] = b"m:extent";
+/// Key of the persisted pre-computed aggregate list.
+pub const META_AGGS_KEY: &[u8] = b"m:aggs";
+/// Key of the persisted slice-placement policy.
+pub const META_PLACEMENT_KEY: &[u8] = b"m:placement";
+/// Key of the persisted count of indexed base-table files (staleness
+/// detection: querying after un-indexed loads must fail loudly).
+pub const META_FILES_KEY: &[u8] = b"m:files";
+
+/// A GFU key: the cell index per dimension, in policy order.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GfuKey {
+    /// Standardized coordinates.
+    pub cells: Vec<i64>,
+}
+
+impl GfuKey {
+    /// Construct from coordinates.
+    pub fn new(cells: Vec<i64>) -> GfuKey {
+        GfuKey { cells }
+    }
+
+    /// Order-preserving store key: `g:` + big-endian sign-flipped cells.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(GFU_PREFIX.len() + self.cells.len() * 8);
+        buf.extend_from_slice(GFU_PREFIX);
+        for c in &self.cells {
+            codec::encode_key_i64(&mut buf, *c);
+        }
+        buf
+    }
+
+    /// Decode a store key produced by [`encode`](Self::encode).
+    pub fn decode(mut bytes: &[u8], arity: usize) -> Result<GfuKey> {
+        bytes = bytes
+            .strip_prefix(GFU_PREFIX)
+            .ok_or_else(|| DgfError::Corrupt("GFU key missing prefix".into()))?;
+        let mut cells = Vec::with_capacity(arity);
+        for _ in 0..arity {
+            let (c, rest) = codec::decode_key_i64(bytes)?;
+            cells.push(c);
+            bytes = rest;
+        }
+        if !bytes.is_empty() {
+            return Err(DgfError::Corrupt("GFU key has trailing bytes".into()));
+        }
+        Ok(GfuKey { cells })
+    }
+
+    /// The paper's display form, e.g. `7_13`.
+    pub fn display(&self) -> String {
+        self.cells
+            .iter()
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>()
+            .join("_")
+    }
+}
+
+/// Location of one Slice: a half-open byte range of a data file.
+///
+/// The paper's Figure 6 records inclusive `[start, end]` where `end` is
+/// the offset of the slice's last record; this codebase uses half-open
+/// `[start, end)` byte ranges, which compose directly with split clipping
+/// (see `DESIGN.md` §5).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SliceLoc {
+    /// Data file path.
+    pub file: String,
+    /// First byte.
+    pub start: u64,
+    /// One past the last byte.
+    pub end: u64,
+}
+
+impl SliceLoc {
+    /// Construct a slice location.
+    pub fn new(file: impl Into<String>, start: u64, end: u64) -> SliceLoc {
+        SliceLoc {
+            file: file.into(),
+            start,
+            end,
+        }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// Whether the slice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+}
+
+/// The value stored per GFU.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GfuValue {
+    /// Encoded aggregate states (see `dgf_query::AggSet::encode_states`)
+    /// for the index's pre-computed aggregate list.
+    pub header: Vec<u8>,
+    /// Slices holding this cell's records (one per construction run that
+    /// saw the cell).
+    pub slices: Vec<SliceLoc>,
+    /// Number of records in the cell (used for reporting and planning).
+    pub record_count: u64,
+}
+
+impl GfuValue {
+    /// Serialize.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        codec::put_bytes(&mut buf, &self.header);
+        codec::put_u64(&mut buf, self.record_count);
+        codec::put_u32(&mut buf, self.slices.len() as u32);
+        for s in &self.slices {
+            codec::put_str(&mut buf, &s.file);
+            codec::put_u64(&mut buf, s.start);
+            codec::put_u64(&mut buf, s.end);
+        }
+        buf
+    }
+
+    /// Deserialize.
+    pub fn decode(bytes: &[u8]) -> Result<GfuValue> {
+        let mut dec = Decoder::new(bytes);
+        let header = dec.bytes()?.to_vec();
+        let record_count = dec.u64()?;
+        let n = dec.u32()? as usize;
+        let mut slices = Vec::with_capacity(n);
+        for _ in 0..n {
+            let file = dec.str()?.to_owned();
+            let start = dec.u64()?;
+            let end = dec.u64()?;
+            slices.push(SliceLoc { file, start, end });
+        }
+        Ok(GfuValue {
+            header,
+            slices,
+            record_count,
+        })
+    }
+}
+
+/// Per-dimension cell extents `[min_cell, max_cell]` observed in the data;
+/// persisted so partially-specified queries can complete missing
+/// dimensions (paper §5.3.4).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Extents {
+    /// One inclusive `(min, max)` pair per dimension, in policy order.
+    pub dims: Vec<(i64, i64)>,
+}
+
+impl Extents {
+    /// Extents covering nothing (before any data is indexed).
+    pub fn empty(arity: usize) -> Extents {
+        Extents {
+            dims: vec![(i64::MAX, i64::MIN); arity],
+        }
+    }
+
+    /// Fold one observed key into the extents.
+    pub fn observe(&mut self, key: &GfuKey) {
+        for (d, c) in key.cells.iter().enumerate() {
+            let (lo, hi) = &mut self.dims[d];
+            *lo = (*lo).min(*c);
+            *hi = (*hi).max(*c);
+        }
+    }
+
+    /// Merge extents from another construction run.
+    pub fn merge(&mut self, other: &Extents) {
+        for (d, (olo, ohi)) in other.dims.iter().enumerate() {
+            let (lo, hi) = &mut self.dims[d];
+            *lo = (*lo).min(*olo);
+            *hi = (*hi).max(*ohi);
+        }
+    }
+
+    /// Whether any data has been observed.
+    pub fn is_empty(&self) -> bool {
+        self.dims.iter().any(|(lo, hi)| lo > hi)
+    }
+
+    /// Serialize.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        codec::put_u32(&mut buf, self.dims.len() as u32);
+        for (lo, hi) in &self.dims {
+            codec::put_i64(&mut buf, *lo);
+            codec::put_i64(&mut buf, *hi);
+        }
+        buf
+    }
+
+    /// Deserialize.
+    pub fn decode(bytes: &[u8]) -> Result<Extents> {
+        let mut dec = Decoder::new(bytes);
+        let n = dec.u32()? as usize;
+        let mut dims = Vec::with_capacity(n);
+        for _ in 0..n {
+            dims.push((dec.i64()?, dec.i64()?));
+        }
+        Ok(Extents { dims })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_encode_is_order_preserving_lexicographically() {
+        let keys = [
+            GfuKey::new(vec![-5, 0]),
+            GfuKey::new(vec![-5, 3]),
+            GfuKey::new(vec![0, -10]),
+            GfuKey::new(vec![0, 0]),
+            GfuKey::new(vec![7, 13]),
+        ];
+        let encoded: Vec<Vec<u8>> = keys.iter().map(|k| k.encode()).collect();
+        for w in encoded.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        for (k, e) in keys.iter().zip(&encoded) {
+            assert_eq!(&GfuKey::decode(e, 2).unwrap(), k);
+        }
+    }
+
+    #[test]
+    fn key_display_matches_paper_form() {
+        assert_eq!(GfuKey::new(vec![7, 13]).display(), "7_13");
+    }
+
+    #[test]
+    fn key_decode_validates() {
+        let k = GfuKey::new(vec![1, 2]).encode();
+        assert!(GfuKey::decode(&k, 3).is_err()); // wrong arity
+        assert!(GfuKey::decode(b"x:junk", 1).is_err()); // wrong prefix
+    }
+
+    #[test]
+    fn value_round_trip() {
+        let v = GfuValue {
+            header: vec![1, 2, 3],
+            slices: vec![
+                SliceLoc::new("/idx/part-r-0", 0, 90),
+                SliceLoc::new("/idx/part-r-1", 1000, 1450),
+            ],
+            record_count: 60,
+        };
+        assert_eq!(GfuValue::decode(&v.encode()).unwrap(), v);
+    }
+
+    #[test]
+    fn empty_value_round_trip() {
+        let v = GfuValue {
+            header: vec![],
+            slices: vec![],
+            record_count: 0,
+        };
+        assert_eq!(GfuValue::decode(&v.encode()).unwrap(), v);
+    }
+
+    #[test]
+    fn extents_observe_and_merge() {
+        let mut e = Extents::empty(2);
+        assert!(e.is_empty());
+        e.observe(&GfuKey::new(vec![3, -1]));
+        e.observe(&GfuKey::new(vec![1, 5]));
+        assert_eq!(e.dims, vec![(1, 3), (-1, 5)]);
+        let mut f = Extents::empty(2);
+        f.observe(&GfuKey::new(vec![10, 0]));
+        e.merge(&f);
+        assert_eq!(e.dims, vec![(1, 10), (-1, 5)]);
+        assert!(!e.is_empty());
+        assert_eq!(Extents::decode(&e.encode()).unwrap(), e);
+    }
+
+    #[test]
+    fn slice_len() {
+        let s = SliceLoc::new("/f", 10, 25);
+        assert_eq!(s.len(), 15);
+        assert!(!s.is_empty());
+        assert!(SliceLoc::new("/f", 5, 5).is_empty());
+    }
+}

@@ -1,0 +1,602 @@
+//! DGFIndex construction (paper §4.2, Algorithms 1 and 2) and incremental
+//! extension.
+//!
+//! Construction is a MapReduce job that **reorganizes** the base table:
+//! mappers standardize each record's indexed dimensions into a GFUKey and
+//! emit `(GFUKey, line)`; each reducer writes the records of every key it
+//! owns contiguously as a *Slice* of its output file, folds the
+//! pre-computed aggregates into the GFU header, and puts the
+//! `GFUKey → GFUValue` pair into the key-value store. Because the shuffle
+//! groups and sorts by key, a Slice always holds exactly the records of
+//! one GFU.
+//!
+//! The time dimension makes the index append-only: new meter data lands in
+//! new time cells, so `append` runs the same job over only the new file
+//! and merges the resulting GFU entries into the store — no rebuild, and
+//! write throughput is unaffected (paper §1 contribution iii).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use dgf_common::{format_row, parse_row, DgfError, Result, Row, Stopwatch, Value};
+use dgf_format::{FileFormat, RcReader, TextReader, TextWriter};
+use dgf_hive::{BuildReport, HiveContext, TableRef};
+use dgf_kvstore::KvStore;
+use dgf_mapreduce::JobReport;
+use dgf_query::{AggFunc, AggSet};
+use dgf_storage::FileSplit;
+
+use crate::gfu::{
+    Extents, GfuKey, GfuValue, GFU_PREFIX, META_AGGS_KEY, META_EXTENT_KEY, META_FILES_KEY,
+    META_PLACEMENT_KEY, META_POLICY_KEY,
+};
+use crate::policy::SplittingPolicy;
+
+/// How GFU Slices are placed across reducer output files — the paper's §8
+/// "optimal placement of Slices" future work.
+///
+/// The shuffle sorts each reducer's keys, so slices of *consecutive* keys
+/// in the same reducer are physically adjacent. Placement chooses which
+/// keys share a reducer:
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SlicePlacement {
+    /// Hash of the full GFUKey (the Hadoop default). Neighboring cells
+    /// scatter across files; range queries touch many slices in many
+    /// places.
+    KeyHash,
+    /// Hash of only the first `prefix_dims` coordinates: every cell
+    /// sharing that prefix lands in one reducer, where the sort makes
+    /// their slices contiguous. For a `(user, region, time)` grid with
+    /// `prefix_dims = 2`, the whole time series of a user-cell × region is
+    /// one contiguous byte run — a time-range query coalesces to a single
+    /// sequential read per touched prefix.
+    PrefixLocality {
+        /// How many leading dimensions define the locality group.
+        prefix_dims: usize,
+    },
+}
+
+impl SlicePlacement {
+    fn encode(&self) -> Vec<u8> {
+        match self {
+            SlicePlacement::KeyHash => vec![0, 0, 0, 0],
+            SlicePlacement::PrefixLocality { prefix_dims } => {
+                (*prefix_dims as u32).to_le_bytes().to_vec()
+            }
+        }
+    }
+
+    fn decode(bytes: &[u8]) -> SlicePlacement {
+        let mut b = [0u8; 4];
+        b[..bytes.len().min(4)].copy_from_slice(&bytes[..bytes.len().min(4)]);
+        match u32::from_le_bytes(b) {
+            0 => SlicePlacement::KeyHash,
+            n => SlicePlacement::PrefixLocality {
+                prefix_dims: n as usize,
+            },
+        }
+    }
+}
+
+/// Number of metadata keys a DGFIndex keeps in its store (policy,
+/// aggregates, extents, placement, indexed-file count).
+const META_KEY_COUNT: u64 = 5;
+
+/// A built DGFIndex: the reorganized data table plus the GFU store.
+///
+/// Per the paper, each table can have only one DGFIndex, because the index
+/// *is* a physical reorganization of the table.
+pub struct DgfIndex {
+    /// The warehouse context.
+    pub ctx: Arc<HiveContext>,
+    /// The original table (source of schema and of ground-truth scans).
+    pub base: TableRef,
+    /// The reorganized, slice-aligned data table (TextFile — the only
+    /// format DGFIndex supports in the paper).
+    pub data: TableRef,
+    /// The grid policy.
+    pub policy: SplittingPolicy,
+    /// Pre-computed aggregate list (may be empty).
+    pub aggs: Vec<AggFunc>,
+    /// The GFU key-value store (HBase in the paper).
+    pub kv: Arc<dyn KvStore>,
+    /// Slice placement policy used by construction and appends.
+    pub placement: SlicePlacement,
+    generation: AtomicU64,
+}
+
+impl DgfIndex {
+    /// Build a DGFIndex over `base` (paper Listing 3: `CREATE INDEX …
+    /// IDXPROPERTIES(policy, precompute)`).
+    pub fn build(
+        ctx: Arc<HiveContext>,
+        base: TableRef,
+        policy: SplittingPolicy,
+        aggs: Vec<AggFunc>,
+        kv: Arc<dyn KvStore>,
+        index_name: &str,
+    ) -> Result<(DgfIndex, BuildReport)> {
+        Self::build_with_placement(
+            ctx,
+            base,
+            policy,
+            aggs,
+            kv,
+            index_name,
+            SlicePlacement::KeyHash,
+        )
+    }
+
+    /// [`build`](Self::build) with an explicit Slice-placement policy.
+    pub fn build_with_placement(
+        ctx: Arc<HiveContext>,
+        base: TableRef,
+        policy: SplittingPolicy,
+        aggs: Vec<AggFunc>,
+        kv: Arc<dyn KvStore>,
+        index_name: &str,
+        placement: SlicePlacement,
+    ) -> Result<(DgfIndex, BuildReport)> {
+        // Validate dimensions against the schema.
+        for d in policy.dims() {
+            let t = base.schema.type_of(&d.name)?;
+            if t != d.vtype {
+                return Err(DgfError::Index(format!(
+                    "dimension {:?} is {t} in the table but {} in the policy",
+                    d.name, d.vtype
+                )));
+            }
+        }
+        // Validate aggregates bind (and are additive by construction).
+        AggSet::bind(&aggs, &base.schema)?;
+
+        // The reorganized data keeps the base table's format — the paper
+        // implements TextFile and notes other formats are a straightforward
+        // extension; RCFile slices are aligned to whole row groups.
+        let data = ctx.create_table_at(
+            &format!("{index_name}_data"),
+            base.schema.clone(),
+            base.format,
+            &format!("/warehouse/{index_name}/data"),
+        )?;
+        if let SlicePlacement::PrefixLocality { prefix_dims } = placement {
+            if prefix_dims == 0 || prefix_dims >= policy.arity() {
+                return Err(DgfError::Index(format!(
+                    "prefix_dims must be in 1..{} for this grid",
+                    policy.arity()
+                )));
+            }
+        }
+        let index = DgfIndex {
+            ctx,
+            base,
+            data,
+            policy,
+            aggs,
+            kv,
+            placement,
+            generation: AtomicU64::new(0),
+        };
+        let watch = Stopwatch::start();
+        let splits = index.ctx.table_splits(&index.base);
+        let job = index.reorganize(splits, index.base.format)?;
+        let report = BuildReport {
+            build_time: watch.elapsed(),
+            index_size_bytes: index.kv.logical_size_bytes(),
+            index_entries: index.kv.len() as u64 - META_KEY_COUNT,
+        };
+        let _ = job;
+        Ok((index, report))
+    }
+
+    /// Reattach to an index persisted in `kv` (e.g. a
+    /// [`LogKvStore`](dgf_kvstore::LogKvStore) after a restart): the
+    /// splitting policy and extents load from the store's metadata; the
+    /// reorganized data table must still be registered under
+    /// `<index_name>_data`. `aggs` must match the pre-computed list the
+    /// index was built with (UDFs cannot be reconstructed from their
+    /// names alone, so the caller supplies them; the stored keys are
+    /// verified).
+    pub fn open(
+        ctx: Arc<HiveContext>,
+        base: TableRef,
+        kv: Arc<dyn KvStore>,
+        index_name: &str,
+        aggs: Vec<AggFunc>,
+    ) -> Result<DgfIndex> {
+        let policy_bytes = kv
+            .get(META_POLICY_KEY)?
+            .ok_or_else(|| DgfError::Index("store holds no DGFIndex metadata".into()))?;
+        let policy = SplittingPolicy::decode(&policy_bytes)?;
+        let stored_keys = kv
+            .get(META_AGGS_KEY)?
+            .map(|b| String::from_utf8_lossy(&b).into_owned())
+            .unwrap_or_default();
+        let supplied_keys = aggs
+            .iter()
+            .map(|a| a.key())
+            .collect::<Vec<_>>()
+            .join("\n");
+        if stored_keys != supplied_keys {
+            return Err(DgfError::Index(format!(
+                "pre-computed aggregates mismatch: stored {stored_keys:?}, supplied {supplied_keys:?}"
+            )));
+        }
+        AggSet::bind(&aggs, &base.schema)?;
+        let data = ctx.table(&format!("{index_name}_data"))?;
+        // Resume the generation counter past any existing append files so
+        // future appends never collide with persisted slice files.
+        let max_gen = ctx
+            .hdfs
+            .list_files(&data.location)
+            .iter()
+            .filter_map(|(p, _)| {
+                p.rsplit('/')
+                    .next()?
+                    .strip_prefix("part-r-")?
+                    .split('-')
+                    .next()?
+                    .parse::<u64>()
+                    .ok()
+            })
+            .max()
+            .unwrap_or(0);
+        let placement = kv
+            .get(META_PLACEMENT_KEY)?
+            .map(|b| SlicePlacement::decode(&b))
+            .unwrap_or(SlicePlacement::KeyHash);
+        Ok(DgfIndex {
+            ctx,
+            base,
+            data,
+            policy,
+            aggs,
+            kv,
+            placement,
+            generation: AtomicU64::new(max_gen),
+        })
+    }
+
+    /// Index new records: they are appended to the base table as a fresh
+    /// file and reorganized into new Slices; existing GFU entries extend
+    /// rather than rebuild (the paper's time-extension load path).
+    pub fn append(&self, rows: &[Row]) -> Result<BuildReport> {
+        let gen = self.generation.fetch_add(1, Ordering::Relaxed) + 1;
+        let path = self
+            .ctx
+            .append_file(&self.base, &format!("delta-{gen:05}"), rows)?;
+        let watch = Stopwatch::start();
+        let len = self.ctx.hdfs.file_len(&path)?;
+        let splits = dgf_storage::splits_for_file(&path, len, self.ctx.hdfs.block_size());
+        self.reorganize(splits, self.base.format)?;
+        Ok(BuildReport {
+            build_time: watch.elapsed(),
+            index_size_bytes: self.kv.logical_size_bytes(),
+            index_entries: self.kv.len() as u64 - META_KEY_COUNT,
+        })
+    }
+
+    /// The shared reorganization job (Algorithms 1 + 2).
+    fn reorganize(&self, splits: Vec<FileSplit>, format: FileFormat) -> Result<JobReport> {
+        if splits.is_empty() {
+            // Nothing to index; still persist metadata so queries work.
+            self.persist_meta(&Extents::empty(self.policy.arity()))?;
+            return Ok(JobReport::default());
+        }
+        let gen = self.generation.load(Ordering::Relaxed);
+        let dim_idx: Vec<usize> = self
+            .policy
+            .dims()
+            .iter()
+            .map(|d| self.base.schema.index_of(&d.name))
+            .collect::<Result<_>>()?;
+        let agg_set = AggSet::bind(&self.aggs, &self.base.schema)?;
+        let num_reducers = self.ctx.engine.threads().min(splits.len()).max(1);
+        let ctx = &self.ctx;
+        let base = &self.base;
+        let policy = &self.policy;
+        let data_loc = self.data.location.clone();
+        let kv = &self.kv;
+        let arity = self.policy.arity();
+
+        // Slice placement: which encoded-key prefix defines the reducer.
+        let prefix_len = match self.placement {
+            SlicePlacement::KeyHash => None,
+            SlicePlacement::PrefixLocality { prefix_dims } => {
+                Some(GFU_PREFIX.len() + 8 * prefix_dims)
+            }
+        };
+        let partitioner = prefix_len.map(|cut| {
+            move |key: &Vec<u8>, n: usize| {
+                (dgf_common::codec::fnv1a(&key[..cut.min(key.len())]) % n as u64) as usize
+            }
+        });
+
+        // Map (Algorithm 1): standardize dims → GFUKey; emit (key, line).
+        let job = self.ctx.engine.map_reduce_partitioned(
+            splits,
+            num_reducers,
+            partitioner
+                .as_ref()
+                .map(|p| p as &(dyn Fn(&Vec<u8>, usize) -> usize + Sync)),
+            &|_, split: FileSplit, e| {
+                let mut emit_row = |row: Row| -> Result<()> {
+                    let mut cells = Vec::with_capacity(dim_idx.len());
+                    for (i, d) in dim_idx.iter().zip(policy.dims()) {
+                        cells.push(d.cell_of(&row[*i])?);
+                    }
+                    e.emit(GfuKey::new(cells).encode(), format_row(&row));
+                    Ok(())
+                };
+                match format {
+                    FileFormat::Text => {
+                        let mut r = TextReader::open(&ctx.hdfs, base.schema.clone(), &split)?;
+                        while let Some((_, row)) = r.next_with_offset()? {
+                            emit_row(row)?;
+                        }
+                    }
+                    FileFormat::RcFile => {
+                        let mut r = RcReader::open(&ctx.hdfs, base.schema.clone(), &split)?;
+                        while let Some((_, row)) = r.next_with_offset()? {
+                            emit_row(row)?;
+                        }
+                    }
+                }
+                Ok(())
+            },
+            None,
+            // Reduce (Algorithm 2): write each GFU's records as one Slice,
+            // fold the header, put (key, value) into the store.
+            &|tid, groups: Vec<(Vec<u8>, Vec<String>)>| {
+                let path = format!("{data_loc}/part-r-{gen:05}-{tid:05}");
+                let mut w = SliceWriter::create(&ctx.hdfs, &path, base, format)?;
+                let mut extents = Extents::empty(arity);
+                for (key_bytes, lines) in groups {
+                    let key = GfuKey::decode(&key_bytes, arity)?;
+                    extents.observe(&key);
+                    let start = w.offset();
+                    let mut states = agg_set.new_states();
+                    for line in &lines {
+                        let row = parse_row(line, &base.schema)?;
+                        agg_set.update(&mut states, &row, &base.schema)?;
+                        w.write(line, row)?;
+                    }
+                    let end = w.end_slice()?;
+                    let slice = crate::gfu::SliceLoc::new(path.clone(), start, end);
+                    let header = AggSet::encode_states(&states);
+                    let count = lines.len() as u64;
+                    let mut merge_err = None;
+                    kv.update(&key_bytes, &mut |old| {
+                        match merge_gfu(old, &header, &slice, count, &agg_set) {
+                            Ok(v) => v.encode(),
+                            Err(e) => {
+                                merge_err = Some(e);
+                                old.map(|o| o.to_vec()).unwrap_or_default()
+                            }
+                        }
+                    })?;
+                    if let Some(e) = merge_err {
+                        return Err(e);
+                    }
+                }
+                w.close()?;
+                Ok(extents)
+            },
+        )?;
+
+        // Merge the reducers' extents into the persisted metadata.
+        let mut extents = Extents::empty(arity);
+        for e in &job.outputs {
+            extents.merge(e);
+        }
+        self.persist_meta(&extents)?;
+        Ok(job.report)
+    }
+
+    fn persist_meta(&self, new_extents: &Extents) -> Result<()> {
+        self.kv.put(META_POLICY_KEY, &self.policy.encode())?;
+        self.kv.put(META_PLACEMENT_KEY, &self.placement.encode())?;
+        let files = self.ctx.hdfs.list_files(&self.base.location).len() as u64;
+        self.kv.put(META_FILES_KEY, &files.to_le_bytes())?;
+        let agg_keys: Vec<u8> = self
+            .aggs
+            .iter()
+            .map(|a| a.key())
+            .collect::<Vec<_>>()
+            .join("\n")
+            .into_bytes();
+        self.kv.put(META_AGGS_KEY, &agg_keys)?;
+        let arity = self.policy.arity();
+        let enc = new_extents.encode();
+        self.kv.update(META_EXTENT_KEY, &mut |old| match old {
+            Some(bytes) => {
+                let mut merged = Extents::decode(bytes)
+                    .unwrap_or_else(|_| Extents::empty(arity));
+                merged.merge(new_extents);
+                merged.encode()
+            }
+            None => enc.clone(),
+        })?;
+        self.kv.flush()?;
+        Ok(())
+    }
+
+    /// Staleness check: error if the base table holds files that were
+    /// never indexed (e.g. loaded directly instead of via
+    /// [`append`](Self::append)). A stale index would silently drop those
+    /// records from every answer.
+    pub fn check_freshness(&self) -> Result<()> {
+        let Some(bytes) = self.kv.get(META_FILES_KEY)? else {
+            return Ok(()); // pre-freshness index: assume in sync
+        };
+        let mut b = [0u8; 8];
+        b[..bytes.len().min(8)].copy_from_slice(&bytes[..bytes.len().min(8)]);
+        let indexed = u64::from_le_bytes(b);
+        let current = self.ctx.hdfs.list_files(&self.base.location).len() as u64;
+        if current > indexed {
+            return Err(DgfError::Index(format!(
+                "index is stale: base table {:?} has {current} files but only \
+                 {indexed} are indexed — load new data through DgfIndex::append",
+                self.base.name
+            )));
+        }
+        Ok(())
+    }
+
+    /// The persisted per-dimension extents.
+    pub fn extents(&self) -> Result<Extents> {
+        match self.kv.get(META_EXTENT_KEY)? {
+            Some(bytes) => Extents::decode(&bytes),
+            None => Ok(Extents::empty(self.policy.arity())),
+        }
+    }
+
+    /// Canonical keys of the pre-computed aggregates.
+    pub fn agg_keys(&self) -> Vec<String> {
+        self.aggs.iter().map(|a| a.key()).collect()
+    }
+
+    /// Number of GFU entries currently stored.
+    pub fn gfu_count(&self) -> usize {
+        self.kv.len().saturating_sub(META_KEY_COUNT as usize)
+    }
+}
+
+/// Format-dispatched writer of slice-aligned reorganized data.
+enum SliceWriter {
+    Text(TextWriter),
+    Rc(dgf_format::RcWriter),
+}
+
+impl SliceWriter {
+    fn create(
+        hdfs: &dgf_storage::HdfsRef,
+        path: &str,
+        base: &TableRef,
+        format: FileFormat,
+    ) -> Result<SliceWriter> {
+        Ok(match format {
+            FileFormat::Text => SliceWriter::Text(TextWriter::create(hdfs, path)?),
+            FileFormat::RcFile => SliceWriter::Rc(dgf_format::RcWriter::create(
+                hdfs,
+                path,
+                base.schema.clone(),
+                base.rows_per_group,
+            )?),
+        })
+    }
+
+    /// Offset where the next slice will begin.
+    fn offset(&self) -> u64 {
+        match self {
+            SliceWriter::Text(w) => w.offset(),
+            SliceWriter::Rc(w) => w.group_offset(),
+        }
+    }
+
+    /// Append one record (`line` is its text form, `row` its parsed form).
+    fn write(&mut self, line: &str, row: Row) -> Result<()> {
+        match self {
+            SliceWriter::Text(w) => {
+                w.write_line(line)?;
+            }
+            SliceWriter::Rc(w) => {
+                w.write_row(&row)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Close the current slice at a record/group boundary; returns its
+    /// exclusive end offset.
+    fn end_slice(&mut self) -> Result<u64> {
+        match self {
+            SliceWriter::Text(w) => Ok(w.offset()),
+            SliceWriter::Rc(w) => {
+                w.finish_group()?;
+                Ok(w.group_offset())
+            }
+        }
+    }
+
+    fn close(self) -> Result<u64> {
+        match self {
+            SliceWriter::Text(w) => w.close(),
+            SliceWriter::Rc(w) => w.close(),
+        }
+    }
+}
+
+/// Merge a freshly built slice into an existing GFU value (or create one).
+fn merge_gfu(
+    old: Option<&[u8]>,
+    header: &[u8],
+    slice: &crate::gfu::SliceLoc,
+    count: u64,
+    agg_set: &AggSet,
+) -> Result<GfuValue> {
+    match old {
+        None => Ok(GfuValue {
+            header: header.to_vec(),
+            slices: vec![slice.clone()],
+            record_count: count,
+        }),
+        Some(bytes) => {
+            let mut v = GfuValue::decode(bytes)?;
+            if !agg_set.is_empty() {
+                let mut states = agg_set.decode_states(&v.header)?;
+                let new_states = agg_set.decode_states(header)?;
+                agg_set.merge(&mut states, &new_states)?;
+                v.header = AggSet::encode_states(&states);
+            }
+            v.slices.push(slice.clone());
+            v.record_count += count;
+            Ok(v)
+        }
+    }
+}
+
+/// Convenience: the canonical meter-data pre-compute list from the paper's
+/// real-world experiments (`sum(powerConsumed)` plus count).
+pub fn default_precompute(power_col: &str) -> Vec<AggFunc> {
+    vec![AggFunc::Sum(power_col.to_owned()), AggFunc::Count]
+}
+
+/// Scan all GFU entries (diagnostics, tests, size accounting).
+pub fn all_gfus(kv: &dyn KvStore, arity: usize) -> Result<Vec<(GfuKey, GfuValue)>> {
+    let pairs = kv.scan_prefix(crate::gfu::GFU_PREFIX)?;
+    let mut out = Vec::with_capacity(pairs.len());
+    for (k, v) in pairs {
+        out.push((GfuKey::decode(&k, arity)?, GfuValue::decode(&v)?));
+    }
+    Ok(out)
+}
+
+/// Helper used by tests and benches: the example grid of the paper's
+/// Figure 5 (dimension A: min 1 interval 3; dimension B: min 11
+/// interval 2).
+pub fn paper_figure5_policy() -> SplittingPolicy {
+    SplittingPolicy::new(vec![
+        crate::policy::DimPolicy::int("A", 1, 3),
+        crate::policy::DimPolicy::int("B", 11, 2),
+    ])
+    .expect("static policy")
+}
+
+/// The paper's Figure 5 example rows `(A, B, C)`.
+pub fn paper_figure5_rows() -> Vec<Row> {
+    [
+        (1, 14, 0.1),
+        (5, 18, 0.5),
+        (7, 12, 1.2),
+        (2, 11, 0.5),
+        (9, 14, 0.8),
+        (11, 16, 1.3),
+        (3, 18, 0.9),
+        (12, 12, 0.3),
+        (8, 13, 0.2),
+    ]
+    .into_iter()
+    .map(|(a, b, c)| vec![Value::Int(a), Value::Int(b), Value::Float(c)])
+    .collect()
+}

@@ -1,0 +1,809 @@
+//! # dgf-core
+//!
+//! **DGFIndex** — the paper's primary contribution: a distributed grid
+//! file index for multidimensional range queries over Hive-style tables.
+//!
+//! * [`policy`] — the splitting policy: per-dimension `min`/`interval`
+//!   standardization into grid cells.
+//! * [`gfu`] — grid file units: order-preserving keys, headers of
+//!   pre-computed additive aggregates, Slice locations.
+//! * [`index`] — construction (a MapReduce job that reorganizes the table
+//!   into per-GFU Slices) and incremental, rebuild-free appends.
+//! * [`plan`] — query planning: inner/boundary region decomposition,
+//!   header-based answering of the inner region, split filtering, and
+//!   per-split Slice range lists.
+//! * [`engine`] — the [`DgfEngine`] implementing the common
+//!   [`dgf_query::Engine`] interface.
+//!
+//! ```no_run
+//! # use std::sync::Arc;
+//! # use dgf_core::{DgfIndex, DgfEngine, SplittingPolicy, DimPolicy};
+//! # use dgf_kvstore::MemKvStore;
+//! # use dgf_query::{AggFunc, Engine, Query, Predicate, ColumnRange};
+//! # use dgf_common::Value;
+//! # fn demo(ctx: Arc<dgf_hive::HiveContext>, meter: dgf_hive::TableRef) -> dgf_common::Result<()> {
+//! let policy = SplittingPolicy::new(vec![
+//!     DimPolicy::int("user_id", 0, 1000),
+//!     DimPolicy::int("region_id", 0, 1),
+//!     DimPolicy::date("ts", 15706, 1),
+//! ])?;
+//! let (index, report) = DgfIndex::build(
+//!     ctx,
+//!     meter,
+//!     policy,
+//!     vec![AggFunc::Sum("power_consumed".into())],
+//!     Arc::new(MemKvStore::new()),
+//!     "dgf_meter",
+//! )?;
+//! println!("built {} GFUs in {:?}", report.index_entries, report.build_time);
+//! let run = DgfEngine::new(Arc::new(index)).run(&Query::Aggregate {
+//!     aggs: vec![AggFunc::Sum("power_consumed".into())],
+//!     predicate: Predicate::all()
+//!         .and("user_id", ColumnRange::half_open(Value::Int(100), Value::Int(5000)))
+//!         .and("ts", ColumnRange::half_open(Value::Date(15706), Value::Date(15736))),
+//! })?;
+//! println!("answer: {}", run.result);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod advisor;
+pub mod engine;
+pub mod gfu;
+pub mod index;
+pub mod plan;
+pub mod policy;
+
+pub use advisor::{collect_stats, recommend_policy, AdvisorConfig, DimStats, Recommendation};
+pub use engine::DgfEngine;
+pub use gfu::{Extents, GfuKey, GfuValue, SliceLoc};
+pub use index::{all_gfus, default_precompute, DgfIndex, SlicePlacement};
+pub use plan::DgfPlan;
+pub use policy::{DimPolicy, DimScale, DimSpan, SplittingPolicy};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgf_common::{Schema, TempDir, Value, ValueType};
+    use dgf_format::FileFormat;
+    use dgf_hive::{HiveContext, ScanEngine, TableRef};
+    use dgf_kvstore::MemKvStore;
+    use dgf_mapreduce::MrEngine;
+    use dgf_query::{AggFunc, ColumnRange, Engine, Predicate, Query};
+    use dgf_storage::{HdfsConfig, SimHdfs};
+    use std::sync::Arc;
+
+    fn setup(block: u64) -> (TempDir, Arc<HiveContext>) {
+        let t = TempDir::new("dgfcore").unwrap();
+        let h = SimHdfs::new(
+            t.path(),
+            HdfsConfig {
+                block_size: block,
+                replication: 1,
+            },
+        )
+        .unwrap();
+        (t, HiveContext::new(h, MrEngine::new(4)))
+    }
+
+    fn figure5_table(ctx: &Arc<HiveContext>) -> TableRef {
+        let schema = Arc::new(Schema::from_pairs(&[
+            ("A", ValueType::Int),
+            ("B", ValueType::Int),
+            ("C", ValueType::Float),
+        ]));
+        let tab = ctx.create_table("fig5", schema, FileFormat::Text).unwrap();
+        ctx.load_rows(&tab, &index::paper_figure5_rows(), 1).unwrap();
+        tab
+    }
+
+    fn build_figure5(ctx: &Arc<HiveContext>) -> Arc<DgfIndex> {
+        let tab = figure5_table(ctx);
+        let (idx, report) = DgfIndex::build(
+            Arc::clone(ctx),
+            tab,
+            index::paper_figure5_policy(),
+            vec![AggFunc::Sum("C".into())],
+            Arc::new(MemKvStore::new()),
+            "dgf_fig5",
+        )
+        .unwrap();
+        // Figure 6: 9 records land in exactly 8 GFUs (7_13 holds two).
+        assert_eq!(report.index_entries, 8);
+        Arc::new(idx)
+    }
+
+    #[test]
+    fn figure6_construction_matches_paper() {
+        let (_t, ctx) = setup(1 << 20);
+        let idx = build_figure5(&ctx);
+        let gfus = all_gfus(idx.kv.as_ref(), 2).unwrap();
+        assert_eq!(gfus.len(), 8);
+        // Cell (2,1) = paper key "7_13": records (7,12,1.2)? No — B=12 is
+        // cell (12-11)/2 = 0 → key 7_11. Key 7_13 holds (9,14,0.8) and
+        // (8,13,0.2): cells A=(9-1)/3=2,(8-1)/3=2; B=(14-11)/2=1,(13-11)/2=1.
+        let (_, v) = gfus
+            .iter()
+            .find(|(k, _)| k.cells == vec![2, 1])
+            .expect("GFU 7_13 exists");
+        assert_eq!(v.record_count, 2);
+        assert_eq!(v.slices.len(), 1);
+        // Pre-computed sum(C) = 0.8 + 0.2 = 1.0 (paper Figure 6).
+        let set = dgf_query::AggSet::bind(
+            &[AggFunc::Sum("C".into())],
+            &idx.base.schema,
+        )
+        .unwrap();
+        let states = set.decode_states(&v.header).unwrap();
+        assert_eq!(set.finalize(&states)[0], Value::Float(1.0));
+    }
+
+    #[test]
+    fn listing2_query_matches_paper_semantics() {
+        let (_t, ctx) = setup(1 << 20);
+        let idx = build_figure5(&ctx);
+        // Listing 2: SELECT SUM(C) WHERE A in [5,12) AND B in [12,16).
+        let q = Query::Aggregate {
+            aggs: vec![AggFunc::Sum("C".into())],
+            predicate: Predicate::all()
+                .and("A", ColumnRange::half_open(Value::Int(5), Value::Int(12)))
+                .and("B", ColumnRange::half_open(Value::Int(12), Value::Int(16))),
+        };
+        // Matching rows: (5,18)? no B. (7,12,1.2) ✓, (9,14,0.8) ✓,
+        // (11,16)? B=16 excluded. (8,13,0.2) ✓ → 2.2.
+        let run = DgfEngine::new(Arc::clone(&idx)).run(&q).unwrap();
+        assert!(run
+            .result
+            .approx_eq(&dgf_query::QueryResult::Scalars(vec![Value::Float(2.2)]), 1e-9));
+        // The inner region (paper: I = {7<=A<10, 13<=B<15}) is answered
+        // from the header: GFU (2,1) is inner.
+        let plan = idx.plan(&q, true).unwrap();
+        assert_eq!(plan.inner_gfus, 1);
+        assert_eq!(plan.inner_records, 2);
+    }
+
+    #[test]
+    fn no_precompute_reads_all_query_gfus() {
+        let (_t, ctx) = setup(1 << 20);
+        let idx = build_figure5(&ctx);
+        let q = Query::Aggregate {
+            aggs: vec![AggFunc::Sum("C".into())],
+            predicate: Predicate::all()
+                .and("A", ColumnRange::half_open(Value::Int(5), Value::Int(12)))
+                .and("B", ColumnRange::half_open(Value::Int(12), Value::Int(16))),
+        };
+        let with = DgfEngine::new(Arc::clone(&idx)).run(&q).unwrap();
+        let without = DgfEngine::new(Arc::clone(&idx))
+            .without_precompute()
+            .run(&q)
+            .unwrap();
+        assert!(with.result.approx_eq(&without.result, 1e-9));
+        assert!(without.stats.data_records_read > with.stats.data_records_read);
+    }
+
+    #[test]
+    fn unsupported_aggregate_falls_back_to_slices() {
+        let (_t, ctx) = setup(1 << 20);
+        let idx = build_figure5(&ctx);
+        // avg(C) is not pre-computed: headers unusable, result still right.
+        let q = Query::Aggregate {
+            aggs: vec![AggFunc::Avg("C".into())],
+            predicate: Predicate::all()
+                .and("A", ColumnRange::half_open(Value::Int(5), Value::Int(12)))
+                .and("B", ColumnRange::half_open(Value::Int(12), Value::Int(16))),
+        };
+        let plan = idx.plan(&q, true).unwrap();
+        assert_eq!(plan.inner_gfus, 0);
+        let run = DgfEngine::new(Arc::clone(&idx)).run(&q).unwrap();
+        let expected = (1.2 + 0.8 + 0.2) / 3.0;
+        assert!(run.result.approx_eq(
+            &dgf_query::QueryResult::Scalars(vec![Value::Float(expected)]),
+            1e-9
+        ));
+    }
+
+    #[test]
+    fn predicate_on_unindexed_column_disables_headers_but_stays_exact() {
+        let (_t, ctx) = setup(1 << 20);
+        let idx = build_figure5(&ctx);
+        let q = Query::Aggregate {
+            aggs: vec![AggFunc::Sum("C".into())],
+            predicate: Predicate::all()
+                .and("A", ColumnRange::half_open(Value::Int(5), Value::Int(12)))
+                .and("C", ColumnRange::open(Value::Float(0.5), Value::Float(10.0))),
+        };
+        let plan = idx.plan(&q, true).unwrap();
+        assert_eq!(plan.inner_gfus, 0, "C is not an index dimension");
+        let run = DgfEngine::new(Arc::clone(&idx)).run(&q).unwrap();
+        // A in [5,12): rows (5,18,.5)x (7,12,1.2)✓ (9,14,.8)✓ (11,16,1.3)✓ (8,13,.2)x
+        assert!(run.result.approx_eq(
+            &dgf_query::QueryResult::Scalars(vec![Value::Float(3.3)]),
+            1e-9
+        ));
+    }
+
+    #[test]
+    fn partial_query_uses_extents() {
+        let (_t, ctx) = setup(1 << 20);
+        let idx = build_figure5(&ctx);
+        // Constrain only B: A falls back to stored extents.
+        let q = Query::Aggregate {
+            aggs: vec![AggFunc::Sum("C".into())],
+            predicate: Predicate::all()
+                .and("B", ColumnRange::half_open(Value::Int(11), Value::Int(13))),
+        };
+        let run = DgfEngine::new(Arc::clone(&idx)).run(&q).unwrap();
+        // B in [11,13): rows (7,12,1.2),(2,11,0.5),(12,12,0.3),(8,13)? B=13 no.
+        assert!(run.result.approx_eq(
+            &dgf_query::QueryResult::Scalars(vec![Value::Float(2.0)]),
+            1e-9
+        ));
+        // B-range sits on cell edges: everything is inner.
+        let plan = idx.plan(&q, true).unwrap();
+        assert!(plan.inner_gfus > 0);
+        assert_eq!(plan.boundary_gfus, 0);
+    }
+
+    #[test]
+    fn append_extends_index_without_rebuild() {
+        let (_t, ctx) = setup(1 << 20);
+        let idx = build_figure5(&ctx);
+        let before_entries = idx.gfu_count();
+        // New records: one lands in the existing GFU (2,1), one in a new
+        // cell far away.
+        idx.append(&[
+            vec![Value::Int(9), Value::Int(13), Value::Float(0.5)],
+            vec![Value::Int(100), Value::Int(30), Value::Float(9.9)],
+        ])
+        .unwrap();
+        assert_eq!(idx.gfu_count(), before_entries + 1);
+        // The merged GFU now answers with the updated header.
+        let q = Query::Aggregate {
+            aggs: vec![AggFunc::Sum("C".into())],
+            predicate: Predicate::all()
+                .and("A", ColumnRange::half_open(Value::Int(7), Value::Int(10)))
+                .and("B", ColumnRange::half_open(Value::Int(13), Value::Int(15))),
+        };
+        let run = DgfEngine::new(Arc::clone(&idx)).run(&q).unwrap();
+        // Rows in that region: (9,14,0.8),(8,13,0.2),(9,13,0.5) = 1.5.
+        assert!(run.result.approx_eq(
+            &dgf_query::QueryResult::Scalars(vec![Value::Float(1.5)]),
+            1e-9
+        ));
+        // Fully header-answered (region sits on cell edges).
+        let plan = idx.plan(&q, true).unwrap();
+        assert_eq!(plan.boundary_gfus, 0);
+        // And the far-away record is reachable too.
+        let q2 = Query::Aggregate {
+            aggs: vec![AggFunc::Sum("C".into())],
+            predicate: Predicate::all()
+                .and("A", ColumnRange::eq(Value::Int(100))),
+        };
+        let run2 = DgfEngine::new(Arc::clone(&idx)).run(&q2).unwrap();
+        assert!(run2.result.approx_eq(
+            &dgf_query::QueryResult::Scalars(vec![Value::Float(9.9)]),
+            1e-9
+        ));
+    }
+
+    #[test]
+    fn group_by_and_join_match_scan() {
+        let (_t, ctx) = setup(512);
+        // A larger random-ish table across several splits.
+        let schema = Arc::new(Schema::from_pairs(&[
+            ("user", ValueType::Int),
+            ("region", ValueType::Int),
+            ("day", ValueType::Int),
+            ("power", ValueType::Float),
+        ]));
+        let tab = ctx.create_table("meter", schema, FileFormat::Text).unwrap();
+        let rows: Vec<Vec<Value>> = (0..800)
+            .map(|i| {
+                vec![
+                    Value::Int(i % 97),
+                    Value::Int(i % 5),
+                    Value::Int(i % 11),
+                    Value::Float(((i * 7) % 100) as f64 / 4.0),
+                ]
+            })
+            .collect();
+        ctx.load_rows(&tab, &rows, 3).unwrap();
+        let policy = SplittingPolicy::new(vec![
+            DimPolicy::int("user", 0, 10),
+            DimPolicy::int("region", 0, 1),
+            DimPolicy::int("day", 0, 1),
+        ])
+        .unwrap();
+        let (idx, _) = DgfIndex::build(
+            Arc::clone(&ctx),
+            Arc::clone(&tab),
+            policy,
+            default_precompute("power"),
+            Arc::new(MemKvStore::new()),
+            "dgf_meter",
+        )
+        .unwrap();
+        let idx = Arc::new(idx);
+
+        let users_schema = Arc::new(Schema::from_pairs(&[
+            ("user", ValueType::Int),
+            ("name", ValueType::Str),
+        ]));
+        let users = ctx
+            .create_table("users", users_schema, FileFormat::Text)
+            .unwrap();
+        let user_rows: Vec<Vec<Value>> = (0..97)
+            .map(|i| vec![Value::Int(i), Value::Str(format!("u{i}"))])
+            .collect();
+        ctx.load_rows(&users, &user_rows, 1).unwrap();
+
+        let pred = Predicate::all()
+            .and("user", ColumnRange::half_open(Value::Int(13), Value::Int(57)))
+            .and("day", ColumnRange::half_open(Value::Int(2), Value::Int(8)));
+        let queries = vec![
+            Query::GroupBy {
+                key: "day".into(),
+                aggs: vec![AggFunc::Sum("power".into()), AggFunc::Count],
+                predicate: pred.clone(),
+            },
+            Query::Join {
+                left_key: "user".into(),
+                right_key: "user".into(),
+                left_project: vec!["power".into()],
+                right_project: vec!["name".into()],
+                predicate: pred.clone(),
+            },
+            Query::Select {
+                project: vec!["user".into(), "power".into()],
+                predicate: pred,
+            },
+        ];
+        for q in &queries {
+            let scan = ScanEngine::new(Arc::clone(&ctx), Arc::clone(&tab))
+                .with_right(Arc::clone(&users))
+                .run(q)
+                .unwrap();
+            let dgf = DgfEngine::new(Arc::clone(&idx))
+                .with_right(Arc::clone(&users))
+                .run(q)
+                .unwrap();
+            assert!(
+                dgf.result
+                    .clone()
+                    .normalized()
+                    .approx_eq(&scan.result.clone().normalized(), 1e-9),
+                "mismatch on {q:?}"
+            );
+            assert!(dgf.stats.data_records_read <= scan.stats.data_records_read);
+        }
+    }
+
+    #[test]
+    fn empty_table_and_empty_region() {
+        let (_t, ctx) = setup(1 << 20);
+        let schema = Arc::new(Schema::from_pairs(&[
+            ("A", ValueType::Int),
+            ("C", ValueType::Float),
+        ]));
+        let tab = ctx.create_table("empty", schema, FileFormat::Text).unwrap();
+        ctx.load_rows(&tab, &[], 1).unwrap();
+        let (idx, report) = DgfIndex::build(
+            Arc::clone(&ctx),
+            tab,
+            SplittingPolicy::new(vec![DimPolicy::int("A", 0, 10)]).unwrap(),
+            vec![AggFunc::Count],
+            Arc::new(MemKvStore::new()),
+            "dgf_empty",
+        )
+        .unwrap();
+        assert_eq!(report.index_entries, 0);
+        let idx = Arc::new(idx);
+        let q = Query::Aggregate {
+            aggs: vec![AggFunc::Count],
+            predicate: Predicate::all().and("A", ColumnRange::eq(Value::Int(5))),
+        };
+        let run = DgfEngine::new(Arc::clone(&idx)).run(&q).unwrap();
+        assert_eq!(run.result.into_scalars()[0], Value::Int(0));
+        // Region entirely outside the data extents.
+        let (idx2, _) = {
+            let schema = Arc::new(Schema::from_pairs(&[
+                ("A", ValueType::Int),
+                ("C", ValueType::Float),
+            ]));
+            let tab = ctx.create_table("one", schema, FileFormat::Text).unwrap();
+            ctx.load_rows(&tab, &[vec![Value::Int(1), Value::Float(1.0)]], 1)
+                .unwrap();
+            DgfIndex::build(
+                Arc::clone(&ctx),
+                tab,
+                SplittingPolicy::new(vec![DimPolicy::int("A", 0, 10)]).unwrap(),
+                vec![AggFunc::Count],
+                Arc::new(MemKvStore::new()),
+                "dgf_one",
+            )
+            .unwrap()
+        };
+        let q = Query::Aggregate {
+            aggs: vec![AggFunc::Count],
+            predicate: Predicate::all()
+                .and("A", ColumnRange::half_open(Value::Int(500), Value::Int(600))),
+        };
+        let run = DgfEngine::new(Arc::new(idx2)).run(&q).unwrap();
+        assert_eq!(run.result.into_scalars()[0], Value::Int(0));
+    }
+
+    #[test]
+    fn prefix_locality_placement_coalesces_time_ranges() {
+        use dgf_format::ByteRange;
+        // Many reducers: the scatter effect of hash placement grows with
+        // the reducer count (one sorted run per reducer file).
+        let t = TempDir::new("dgfcore-place").unwrap();
+        let h = SimHdfs::new(
+            t.path(),
+            HdfsConfig {
+                block_size: 16 * 1024,
+                replication: 1,
+            },
+        )
+        .unwrap();
+        let ctx = HiveContext::new(h, MrEngine::new(8));
+        let schema = Arc::new(Schema::from_pairs(&[
+            ("user", ValueType::Int),
+            ("day", ValueType::Int),
+            ("power", ValueType::Float),
+        ]));
+        // Many days per user so the time series has many cells.
+        let mut rows = Vec::new();
+        for day in 0..40i64 {
+            for user in 0..60i64 {
+                rows.push(vec![
+                    Value::Int(user),
+                    Value::Int(day),
+                    Value::Float((user + day) as f64),
+                ]);
+            }
+        }
+        let mk = |name: &str, placement| {
+            let tab = ctx
+                .create_table(&format!("meter_{name}"), 
+                    Arc::new(Schema::from_pairs(&[
+                        ("user", ValueType::Int),
+                        ("day", ValueType::Int),
+                        ("power", ValueType::Float),
+                    ])), FileFormat::Text)
+                .unwrap();
+            ctx.load_rows(&tab, &rows, 8).unwrap();
+            let policy = SplittingPolicy::new(vec![
+                DimPolicy::int("user", 0, 10),
+                DimPolicy::int("day", 0, 1),
+            ])
+            .unwrap();
+            let (idx, _) = DgfIndex::build_with_placement(
+                Arc::clone(&ctx),
+                tab,
+                policy,
+                vec![],
+                Arc::new(MemKvStore::new()),
+                &format!("dgf_{name}"),
+                placement,
+            )
+            .unwrap();
+            Arc::new(idx)
+        };
+        let hashed = mk("hash", SlicePlacement::KeyHash);
+        let local = mk("local", SlicePlacement::PrefixLocality { prefix_dims: 1 });
+
+        // One user-cell over a long day range: locality packs the whole
+        // time series contiguously, so ranges coalesce.
+        let q = Query::Select {
+            project: vec!["power".into()],
+            predicate: Predicate::all()
+                .and("user", ColumnRange::half_open(Value::Int(10), Value::Int(20)))
+                .and("day", ColumnRange::half_open(Value::Int(0), Value::Int(40))),
+        };
+        let count_ranges = |idx: &Arc<DgfIndex>| -> usize {
+            let plan = idx.plan(&q, true).unwrap();
+            plan.inputs
+                .iter()
+                .map(|i| match i {
+                    dgf_hive::ScanInput::TextRanges { ranges, .. } => ranges.len(),
+                    _ => 1,
+                })
+                .sum()
+        };
+        let hash_ranges = count_ranges(&hashed);
+        let local_ranges = count_ranges(&local);
+        assert!(
+            local_ranges * 4 <= hash_ranges,
+            "locality {local_ranges} vs hash {hash_ranges} coalesced ranges"
+        );
+        // Same answers either way.
+        let a = DgfEngine::new(hashed).run(&q).unwrap();
+        let b = DgfEngine::new(local).run(&q).unwrap();
+        assert!(a
+            .result
+            .normalized()
+            .approx_eq(&b.result.normalized(), 1e-9));
+        let _ = ByteRange::new(0, 0);
+
+        // Invalid prefix_dims rejected.
+        let schema2 = Arc::new(Schema::from_pairs(&[("a", ValueType::Int)]));
+        let tab = ctx.create_table("one_dim", schema2, FileFormat::Text).unwrap();
+        assert!(DgfIndex::build_with_placement(
+            Arc::clone(&ctx),
+            tab,
+            SplittingPolicy::new(vec![DimPolicy::int("a", 0, 1)]).unwrap(),
+            vec![],
+            Arc::new(MemKvStore::new()),
+            "dgf_bad_placement",
+            SlicePlacement::PrefixLocality { prefix_dims: 1 },
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn rcfile_base_table_gets_rcfile_slices() {
+        // The paper: "it is easy to extend DGFIndex to support other file
+        // formats" — an RCFile base table yields RCFile reorganized data
+        // with group-aligned Slices, and the skipping read path holds.
+        let (_t, ctx) = setup(2048);
+        let schema = Arc::new(Schema::from_pairs(&[
+            ("user", ValueType::Int),
+            ("day", ValueType::Int),
+            ("power", ValueType::Float),
+        ]));
+        let mut desc = (*ctx
+            .create_table("meter_rc", schema, FileFormat::RcFile)
+            .unwrap())
+        .clone();
+        desc.rows_per_group = 16; // small groups: many per slice candidate
+        let tab = Arc::new(desc);
+        let rows: Vec<Vec<Value>> = (0..600)
+            .map(|i| {
+                vec![
+                    Value::Int(i % 40),
+                    Value::Int(i % 15),
+                    Value::Float((i % 13) as f64),
+                ]
+            })
+            .collect();
+        ctx.load_rows(&tab, &rows, 3).unwrap();
+
+        let policy = SplittingPolicy::new(vec![
+            DimPolicy::int("user", 0, 8),
+            DimPolicy::int("day", 0, 3),
+        ])
+        .unwrap();
+        let (idx, report) = DgfIndex::build(
+            Arc::clone(&ctx),
+            Arc::clone(&tab),
+            policy,
+            vec![AggFunc::Sum("power".into()), AggFunc::Count],
+            Arc::new(MemKvStore::new()),
+            "dgf_rc",
+        )
+        .unwrap();
+        assert_eq!(idx.data.format, FileFormat::RcFile);
+        assert!(report.index_entries > 0);
+        let idx = Arc::new(idx);
+
+        // Slices are group-aligned: every slice boundary is a group offset.
+        for (path, _) in ctx.hdfs.list_files(&idx.data.location) {
+            let offsets = dgf_format::read_group_offsets(&ctx.hdfs, &path).unwrap();
+            let gfus = all_gfus(idx.kv.as_ref(), 2).unwrap();
+            for (_, v) in &gfus {
+                for s in v.slices.iter().filter(|s| s.file == path) {
+                    assert!(
+                        offsets.contains(&s.start),
+                        "slice start {} is not a group offset in {path}",
+                        s.start
+                    );
+                }
+            }
+        }
+
+        // Queries agree with a scan, across shapes, and read less.
+        let queries = vec![
+            Query::Aggregate {
+                aggs: vec![AggFunc::Sum("power".into()), AggFunc::Count],
+                predicate: Predicate::all()
+                    .and("user", ColumnRange::half_open(Value::Int(5), Value::Int(21)))
+                    .and("day", ColumnRange::half_open(Value::Int(3), Value::Int(11))),
+            },
+            Query::GroupBy {
+                key: "day".into(),
+                aggs: vec![AggFunc::Count],
+                predicate: Predicate::all()
+                    .and("user", ColumnRange::half_open(Value::Int(0), Value::Int(16))),
+            },
+            Query::Select {
+                project: vec!["user".into(), "power".into()],
+                predicate: Predicate::all().and("day", ColumnRange::eq(Value::Int(7))),
+            },
+        ];
+        for q in &queries {
+            let truth = dgf_hive::ScanEngine::new(Arc::clone(&ctx), Arc::clone(&tab))
+                .run(q)
+                .unwrap();
+            let got = DgfEngine::new(Arc::clone(&idx)).run(q).unwrap();
+            assert!(
+                got.result
+                    .clone()
+                    .normalized()
+                    .approx_eq(&truth.result.clone().normalized(), 1e-9),
+                "mismatch on {q:?}"
+            );
+            assert!(got.stats.data_records_read <= truth.stats.data_records_read);
+        }
+
+        // Incremental append works on the RC path too.
+        idx.append(&[vec![Value::Int(3), Value::Int(3), Value::Float(99.0)]])
+            .unwrap();
+        let q = Query::Aggregate {
+            aggs: vec![AggFunc::Max("power".into())],
+            predicate: Predicate::all().and("user", ColumnRange::eq(Value::Int(3))),
+        };
+        let run = DgfEngine::new(Arc::clone(&idx)).run(&q).unwrap();
+        assert_eq!(run.result.into_scalars()[0], Value::Float(99.0));
+    }
+
+    #[test]
+    fn stale_index_is_detected() {
+        let (_t, ctx) = setup(1 << 20);
+        let idx = build_figure5(&ctx);
+        let q = Query::Aggregate {
+            aggs: vec![AggFunc::Count],
+            predicate: Predicate::all(),
+        };
+        // Fresh: works.
+        assert!(DgfEngine::new(Arc::clone(&idx)).run(&q).is_ok());
+        // Load data behind the index's back: queries must fail loudly
+        // instead of silently dropping the new records.
+        ctx.append_file(
+            &idx.base,
+            "rogue-load",
+            &[vec![Value::Int(1), Value::Int(11), Value::Float(1.0)]],
+        )
+        .unwrap();
+        let err = DgfEngine::new(Arc::clone(&idx)).run(&q).unwrap_err();
+        assert!(err.to_string().contains("stale"), "{err}");
+        // Indexing the (already loaded) rows via append is not the fix —
+        // append adds its own file. Rebuild-from-scratch or append-only
+        // discipline; here we verify append keeps working and clears the
+        // staleness only when the counts line up again.
+        // (A fresh index over the same base sees everything.)
+        let (idx2, _) = DgfIndex::build(
+            Arc::clone(&ctx),
+            Arc::clone(&idx.base),
+            crate::index::paper_figure5_policy(),
+            vec![AggFunc::Sum("C".into())],
+            Arc::new(MemKvStore::new()),
+            "dgf_fig5_rebuilt",
+        )
+        .unwrap();
+        let run = DgfEngine::new(Arc::new(idx2)).run(&q).unwrap();
+        assert_eq!(run.result.into_scalars()[0], Value::Int(10));
+    }
+
+    #[test]
+    fn type_mismatch_rejected_at_build() {
+        let (_t, ctx) = setup(1 << 20);
+        let schema = Arc::new(Schema::from_pairs(&[("A", ValueType::Float)]));
+        let tab = ctx.create_table("t", schema, FileFormat::Text).unwrap();
+        let res = DgfIndex::build(
+            Arc::clone(&ctx),
+            tab,
+            SplittingPolicy::new(vec![DimPolicy::int("A", 0, 1)]).unwrap(),
+            vec![],
+            Arc::new(MemKvStore::new()),
+            "dgf_bad",
+        );
+        assert!(res.is_err());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use dgf_common::{Schema, TempDir, Value, ValueType};
+    use dgf_format::FileFormat;
+    use dgf_hive::HiveContext;
+    use dgf_kvstore::MemKvStore;
+    use dgf_mapreduce::MrEngine;
+    use dgf_query::{AggFunc, ColumnRange, Engine, Predicate, Query};
+    use dgf_storage::{HdfsConfig, SimHdfs};
+    use proptest::prelude::*;
+    use std::sync::Arc;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// For an arbitrary 2-D grid, arbitrary data, and an arbitrary
+        /// query rectangle, the engine's count/sum equal a brute-force
+        /// fold, and the plan's inner-region record count never exceeds
+        /// the number of matching records.
+        #[test]
+        fn random_grid_random_query_matches_brute_force(
+            ia in 1i64..7,
+            ib in 1i64..7,
+            min_a in -5i64..5,
+            rows in prop::collection::vec((0i64..40, 0i64..20, 0u32..1000), 1..120),
+            qa in (0i64..40, 1i64..20),
+            qb in (0i64..20, 1i64..10),
+        ) {
+            let t = TempDir::new("core-prop").unwrap();
+            let h = SimHdfs::new(t.path(), HdfsConfig { block_size: 512, replication: 1 })
+                .unwrap();
+            let ctx = HiveContext::new(h, MrEngine::new(2));
+            let schema = Arc::new(Schema::from_pairs(&[
+                ("a", ValueType::Int),
+                ("b", ValueType::Int),
+                ("v", ValueType::Float),
+            ]));
+            let table = ctx.create_table("t", schema, FileFormat::Text).unwrap();
+            let data: Vec<Vec<Value>> = rows
+                .iter()
+                .map(|(a, b, v)| {
+                    vec![Value::Int(*a), Value::Int(*b), Value::Float(*v as f64 / 8.0)]
+                })
+                .collect();
+            ctx.load_rows(&table, &data, 2).unwrap();
+
+            let policy = SplittingPolicy::new(vec![
+                DimPolicy::int("a", min_a, ia),
+                DimPolicy::int("b", 0, ib),
+            ])
+            .unwrap();
+            let (idx, _) = DgfIndex::build(
+                Arc::clone(&ctx),
+                table,
+                policy,
+                vec![AggFunc::Count, AggFunc::Sum("v".into())],
+                Arc::new(MemKvStore::new()),
+                "dgf_prop",
+            )
+            .unwrap();
+            let idx = Arc::new(idx);
+
+            let (a_lo, a_w) = qa;
+            let (b_lo, b_w) = qb;
+            let pred = Predicate::all()
+                .and("a", ColumnRange::half_open(Value::Int(a_lo), Value::Int(a_lo + a_w)))
+                .and("b", ColumnRange::half_open(Value::Int(b_lo), Value::Int(b_lo + b_w)));
+            let q = Query::Aggregate {
+                aggs: vec![AggFunc::Count, AggFunc::Sum("v".into())],
+                predicate: pred,
+            };
+
+            // Brute force.
+            let matching: Vec<&(i64, i64, u32)> = rows
+                .iter()
+                .filter(|(a, b, _)| {
+                    *a >= a_lo && *a < a_lo + a_w && *b >= b_lo && *b < b_lo + b_w
+                })
+                .collect();
+            let expect_count = matching.len() as i64;
+            let expect_sum: f64 = matching.iter().map(|(_, _, v)| *v as f64 / 8.0).sum();
+
+            let run = DgfEngine::new(Arc::clone(&idx)).run(&q).unwrap();
+            let vals = run.result.into_scalars();
+            prop_assert_eq!(vals[0].clone(), Value::Int(expect_count));
+            let got_sum = match &vals[1] {
+                Value::Float(x) => *x,
+                Value::Null => 0.0,
+                other => return Err(TestCaseError::Fail(format!("{other:?}").into())),
+            };
+            prop_assert!((got_sum - expect_sum).abs() < 1e-6);
+
+            // Plan invariants: inner records are matching records the
+            // engine never reads; boundary reading covers the rest.
+            let plan = idx.plan(&q, true).unwrap();
+            prop_assert!(plan.inner_records <= expect_count as u64);
+            prop_assert!(
+                run.stats.data_records_read + plan.inner_records >= expect_count as u64
+            );
+        }
+    }
+}

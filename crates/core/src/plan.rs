@@ -1,0 +1,233 @@
+//! DGFIndex query planning (paper §4.3, Algorithms 3 and 4).
+//!
+//! Step 1 decomposes the query region into **inner GFUs** (every cell
+//! fully inside the range on all dimensions) and **boundary GFUs**. For
+//! aggregation queries whose aggregates are pre-computed, inner GFUs are
+//! answered from their headers with key-value lookups only; otherwise
+//! they join the boundary set. Step 2 filters the reorganized table's
+//! splits to those overlapping a query-related Slice, and prepares the
+//! per-split byte-range lists that the skipping record reader (step 3)
+//! consumes. A Slice straddling a split boundary is clipped into both
+//! splits and processed by two mappers, exactly as in the paper.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use dgf_common::{Result, Stopwatch};
+use dgf_format::{coalesce_ranges, ByteRange};
+use dgf_hive::ScanInput;
+use dgf_query::{AggSet, AggState, Query};
+
+use crate::gfu::{GfuKey, GfuValue};
+use crate::index::DgfIndex;
+use crate::policy::DimSpan;
+
+/// The plan for one DGFIndex query.
+pub struct DgfPlan {
+    /// Scan inputs covering the boundary region (or the whole query
+    /// region when headers are not usable), clipped per split.
+    pub inputs: Vec<ScanInput>,
+    /// The chosen splits themselves (one per entry of `inputs`), for the
+    /// slice-skipping-off ablation which reads them whole.
+    pub chosen_splits: Vec<dgf_storage::FileSplit>,
+    /// Aggregate states (in query-aggregate order) merged from the inner
+    /// region's pre-computed headers, when usable.
+    pub inner_states: Option<Vec<AggState>>,
+    /// Number of inner GFUs answered from headers.
+    pub inner_gfus: u64,
+    /// Number of GFUs whose Slices must be read.
+    pub boundary_gfus: u64,
+    /// Records sitting in the inner region (answered without reading).
+    pub inner_records: u64,
+    /// All splits of the reorganized table.
+    pub splits_total: u64,
+    /// Splits with at least one query-related Slice.
+    pub splits_read: u64,
+    /// Planning time, including key-value store traffic.
+    pub index_time: Duration,
+}
+
+impl DgfIndex {
+    /// Plan a query (Algorithm 3 + Algorithm 4). `use_headers` disables
+    /// the pre-computation shortcut for ablations (Figure 17's
+    /// "DGF-noprecompute").
+    pub fn plan(&self, query: &Query, use_headers: bool) -> Result<DgfPlan> {
+        let watch = Stopwatch::start();
+        self.check_freshness()?;
+        let predicate = query.predicate();
+        let extents = self.extents()?;
+        let arity = self.policy.arity();
+
+        let empty_plan = |watch: Stopwatch| DgfPlan {
+            inputs: Vec::new(),
+            chosen_splits: Vec::new(),
+            inner_states: None,
+            inner_gfus: 0,
+            boundary_gfus: 0,
+            inner_records: 0,
+            splits_total: 0,
+            splits_read: 0,
+            index_time: watch.elapsed(),
+        };
+        if extents.is_empty() {
+            return Ok(empty_plan(watch));
+        }
+
+        // Per-dimension cell spans; a missing dimension in the predicate
+        // falls back to the stored extents (partially-specified queries,
+        // paper §5.3.4).
+        let mut spans: Vec<DimSpan> = Vec::with_capacity(arity);
+        for (d, dim) in self.policy.dims().iter().enumerate() {
+            let span = dim.cell_span(predicate.range_of(&dim.name), extents.dims[d])?;
+            if span.is_empty() {
+                return Ok(empty_plan(watch));
+            }
+            spans.push(span);
+        }
+
+        // Headers answer the inner region only when (a) the query is a
+        // plain aggregation, (b) every predicate column is an indexed
+        // dimension (otherwise inner rows still need row-level
+        // filtering), and (c) every query aggregate is pre-computed.
+        let header_positions = self.header_positions(query);
+        let headers_usable = use_headers
+            && query.is_aggregation()
+            && header_positions.is_some()
+            && predicate
+                .columns()
+                .all(|c| self.policy.dims().iter().any(|d| d.name == c));
+
+        // Enumerate the cells of the query hyper-rectangle.
+        let mut inner_keys: Vec<Vec<u8>> = Vec::new();
+        let mut boundary_keys: Vec<Vec<u8>> = Vec::new();
+        let mut coord: Vec<i64> = spans.iter().map(|s| s.lo).collect();
+        let mut done = false;
+        while !done {
+            let covered = headers_usable
+                && spans
+                    .iter()
+                    .zip(&coord)
+                    .all(|(s, c)| s.covered(*c));
+            let key = GfuKey::new(coord.clone()).encode();
+            if covered {
+                inner_keys.push(key);
+            } else {
+                boundary_keys.push(key);
+            }
+            // Odometer increment, least-significant dimension last.
+            done = true;
+            for d in (0..arity).rev() {
+                if coord[d] < spans[d].hi {
+                    coord[d] += 1;
+                    // Reset the less significant digits.
+                    for (s, span) in coord[d + 1..].iter_mut().zip(&spans[d + 1..]) {
+                        *s = span.lo;
+                    }
+                    done = false;
+                    break;
+                }
+            }
+        }
+
+        // Inner region: batched header fetch, merged in query-agg order.
+        let mut inner_states: Option<Vec<AggState>> = None;
+        let mut inner_gfus = 0u64;
+        let mut inner_records = 0u64;
+        if headers_usable {
+            let positions = header_positions.expect("checked usable");
+            let index_set = AggSet::bind(&self.aggs, &self.base.schema)?;
+            let query_aggs = match query {
+                Query::Aggregate { aggs, .. } => aggs.clone(),
+                _ => unreachable!("headers_usable implies aggregation"),
+            };
+            let query_set = AggSet::bind(&query_aggs, &self.base.schema)?;
+            let mut acc = query_set.new_states();
+            for got in self.kv.multi_get(&inner_keys)?.into_iter().flatten() {
+                let value = GfuValue::decode(&got)?;
+                inner_gfus += 1;
+                inner_records += value.record_count;
+                let states = index_set.decode_states(&value.header)?;
+                let picked: Vec<AggState> =
+                    positions.iter().map(|p| states[*p].clone()).collect();
+                query_set.merge(&mut acc, &picked)?;
+            }
+            inner_states = Some(acc);
+        } else {
+            boundary_keys.append(&mut inner_keys);
+        }
+
+        // Boundary region: fetch slice locations.
+        let mut per_file: HashMap<String, Vec<ByteRange>> = HashMap::new();
+        let mut boundary_gfus = 0u64;
+        for got in self.kv.multi_get(&boundary_keys)?.into_iter().flatten() {
+            let value = GfuValue::decode(&got)?;
+            boundary_gfus += 1;
+            for s in &value.slices {
+                if !s.is_empty() {
+                    per_file
+                        .entry(s.file.clone())
+                        .or_default()
+                        .push(ByteRange::new(s.start, s.end));
+                }
+            }
+        }
+
+        // Algorithm 4: keep splits overlapping a Slice; clip the Slices of
+        // each chosen split to its byte range so each mapper reads only
+        // its part (a Slice across two splits is served by two mappers).
+        let all_splits = self.ctx.table_splits(&self.data);
+        let splits_total = all_splits.len() as u64;
+        let mut inputs = Vec::new();
+        let mut chosen_splits = Vec::new();
+        for split in all_splits {
+            let Some(ranges) = per_file.get(&split.path) else {
+                continue;
+            };
+            let split_range = ByteRange::new(split.start, split.end());
+            let mine: Vec<ByteRange> = ranges
+                .iter()
+                .filter_map(|r| r.intersect(&split_range))
+                .collect();
+            if mine.is_empty() {
+                continue;
+            }
+            let ranges = coalesce_ranges(mine);
+            inputs.push(match self.data.format {
+                dgf_format::FileFormat::Text => ScanInput::TextRanges {
+                    path: split.path.clone(),
+                    ranges,
+                },
+                dgf_format::FileFormat::RcFile => ScanInput::RcRanges {
+                    path: split.path.clone(),
+                    ranges,
+                },
+            });
+            chosen_splits.push(split);
+        }
+        let splits_read = inputs.len() as u64;
+
+        Ok(DgfPlan {
+            inputs,
+            chosen_splits,
+            inner_states,
+            inner_gfus,
+            boundary_gfus,
+            inner_records,
+            splits_total,
+            splits_read,
+            index_time: watch.elapsed(),
+        })
+    }
+
+    /// For each query aggregate, its position in the index's pre-computed
+    /// list — `None` if any aggregate is missing (headers unusable).
+    fn header_positions(&self, query: &Query) -> Option<Vec<usize>> {
+        let Query::Aggregate { aggs, .. } = query else {
+            return None;
+        };
+        let index_keys = self.agg_keys();
+        aggs.iter()
+            .map(|a| index_keys.iter().position(|k| *k == a.key()))
+            .collect()
+    }
+}

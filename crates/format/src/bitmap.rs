@@ -1,0 +1,166 @@
+//! A plain fixed-size bitmap, used by the Bitmap Index to mark matching
+//! rows inside an RCFile row group (paper §2.2: "it stores the offset of
+//! every row in the block as a bitmap").
+
+/// A growable bitmap over row indexes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bitmap {
+    words: Vec<u64>,
+}
+
+impl Bitmap {
+    /// An empty bitmap.
+    pub fn new() -> Self {
+        Bitmap::default()
+    }
+
+    /// A bitmap with capacity for `bits` pre-allocated.
+    pub fn with_capacity(bits: usize) -> Self {
+        Bitmap {
+            words: Vec::with_capacity(bits.div_ceil(64)),
+        }
+    }
+
+    /// Set bit `i`.
+    pub fn set(&mut self, i: usize) {
+        let w = i / 64;
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        self.words[w] |= 1 << (i % 64);
+    }
+
+    /// Whether bit `i` is set.
+    pub fn get(&self, i: usize) -> bool {
+        self.words
+            .get(i / 64)
+            .is_some_and(|w| w & (1 << (i % 64)) != 0)
+    }
+
+    /// Number of set bits.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether no bit is set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|w| *w == 0)
+    }
+
+    /// Bitwise OR with another bitmap.
+    pub fn union_with(&mut self, other: &Bitmap) {
+        if other.words.len() > self.words.len() {
+            self.words.resize(other.words.len(), 0);
+        }
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// Bitwise AND with another bitmap.
+    pub fn intersect_with(&mut self, other: &Bitmap) {
+        for (i, a) in self.words.iter_mut().enumerate() {
+            *a &= other.words.get(i).copied().unwrap_or(0);
+        }
+    }
+
+    /// Iterate over set bit indexes in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, w)| {
+            let mut w = *w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    return None;
+                }
+                let bit = w.trailing_zeros() as usize;
+                w &= w - 1;
+                Some(wi * 64 + bit)
+            })
+        })
+    }
+
+    /// Serialize as `u64` little-endian words.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.words.len() * 8);
+        for w in &self.words {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        out
+    }
+
+    /// Deserialize from [`to_bytes`](Self::to_bytes) output.
+    pub fn from_bytes(bytes: &[u8]) -> Bitmap {
+        let words = bytes
+            .chunks(8)
+            .map(|c| {
+                let mut w = [0u8; 8];
+                w[..c.len()].copy_from_slice(c);
+                u64::from_le_bytes(w)
+            })
+            .collect();
+        Bitmap { words }
+    }
+}
+
+impl FromIterator<usize> for Bitmap {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let mut b = Bitmap::new();
+        for i in iter {
+            b.set(i);
+        }
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_count() {
+        let mut b = Bitmap::new();
+        assert!(!b.get(0));
+        b.set(0);
+        b.set(63);
+        b.set(64);
+        b.set(1000);
+        assert!(b.get(0) && b.get(63) && b.get(64) && b.get(1000));
+        assert!(!b.get(1));
+        assert_eq!(b.count(), 4);
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn iter_ascending() {
+        let b: Bitmap = [5usize, 1, 64, 128, 65].into_iter().collect();
+        assert_eq!(b.iter().collect::<Vec<_>>(), vec![1, 5, 64, 65, 128]);
+    }
+
+    #[test]
+    fn union_and_intersection() {
+        let a: Bitmap = [1usize, 2, 100].into_iter().collect();
+        let b: Bitmap = [2usize, 3].into_iter().collect();
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.iter().collect::<Vec<_>>(), vec![1, 2, 3, 100]);
+        let mut i = a.clone();
+        i.intersect_with(&b);
+        assert_eq!(i.iter().collect::<Vec<_>>(), vec![2]);
+    }
+
+    #[test]
+    fn bytes_round_trip() {
+        let b: Bitmap = [0usize, 7, 200].into_iter().collect();
+        let r = Bitmap::from_bytes(&b.to_bytes());
+        assert_eq!(b, r);
+    }
+
+    #[test]
+    fn empty_bitmap() {
+        let b = Bitmap::new();
+        assert!(b.is_empty());
+        assert_eq!(b.count(), 0);
+        assert_eq!(b.iter().count(), 0);
+        assert!(b.to_bytes().is_empty());
+    }
+}

@@ -1,0 +1,383 @@
+//! The TextFile format: newline-delimited rows of `|`-separated fields.
+//!
+//! This is Hive's plain-text storage and the only format DGFIndex supports
+//! in the paper ("for now, our DGFIndex only supports TextFile table").
+//! Offsets are byte offsets of line starts — the
+//! `BLOCK_OFFSET_INSIDE_FILE` a Compact Index records for text tables.
+//!
+//! Split semantics follow Hadoop's `TextInputFormat`: a reader assigned
+//! `[start, end)` skips the partial line at `start` (unless `start` falls on
+//! a line boundary) and keeps reading any line that *starts* before `end`,
+//! even if it finishes past `end`. The same rule is applied per-range by the
+//! slice-skipping reader, which is what lets a Slice straddle two splits and
+//! be processed by two different mappers (paper §4.3).
+
+use std::io::{BufReader, Read, Seek, SeekFrom, Write};
+
+use dgf_common::stats::IoStatsRef;
+use dgf_common::{format_row, parse_row, Result, Row, SchemaRef};
+use dgf_storage::{FileSplit, HdfsRef, HdfsWriter};
+
+use crate::reader::{ByteRange, RecordReader};
+
+/// Writes rows as delimited text lines, tracking the offset of the next row.
+#[derive(Debug)]
+pub struct TextWriter {
+    inner: HdfsWriter,
+    stats: IoStatsRef,
+}
+
+impl TextWriter {
+    /// Create a new text file at `path`.
+    pub fn create(hdfs: &HdfsRef, path: &str) -> Result<TextWriter> {
+        let stats = hdfs.stats().clone();
+        Ok(TextWriter {
+            inner: hdfs.create(path)?,
+            stats,
+        })
+    }
+
+    /// Byte offset where the next row will start.
+    pub fn offset(&self) -> u64 {
+        self.inner.position()
+    }
+
+    /// Append one row; returns the offset at which it was written.
+    pub fn write_row(&mut self, row: &Row) -> Result<u64> {
+        let at = self.offset();
+        let mut line = format_row(row);
+        line.push('\n');
+        self.inner.write_all(line.as_bytes())?;
+        self.stats.records_written.inc();
+        Ok(at)
+    }
+
+    /// Append a pre-formatted line (no trailing newline expected).
+    pub fn write_line(&mut self, line: &str) -> Result<u64> {
+        let at = self.offset();
+        self.inner.write_all(line.as_bytes())?;
+        self.inner.write_all(b"\n")?;
+        self.stats.records_written.inc();
+        Ok(at)
+    }
+
+    /// Flush and register the file; returns its final length.
+    pub fn close(self) -> Result<u64> {
+        self.inner.close()
+    }
+}
+
+/// Streaming line source over one byte range with Hadoop boundary rules.
+struct RangeLines {
+    reader: BufReader<dgf_storage::HdfsReader>,
+    /// Offset of the next unread byte.
+    pos: u64,
+    /// Lines starting at or past this offset belong to the next reader.
+    end: u64,
+    buf: String,
+}
+
+impl RangeLines {
+    fn open(hdfs: &HdfsRef, path: &str, range: ByteRange) -> Result<RangeLines> {
+        let file_len = hdfs.file_len(path)?;
+        let mut raw = hdfs.open_reader(path)?;
+        let mut start = range.start.min(file_len);
+        if start > 0 {
+            // Look one byte back: if it is not a newline, the line started
+            // in the previous range and is that reader's responsibility.
+            raw.seek(SeekFrom::Start(start - 1))?;
+            let mut b = [0u8; 1];
+            raw.read_exact(&mut b)?;
+            let mut reader = BufReader::new(raw);
+            if b[0] != b'\n' {
+                let mut skipped = String::new();
+                let n = read_line(&mut reader, &mut skipped)?;
+                start += n;
+            }
+            return Ok(RangeLines {
+                reader,
+                pos: start,
+                end: range.end.min(file_len),
+                buf: String::new(),
+            });
+        }
+        Ok(RangeLines {
+            reader: BufReader::new(raw),
+            pos: 0,
+            end: range.end.min(file_len),
+            buf: String::new(),
+        })
+    }
+
+    /// Next `(line_start_offset, line_without_newline)`.
+    fn next_line(&mut self) -> Result<Option<(u64, &str)>> {
+        if self.pos >= self.end {
+            return Ok(None);
+        }
+        self.buf.clear();
+        let n = read_line(&mut self.reader, &mut self.buf)?;
+        if n == 0 {
+            return Ok(None);
+        }
+        let at = self.pos;
+        self.pos += n;
+        let line = self.buf.trim_end_matches('\n');
+        Ok(Some((at, line)))
+    }
+}
+
+fn read_line<R: std::io::BufRead>(r: &mut R, buf: &mut String) -> Result<u64> {
+    let n = r.read_line(buf)?;
+    Ok(n as u64)
+}
+
+/// Reads one input split of a text file.
+pub struct TextReader {
+    lines: RangeLines,
+    schema: SchemaRef,
+    stats: IoStatsRef,
+}
+
+impl TextReader {
+    /// Open a reader over `split`.
+    pub fn open(hdfs: &HdfsRef, schema: SchemaRef, split: &FileSplit) -> Result<TextReader> {
+        Ok(TextReader {
+            lines: RangeLines::open(
+                hdfs,
+                &split.path,
+                ByteRange::new(split.start, split.end()),
+            )?,
+            schema,
+            stats: hdfs.stats().clone(),
+        })
+    }
+
+    /// Next `(line_offset, row)` — index construction needs the offsets.
+    pub fn next_with_offset(&mut self) -> Result<Option<(u64, Row)>> {
+        match self.lines.next_line()? {
+            Some((at, line)) => {
+                let row = parse_row(line, &self.schema)?;
+                self.stats.records_read.inc();
+                Ok(Some((at, row)))
+            }
+            None => Ok(None),
+        }
+    }
+}
+
+impl RecordReader for TextReader {
+    fn next_row(&mut self) -> Result<Option<Row>> {
+        Ok(self.next_with_offset()?.map(|(_, r)| r))
+    }
+}
+
+/// Reads only the given byte ranges of a text file — the DGFIndex stage-3
+/// "skip the margin between adjacent Slices" reader (paper Figure 7).
+pub struct SkippingTextReader {
+    hdfs: HdfsRef,
+    path: String,
+    schema: SchemaRef,
+    ranges: std::vec::IntoIter<ByteRange>,
+    current: Option<RangeLines>,
+    stats: IoStatsRef,
+}
+
+impl SkippingTextReader {
+    /// Open a reader over `ranges` of `path`. Ranges must be coalesced
+    /// (sorted, non-overlapping) — see
+    /// [`coalesce_ranges`](crate::reader::coalesce_ranges).
+    pub fn open(
+        hdfs: &HdfsRef,
+        schema: SchemaRef,
+        path: &str,
+        ranges: Vec<ByteRange>,
+    ) -> Result<SkippingTextReader> {
+        Ok(SkippingTextReader {
+            hdfs: hdfs.clone(),
+            path: path.to_owned(),
+            schema,
+            ranges: ranges.into_iter(),
+            current: None,
+            stats: hdfs.stats().clone(),
+        })
+    }
+}
+
+impl RecordReader for SkippingTextReader {
+    fn next_row(&mut self) -> Result<Option<Row>> {
+        loop {
+            if self.current.is_none() {
+                match self.ranges.next() {
+                    Some(r) => {
+                        self.current = Some(RangeLines::open(&self.hdfs, &self.path, r)?);
+                    }
+                    None => return Ok(None),
+                }
+            }
+            match self.current.as_mut().unwrap().next_line()? {
+                Some((_, line)) => {
+                    let row = parse_row(line, &self.schema)?;
+                    self.stats.records_read.inc();
+                    return Ok(Some(row));
+                }
+                None => self.current = None,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reader::collect_rows;
+    use dgf_common::{Schema, TempDir, Value, ValueType};
+    use dgf_storage::{HdfsConfig, SimHdfs};
+    use std::sync::Arc;
+
+    fn schema() -> SchemaRef {
+        Arc::new(Schema::from_pairs(&[
+            ("id", ValueType::Int),
+            ("v", ValueType::Float),
+        ]))
+    }
+
+    fn cluster(block: u64) -> (TempDir, HdfsRef) {
+        let t = TempDir::new("text").unwrap();
+        let h = SimHdfs::new(
+            t.path(),
+            HdfsConfig {
+                block_size: block,
+                replication: 1,
+            },
+        )
+        .unwrap();
+        (t, h)
+    }
+
+    fn write_rows(hdfs: &HdfsRef, path: &str, n: i64) -> Vec<u64> {
+        let mut w = TextWriter::create(hdfs, path).unwrap();
+        let mut offsets = Vec::new();
+        for i in 0..n {
+            offsets.push(w.write_row(&vec![Value::Int(i), Value::Float(i as f64 / 2.0)]).unwrap());
+        }
+        w.close().unwrap();
+        offsets
+    }
+
+    #[test]
+    fn whole_file_round_trip() {
+        let (_t, h) = cluster(1 << 20);
+        write_rows(&h, "/t/f", 10);
+        let split = FileSplit::new("/t/f", 0, h.file_len("/t/f").unwrap());
+        let rows = collect_rows(TextReader::open(&h, schema(), &split).unwrap()).unwrap();
+        assert_eq!(rows.len(), 10);
+        assert_eq!(rows[3][0], Value::Int(3));
+        assert_eq!(h.stats().records_read.get(), 10);
+    }
+
+    #[test]
+    fn splits_partition_lines_exactly_once() {
+        // Tiny blocks so lines straddle split boundaries.
+        let (_t, h) = cluster(17);
+        write_rows(&h, "/t/f", 50);
+        let splits = h.splits_for_dir("/t");
+        assert!(splits.len() > 3, "want several splits, got {}", splits.len());
+        let mut ids = Vec::new();
+        for s in &splits {
+            for row in collect_rows(TextReader::open(&h, schema(), s).unwrap()).unwrap() {
+                ids.push(row[0].as_i64().unwrap());
+            }
+        }
+        ids.sort_unstable();
+        assert_eq!(ids, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn offsets_match_written_positions() {
+        let (_t, h) = cluster(1 << 20);
+        let offsets = write_rows(&h, "/t/f", 5);
+        let split = FileSplit::new("/t/f", 0, h.file_len("/t/f").unwrap());
+        let mut r = TextReader::open(&h, schema(), &split).unwrap();
+        let mut got = Vec::new();
+        while let Some((at, _)) = r.next_with_offset().unwrap() {
+            got.push(at);
+        }
+        assert_eq!(got, offsets);
+    }
+
+    #[test]
+    fn skipping_reader_reads_only_requested_ranges() {
+        let (_t, h) = cluster(1 << 20);
+        let offsets = write_rows(&h, "/t/f", 20);
+        let len = h.file_len("/t/f").unwrap();
+        // Rows 3..5 and 10..12 (ranges end at the next row's offset).
+        let ranges = vec![
+            ByteRange::new(offsets[3], offsets[5]),
+            ByteRange::new(offsets[10], offsets[12]),
+        ];
+        let r = SkippingTextReader::open(&h, schema(), "/t/f", ranges).unwrap();
+        let rows = collect_rows(r).unwrap();
+        let ids: Vec<i64> = rows.iter().map(|r| r[0].as_i64().unwrap()).collect();
+        assert_eq!(ids, vec![3, 4, 10, 11]);
+        // A full range to file end also works.
+        let r = SkippingTextReader::open(
+            &h,
+            schema(),
+            "/t/f",
+            vec![ByteRange::new(offsets[18], len)],
+        )
+        .unwrap();
+        assert_eq!(collect_rows(r).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn range_with_unaligned_start_skips_partial_record() {
+        let (_t, h) = cluster(1 << 20);
+        let offsets = write_rows(&h, "/t/f", 10);
+        // Start mid-record 2: the partial record is skipped, record 3 is first.
+        let ranges = vec![ByteRange::new(offsets[2] + 1, offsets[5])];
+        let r = SkippingTextReader::open(&h, schema(), "/t/f", ranges).unwrap();
+        let ids: Vec<i64> = collect_rows(r)
+            .unwrap()
+            .iter()
+            .map(|r| r[0].as_i64().unwrap())
+            .collect();
+        assert_eq!(ids, vec![3, 4]);
+    }
+
+    #[test]
+    fn slice_straddling_split_boundary_read_exactly_once() {
+        // Mimic the paper's "a Slice may stretch across two splits": clip a
+        // slice range at an arbitrary boundary and read both halves with
+        // separate readers — every record appears exactly once.
+        let (_t, h) = cluster(1 << 20);
+        let offsets = write_rows(&h, "/t/f", 30);
+        let len = h.file_len("/t/f").unwrap();
+        let slice = ByteRange::new(offsets[5], offsets[25]);
+        for boundary in [offsets[9] + 2, offsets[10], offsets[17] + 5, len / 2] {
+            if boundary <= slice.start || boundary >= slice.end {
+                continue;
+            }
+            let part_a = ByteRange::new(slice.start, boundary);
+            let part_b = ByteRange::new(boundary, slice.end);
+            let mut ids = Vec::new();
+            for part in [part_a, part_b] {
+                let r = SkippingTextReader::open(&h, schema(), "/t/f", vec![part]).unwrap();
+                for row in collect_rows(r).unwrap() {
+                    ids.push(row[0].as_i64().unwrap());
+                }
+            }
+            ids.sort_unstable();
+            assert_eq!(ids, (5..25).collect::<Vec<_>>(), "boundary {boundary}");
+        }
+    }
+
+    #[test]
+    fn empty_split_yields_nothing() {
+        let (_t, h) = cluster(1 << 20);
+        write_rows(&h, "/t/f", 3);
+        let split = FileSplit::new("/t/f", 0, 0);
+        let rows = collect_rows(TextReader::open(&h, schema(), &split).unwrap()).unwrap();
+        assert!(rows.is_empty());
+    }
+}

@@ -1,0 +1,206 @@
+//! Catalog persistence: save/restore the metastore across processes.
+//!
+//! Hive keeps its metastore in an external RDBMS; this miniature keeps a
+//! plain-text catalog file at `/warehouse/_catalog` in the simulated
+//! cluster. Together with [`SimHdfs::reopen`](dgf_storage::SimHdfs) it
+//! makes a warehouse directory fully restartable — the basis of the
+//! `dgf` command-line tool.
+//!
+//! Format (one record per line, `\x1F`-separated fields):
+//!
+//! ```text
+//! table <name> <schema> <format> <location> <rows_per_group>
+//! index <name> <base_table> <agg list text>
+//! ```
+
+use std::io::{BufRead, BufReader};
+use std::sync::Arc;
+
+use dgf_common::{DgfError, Result, Schema};
+use dgf_format::{FileFormat, TextWriter};
+use dgf_mapreduce::MrEngine;
+use dgf_storage::HdfsRef;
+
+use crate::context::{HiveContext, TableDesc};
+
+/// Catalog file location inside the warehouse namespace.
+pub const CATALOG_PATH: &str = "/warehouse/_catalog";
+
+const SEP: char = '\u{1F}';
+
+/// A persisted DGFIndex registration (enough to reattach with
+/// `DgfIndex::open`: the policy itself lives in the index's KV store).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexEntry {
+    /// Index name (`<name>_data` is the reorganized table).
+    pub name: String,
+    /// The base table name.
+    pub base_table: String,
+    /// The pre-computed aggregate list in `parse_aggs` syntax.
+    pub aggs_text: String,
+}
+
+impl HiveContext {
+    /// Write the current table set (and the given index registrations)
+    /// to the catalog file, replacing any previous catalog.
+    pub fn save_catalog(&self, indexes: &[IndexEntry]) -> Result<()> {
+        self.hdfs.delete_file(CATALOG_PATH)?;
+        let mut w = TextWriter::create(&self.hdfs, CATALOG_PATH)?;
+        let mut tables: Vec<TableDesc> = self.tables_snapshot();
+        tables.sort_by(|a, b| a.name.cmp(&b.name));
+        for t in tables {
+            let format = match t.format {
+                FileFormat::Text => "text",
+                FileFormat::RcFile => "rcfile",
+            };
+            w.write_line(&format!(
+                "table{SEP}{}{SEP}{}{SEP}{format}{SEP}{}{SEP}{}",
+                t.name,
+                t.schema.to_parse_string(),
+                t.location,
+                t.rows_per_group
+            ))?;
+        }
+        for idx in indexes {
+            w.write_line(&format!(
+                "index{SEP}{}{SEP}{}{SEP}{}",
+                idx.name, idx.base_table, idx.aggs_text
+            ))?;
+        }
+        w.close()?;
+        Ok(())
+    }
+
+    /// Restore a context (and index registrations) from the catalog file
+    /// of a reopened cluster.
+    pub fn load_catalog(
+        hdfs: HdfsRef,
+        engine: MrEngine,
+    ) -> Result<(Arc<HiveContext>, Vec<IndexEntry>)> {
+        let ctx = HiveContext::new(hdfs, engine);
+        let mut indexes = Vec::new();
+        if !ctx.hdfs.file_exists(CATALOG_PATH) {
+            return Ok((ctx, indexes));
+        }
+        let reader = BufReader::new(ctx.hdfs.open_reader(CATALOG_PATH)?);
+        for line in reader.lines() {
+            let line = line?;
+            if line.is_empty() {
+                continue;
+            }
+            let parts: Vec<&str> = line.split(SEP).collect();
+            match parts.first().copied() {
+                Some("table") => {
+                    if parts.len() != 6 {
+                        return Err(DgfError::Corrupt(format!("bad catalog line {line:?}")));
+                    }
+                    let schema = Arc::new(Schema::parse(parts[2])?);
+                    let format = match parts[3] {
+                        "text" => FileFormat::Text,
+                        "rcfile" => FileFormat::RcFile,
+                        other => {
+                            return Err(DgfError::Corrupt(format!(
+                                "unknown table format {other:?}"
+                            )))
+                        }
+                    };
+                    let rows_per_group: usize = parts[5]
+                        .parse()
+                        .map_err(|_| DgfError::Corrupt("bad rows_per_group".into()))?;
+                    ctx.register_restored_table(TableDesc {
+                        name: parts[1].to_owned(),
+                        schema,
+                        format,
+                        location: parts[4].to_owned(),
+                        rows_per_group,
+                    })?;
+                }
+                Some("index") => {
+                    if parts.len() != 4 {
+                        return Err(DgfError::Corrupt(format!("bad catalog line {line:?}")));
+                    }
+                    indexes.push(IndexEntry {
+                        name: parts[1].to_owned(),
+                        base_table: parts[2].to_owned(),
+                        aggs_text: parts[3].to_owned(),
+                    });
+                }
+                other => {
+                    return Err(DgfError::Corrupt(format!(
+                        "unknown catalog record kind {other:?}"
+                    )))
+                }
+            }
+        }
+        Ok((ctx, indexes))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgf_common::{TempDir, Value, ValueType};
+    use dgf_storage::{HdfsConfig, SimHdfs};
+
+    #[test]
+    fn catalog_round_trips_tables_and_indexes() {
+        let t = TempDir::new("catalog").unwrap();
+        let cfg = HdfsConfig {
+            block_size: 4096,
+            replication: 1,
+        };
+        {
+            let hdfs = SimHdfs::new(t.path(), cfg.clone()).unwrap();
+            let ctx = HiveContext::new(hdfs, MrEngine::new(2));
+            let schema = Arc::new(Schema::from_pairs(&[
+                ("user_id", ValueType::Int),
+                ("power", ValueType::Float),
+            ]));
+            let tab = ctx
+                .create_table("meter", schema, FileFormat::Text)
+                .unwrap();
+            ctx.load_rows(
+                &tab,
+                &[vec![Value::Int(1), Value::Float(2.0)]],
+                1,
+            )
+            .unwrap();
+            ctx.save_catalog(&[IndexEntry {
+                name: "dgf_meter".into(),
+                base_table: "meter".into(),
+                aggs_text: "sum(power), count(*)".into(),
+            }])
+            .unwrap();
+        }
+        // Restart.
+        let hdfs = SimHdfs::reopen(t.path(), cfg).unwrap();
+        let (ctx, indexes) = HiveContext::load_catalog(hdfs, MrEngine::new(2)).unwrap();
+        let tab = ctx.table("meter").unwrap();
+        assert_eq!(tab.schema.len(), 2);
+        assert_eq!(tab.format, FileFormat::Text);
+        let rows = ctx.read_all(&tab).unwrap();
+        assert_eq!(rows, vec![vec![Value::Int(1), Value::Float(2.0)]]);
+        assert_eq!(indexes.len(), 1);
+        assert_eq!(indexes[0].base_table, "meter");
+    }
+
+    #[test]
+    fn missing_catalog_is_empty() {
+        let t = TempDir::new("catalog2").unwrap();
+        let hdfs = SimHdfs::open(t.path()).unwrap();
+        let (ctx, indexes) = HiveContext::load_catalog(hdfs, MrEngine::new(2)).unwrap();
+        assert!(indexes.is_empty());
+        assert!(ctx.table("anything").is_err());
+    }
+
+    #[test]
+    fn saving_twice_replaces() {
+        let t = TempDir::new("catalog3").unwrap();
+        let hdfs = SimHdfs::open(t.path()).unwrap();
+        let ctx = HiveContext::new(hdfs, MrEngine::new(2));
+        let schema = Arc::new(Schema::from_pairs(&[("a", ValueType::Int)]));
+        ctx.create_table("t1", schema, FileFormat::Text).unwrap();
+        ctx.save_catalog(&[]).unwrap();
+        ctx.save_catalog(&[]).unwrap(); // overwrite must not fail
+    }
+}

@@ -1,0 +1,173 @@
+//! A latency-injecting decorator.
+//!
+//! The paper's DGFIndex talks to HBase over the network; every GFU lookup
+//! pays an RPC round trip. [`LatencyKv`] wraps any [`KvStore`] and charges a
+//! configurable delay per operation so benchmarks can expose the paper's
+//! observation that *smaller interval sizes mean more GFUs per query and
+//! therefore longer index-read time* (§5.3.3, Figures 12–13).
+
+use std::time::Duration;
+
+use dgf_common::Result;
+
+use crate::traits::{KvPair, KvStats, KvStore};
+
+/// Per-operation latency model.
+#[derive(Debug, Clone, Copy)]
+pub struct LatencyModel {
+    /// Charged once per `get`/`put`/`delete`/`update`.
+    pub per_op: Duration,
+    /// Charged once per scan, plus `per_entry` per returned pair.
+    pub per_scan: Duration,
+    /// Charged per pair returned by a scan or `multi_get`.
+    pub per_entry: Duration,
+}
+
+impl LatencyModel {
+    /// No added latency.
+    pub const ZERO: LatencyModel = LatencyModel {
+        per_op: Duration::ZERO,
+        per_scan: Duration::ZERO,
+        per_entry: Duration::ZERO,
+    };
+
+    /// A rough local-network HBase profile: ~200 µs per RPC, ~1 µs per
+    /// scanned entry.
+    pub fn hbase_like() -> LatencyModel {
+        LatencyModel {
+            per_op: Duration::from_micros(200),
+            per_scan: Duration::from_micros(400),
+            per_entry: Duration::from_micros(1),
+        }
+    }
+}
+
+/// A [`KvStore`] decorator adding simulated RPC latency.
+pub struct LatencyKv<S> {
+    inner: S,
+    model: LatencyModel,
+}
+
+impl<S: KvStore> LatencyKv<S> {
+    /// Wrap `inner` with the given latency model.
+    pub fn new(inner: S, model: LatencyModel) -> Self {
+        LatencyKv { inner, model }
+    }
+
+    /// The wrapped store.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    fn charge(&self, d: Duration) {
+        if !d.is_zero() {
+            spin_wait(d);
+        }
+    }
+}
+
+/// Busy-wait for sub-millisecond precision; `thread::sleep` has ~1 ms
+/// granularity on most kernels, which would swamp a 200 µs RPC model.
+fn spin_wait(d: Duration) {
+    let start = std::time::Instant::now();
+    while start.elapsed() < d {
+        std::hint::spin_loop();
+    }
+}
+
+impl<S: KvStore> KvStore for LatencyKv<S> {
+    fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
+        self.charge(self.model.per_op);
+        self.inner.put(key, value)
+    }
+
+    fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        self.charge(self.model.per_op);
+        self.inner.get(key)
+    }
+
+    fn delete(&self, key: &[u8]) -> Result<bool> {
+        self.charge(self.model.per_op);
+        self.inner.delete(key)
+    }
+
+    fn scan_range(&self, start: &[u8], end: &[u8]) -> Result<Vec<KvPair>> {
+        self.charge(self.model.per_scan);
+        let out = self.inner.scan_range(start, end)?;
+        self.charge(self.model.per_entry * out.len() as u32);
+        Ok(out)
+    }
+
+    fn update(&self, key: &[u8], f: &mut dyn FnMut(Option<&[u8]>) -> Vec<u8>) -> Result<()> {
+        self.charge(self.model.per_op);
+        self.inner.update(key, f)
+    }
+
+    fn multi_get(&self, keys: &[Vec<u8>]) -> Result<Vec<Option<Vec<u8>>>> {
+        // One batched RPC plus per-entry transfer, like an HBase multi-get.
+        self.charge(self.model.per_op);
+        self.charge(self.model.per_entry * keys.len() as u32);
+        self.inner.multi_get(keys)
+    }
+
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn logical_size_bytes(&self) -> u64 {
+        self.inner.logical_size_bytes()
+    }
+
+    fn flush(&self) -> Result<()> {
+        self.inner.flush()
+    }
+
+    fn stats(&self) -> &KvStats {
+        self.inner.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::MemKvStore;
+
+    #[test]
+    fn zero_model_is_transparent() {
+        let kv = LatencyKv::new(MemKvStore::new(), LatencyModel::ZERO);
+        kv.put(b"a", b"1").unwrap();
+        assert_eq!(kv.get(b"a").unwrap().unwrap(), b"1");
+        assert_eq!(kv.len(), 1);
+    }
+
+    #[test]
+    fn latency_is_charged() {
+        let model = LatencyModel {
+            per_op: Duration::from_millis(2),
+            per_scan: Duration::ZERO,
+            per_entry: Duration::ZERO,
+        };
+        let kv = LatencyKv::new(MemKvStore::new(), model);
+        let t = std::time::Instant::now();
+        kv.put(b"a", b"1").unwrap();
+        kv.get(b"a").unwrap();
+        assert!(t.elapsed() >= Duration::from_millis(4));
+    }
+
+    #[test]
+    fn scan_charges_per_entry() {
+        let model = LatencyModel {
+            per_op: Duration::ZERO,
+            per_scan: Duration::ZERO,
+            per_entry: Duration::from_millis(1),
+        };
+        let kv = LatencyKv::new(MemKvStore::new(), model);
+        for i in 0..5u8 {
+            kv.put(&[i], b"v").unwrap();
+        }
+        let t = std::time::Instant::now();
+        let got = kv.scan_range(&[0], &[10]).unwrap();
+        assert_eq!(got.len(), 5);
+        assert!(t.elapsed() >= Duration::from_millis(5));
+    }
+}

@@ -1,0 +1,366 @@
+//! A persistent, log-structured key-value store.
+//!
+//! Writes append checksummed records to a single log file; the full live
+//! key set is kept in an in-memory ordered map (GFU entries are tiny — a
+//! few dozen bytes — so even a large grid fits comfortably). On open, the
+//! log is replayed; a torn or corrupt tail is truncated rather than
+//! poisoning the store. `compact` rewrites the log to contain only live
+//! entries.
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use parking_lot::Mutex;
+
+use dgf_common::codec::fnv1a;
+use dgf_common::{DgfError, Result};
+
+use crate::traits::{KvPair, KvStats, KvStore};
+
+const OP_PUT: u8 = 1;
+const OP_DELETE: u8 = 2;
+
+/// On-disk record layout:
+/// `[u32 payload_len][payload][u64 fnv1a(payload)]` where
+/// `payload = op(1) | key_len(u32) | key | value`.
+#[derive(Debug)]
+struct Inner {
+    map: std::collections::BTreeMap<Vec<u8>, Vec<u8>>,
+    writer: BufWriter<File>,
+    log_len: u64,
+}
+
+/// A crash-safe single-file key-value store.
+#[derive(Debug)]
+pub struct LogKvStore {
+    path: PathBuf,
+    inner: Mutex<Inner>,
+    stats: KvStats,
+}
+
+impl LogKvStore {
+    /// Open (or create) the store at `path`, replaying any existing log.
+    pub fn open(path: impl Into<PathBuf>) -> Result<LogKvStore> {
+        let path = path.into();
+        let (map, valid_len) = replay(&path)?;
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        // Drop a torn tail so subsequent appends start at a record boundary.
+        if file.metadata()?.len() > valid_len {
+            file.set_len(valid_len)?;
+        }
+        Ok(LogKvStore {
+            path,
+            inner: Mutex::new(Inner {
+                map,
+                writer: BufWriter::new(file),
+                log_len: valid_len,
+            }),
+            stats: KvStats::default(),
+        })
+    }
+
+    /// The log file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Physical log length in bytes (grows with every write until
+    /// [`compact`](Self::compact)).
+    pub fn log_len(&self) -> u64 {
+        self.inner.lock().log_len
+    }
+
+    /// Rewrite the log to hold only live entries. Returns bytes reclaimed.
+    pub fn compact(&self) -> Result<u64> {
+        let mut inner = self.inner.lock();
+        inner.writer.flush()?;
+        let tmp = self.path.with_extension("compact");
+        {
+            let mut w = BufWriter::new(File::create(&tmp)?);
+            for (k, v) in &inner.map {
+                write_record(&mut w, OP_PUT, k, v)?;
+            }
+            w.flush()?;
+        }
+        let old_len = inner.log_len;
+        std::fs::rename(&tmp, &self.path)?;
+        let file = OpenOptions::new().append(true).open(&self.path)?;
+        let new_len = file.metadata()?.len();
+        inner.writer = BufWriter::new(file);
+        inner.log_len = new_len;
+        Ok(old_len.saturating_sub(new_len))
+    }
+
+    fn append(&self, op: u8, key: &[u8], value: &[u8]) -> Result<()> {
+        let mut inner = self.inner.lock();
+        let n = write_record(&mut inner.writer, op, key, value)?;
+        inner.log_len += n;
+        match op {
+            OP_PUT => {
+                inner.map.insert(key.to_vec(), value.to_vec());
+            }
+            _ => {
+                inner.map.remove(key);
+            }
+        }
+        Ok(())
+    }
+}
+
+fn write_record<W: Write>(w: &mut W, op: u8, key: &[u8], value: &[u8]) -> Result<u64> {
+    let mut payload = Vec::with_capacity(1 + 4 + key.len() + value.len());
+    payload.push(op);
+    payload.extend_from_slice(&(key.len() as u32).to_le_bytes());
+    payload.extend_from_slice(key);
+    payload.extend_from_slice(value);
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(&payload)?;
+    w.write_all(&fnv1a(&payload).to_le_bytes())?;
+    Ok(4 + payload.len() as u64 + 8)
+}
+
+type ReplayResult = (std::collections::BTreeMap<Vec<u8>, Vec<u8>>, u64);
+
+fn replay(path: &Path) -> Result<ReplayResult> {
+    let mut map = std::collections::BTreeMap::new();
+    let Ok(file) = File::open(path) else {
+        return Ok((map, 0));
+    };
+    let mut r = BufReader::new(file);
+    let mut valid_len = 0u64;
+    loop {
+        let mut len_buf = [0u8; 4];
+        match r.read_exact(&mut len_buf) {
+            Ok(()) => {}
+            Err(_) => break,
+        }
+        let n = u32::from_le_bytes(len_buf) as usize;
+        let mut payload = vec![0u8; n];
+        if r.read_exact(&mut payload).is_err() {
+            break; // torn record
+        }
+        let mut sum_buf = [0u8; 8];
+        if r.read_exact(&mut sum_buf).is_err() {
+            break;
+        }
+        if u64::from_le_bytes(sum_buf) != fnv1a(&payload) {
+            break; // corrupt record: truncate here
+        }
+        if payload.is_empty() {
+            break;
+        }
+        let op = payload[0];
+        if payload.len() < 5 {
+            break;
+        }
+        let klen = u32::from_le_bytes(payload[1..5].try_into().unwrap()) as usize;
+        if payload.len() < 5 + klen {
+            break;
+        }
+        let key = payload[5..5 + klen].to_vec();
+        let value = payload[5 + klen..].to_vec();
+        match op {
+            OP_PUT => {
+                map.insert(key, value);
+            }
+            OP_DELETE => {
+                map.remove(&key);
+            }
+            _ => break,
+        }
+        valid_len += 4 + n as u64 + 8;
+    }
+    // Seek guard: the caller truncates the file to `valid_len`.
+    let _ = r.seek(SeekFrom::Start(valid_len));
+    Ok((map, valid_len))
+}
+
+impl KvStore for LogKvStore {
+    fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
+        self.stats.on_put((key.len() + value.len()) as u64);
+        self.append(OP_PUT, key, value)
+    }
+
+    fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let got = self.inner.lock().map.get(key).cloned();
+        self.stats.on_get(got.as_ref().map_or(0, |v| v.len() as u64));
+        Ok(got)
+    }
+
+    fn delete(&self, key: &[u8]) -> Result<bool> {
+        let existed = self.inner.lock().map.contains_key(key);
+        if existed {
+            self.append(OP_DELETE, key, &[])?;
+        }
+        Ok(existed)
+    }
+
+    fn scan_range(&self, start: &[u8], end: &[u8]) -> Result<Vec<KvPair>> {
+        let inner = self.inner.lock();
+        let out: Vec<KvPair> = inner
+            .map
+            .range(start.to_vec()..end.to_vec())
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        self.stats
+            .on_scan(out.iter().map(|(_, v)| v.len() as u64).sum());
+        Ok(out)
+    }
+
+    fn update(&self, key: &[u8], f: &mut dyn FnMut(Option<&[u8]>) -> Vec<u8>) -> Result<()> {
+        // Hold the lock across read and write so concurrent updates serialize.
+        let mut inner = self.inner.lock();
+        let new = f(inner.map.get(key).map(|v| v.as_slice()));
+        self.stats.on_put((key.len() + new.len()) as u64);
+        let n = write_record(&mut inner.writer, OP_PUT, key, &new)?;
+        inner.log_len += n;
+        inner.map.insert(key.to_vec(), new);
+        Ok(())
+    }
+
+    fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    fn logical_size_bytes(&self) -> u64 {
+        self.inner
+            .lock()
+            .map
+            .iter()
+            .map(|(k, v)| (k.len() + v.len()) as u64)
+            .sum()
+    }
+
+    fn flush(&self) -> Result<()> {
+        self.inner
+            .lock()
+            .writer
+            .flush()
+            .map_err(DgfError::from)
+    }
+
+    fn stats(&self) -> &KvStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgf_common::TempDir;
+
+    #[test]
+    fn basic_ops_and_persistence() {
+        let t = TempDir::new("logkv").unwrap();
+        let p = t.path().join("kv.log");
+        {
+            let kv = LogKvStore::open(&p).unwrap();
+            kv.put(b"a", b"1").unwrap();
+            kv.put(b"b", b"2").unwrap();
+            kv.delete(b"a").unwrap();
+            kv.flush().unwrap();
+        }
+        let kv = LogKvStore::open(&p).unwrap();
+        assert!(kv.get(b"a").unwrap().is_none());
+        assert_eq!(kv.get(b"b").unwrap().unwrap(), b"2");
+        assert_eq!(kv.len(), 1);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated() {
+        let t = TempDir::new("logkv").unwrap();
+        let p = t.path().join("kv.log");
+        {
+            let kv = LogKvStore::open(&p).unwrap();
+            kv.put(b"a", b"1").unwrap();
+            kv.put(b"b", b"2").unwrap();
+            kv.flush().unwrap();
+        }
+        // Chop 5 bytes off the tail, tearing the second record.
+        let len = std::fs::metadata(&p).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&p).unwrap();
+        f.set_len(len - 5).unwrap();
+
+        let kv = LogKvStore::open(&p).unwrap();
+        assert_eq!(kv.get(b"a").unwrap().unwrap(), b"1");
+        assert!(kv.get(b"b").unwrap().is_none());
+        // And the store keeps working after recovery.
+        kv.put(b"c", b"3").unwrap();
+        kv.flush().unwrap();
+        let kv = LogKvStore::open(&p).unwrap();
+        assert_eq!(kv.get(b"c").unwrap().unwrap(), b"3");
+    }
+
+    #[test]
+    fn corrupt_checksum_stops_replay() {
+        let t = TempDir::new("logkv").unwrap();
+        let p = t.path().join("kv.log");
+        {
+            let kv = LogKvStore::open(&p).unwrap();
+            kv.put(b"a", b"1").unwrap();
+            kv.put(b"b", b"2").unwrap();
+            kv.flush().unwrap();
+        }
+        // Flip a byte inside the second record's payload.
+        let mut bytes = std::fs::read(&p).unwrap();
+        let mid = bytes.len() - 10;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&p, &bytes).unwrap();
+
+        let kv = LogKvStore::open(&p).unwrap();
+        assert_eq!(kv.get(b"a").unwrap().unwrap(), b"1");
+        assert!(kv.get(b"b").unwrap().is_none());
+    }
+
+    #[test]
+    fn compaction_reclaims_dead_space() {
+        let t = TempDir::new("logkv").unwrap();
+        let p = t.path().join("kv.log");
+        let kv = LogKvStore::open(&p).unwrap();
+        for i in 0..100u32 {
+            kv.put(b"hot", &i.to_le_bytes()).unwrap();
+        }
+        let before = kv.log_len();
+        let reclaimed = kv.compact().unwrap();
+        assert!(reclaimed > 0);
+        assert!(kv.log_len() < before);
+        assert_eq!(kv.get(b"hot").unwrap().unwrap(), 99u32.to_le_bytes());
+        // Still durable after compaction.
+        kv.flush().unwrap();
+        drop(kv);
+        let kv = LogKvStore::open(&p).unwrap();
+        assert_eq!(kv.get(b"hot").unwrap().unwrap(), 99u32.to_le_bytes());
+    }
+
+    #[test]
+    fn update_persists() {
+        let t = TempDir::new("logkv").unwrap();
+        let p = t.path().join("kv.log");
+        {
+            let kv = LogKvStore::open(&p).unwrap();
+            kv.update(b"k", &mut |_| b"v1".to_vec()).unwrap();
+            kv.update(b"k", &mut |old| {
+                assert_eq!(old.unwrap(), b"v1");
+                b"v2".to_vec()
+            })
+            .unwrap();
+            kv.flush().unwrap();
+        }
+        let kv = LogKvStore::open(&p).unwrap();
+        assert_eq!(kv.get(b"k").unwrap().unwrap(), b"v2");
+    }
+
+    #[test]
+    fn scan_matches_mem_semantics() {
+        let t = TempDir::new("logkv").unwrap();
+        let kv = LogKvStore::open(t.path().join("kv.log")).unwrap();
+        for k in [&b"a"[..], b"b", b"c"] {
+            kv.put(k, k).unwrap();
+        }
+        let got = kv.scan_range(b"a", b"c").unwrap();
+        assert_eq!(got.len(), 2);
+        let got = kv.scan_prefix(b"b").unwrap();
+        assert_eq!(got.len(), 1);
+    }
+}

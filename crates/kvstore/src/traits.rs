@@ -1,0 +1,165 @@
+//! The `KvStore` abstraction.
+//!
+//! The paper stores `GFUKey → GFUValue` pairs in a distributed key-value
+//! store ("we can utilize HBase, Cassandra, or Voldemort … in the current
+//! implementation, we use HBase"). The index layer only needs ordered
+//! get/put/scan, so it programs against this trait and any conforming store
+//! can back a DGFIndex.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use dgf_common::Result;
+
+/// A key-value pair.
+pub type KvPair = (Vec<u8>, Vec<u8>);
+
+/// Operation counters for a key-value store.
+///
+/// "Read index time" in the paper's figures is dominated by these
+/// operations; benches snapshot them to attribute time between index access
+/// and data access.
+#[derive(Debug, Default)]
+pub struct KvStats {
+    /// `get`/`multi_get` key lookups.
+    pub gets: AtomicU64,
+    /// `put` operations.
+    pub puts: AtomicU64,
+    /// Range/prefix scans.
+    pub scans: AtomicU64,
+    /// Value bytes returned to callers.
+    pub bytes_read: AtomicU64,
+    /// Key+value bytes written.
+    pub bytes_written: AtomicU64,
+}
+
+impl KvStats {
+    /// Record a lookup returning `n` value bytes.
+    pub fn on_get(&self, n: u64) {
+        self.gets.fetch_add(1, Ordering::Relaxed);
+        self.bytes_read.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record a write of `n` key+value bytes.
+    pub fn on_put(&self, n: u64) {
+        self.puts.fetch_add(1, Ordering::Relaxed);
+        self.bytes_written.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record a scan returning `n` value bytes.
+    pub fn on_scan(&self, n: u64) {
+        self.scans.fetch_add(1, Ordering::Relaxed);
+        self.bytes_read.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Reset all counters.
+    pub fn reset(&self) {
+        self.gets.store(0, Ordering::Relaxed);
+        self.puts.store(0, Ordering::Relaxed);
+        self.scans.store(0, Ordering::Relaxed);
+        self.bytes_read.store(0, Ordering::Relaxed);
+        self.bytes_written.store(0, Ordering::Relaxed);
+    }
+}
+
+/// An ordered key-value store.
+///
+/// All operations are safe for concurrent use; `update` is an atomic
+/// read-modify-write (the DGFIndex uses it to merge GFU headers when new
+/// data lands in an existing cell).
+pub trait KvStore: Send + Sync {
+    /// Insert or replace `key`.
+    fn put(&self, key: &[u8], value: &[u8]) -> Result<()>;
+
+    /// Look up `key`.
+    fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>>;
+
+    /// Remove `key`, returning whether it existed.
+    fn delete(&self, key: &[u8]) -> Result<bool>;
+
+    /// All pairs with `start <= key < end`, in key order.
+    fn scan_range(&self, start: &[u8], end: &[u8]) -> Result<Vec<KvPair>>;
+
+    /// Atomically replace the value at `key` with `f(current)`.
+    fn update(&self, key: &[u8], f: &mut dyn FnMut(Option<&[u8]>) -> Vec<u8>) -> Result<()>;
+
+    /// Number of live keys.
+    fn len(&self) -> usize;
+
+    /// Logical size: the sum of live key and value lengths. This is the
+    /// paper's "index size" metric for DGFIndex (Table 2, Table 5).
+    fn logical_size_bytes(&self) -> u64;
+
+    /// Make all writes durable (no-op for memory stores).
+    fn flush(&self) -> Result<()>;
+
+    /// Operation counters.
+    fn stats(&self) -> &KvStats;
+
+    /// Whether the store holds no keys.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Batched lookup preserving input order.
+    fn multi_get(&self, keys: &[Vec<u8>]) -> Result<Vec<Option<Vec<u8>>>> {
+        keys.iter().map(|k| self.get(k)).collect()
+    }
+
+    /// All pairs whose key starts with `prefix`, in key order.
+    fn scan_prefix(&self, prefix: &[u8]) -> Result<Vec<KvPair>> {
+        match prefix_upper_bound(prefix) {
+            Some(end) => self.scan_range(prefix, &end),
+            // Prefix of all 0xFF bytes: scan to the end of the keyspace by
+            // using an impossible sentinel — handled by stores as unbounded.
+            None => {
+                let mut all = self.scan_range(prefix, &[0xFFu8; 64])?;
+                all.retain(|(k, _)| k.starts_with(prefix));
+                Ok(all)
+            }
+        }
+    }
+}
+
+/// Shared trait-object handle.
+pub type KvRef = Arc<dyn KvStore>;
+
+/// The smallest byte string strictly greater than every string starting
+/// with `prefix`, or `None` when no such bound exists (all-0xFF prefix).
+pub fn prefix_upper_bound(prefix: &[u8]) -> Option<Vec<u8>> {
+    let mut end = prefix.to_vec();
+    while let Some(last) = end.last_mut() {
+        if *last < 0xFF {
+            *last += 1;
+            return Some(end);
+        }
+        end.pop();
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_bound_simple() {
+        assert_eq!(prefix_upper_bound(b"ab"), Some(b"ac".to_vec()));
+        assert_eq!(prefix_upper_bound(&[1, 0xFF]), Some(vec![2]));
+        assert_eq!(prefix_upper_bound(&[0xFF, 0xFF]), None);
+        assert_eq!(prefix_upper_bound(b""), None);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let s = KvStats::default();
+        s.on_get(10);
+        s.on_put(20);
+        s.on_scan(5);
+        assert_eq!(s.gets.load(Ordering::Relaxed), 1);
+        assert_eq!(s.bytes_read.load(Ordering::Relaxed), 15);
+        assert_eq!(s.bytes_written.load(Ordering::Relaxed), 20);
+        s.reset();
+        assert_eq!(s.bytes_read.load(Ordering::Relaxed), 0);
+    }
+}

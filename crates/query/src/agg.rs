@@ -1,0 +1,553 @@
+//! Additive aggregate functions and their mergeable states.
+//!
+//! DGFIndex pre-computes per-GFU aggregation headers; the paper requires
+//! these to be **additive functions** ("max, min, sum, count, and other
+//! UDFs (need to be additive functions) supported by Hive", §4.1). An
+//! additive function is one whose partial states merge associatively, so
+//! the same [`AggState`] type serves three roles:
+//!
+//! 1. map-side partial aggregation in scan queries,
+//! 2. the pre-computed GFU header (serialized with
+//!    [`AggSet::encode_states`]),
+//! 3. combining inner-region headers with boundary-region scan results.
+
+use std::fmt;
+use std::sync::Arc;
+
+use dgf_common::codec::{self, Decoder};
+use dgf_common::{DgfError, Result, Row, Schema, Value};
+
+/// A user-defined additive aggregate.
+///
+/// State is a fixed vector of `f64` accumulators — enough for products,
+/// weighted sums, sums of squares, and other additive statistics, while
+/// staying trivially serializable into GFU headers.
+pub trait AdditiveUdf: Send + Sync {
+    /// Unique name, used for header compatibility checks (e.g.
+    /// `"sum_product(num,price)"`).
+    fn name(&self) -> String;
+    /// The identity state.
+    fn init(&self) -> Vec<f64>;
+    /// Fold one row into the state.
+    fn update(&self, state: &mut [f64], row: &Row, schema: &Schema) -> Result<()>;
+    /// Merge another partial state into `state` (must be associative and
+    /// commutative).
+    fn merge(&self, state: &mut [f64], other: &[f64]);
+    /// Produce the final value.
+    fn finalize(&self, state: &[f64]) -> Value;
+}
+
+/// The paper's example UDF: `sum(a * b)` over two numeric columns
+/// (§4.1 pre-computes `sum(num * price)`).
+#[derive(Debug, Clone)]
+pub struct SumProductUdf {
+    /// First factor column.
+    pub a: String,
+    /// Second factor column.
+    pub b: String,
+}
+
+impl AdditiveUdf for SumProductUdf {
+    fn name(&self) -> String {
+        format!("sum_product({},{})", self.a, self.b)
+    }
+
+    fn init(&self) -> Vec<f64> {
+        vec![0.0, 0.0] // [sum, non-null row count]
+    }
+
+    fn update(&self, state: &mut [f64], row: &Row, schema: &Schema) -> Result<()> {
+        let a = &row[schema.index_of(&self.a)?];
+        let b = &row[schema.index_of(&self.b)?];
+        if a.is_null() || b.is_null() {
+            return Ok(());
+        }
+        state[0] += a.as_f64()? * b.as_f64()?;
+        state[1] += 1.0;
+        Ok(())
+    }
+
+    fn merge(&self, state: &mut [f64], other: &[f64]) {
+        state[0] += other[0];
+        state[1] += other[1];
+    }
+
+    fn finalize(&self, state: &[f64]) -> Value {
+        if state[1] == 0.0 {
+            Value::Null
+        } else {
+            Value::Float(state[0])
+        }
+    }
+}
+
+/// An aggregate function specification.
+#[derive(Clone)]
+pub enum AggFunc {
+    /// `COUNT(*)`.
+    Count,
+    /// `SUM(column)` (NULLs ignored; all-NULL input yields NULL).
+    Sum(String),
+    /// `MIN(column)`.
+    Min(String),
+    /// `MAX(column)`.
+    Max(String),
+    /// `AVG(column)`.
+    Avg(String),
+    /// A user-defined additive aggregate.
+    Udf(Arc<dyn AdditiveUdf>),
+}
+
+impl AggFunc {
+    /// Canonical key, used to match query aggregates against the
+    /// aggregates pre-computed in an index header.
+    pub fn key(&self) -> String {
+        match self {
+            AggFunc::Count => "count(*)".to_owned(),
+            AggFunc::Sum(c) => format!("sum({c})"),
+            AggFunc::Min(c) => format!("min({c})"),
+            AggFunc::Max(c) => format!("max({c})"),
+            AggFunc::Avg(c) => format!("avg({c})"),
+            AggFunc::Udf(u) => format!("udf:{}", u.name()),
+        }
+    }
+}
+
+impl fmt::Debug for AggFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.key())
+    }
+}
+
+impl PartialEq for AggFunc {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+
+/// A mergeable partial aggregation state.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AggState {
+    /// Row count.
+    Count(u64),
+    /// Running sum and non-null count (to distinguish 0 from NULL).
+    Sum {
+        /// Sum of non-null values.
+        sum: f64,
+        /// Number of non-null values folded in.
+        non_null: u64,
+    },
+    /// Running minimum.
+    Min(Option<Value>),
+    /// Running maximum.
+    Max(Option<Value>),
+    /// Running sum and count for the mean.
+    Avg {
+        /// Sum of non-null values.
+        sum: f64,
+        /// Number of non-null values folded in.
+        count: u64,
+    },
+    /// UDF accumulators.
+    Udf(Vec<f64>),
+}
+
+/// A list of aggregate functions bound to a schema.
+#[derive(Debug, Clone)]
+pub struct AggSet {
+    funcs: Vec<AggFunc>,
+    cols: Vec<Option<usize>>,
+}
+
+impl AggSet {
+    /// Resolve column references.
+    pub fn bind(funcs: &[AggFunc], schema: &Schema) -> Result<AggSet> {
+        let mut cols = Vec::with_capacity(funcs.len());
+        for f in funcs {
+            cols.push(match f {
+                AggFunc::Count | AggFunc::Udf(_) => None,
+                AggFunc::Sum(c) | AggFunc::Min(c) | AggFunc::Max(c) | AggFunc::Avg(c) => {
+                    Some(schema.index_of(c)?)
+                }
+            });
+        }
+        Ok(AggSet {
+            funcs: funcs.to_vec(),
+            cols,
+        })
+    }
+
+    /// The bound functions.
+    pub fn funcs(&self) -> &[AggFunc] {
+        &self.funcs
+    }
+
+    /// Number of aggregates.
+    pub fn len(&self) -> usize {
+        self.funcs.len()
+    }
+
+    /// Whether there are no aggregates.
+    pub fn is_empty(&self) -> bool {
+        self.funcs.is_empty()
+    }
+
+    /// Identity states, one per function.
+    pub fn new_states(&self) -> Vec<AggState> {
+        self.funcs
+            .iter()
+            .map(|f| match f {
+                AggFunc::Count => AggState::Count(0),
+                AggFunc::Sum(_) => AggState::Sum { sum: 0.0, non_null: 0 },
+                AggFunc::Min(_) => AggState::Min(None),
+                AggFunc::Max(_) => AggState::Max(None),
+                AggFunc::Avg(_) => AggState::Avg { sum: 0.0, count: 0 },
+                AggFunc::Udf(u) => AggState::Udf(u.init()),
+            })
+            .collect()
+    }
+
+    /// Fold one row into the states.
+    pub fn update(&self, states: &mut [AggState], row: &Row, schema: &Schema) -> Result<()> {
+        for ((f, col), st) in self.funcs.iter().zip(&self.cols).zip(states.iter_mut()) {
+            match (f, st) {
+                (AggFunc::Count, AggState::Count(n)) => *n += 1,
+                (AggFunc::Sum(_), AggState::Sum { sum, non_null }) => {
+                    let v = &row[col.expect("bound")];
+                    if !v.is_null() {
+                        *sum += v.as_f64()?;
+                        *non_null += 1;
+                    }
+                }
+                (AggFunc::Min(_), AggState::Min(m)) => {
+                    let v = &row[col.expect("bound")];
+                    if !v.is_null() && m.as_ref().is_none_or(|cur| v < cur) {
+                        *m = Some(v.clone());
+                    }
+                }
+                (AggFunc::Max(_), AggState::Max(m)) => {
+                    let v = &row[col.expect("bound")];
+                    if !v.is_null() && m.as_ref().is_none_or(|cur| v > cur) {
+                        *m = Some(v.clone());
+                    }
+                }
+                (AggFunc::Avg(_), AggState::Avg { sum, count }) => {
+                    let v = &row[col.expect("bound")];
+                    if !v.is_null() {
+                        *sum += v.as_f64()?;
+                        *count += 1;
+                    }
+                }
+                (AggFunc::Udf(u), AggState::Udf(s)) => u.update(s, row, schema)?,
+                _ => return Err(DgfError::Query("agg state/function mismatch".into())),
+            }
+        }
+        Ok(())
+    }
+
+    /// Merge `other` into `states` (both produced by this set).
+    pub fn merge(&self, states: &mut [AggState], other: &[AggState]) -> Result<()> {
+        for ((f, st), o) in self.funcs.iter().zip(states.iter_mut()).zip(other) {
+            match (st, o) {
+                (AggState::Count(a), AggState::Count(b)) => *a += b,
+                (
+                    AggState::Sum { sum: a, non_null: an },
+                    AggState::Sum { sum: b, non_null: bn },
+                ) => {
+                    *a += b;
+                    *an += bn;
+                }
+                (AggState::Min(a), AggState::Min(b)) => {
+                    if let Some(bv) = b {
+                        if a.as_ref().is_none_or(|av| bv < av) {
+                            *a = Some(bv.clone());
+                        }
+                    }
+                }
+                (AggState::Max(a), AggState::Max(b)) => {
+                    if let Some(bv) = b {
+                        if a.as_ref().is_none_or(|av| bv > av) {
+                            *a = Some(bv.clone());
+                        }
+                    }
+                }
+                (AggState::Avg { sum: a, count: an }, AggState::Avg { sum: b, count: bn }) => {
+                    *a += b;
+                    *an += bn;
+                }
+                (AggState::Udf(a), AggState::Udf(b)) => match f {
+                    AggFunc::Udf(u) => u.merge(a, b),
+                    _ => return Err(DgfError::Query("udf state under non-udf func".into())),
+                },
+                _ => return Err(DgfError::Query("merging mismatched agg states".into())),
+            }
+        }
+        Ok(())
+    }
+
+    /// Produce final values.
+    pub fn finalize(&self, states: &[AggState]) -> Vec<Value> {
+        self.funcs
+            .iter()
+            .zip(states)
+            .map(|(f, st)| match st {
+                AggState::Count(n) => Value::Int(*n as i64),
+                AggState::Sum { sum, non_null } => {
+                    if *non_null == 0 {
+                        Value::Null
+                    } else {
+                        Value::Float(*sum)
+                    }
+                }
+                AggState::Min(m) | AggState::Max(m) => m.clone().unwrap_or(Value::Null),
+                AggState::Avg { sum, count } => {
+                    if *count == 0 {
+                        Value::Null
+                    } else {
+                        Value::Float(sum / *count as f64)
+                    }
+                }
+                AggState::Udf(s) => match f {
+                    AggFunc::Udf(u) => u.finalize(s),
+                    _ => Value::Null,
+                },
+            })
+            .collect()
+    }
+
+    /// Serialize states (GFU header payload).
+    pub fn encode_states(states: &[AggState]) -> Vec<u8> {
+        let mut buf = Vec::new();
+        codec::put_u32(&mut buf, states.len() as u32);
+        for st in states {
+            match st {
+                AggState::Count(n) => {
+                    buf.push(0);
+                    codec::put_u64(&mut buf, *n);
+                }
+                AggState::Sum { sum, non_null } => {
+                    buf.push(1);
+                    codec::put_f64(&mut buf, *sum);
+                    codec::put_u64(&mut buf, *non_null);
+                }
+                AggState::Min(m) => {
+                    buf.push(2);
+                    codec::put_value(&mut buf, &m.clone().unwrap_or(Value::Null));
+                }
+                AggState::Max(m) => {
+                    buf.push(3);
+                    codec::put_value(&mut buf, &m.clone().unwrap_or(Value::Null));
+                }
+                AggState::Avg { sum, count } => {
+                    buf.push(4);
+                    codec::put_f64(&mut buf, *sum);
+                    codec::put_u64(&mut buf, *count);
+                }
+                AggState::Udf(s) => {
+                    buf.push(5);
+                    codec::put_u32(&mut buf, s.len() as u32);
+                    for x in s {
+                        codec::put_f64(&mut buf, *x);
+                    }
+                }
+            }
+        }
+        buf
+    }
+
+    /// Deserialize states from [`encode_states`](Self::encode_states)
+    /// output. The decoded state kinds must match this set's functions.
+    pub fn decode_states(&self, bytes: &[u8]) -> Result<Vec<AggState>> {
+        let mut dec = Decoder::new(bytes);
+        let n = dec.u32()? as usize;
+        if n != self.funcs.len() {
+            return Err(DgfError::Corrupt(format!(
+                "header has {n} agg states, query needs {}",
+                self.funcs.len()
+            )));
+        }
+        let mut out = Vec::with_capacity(n);
+        for f in &self.funcs {
+            let st = match dec.u8()? {
+                0 => AggState::Count(dec.u64()?),
+                1 => AggState::Sum {
+                    sum: dec.f64()?,
+                    non_null: dec.u64()?,
+                },
+                2 => AggState::Min(none_if_null(codec::get_value(&mut dec)?)),
+                3 => AggState::Max(none_if_null(codec::get_value(&mut dec)?)),
+                4 => AggState::Avg {
+                    sum: dec.f64()?,
+                    count: dec.u64()?,
+                },
+                5 => {
+                    let k = dec.u32()? as usize;
+                    let mut s = Vec::with_capacity(k);
+                    for _ in 0..k {
+                        s.push(dec.f64()?);
+                    }
+                    AggState::Udf(s)
+                }
+                t => return Err(DgfError::Corrupt(format!("unknown agg state tag {t}"))),
+            };
+            let compatible = matches!(
+                (f, &st),
+                (AggFunc::Count, AggState::Count(_))
+                    | (AggFunc::Sum(_), AggState::Sum { .. })
+                    | (AggFunc::Min(_), AggState::Min(_))
+                    | (AggFunc::Max(_), AggState::Max(_))
+                    | (AggFunc::Avg(_), AggState::Avg { .. })
+                    | (AggFunc::Udf(_), AggState::Udf(_))
+            );
+            if !compatible {
+                return Err(DgfError::Corrupt(
+                    "header agg state does not match query aggregate".into(),
+                ));
+            }
+            out.push(st);
+        }
+        Ok(out)
+    }
+}
+
+fn none_if_null(v: Value) -> Option<Value> {
+    if v.is_null() {
+        None
+    } else {
+        Some(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgf_common::{Schema, ValueType};
+
+    fn schema() -> Schema {
+        Schema::from_pairs(&[
+            ("id", ValueType::Int),
+            ("power", ValueType::Float),
+            ("price", ValueType::Float),
+        ])
+    }
+
+    fn rows() -> Vec<Row> {
+        vec![
+            vec![Value::Int(1), Value::Float(2.0), Value::Float(10.0)],
+            vec![Value::Int(2), Value::Float(4.0), Value::Float(20.0)],
+            vec![Value::Int(3), Value::Null, Value::Float(30.0)],
+            vec![Value::Int(4), Value::Float(-1.0), Value::Float(40.0)],
+        ]
+    }
+
+    fn all_funcs() -> Vec<AggFunc> {
+        vec![
+            AggFunc::Count,
+            AggFunc::Sum("power".into()),
+            AggFunc::Min("power".into()),
+            AggFunc::Max("power".into()),
+            AggFunc::Avg("power".into()),
+            AggFunc::Udf(Arc::new(SumProductUdf {
+                a: "power".into(),
+                b: "price".into(),
+            })),
+        ]
+    }
+
+    #[test]
+    fn full_fold_produces_sql_answers() {
+        let s = schema();
+        let set = AggSet::bind(&all_funcs(), &s).unwrap();
+        let mut states = set.new_states();
+        for r in rows() {
+            set.update(&mut states, &r, &s).unwrap();
+        }
+        let out = set.finalize(&states);
+        assert_eq!(out[0], Value::Int(4)); // count(*) counts null rows too
+        assert_eq!(out[1], Value::Float(5.0)); // sum ignores null
+        assert_eq!(out[2], Value::Float(-1.0)); // min
+        assert_eq!(out[3], Value::Float(4.0)); // max
+        assert_eq!(out[4], Value::Float(5.0 / 3.0)); // avg over non-null
+        assert_eq!(out[5], Value::Float(2.0 * 10.0 + 4.0 * 20.0 + -40.0));
+    }
+
+    #[test]
+    fn empty_input_yields_nulls_except_count() {
+        let s = schema();
+        let set = AggSet::bind(&all_funcs(), &s).unwrap();
+        let out = set.finalize(&set.new_states());
+        assert_eq!(out[0], Value::Int(0));
+        for v in &out[1..] {
+            assert_eq!(*v, Value::Null);
+        }
+    }
+
+    #[test]
+    fn merge_of_partials_equals_full_fold() {
+        let s = schema();
+        let set = AggSet::bind(&all_funcs(), &s).unwrap();
+        let rs = rows();
+        // Full fold.
+        let mut full = set.new_states();
+        for r in &rs {
+            set.update(&mut full, r, &s).unwrap();
+        }
+        // Two partials merged.
+        let mut a = set.new_states();
+        let mut b = set.new_states();
+        for r in &rs[..2] {
+            set.update(&mut a, r, &s).unwrap();
+        }
+        for r in &rs[2..] {
+            set.update(&mut b, r, &s).unwrap();
+        }
+        set.merge(&mut a, &b).unwrap();
+        assert_eq!(set.finalize(&a), set.finalize(&full));
+    }
+
+    #[test]
+    fn states_round_trip_through_encoding() {
+        let s = schema();
+        let set = AggSet::bind(&all_funcs(), &s).unwrap();
+        let mut states = set.new_states();
+        for r in rows() {
+            set.update(&mut states, &r, &s).unwrap();
+        }
+        let bytes = AggSet::encode_states(&states);
+        let decoded = set.decode_states(&bytes).unwrap();
+        assert_eq!(decoded, states);
+    }
+
+    #[test]
+    fn decode_rejects_wrong_shape() {
+        let s = schema();
+        let set = AggSet::bind(&[AggFunc::Count], &s).unwrap();
+        let other = AggSet::bind(&[AggFunc::Sum("power".into())], &s).unwrap();
+        let bytes = AggSet::encode_states(&other.new_states());
+        assert!(set.decode_states(&bytes).is_err());
+        let two = AggSet::bind(&[AggFunc::Count, AggFunc::Count], &s).unwrap();
+        let bytes = AggSet::encode_states(&two.new_states());
+        assert!(set.decode_states(&bytes).is_err());
+    }
+
+    #[test]
+    fn agg_func_keys_identify_functions() {
+        assert_eq!(AggFunc::Count.key(), "count(*)");
+        assert_eq!(AggFunc::Sum("x".into()).key(), "sum(x)");
+        assert_eq!(
+            AggFunc::Udf(Arc::new(SumProductUdf {
+                a: "n".into(),
+                b: "p".into()
+            }))
+            .key(),
+            "udf:sum_product(n,p)"
+        );
+        assert_eq!(AggFunc::Sum("x".into()), AggFunc::Sum("x".into()));
+        assert_ne!(AggFunc::Sum("x".into()), AggFunc::Sum("y".into()));
+    }
+
+    #[test]
+    fn binding_unknown_column_fails() {
+        assert!(AggSet::bind(&[AggFunc::Sum("nope".into())], &schema()).is_err());
+    }
+}

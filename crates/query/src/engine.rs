@@ -1,0 +1,89 @@
+//! The engine abstraction and its run report.
+//!
+//! Every query path in the reproduction — full scan, the three Hive
+//! indexes, DGFIndex, HadoopDB — implements [`Engine`]. The [`RunStats`]
+//! report splits a run into the two phases the paper's figures stack:
+//! "read index and other" vs. "read data and process", and carries the
+//! records-read counts behind Tables 3, 4 and 6.
+
+use std::time::Duration;
+
+use crate::spec::{Query, QueryResult};
+use dgf_common::Result;
+
+/// Phase timings and I/O accounting for one query run.
+#[derive(Debug, Clone, Default)]
+pub struct RunStats {
+    /// Time spent consulting the index (scanning an index table, kv-store
+    /// lookups, split selection) plus planning overhead.
+    pub index_time: Duration,
+    /// Time spent reading base data and computing the answer.
+    pub data_time: Duration,
+    /// Records of *index* structures read (e.g. Compact Index table rows).
+    pub index_records_read: u64,
+    /// Records of base data read after index filtering — the paper's
+    /// "records number" metric.
+    pub data_records_read: u64,
+    /// Base-data bytes read.
+    pub data_bytes_read: u64,
+    /// Input splits of the base table in total.
+    pub splits_total: u64,
+    /// Splits actually scheduled after filtering.
+    pub splits_read: u64,
+}
+
+impl RunStats {
+    /// Total wall time.
+    pub fn total_time(&self) -> Duration {
+        self.index_time + self.data_time
+    }
+}
+
+impl std::fmt::Display for RunStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "index {:.3}s + data {:.3}s; {} index rec, {} data rec, {}/{} splits",
+            self.index_time.as_secs_f64(),
+            self.data_time.as_secs_f64(),
+            self.index_records_read,
+            self.data_records_read,
+            self.splits_read,
+            self.splits_total,
+        )
+    }
+}
+
+/// A finished run: the answer plus its cost report.
+#[derive(Debug, Clone)]
+pub struct EngineRun {
+    /// The query answer.
+    pub result: QueryResult,
+    /// Cost accounting.
+    pub stats: RunStats,
+}
+
+/// A query-execution strategy over one fact table.
+pub trait Engine {
+    /// Human-readable engine name (for bench tables).
+    fn name(&self) -> String;
+
+    /// Execute `query`.
+    fn run(&self, query: &Query) -> Result<EngineRun>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_time_sums_phases() {
+        let s = RunStats {
+            index_time: Duration::from_millis(10),
+            data_time: Duration::from_millis(25),
+            ..RunStats::default()
+        };
+        assert_eq!(s.total_time(), Duration::from_millis(35));
+        assert!(s.to_string().contains("splits"));
+    }
+}

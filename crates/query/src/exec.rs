@@ -1,0 +1,423 @@
+//! Shared query-evaluation machinery.
+//!
+//! Every engine in the workspace — full scan, Hive's Compact/Aggregate/
+//! Bitmap indexes, DGFIndex, HadoopDB — differs only in *which rows it
+//! feeds* to the evaluator. [`RowSink`] centralizes the semantics of the
+//! four query shapes so engines cannot drift apart: a map task pushes its
+//! matching rows into a sink, sinks from parallel tasks merge, and
+//! `finish` produces the [`QueryResult`].
+
+use std::collections::BTreeMap;
+
+use dgf_common::{DgfError, Result, Row, Schema, Value};
+
+use crate::agg::{AggSet, AggState};
+use crate::predicate::BoundPredicate;
+use crate::spec::{Query, QueryResult};
+
+/// A mergeable accumulator for one query over one row stream.
+pub struct RowSink {
+    schema: Schema,
+    kind: SinkKind,
+}
+
+enum SinkKind {
+    Aggregate {
+        set: AggSet,
+        states: Vec<AggState>,
+    },
+    GroupBy {
+        key_idx: usize,
+        set: AggSet,
+        groups: BTreeMap<Value, Vec<AggState>>,
+    },
+    Join {
+        left_key_idx: usize,
+        left_project: Vec<usize>,
+        /// Build side: join key → projected right rows.
+        build: BTreeMap<Value, Vec<Row>>,
+        out: Vec<Row>,
+    },
+    Select {
+        project: Vec<usize>,
+        out: Vec<Row>,
+    },
+}
+
+impl RowSink {
+    /// Create a sink for `query` over rows of `schema`.
+    ///
+    /// Join queries need the dimension table (`right`): its schema and
+    /// rows. The build side is materialized in every sink, mirroring
+    /// Hive's map-side broadcast join of a small archive table.
+    pub fn new(
+        query: &Query,
+        schema: &Schema,
+        right: Option<(&Schema, &[Row])>,
+    ) -> Result<RowSink> {
+        let kind = match query {
+            Query::Aggregate { aggs, .. } => {
+                let set = AggSet::bind(aggs, schema)?;
+                let states = set.new_states();
+                SinkKind::Aggregate { set, states }
+            }
+            Query::GroupBy { key, aggs, .. } => SinkKind::GroupBy {
+                key_idx: schema.index_of(key)?,
+                set: AggSet::bind(aggs, schema)?,
+                groups: BTreeMap::new(),
+            },
+            Query::Join {
+                left_key,
+                right_key,
+                left_project,
+                right_project,
+                ..
+            } => {
+                let (right_schema, right_rows) = right.ok_or_else(|| {
+                    DgfError::Query("join query requires the dimension table".into())
+                })?;
+                let right_key_idx = right_schema.index_of(right_key)?;
+                let right_proj: Vec<usize> = right_project
+                    .iter()
+                    .map(|c| right_schema.index_of(c))
+                    .collect::<Result<_>>()?;
+                let mut build: BTreeMap<Value, Vec<Row>> = BTreeMap::new();
+                for r in right_rows {
+                    let k = r[right_key_idx].clone();
+                    if k.is_null() {
+                        continue; // NULL keys never join
+                    }
+                    let projected: Row = right_proj.iter().map(|i| r[*i].clone()).collect();
+                    build.entry(k).or_default().push(projected);
+                }
+                SinkKind::Join {
+                    left_key_idx: schema.index_of(left_key)?,
+                    left_project: left_project
+                        .iter()
+                        .map(|c| schema.index_of(c))
+                        .collect::<Result<_>>()?,
+                    build,
+                    out: Vec::new(),
+                }
+            }
+            Query::Select { project, .. } => SinkKind::Select {
+                project: if project.is_empty() {
+                    (0..schema.len()).collect()
+                } else {
+                    project
+                        .iter()
+                        .map(|c| schema.index_of(c))
+                        .collect::<Result<_>>()?
+                },
+                out: Vec::new(),
+            },
+        };
+        Ok(RowSink {
+            schema: schema.clone(),
+            kind,
+        })
+    }
+
+    /// Feed one row that already passed the predicate.
+    pub fn push(&mut self, row: &Row) -> Result<()> {
+        match &mut self.kind {
+            SinkKind::Aggregate { set, states } => set.update(states, row, &self.schema),
+            SinkKind::GroupBy {
+                key_idx,
+                set,
+                groups,
+            } => {
+                let key = row[*key_idx].clone();
+                let states = groups.entry(key).or_insert_with(|| set.new_states());
+                set.update(states, row, &self.schema)
+            }
+            SinkKind::Join {
+                left_key_idx,
+                left_project,
+                build,
+                out,
+                ..
+            } => {
+                let k = &row[*left_key_idx];
+                if let Some(matches) = build.get(k) {
+                    for m in matches {
+                        let mut joined = Vec::with_capacity(m.len() + left_project.len());
+                        joined.extend(m.iter().cloned());
+                        joined.extend(left_project.iter().map(|i| row[*i].clone()));
+                        out.push(joined);
+                    }
+                }
+                Ok(())
+            }
+            SinkKind::Select { project, out } => {
+                out.push(project.iter().map(|i| row[*i].clone()).collect());
+                Ok(())
+            }
+        }
+    }
+
+    /// Filter-and-push convenience.
+    pub fn push_if(&mut self, row: &Row, pred: &BoundPredicate) -> Result<bool> {
+        if pred.matches(row) {
+            self.push(row)?;
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    /// Merge a sink produced by a parallel task over the same query.
+    pub fn merge(&mut self, other: RowSink) -> Result<()> {
+        match (&mut self.kind, other.kind) {
+            (
+                SinkKind::Aggregate { set, states },
+                SinkKind::Aggregate { states: o, .. },
+            ) => set.merge(states, &o),
+            (
+                SinkKind::GroupBy { set, groups, .. },
+                SinkKind::GroupBy { groups: og, .. },
+            ) => {
+                for (k, ostates) in og {
+                    match groups.get_mut(&k) {
+                        Some(st) => set.merge(st, &ostates)?,
+                        None => {
+                            groups.insert(k, ostates);
+                        }
+                    }
+                }
+                Ok(())
+            }
+            (SinkKind::Join { out, .. }, SinkKind::Join { out: o, .. }) => {
+                out.extend(o);
+                Ok(())
+            }
+            (SinkKind::Select { out, .. }, SinkKind::Select { out: o, .. }) => {
+                out.extend(o);
+                Ok(())
+            }
+            _ => Err(DgfError::Query("merging sinks of different queries".into())),
+        }
+    }
+
+    /// Merge a pre-aggregated header (DGFIndex inner region) into an
+    /// aggregate sink.
+    pub fn merge_agg_states(&mut self, header: &[AggState]) -> Result<()> {
+        match &mut self.kind {
+            SinkKind::Aggregate { set, states } => set.merge(states, header),
+            _ => Err(DgfError::Query(
+                "pre-aggregated headers only apply to aggregation queries".into(),
+            )),
+        }
+    }
+
+    /// The aggregate set, for decoding headers against this query.
+    pub fn agg_set(&self) -> Option<&AggSet> {
+        match &self.kind {
+            SinkKind::Aggregate { set, .. } | SinkKind::GroupBy { set, .. } => Some(set),
+            _ => None,
+        }
+    }
+
+    /// Produce the final result.
+    pub fn finish(self) -> QueryResult {
+        match self.kind {
+            SinkKind::Aggregate { set, states } => QueryResult::Scalars(set.finalize(&states)),
+            SinkKind::GroupBy { set, groups, .. } => QueryResult::Groups(
+                groups
+                    .into_iter()
+                    .map(|(k, st)| (k, set.finalize(&st)))
+                    .collect(),
+            ),
+            SinkKind::Join { out, .. } | SinkKind::Select { out, .. } => QueryResult::Rows(out),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agg::AggFunc;
+    use crate::predicate::{ColumnRange, Predicate};
+    use dgf_common::ValueType;
+
+    fn schema() -> Schema {
+        Schema::from_pairs(&[
+            ("user_id", ValueType::Int),
+            ("region_id", ValueType::Int),
+            ("power", ValueType::Float),
+        ])
+    }
+
+    fn rows() -> Vec<Row> {
+        (0..10)
+            .map(|i| {
+                vec![
+                    Value::Int(i),
+                    Value::Int(i % 3),
+                    Value::Float(i as f64),
+                ]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn aggregate_sink() {
+        let q = Query::Aggregate {
+            aggs: vec![AggFunc::Sum("power".into()), AggFunc::Count],
+            predicate: Predicate::all(),
+        };
+        let s = schema();
+        let mut sink = RowSink::new(&q, &s, None).unwrap();
+        for r in rows() {
+            sink.push(&r).unwrap();
+        }
+        assert_eq!(
+            sink.finish(),
+            QueryResult::Scalars(vec![Value::Float(45.0), Value::Int(10)])
+        );
+    }
+
+    #[test]
+    fn group_by_sink_sorted_by_key() {
+        let q = Query::GroupBy {
+            key: "region_id".into(),
+            aggs: vec![AggFunc::Count],
+            predicate: Predicate::all(),
+        };
+        let s = schema();
+        let mut sink = RowSink::new(&q, &s, None).unwrap();
+        for r in rows() {
+            sink.push(&r).unwrap();
+        }
+        let groups = sink.finish().into_groups();
+        assert_eq!(
+            groups,
+            vec![
+                (Value::Int(0), vec![Value::Int(4)]),
+                (Value::Int(1), vec![Value::Int(3)]),
+                (Value::Int(2), vec![Value::Int(3)]),
+            ]
+        );
+    }
+
+    #[test]
+    fn join_sink_projects_right_then_left() {
+        let right_schema = Schema::from_pairs(&[
+            ("user_id", ValueType::Int),
+            ("name", ValueType::Str),
+        ]);
+        let right_rows: Vec<Row> = vec![
+            vec![Value::Int(1), Value::Str("alice".into())],
+            vec![Value::Int(2), Value::Str("bob".into())],
+            vec![Value::Int(2), Value::Str("bob2".into())], // duplicate key
+        ];
+        let q = Query::Join {
+            left_key: "user_id".into(),
+            right_key: "user_id".into(),
+            left_project: vec!["power".into()],
+            right_project: vec!["name".into()],
+            predicate: Predicate::all(),
+        };
+        let s = schema();
+        let mut sink = RowSink::new(&q, &s, Some((&right_schema, &right_rows))).unwrap();
+        for r in rows() {
+            sink.push(&r).unwrap();
+        }
+        let mut out = sink.finish().into_rows();
+        out.sort_by(|a, b| a.iter().cmp(b.iter()));
+        assert_eq!(
+            out,
+            vec![
+                vec![Value::Str("alice".into()), Value::Float(1.0)],
+                vec![Value::Str("bob".into()), Value::Float(2.0)],
+                vec![Value::Str("bob2".into()), Value::Float(2.0)],
+            ]
+        );
+    }
+
+    #[test]
+    fn select_sink_with_default_projection() {
+        let q = Query::Select {
+            project: vec![],
+            predicate: Predicate::all(),
+        };
+        let s = schema();
+        let mut sink = RowSink::new(&q, &s, None).unwrap();
+        sink.push(&rows()[0]).unwrap();
+        assert_eq!(sink.finish().into_rows()[0].len(), 3);
+    }
+
+    #[test]
+    fn parallel_merge_equals_sequential() {
+        let q = Query::GroupBy {
+            key: "region_id".into(),
+            aggs: vec![AggFunc::Sum("power".into()), AggFunc::Max("power".into())],
+            predicate: Predicate::all(),
+        };
+        let s = schema();
+        let rs = rows();
+        let mut seq = RowSink::new(&q, &s, None).unwrap();
+        for r in &rs {
+            seq.push(r).unwrap();
+        }
+        let mut a = RowSink::new(&q, &s, None).unwrap();
+        let mut b = RowSink::new(&q, &s, None).unwrap();
+        for r in &rs[..4] {
+            a.push(r).unwrap();
+        }
+        for r in &rs[4..] {
+            b.push(r).unwrap();
+        }
+        a.merge(b).unwrap();
+        assert_eq!(a.finish(), seq.finish());
+    }
+
+    #[test]
+    fn push_if_filters() {
+        let pred = Predicate::all()
+            .and("user_id", ColumnRange::half_open(Value::Int(3), Value::Int(6)));
+        let s = schema();
+        let bound = pred.bind(&s).unwrap();
+        let q = Query::Aggregate {
+            aggs: vec![AggFunc::Count],
+            predicate: pred,
+        };
+        let mut sink = RowSink::new(&q, &s, None).unwrap();
+        let mut matched = 0;
+        for r in rows() {
+            if sink.push_if(&r, &bound).unwrap() {
+                matched += 1;
+            }
+        }
+        assert_eq!(matched, 3);
+        assert_eq!(sink.finish().into_scalars()[0], Value::Int(3));
+    }
+
+    #[test]
+    fn merging_mismatched_sinks_fails() {
+        let s = schema();
+        let a = Query::Aggregate {
+            aggs: vec![AggFunc::Count],
+            predicate: Predicate::all(),
+        };
+        let b = Query::Select {
+            project: vec![],
+            predicate: Predicate::all(),
+        };
+        let mut sa = RowSink::new(&a, &s, None).unwrap();
+        let sb = RowSink::new(&b, &s, None).unwrap();
+        assert!(sa.merge(sb).is_err());
+    }
+
+    #[test]
+    fn join_without_right_table_fails() {
+        let q = Query::Join {
+            left_key: "user_id".into(),
+            right_key: "user_id".into(),
+            left_project: vec![],
+            right_project: vec![],
+            predicate: Predicate::all(),
+        };
+        assert!(RowSink::new(&q, &schema(), None).is_err());
+    }
+}

@@ -1,0 +1,564 @@
+//! A small text syntax for queries, in the spirit of the paper's HiveQL
+//! listings.
+//!
+//! The grammar covers exactly the paper's workload — aggregates over
+//! conjunctive range predicates, GROUP BY, and projection:
+//!
+//! ```text
+//! query      := select [where] [group_by]
+//! select     := "SELECT" (agg_list | column_list)
+//! agg_list   := agg ("," agg)*
+//! agg        := "count(*)" | ("sum"|"min"|"max"|"avg") "(" ident ")"
+//! where      := "WHERE" cond ("AND" cond)*
+//! cond       := ident op literal
+//! op         := ">=" | "<=" | ">" | "<" | "="
+//! literal    := integer | float | 'YYYY-MM-DD' | 'string'
+//! group_by   := "GROUP BY" ident
+//! ```
+//!
+//! Keywords are case-insensitive. Joins are built programmatically (they
+//! need a second table handle), not parsed.
+
+use std::ops::Bound;
+
+use dgf_common::{parse_date, DgfError, Result, Schema, Value, ValueType};
+
+use crate::agg::AggFunc;
+use crate::predicate::{ColumnRange, Predicate};
+use crate::spec::Query;
+
+/// Parse a query string against a schema.
+pub fn parse_query(text: &str, schema: &Schema) -> Result<Query> {
+    let mut tokens = tokenize(text)?;
+    expect_keyword(&mut tokens, "SELECT")?;
+
+    // Peek: aggregate list or column list?
+    let select_items = parse_select_items(&mut tokens)?;
+
+    let mut predicate = Predicate::all();
+    if peek_keyword(&tokens, "WHERE") {
+        tokens.remove(0);
+        predicate = parse_conditions(&mut tokens, schema)?;
+    }
+
+    let mut group_key = None;
+    if peek_keyword(&tokens, "GROUP") {
+        tokens.remove(0);
+        expect_keyword(&mut tokens, "BY")?;
+        group_key = Some(expect_ident(&mut tokens)?);
+    }
+    if !tokens.is_empty() {
+        return Err(DgfError::Query(format!(
+            "unexpected trailing input near {:?}",
+            tokens[0]
+        )));
+    }
+
+    // Validate column references eagerly.
+    for item in &select_items {
+        if let SelectItem::Column(c) = item {
+            schema.index_of(c)?;
+        }
+        if let SelectItem::Agg(
+            AggFunc::Sum(c) | AggFunc::Min(c) | AggFunc::Max(c) | AggFunc::Avg(c),
+        ) = item
+        {
+            schema.index_of(c)?;
+        }
+    }
+
+    let has_aggs = select_items.iter().any(|i| matches!(i, SelectItem::Agg(_)));
+    let has_cols = select_items
+        .iter()
+        .any(|i| matches!(i, SelectItem::Column(_)));
+
+    match (has_aggs, has_cols, group_key) {
+        (true, false, None) => Ok(Query::Aggregate {
+            aggs: select_items.into_iter().map(SelectItem::into_agg).collect(),
+            predicate,
+        }),
+        (true, _, Some(key)) => {
+            schema.index_of(&key)?;
+            // GROUP BY allows the key column itself in the select list.
+            let aggs: Vec<AggFunc> = select_items
+                .into_iter()
+                .filter_map(|i| match i {
+                    SelectItem::Agg(a) => Some(a),
+                    SelectItem::Column(c) if c == key => None,
+                    SelectItem::Column(c) => Some(AggFunc::Max(c)), // non-key bare column: take max (Hive would reject; we pick a defined semantic)
+                })
+                .collect();
+            Ok(Query::GroupBy {
+                key,
+                aggs,
+                predicate,
+            })
+        }
+        (false, true, None) => Ok(Query::Select {
+            project: select_items
+                .into_iter()
+                .map(SelectItem::into_column)
+                .collect(),
+            predicate,
+        }),
+        (false, true, Some(_)) => Err(DgfError::Query(
+            "GROUP BY requires at least one aggregate".into(),
+        )),
+        (true, true, None) => Err(DgfError::Query(
+            "cannot mix bare columns and aggregates without GROUP BY".into(),
+        )),
+        (false, false, _) => Err(DgfError::Query("empty select list".into())),
+    }
+}
+
+/// Parse just a predicate, e.g. `user_id >= 10 AND ts < '2013-01-01'`.
+pub fn parse_predicate(text: &str, schema: &Schema) -> Result<Predicate> {
+    let mut tokens = tokenize(text)?;
+    if tokens.is_empty() {
+        return Ok(Predicate::all());
+    }
+    let p = parse_conditions(&mut tokens, schema)?;
+    if !tokens.is_empty() {
+        return Err(DgfError::Query(format!(
+            "unexpected trailing input near {:?}",
+            tokens[0]
+        )));
+    }
+    Ok(p)
+}
+
+/// Parse an aggregate list, e.g. `sum(power_consumed), count(*)`.
+pub fn parse_aggs(text: &str, schema: &Schema) -> Result<Vec<AggFunc>> {
+    let mut tokens = tokenize(text)?;
+    let items = parse_select_items(&mut tokens)?;
+    if !tokens.is_empty() {
+        return Err(DgfError::Query(format!(
+            "unexpected trailing input near {:?}",
+            tokens[0]
+        )));
+    }
+    let mut out = Vec::with_capacity(items.len());
+    for i in items {
+        match i {
+            SelectItem::Agg(a) => {
+                match &a {
+                    AggFunc::Sum(c) | AggFunc::Min(c) | AggFunc::Max(c) | AggFunc::Avg(c) => {
+                        schema.index_of(c)?;
+                    }
+                    _ => {}
+                }
+                out.push(a);
+            }
+            SelectItem::Column(c) => {
+                return Err(DgfError::Query(format!(
+                    "expected an aggregate, found bare column {c:?}"
+                )))
+            }
+        }
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Number(String),
+    Quoted(String),
+    Symbol(char),
+    Op(String),
+    Star,
+}
+
+enum SelectItem {
+    Agg(AggFunc),
+    Column(String),
+}
+
+impl SelectItem {
+    fn into_agg(self) -> AggFunc {
+        match self {
+            SelectItem::Agg(a) => a,
+            SelectItem::Column(c) => AggFunc::Max(c),
+        }
+    }
+
+    fn into_column(self) -> String {
+        match self {
+            SelectItem::Column(c) => c,
+            SelectItem::Agg(a) => a.key(),
+        }
+    }
+}
+
+fn tokenize(text: &str) -> Result<Vec<Token>> {
+    let mut out = Vec::new();
+    let mut chars = text.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '\'' => {
+                chars.next();
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        Some('\'') => break,
+                        Some(ch) => s.push(ch),
+                        None => {
+                            return Err(DgfError::Query("unterminated string literal".into()))
+                        }
+                    }
+                }
+                out.push(Token::Quoted(s));
+            }
+            '(' | ')' | ',' => {
+                chars.next();
+                out.push(Token::Symbol(c));
+            }
+            '*' => {
+                chars.next();
+                out.push(Token::Star);
+            }
+            '>' | '<' | '=' | '!' => {
+                chars.next();
+                let mut op = c.to_string();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    op.push('=');
+                }
+                out.push(Token::Op(op));
+            }
+            c if c.is_ascii_digit() || c == '-' || c == '+' || c == '.' => {
+                let mut s = String::new();
+                s.push(c);
+                chars.next();
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_digit() || d == '.' || d == 'e' || d == 'E' || d == '-' {
+                        // Allow scientific notation; a '-' is only part of
+                        // the number directly after an exponent marker.
+                        if d == '-' && !matches!(s.chars().last(), Some('e') | Some('E')) {
+                            break;
+                        }
+                        s.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Token::Number(s));
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_alphanumeric() || d == '_' {
+                        s.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Token::Ident(s));
+            }
+            other => {
+                return Err(DgfError::Query(format!("unexpected character {other:?}")));
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn peek_keyword(tokens: &[Token], kw: &str) -> bool {
+    matches!(tokens.first(), Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw))
+}
+
+fn expect_keyword(tokens: &mut Vec<Token>, kw: &str) -> Result<()> {
+    if peek_keyword(tokens, kw) {
+        tokens.remove(0);
+        Ok(())
+    } else {
+        Err(DgfError::Query(format!(
+            "expected {kw}, found {:?}",
+            tokens.first()
+        )))
+    }
+}
+
+fn expect_ident(tokens: &mut Vec<Token>) -> Result<String> {
+    match tokens.first() {
+        Some(Token::Ident(_)) => {
+            let Token::Ident(s) = tokens.remove(0) else {
+                unreachable!()
+            };
+            Ok(s)
+        }
+        other => Err(DgfError::Query(format!("expected identifier, found {other:?}"))),
+    }
+}
+
+fn parse_select_items(tokens: &mut Vec<Token>) -> Result<Vec<SelectItem>> {
+    let mut items = Vec::new();
+    loop {
+        let name = expect_ident(tokens)?;
+        // Stop words that end the select list are not valid items.
+        let lowered = name.to_ascii_lowercase();
+        let item = if tokens.first() == Some(&Token::Symbol('(')) {
+            tokens.remove(0);
+            let func = lowered;
+            let arg = match tokens.first() {
+                Some(Token::Star) => {
+                    tokens.remove(0);
+                    None
+                }
+                Some(Token::Ident(_)) => Some(expect_ident(tokens)?),
+                other => {
+                    return Err(DgfError::Query(format!(
+                        "expected column or * in {func}(), found {other:?}"
+                    )))
+                }
+            };
+            if tokens.first() != Some(&Token::Symbol(')')) {
+                return Err(DgfError::Query(format!("missing ')' after {func}(...)")));
+            }
+            tokens.remove(0);
+            let agg = match (func.as_str(), arg) {
+                ("count", None) => AggFunc::Count,
+                ("count", Some(_)) => AggFunc::Count, // count(col) ~ count(*) here
+                ("sum", Some(c)) => AggFunc::Sum(c),
+                ("min", Some(c)) => AggFunc::Min(c),
+                ("max", Some(c)) => AggFunc::Max(c),
+                ("avg", Some(c)) => AggFunc::Avg(c),
+                (f, _) => {
+                    return Err(DgfError::Query(format!(
+                        "unknown aggregate function {f:?} (UDFs are registered programmatically)"
+                    )))
+                }
+            };
+            SelectItem::Agg(agg)
+        } else {
+            SelectItem::Column(name)
+        };
+        items.push(item);
+        if tokens.first() == Some(&Token::Symbol(',')) {
+            tokens.remove(0);
+            continue;
+        }
+        break;
+    }
+    Ok(items)
+}
+
+fn parse_literal(tok: Token, ty: ValueType) -> Result<Value> {
+    match tok {
+        Token::Number(s) => Value::parse(&s, ty),
+        Token::Quoted(s) => match ty {
+            ValueType::Date => Ok(Value::Date(parse_date(&s)?)),
+            ValueType::Str => Ok(Value::Str(s)),
+            other => Value::parse(&s, other),
+        },
+        other => Err(DgfError::Query(format!("expected a literal, found {other:?}"))),
+    }
+}
+
+fn parse_conditions(tokens: &mut Vec<Token>, schema: &Schema) -> Result<Predicate> {
+    let mut pred = Predicate::all();
+    loop {
+        let col = expect_ident(tokens)?;
+        let ty = schema.type_of(&col)?;
+        let op = match tokens.first() {
+            Some(Token::Op(_)) => {
+                let Token::Op(op) = tokens.remove(0) else {
+                    unreachable!()
+                };
+                op
+            }
+            other => {
+                return Err(DgfError::Query(format!(
+                    "expected comparison operator after {col:?}, found {other:?}"
+                )))
+            }
+        };
+        if tokens.is_empty() {
+            return Err(DgfError::Query(format!("missing literal after {col} {op}")));
+        }
+        let lit = parse_literal(tokens.remove(0), ty)?;
+        let range = match op.as_str() {
+            "=" => ColumnRange::eq(lit),
+            ">" => ColumnRange {
+                low: Bound::Excluded(lit),
+                high: Bound::Unbounded,
+            },
+            ">=" => ColumnRange {
+                low: Bound::Included(lit),
+                high: Bound::Unbounded,
+            },
+            "<" => ColumnRange {
+                low: Bound::Unbounded,
+                high: Bound::Excluded(lit),
+            },
+            "<=" => ColumnRange {
+                low: Bound::Unbounded,
+                high: Bound::Included(lit),
+            },
+            other => {
+                return Err(DgfError::Query(format!("unsupported operator {other:?}")))
+            }
+        };
+        pred = pred.and(col, range);
+        if peek_keyword(tokens, "AND") {
+            tokens.remove(0);
+            continue;
+        }
+        break;
+    }
+    Ok(pred)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::from_pairs(&[
+            ("user_id", ValueType::Int),
+            ("region_id", ValueType::Int),
+            ("ts", ValueType::Date),
+            ("power_consumed", ValueType::Float),
+            ("status", ValueType::Str),
+        ])
+    }
+
+    #[test]
+    fn parses_the_papers_listing4() {
+        let q = parse_query(
+            "SELECT sum(power_consumed) FROM_IS_IMPLIED",
+            &schema(),
+        );
+        // "FROM" is not part of the grammar; trailing junk must error.
+        assert!(q.is_err());
+        let q = parse_query(
+            "SELECT sum(power_consumed) \
+             WHERE region_id > 1 AND region_id < 9 \
+             AND user_id > 100 AND user_id < 1000 \
+             AND ts > '2013-01-01' AND ts < '2013-02-01'",
+            &schema(),
+        )
+        .unwrap();
+        let Query::Aggregate { aggs, predicate } = q else {
+            panic!("expected aggregate");
+        };
+        assert_eq!(aggs, vec![AggFunc::Sum("power_consumed".into())]);
+        assert_eq!(predicate.arity(), 3);
+        let ts = predicate.range_of("ts").unwrap();
+        assert!(ts.contains(&Value::Date(parse_date("2013-01-15").unwrap())));
+        assert!(!ts.contains(&Value::Date(parse_date("2013-01-01").unwrap())));
+    }
+
+    #[test]
+    fn parses_group_by() {
+        let q = parse_query(
+            "select ts, sum(power_consumed) where user_id >= 5 group by ts",
+            &schema(),
+        )
+        .unwrap();
+        let Query::GroupBy { key, aggs, .. } = q else {
+            panic!("expected group by");
+        };
+        assert_eq!(key, "ts");
+        assert_eq!(aggs, vec![AggFunc::Sum("power_consumed".into())]);
+    }
+
+    #[test]
+    fn parses_projection_select() {
+        let q = parse_query(
+            "SELECT user_id, power_consumed WHERE status = 'OK'",
+            &schema(),
+        )
+        .unwrap();
+        let Query::Select { project, predicate } = q else {
+            panic!("expected select");
+        };
+        assert_eq!(project, vec!["user_id".to_owned(), "power_consumed".to_owned()]);
+        assert!(predicate
+            .range_of("status")
+            .unwrap()
+            .contains(&Value::Str("OK".into())));
+    }
+
+    #[test]
+    fn count_star_and_multiple_aggs() {
+        let q = parse_query("SELECT count(*), min(power_consumed), max(power_consumed)", &schema())
+            .unwrap();
+        let Query::Aggregate { aggs, predicate } = q else {
+            panic!()
+        };
+        assert_eq!(aggs.len(), 3);
+        assert!(predicate.is_trivial());
+    }
+
+    #[test]
+    fn operators_map_to_bounds() {
+        let p = parse_predicate("user_id >= 10 AND user_id <= 20", &schema()).unwrap();
+        let r = p.range_of("user_id").unwrap();
+        assert!(r.contains(&Value::Int(10)));
+        assert!(r.contains(&Value::Int(20)));
+        assert!(!r.contains(&Value::Int(21)));
+        let p = parse_predicate("power_consumed > 1.5", &schema()).unwrap();
+        let r = p.range_of("power_consumed").unwrap();
+        assert!(!r.contains(&Value::Float(1.5)));
+        assert!(r.contains(&Value::Float(1.6)));
+    }
+
+    #[test]
+    fn empty_predicate_is_trivial() {
+        assert!(parse_predicate("", &schema()).unwrap().is_trivial());
+    }
+
+    #[test]
+    fn agg_list_parser() {
+        let aggs = parse_aggs("sum(power_consumed), count(*)", &schema()).unwrap();
+        assert_eq!(
+            aggs,
+            vec![AggFunc::Sum("power_consumed".into()), AggFunc::Count]
+        );
+        assert!(parse_aggs("power_consumed", &schema()).is_err());
+        assert!(parse_aggs("median(power_consumed)", &schema()).is_err());
+    }
+
+    #[test]
+    fn errors_are_informative() {
+        assert!(parse_query("WHERE x = 1", &schema()).is_err()); // no SELECT
+        assert!(parse_query("SELECT sum(nope)", &schema()).is_err()); // unknown column
+        assert!(parse_query("SELECT sum(power_consumed WHERE", &schema()).is_err()); // missing )
+        assert!(parse_predicate("user_id ~ 3", &schema()).is_err()); // bad char
+        assert!(parse_predicate("user_id >", &schema()).is_err()); // missing literal
+        assert!(parse_predicate("ts = '2013-13-99'", &schema()).is_err()); // bad date
+        assert!(parse_query("SELECT user_id, sum(power_consumed)", &schema()).is_err()); // mixed without group by
+        assert!(parse_query("SELECT user_id GROUP BY user_id", &schema()).is_err()); // group by without agg
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive_and_dates_quoted() {
+        let q = parse_query(
+            "sElEcT count(*) wHeRe ts = '2012-12-30' aNd region_id = 11",
+            &schema(),
+        )
+        .unwrap();
+        // This is the paper's Listing 7.
+        let Query::Aggregate { predicate, .. } = q else {
+            panic!()
+        };
+        assert_eq!(predicate.arity(), 2);
+    }
+
+    #[test]
+    fn scientific_notation_floats() {
+        let p = parse_predicate("power_consumed < 1.5e2", &schema()).unwrap();
+        assert!(p
+            .range_of("power_consumed")
+            .unwrap()
+            .contains(&Value::Float(100.0)));
+    }
+}

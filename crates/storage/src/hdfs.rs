@@ -1,0 +1,537 @@
+//! `SimHdfs`: a single-process stand-in for HDFS.
+//!
+//! Files are real files on the local file system, so reads and writes in
+//! benchmarks do real I/O. What is simulated is the *cluster metadata*: an
+//! HDFS-style namespace with a [`NameNode`] accounting for directories,
+//! files, and blocks, and block-granularity split enumeration for MapReduce
+//! input. Every reader and writer charges a shared [`IoStats`] block, which
+//! is how the paper's "records read" tables are measured.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use dgf_common::stats::{IoStats, IoStatsRef};
+use dgf_common::{DgfError, Result};
+
+use crate::namenode::{parent_of, FileMeta, NameNode};
+use crate::split::{splits_for_file, FileSplit};
+
+/// Default block size. The paper uses 64 MB; the default here is scaled down
+/// so laptop-sized datasets still produce multi-split tables.
+pub const DEFAULT_BLOCK_SIZE: u64 = 4 * 1024 * 1024;
+
+/// Configuration for a simulated cluster.
+#[derive(Debug, Clone)]
+pub struct HdfsConfig {
+    /// Block size in bytes; also the default split size.
+    pub block_size: u64,
+    /// Replication factor. Only affects reported storage cost, not layout.
+    pub replication: u32,
+}
+
+impl Default for HdfsConfig {
+    fn default() -> Self {
+        HdfsConfig {
+            block_size: DEFAULT_BLOCK_SIZE,
+            replication: 2, // the paper's cluster setting
+        }
+    }
+}
+
+/// A simulated HDFS instance rooted at a local directory.
+#[derive(Debug)]
+pub struct SimHdfs {
+    root: PathBuf,
+    config: HdfsConfig,
+    namenode: Mutex<NameNode>,
+    stats: IoStatsRef,
+}
+
+/// Shared handle to a [`SimHdfs`].
+pub type HdfsRef = Arc<SimHdfs>;
+
+impl SimHdfs {
+    /// Create a cluster rooted at `root` (created if missing).
+    pub fn new(root: impl Into<PathBuf>, config: HdfsConfig) -> Result<HdfsRef> {
+        let root = root.into();
+        std::fs::create_dir_all(&root)?;
+        Ok(Arc::new(SimHdfs {
+            root,
+            config,
+            namenode: Mutex::new(NameNode::new()),
+            stats: Arc::new(IoStats::default()),
+        }))
+    }
+
+    /// Create a cluster with default configuration.
+    pub fn open(root: impl Into<PathBuf>) -> Result<HdfsRef> {
+        SimHdfs::new(root, HdfsConfig::default())
+    }
+
+    /// Reopen a cluster whose files already exist under `root`: the
+    /// NameNode recovers its namespace by walking the directory tree
+    /// (the equivalent of loading the fsimage after a restart).
+    pub fn reopen(root: impl Into<PathBuf>, config: HdfsConfig) -> Result<HdfsRef> {
+        let hdfs = SimHdfs::new(root, config)?;
+        fn walk(hdfs: &SimHdfs, local: &std::path::Path, hpath: &str) -> Result<()> {
+            for entry in std::fs::read_dir(local)? {
+                let entry = entry?;
+                let name = entry.file_name();
+                let name = name.to_string_lossy();
+                if name.starts_with('.') {
+                    // Hidden entries are not part of the namespace (the
+                    // CLI keeps key-value store logs in a dot-directory),
+                    // mirroring Hadoop's treatment of hidden files.
+                    continue;
+                }
+                let child = if hpath == "/" {
+                    format!("/{name}")
+                } else {
+                    format!("{hpath}/{name}")
+                };
+                let meta = entry.metadata()?;
+                if meta.is_dir() {
+                    hdfs.namenode.lock().mkdirs(&child);
+                    walk(hdfs, &entry.path(), &child)?;
+                } else {
+                    hdfs.finish_file(&child, meta.len());
+                }
+            }
+            Ok(())
+        }
+        let root = hdfs.root.clone();
+        walk(&hdfs, &root, "/")?;
+        Ok(hdfs)
+    }
+
+    /// The local directory backing this cluster.
+    pub fn root(&self) -> &std::path::Path {
+        &self.root
+    }
+
+    /// The configured block size.
+    pub fn block_size(&self) -> u64 {
+        self.config.block_size
+    }
+
+    /// The shared I/O counters charged by all readers and writers.
+    pub fn stats(&self) -> &IoStatsRef {
+        &self.stats
+    }
+
+    /// Estimated NameNode heap usage for the current namespace.
+    pub fn namenode_memory_bytes(&self) -> u64 {
+        self.namenode.lock().memory_bytes()
+    }
+
+    /// Namespace object counts `(dirs, files, blocks)`.
+    pub fn namenode_objects(&self) -> (u64, u64, u64) {
+        let nn = self.namenode.lock();
+        (nn.dir_count(), nn.file_count(), nn.block_count())
+    }
+
+    fn localize(&self, path: &str) -> Result<PathBuf> {
+        let rel = path
+            .strip_prefix('/')
+            .ok_or_else(|| DgfError::Io(io::Error::other(format!("path {path:?} not absolute"))))?;
+        if rel.split('/').any(|c| c == "..") {
+            return Err(DgfError::Io(io::Error::other(format!(
+                "path {path:?} escapes the namespace"
+            ))));
+        }
+        Ok(self.root.join(rel))
+    }
+
+    /// Create a directory (and ancestors).
+    pub fn mkdirs(&self, path: &str) -> Result<()> {
+        std::fs::create_dir_all(self.localize(path)?)?;
+        self.namenode.lock().mkdirs(path);
+        Ok(())
+    }
+
+    /// Whether a file exists at `path`.
+    pub fn file_exists(&self, path: &str) -> bool {
+        self.namenode.lock().file(path).is_some()
+    }
+
+    /// Whether a directory exists at `path`.
+    pub fn dir_exists(&self, path: &str) -> bool {
+        self.namenode.lock().is_dir(path)
+    }
+
+    /// Length of the file at `path`.
+    pub fn file_len(&self, path: &str) -> Result<u64> {
+        self.namenode
+            .lock()
+            .file(path)
+            .map(|m| m.len)
+            .ok_or_else(|| DgfError::Io(io::Error::new(io::ErrorKind::NotFound, path.to_owned())))
+    }
+
+    /// All files under `dir`, recursively, as `(path, len)` in path order.
+    pub fn list_files(&self, dir: &str) -> Vec<(String, u64)> {
+        self.namenode
+            .lock()
+            .files_under(dir)
+            .into_iter()
+            .map(|(p, m)| (p, m.len))
+            .collect()
+    }
+
+    /// Create a new file for writing. Fails if the file already exists —
+    /// HDFS files are write-once, which is exactly the meter-data contract
+    /// the paper relies on (feature ii in §1).
+    pub fn create(self: &Arc<Self>, path: &str) -> Result<HdfsWriter> {
+        if self.file_exists(path) {
+            return Err(DgfError::Io(io::Error::new(
+                io::ErrorKind::AlreadyExists,
+                path.to_owned(),
+            )));
+        }
+        if let Some(parent) = parent_of(path) {
+            self.mkdirs(&parent)?;
+        }
+        let local = self.localize(path)?;
+        let file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(local)?;
+        Ok(HdfsWriter {
+            inner: Some(BufWriter::new(file)),
+            hdfs: Arc::clone(self),
+            path: path.to_owned(),
+            written: 0,
+        })
+    }
+
+    /// Open a file for positioned reading.
+    pub fn open_reader(&self, path: &str) -> Result<HdfsReader> {
+        let len = self.file_len(path)?;
+        let file = File::open(self.localize(path)?)?;
+        Ok(HdfsReader {
+            file,
+            len,
+            stats: Arc::clone(&self.stats),
+        })
+    }
+
+    /// Delete one file.
+    pub fn delete_file(&self, path: &str) -> Result<()> {
+        if self.namenode.lock().remove_file(path).is_some() {
+            std::fs::remove_file(self.localize(path)?)?;
+        }
+        Ok(())
+    }
+
+    /// Delete a directory tree.
+    pub fn delete_tree(&self, path: &str) -> Result<()> {
+        self.namenode.lock().remove_tree(path);
+        let local = self.localize(path)?;
+        if local.exists() {
+            std::fs::remove_dir_all(local)?;
+        }
+        Ok(())
+    }
+
+    /// Enumerate block-aligned input splits for every file under `dir`.
+    pub fn splits_for_dir(&self, dir: &str) -> Vec<FileSplit> {
+        self.splits_for_dir_sized(dir, self.config.block_size)
+    }
+
+    /// Enumerate input splits of at most `split_size` bytes.
+    pub fn splits_for_dir_sized(&self, dir: &str, split_size: u64) -> Vec<FileSplit> {
+        let mut out = Vec::new();
+        for (path, len) in self.list_files(dir) {
+            out.extend(splits_for_file(&path, len, split_size));
+        }
+        out
+    }
+
+    /// Total bytes stored under `dir` (logical, before replication).
+    pub fn dir_size(&self, dir: &str) -> u64 {
+        self.list_files(dir).iter().map(|(_, l)| *l).sum()
+    }
+
+    fn finish_file(&self, path: &str, len: u64) {
+        let blocks = len.div_ceil(self.config.block_size);
+        self.namenode
+            .lock()
+            .put_file(path, FileMeta { len, blocks });
+    }
+}
+
+/// Buffered writer charging [`IoStats`] and registering the file with the
+/// NameNode on [`close`](HdfsWriter::close).
+#[derive(Debug)]
+pub struct HdfsWriter {
+    inner: Option<BufWriter<File>>,
+    hdfs: HdfsRef,
+    path: String,
+    written: u64,
+}
+
+impl HdfsWriter {
+    /// Bytes written so far.
+    pub fn position(&self) -> u64 {
+        self.written
+    }
+
+    /// The file's HDFS path.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// Flush, register with the NameNode, and return the final length.
+    pub fn close(mut self) -> Result<u64> {
+        self.close_inner()?;
+        Ok(self.written)
+    }
+
+    fn close_inner(&mut self) -> Result<()> {
+        if let Some(mut w) = self.inner.take() {
+            w.flush()?;
+            self.hdfs.finish_file(&self.path, self.written);
+        }
+        Ok(())
+    }
+}
+
+impl Write for HdfsWriter {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let w = self
+            .inner
+            .as_mut()
+            .ok_or_else(|| io::Error::other("writer already closed"))?;
+        let n = w.write(buf)?;
+        self.written += n as u64;
+        self.hdfs.stats.bytes_written.add(n as u64);
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self.inner.as_mut() {
+            Some(w) => w.flush(),
+            None => Ok(()),
+        }
+    }
+}
+
+impl Drop for HdfsWriter {
+    fn drop(&mut self) {
+        // Best effort: an explicitly closed writer is a no-op here.
+        let _ = self.close_inner();
+    }
+}
+
+/// Positioned reader charging [`IoStats`].
+#[derive(Debug)]
+pub struct HdfsReader {
+    file: File,
+    len: u64,
+    stats: IoStatsRef,
+}
+
+impl HdfsReader {
+    /// File length at open time.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the file is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl Read for HdfsReader {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.file.read(buf)?;
+        self.stats.bytes_read.add(n as u64);
+        Ok(n)
+    }
+}
+
+impl Seek for HdfsReader {
+    fn seek(&mut self, pos: SeekFrom) -> io::Result<u64> {
+        self.stats.seeks.inc();
+        self.file.seek(pos)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgf_common::TempDir;
+    use std::io::BufReader;
+
+    fn cluster() -> (TempDir, HdfsRef) {
+        let t = TempDir::new("hdfs").unwrap();
+        let h = SimHdfs::new(
+            t.path(),
+            HdfsConfig {
+                block_size: 64,
+                replication: 2,
+            },
+        )
+        .unwrap();
+        (t, h)
+    }
+
+    #[test]
+    fn write_then_read_round_trip() {
+        let (_t, h) = cluster();
+        let mut w = h.create("/data/f1").unwrap();
+        w.write_all(b"hello hdfs").unwrap();
+        let len = w.close().unwrap();
+        assert_eq!(len, 10);
+        assert_eq!(h.file_len("/data/f1").unwrap(), 10);
+
+        let mut r = h.open_reader("/data/f1").unwrap();
+        let mut s = String::new();
+        r.read_to_string(&mut s).unwrap();
+        assert_eq!(s, "hello hdfs");
+        assert_eq!(h.stats().bytes_read.get(), 10);
+        assert_eq!(h.stats().bytes_written.get(), 10);
+    }
+
+    #[test]
+    fn create_is_write_once() {
+        let (_t, h) = cluster();
+        h.create("/f").unwrap().close().unwrap();
+        assert!(h.create("/f").is_err());
+    }
+
+    #[test]
+    fn splits_follow_block_size() {
+        let (_t, h) = cluster();
+        let mut w = h.create("/tab/part-0").unwrap();
+        w.write_all(&[b'x'; 150]).unwrap();
+        w.close().unwrap();
+        let mut w = h.create("/tab/part-1").unwrap();
+        w.write_all(&[b'y'; 64]).unwrap();
+        w.close().unwrap();
+
+        let splits = h.splits_for_dir("/tab");
+        assert_eq!(splits.len(), 4); // 64+64+22, 64
+        assert_eq!(splits[0], FileSplit::new("/tab/part-0", 0, 64));
+        assert_eq!(splits[2], FileSplit::new("/tab/part-0", 128, 22));
+        assert_eq!(splits[3], FileSplit::new("/tab/part-1", 0, 64));
+        assert_eq!(h.dir_size("/tab"), 214);
+    }
+
+    #[test]
+    fn namenode_tracks_blocks() {
+        let (_t, h) = cluster();
+        let mut w = h.create("/a/f").unwrap();
+        w.write_all(&[0u8; 130]).unwrap();
+        w.close().unwrap();
+        let (dirs, files, blocks) = h.namenode_objects();
+        assert_eq!(files, 1);
+        assert_eq!(blocks, 3); // ceil(130/64)
+        assert!(dirs >= 2); // "/" and "/a"
+        assert_eq!(
+            h.namenode_memory_bytes(),
+            (dirs + files + blocks) * crate::namenode::BYTES_PER_OBJECT
+        );
+    }
+
+    #[test]
+    fn seek_and_positioned_read() {
+        let (_t, h) = cluster();
+        let mut w = h.create("/f").unwrap();
+        w.write_all(b"0123456789").unwrap();
+        w.close().unwrap();
+
+        let mut r = h.open_reader("/f").unwrap();
+        r.seek(SeekFrom::Start(4)).unwrap();
+        let mut buf = [0u8; 3];
+        r.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"456");
+        assert_eq!(h.stats().seeks.get(), 1);
+    }
+
+    #[test]
+    fn delete_file_and_tree() {
+        let (_t, h) = cluster();
+        h.create("/t/a").unwrap().close().unwrap();
+        h.create("/t/b").unwrap().close().unwrap();
+        h.delete_file("/t/a").unwrap();
+        assert!(!h.file_exists("/t/a"));
+        assert!(h.file_exists("/t/b"));
+        h.delete_tree("/t").unwrap();
+        assert!(!h.file_exists("/t/b"));
+        assert!(h.open_reader("/t/b").is_err());
+    }
+
+    #[test]
+    fn dropped_writer_still_registers() {
+        let (_t, h) = cluster();
+        {
+            let mut w = h.create("/f").unwrap();
+            w.write_all(b"abc").unwrap();
+            // dropped without close()
+        }
+        assert_eq!(h.file_len("/f").unwrap(), 3);
+    }
+
+    #[test]
+    fn path_validation() {
+        let (_t, h) = cluster();
+        assert!(h.mkdirs("relative").is_err());
+        assert!(h.mkdirs("/ok/../escape").is_err());
+    }
+
+    #[test]
+    fn reopen_recovers_the_namespace() {
+        let t = TempDir::new("hdfs-reopen").unwrap();
+        {
+            let h = SimHdfs::new(
+                t.path(),
+                HdfsConfig {
+                    block_size: 64,
+                    replication: 1,
+                },
+            )
+            .unwrap();
+            let mut w = h.create("/tab/part-0").unwrap();
+            w.write_all(&[b'x'; 100]).unwrap();
+            w.close().unwrap();
+            h.create("/tab/sub/part-1").unwrap().close().unwrap();
+        }
+        // "Restart": a fresh instance over the same root.
+        let h = SimHdfs::reopen(
+            t.path(),
+            HdfsConfig {
+                block_size: 64,
+                replication: 1,
+            },
+        )
+        .unwrap();
+        assert_eq!(h.file_len("/tab/part-0").unwrap(), 100);
+        assert!(h.file_exists("/tab/sub/part-1"));
+        assert!(h.dir_exists("/tab/sub"));
+        assert_eq!(h.splits_for_dir("/tab").len(), 2); // 64+36 bytes
+        let mut r = h.open_reader("/tab/part-0").unwrap();
+        let mut buf = Vec::new();
+        r.read_to_end(&mut buf).unwrap();
+        assert_eq!(buf.len(), 100);
+    }
+
+    #[test]
+    fn buffered_reader_wraps_cleanly() {
+        let (_t, h) = cluster();
+        let mut w = h.create("/f").unwrap();
+        for i in 0..100 {
+            writeln!(w, "line {i}").unwrap();
+        }
+        w.close().unwrap();
+        let r = BufReader::new(h.open_reader("/f").unwrap());
+        use std::io::BufRead;
+        assert_eq!(r.lines().count(), 100);
+    }
+}

@@ -1,0 +1,213 @@
+//! NameNode namespace accounting.
+//!
+//! HDFS keeps every directory, file, and block descriptor in the NameNode's
+//! heap — roughly 150 bytes each (the paper cites the Cloudera small-files
+//! article for this figure). The paper's §2.2 argument against
+//! multidimensional Hive *partitioning* is exactly this pressure: three
+//! partition dimensions with 100 distinct values each create 10^6
+//! directories ≈ 143 MB of NameNode memory. This module reproduces that
+//! arithmetic so the partitioning experiment reports real numbers.
+
+use std::collections::BTreeMap;
+
+/// Heap bytes charged per namespace object (directory, file, or block).
+pub const BYTES_PER_OBJECT: u64 = 150;
+
+/// Metadata for one file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileMeta {
+    /// Length in bytes.
+    pub len: u64,
+    /// Number of blocks (`ceil(len / block_size)`, 0 for empty files).
+    pub blocks: u64,
+}
+
+/// In-memory namespace of the simulated cluster.
+#[derive(Debug, Default)]
+pub struct NameNode {
+    dirs: BTreeMap<String, ()>,
+    files: BTreeMap<String, FileMeta>,
+}
+
+impl NameNode {
+    /// A fresh namespace containing only the root directory `/`.
+    pub fn new() -> Self {
+        let mut nn = NameNode::default();
+        nn.dirs.insert("/".to_owned(), ());
+        nn
+    }
+
+    /// Register a directory and all missing ancestors.
+    pub fn mkdirs(&mut self, path: &str) {
+        for p in ancestors_inclusive(path) {
+            self.dirs.insert(p, ());
+        }
+    }
+
+    /// Register (or replace) a file's metadata, creating parent dirs.
+    pub fn put_file(&mut self, path: &str, meta: FileMeta) {
+        if let Some(parent) = parent_of(path) {
+            self.mkdirs(&parent);
+        }
+        self.files.insert(path.to_owned(), meta);
+    }
+
+    /// Remove a file. Returns its metadata if it existed.
+    pub fn remove_file(&mut self, path: &str) -> Option<FileMeta> {
+        self.files.remove(path)
+    }
+
+    /// Remove a directory and everything under it.
+    pub fn remove_tree(&mut self, path: &str) {
+        let prefix = format!("{}/", path.trim_end_matches('/'));
+        self.dirs.retain(|d, _| d != path && !d.starts_with(&prefix));
+        self.files.retain(|f, _| f != path && !f.starts_with(&prefix));
+    }
+
+    /// Look up a file.
+    pub fn file(&self, path: &str) -> Option<&FileMeta> {
+        self.files.get(path)
+    }
+
+    /// Whether `path` is a registered directory.
+    pub fn is_dir(&self, path: &str) -> bool {
+        self.dirs.contains_key(path)
+    }
+
+    /// All files under `dir` (recursive), in path order.
+    pub fn files_under(&self, dir: &str) -> Vec<(String, FileMeta)> {
+        let prefix = if dir == "/" {
+            "/".to_owned()
+        } else {
+            format!("{}/", dir.trim_end_matches('/'))
+        };
+        self.files
+            .range(prefix.clone()..)
+            .take_while(|(p, _)| p.starts_with(&prefix))
+            .map(|(p, m)| (p.clone(), m.clone()))
+            .collect()
+    }
+
+    /// Count of directory objects.
+    pub fn dir_count(&self) -> u64 {
+        self.dirs.len() as u64
+    }
+
+    /// Count of file objects.
+    pub fn file_count(&self) -> u64 {
+        self.files.len() as u64
+    }
+
+    /// Count of block objects across all files.
+    pub fn block_count(&self) -> u64 {
+        self.files.values().map(|m| m.blocks).sum()
+    }
+
+    /// Estimated NameNode heap consumption for the current namespace.
+    pub fn memory_bytes(&self) -> u64 {
+        (self.dir_count() + self.file_count() + self.block_count()) * BYTES_PER_OBJECT
+    }
+}
+
+/// Parent path of `path`, or `None` for `/`.
+pub fn parent_of(path: &str) -> Option<String> {
+    let trimmed = path.trim_end_matches('/');
+    if trimmed.is_empty() {
+        return None;
+    }
+    match trimmed.rfind('/') {
+        Some(0) => Some("/".to_owned()),
+        Some(i) => Some(trimmed[..i].to_owned()),
+        None => None,
+    }
+}
+
+fn ancestors_inclusive(path: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = path.trim_end_matches('/').to_owned();
+    if cur.is_empty() {
+        cur = "/".to_owned();
+    }
+    loop {
+        out.push(cur.clone());
+        match parent_of(&cur) {
+            Some(p) => cur = p,
+            None => break,
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mkdirs_creates_ancestors() {
+        let mut nn = NameNode::new();
+        nn.mkdirs("/warehouse/meterdata/day=1");
+        assert!(nn.is_dir("/"));
+        assert!(nn.is_dir("/warehouse"));
+        assert!(nn.is_dir("/warehouse/meterdata"));
+        assert!(nn.is_dir("/warehouse/meterdata/day=1"));
+        assert_eq!(nn.dir_count(), 4);
+    }
+
+    #[test]
+    fn file_accounting() {
+        let mut nn = NameNode::new();
+        nn.put_file("/a/f1", FileMeta { len: 130, blocks: 3 });
+        nn.put_file("/a/f2", FileMeta { len: 0, blocks: 0 });
+        assert_eq!(nn.file_count(), 2);
+        assert_eq!(nn.block_count(), 3);
+        // dirs: "/", "/a" → 2; files 2; blocks 3 → 7 objects.
+        assert_eq!(nn.memory_bytes(), 7 * BYTES_PER_OBJECT);
+        assert_eq!(nn.file("/a/f1").unwrap().len, 130);
+    }
+
+    #[test]
+    fn paper_partition_pressure_example() {
+        // §2.2: 3 dimensions × 100 distinct values = 1M directories
+        // ≈ 143 MB. We verify the arithmetic at 10×10×10 scale.
+        let mut nn = NameNode::new();
+        for a in 0..10 {
+            for b in 0..10 {
+                for c in 0..10 {
+                    nn.mkdirs(&format!("/t/a={a}/b={b}/c={c}"));
+                }
+            }
+        }
+        // leaf dirs: 1000, plus 100 (a,b), 10 (a), /t, / .
+        assert_eq!(nn.dir_count(), 1000 + 100 + 10 + 1 + 1);
+    }
+
+    #[test]
+    fn files_under_lists_recursively() {
+        let mut nn = NameNode::new();
+        nn.put_file("/t/p1/f1", FileMeta { len: 1, blocks: 1 });
+        nn.put_file("/t/p2/f2", FileMeta { len: 2, blocks: 1 });
+        nn.put_file("/u/f3", FileMeta { len: 3, blocks: 1 });
+        let got: Vec<String> = nn.files_under("/t").into_iter().map(|(p, _)| p).collect();
+        assert_eq!(got, vec!["/t/p1/f1".to_owned(), "/t/p2/f2".to_owned()]);
+        assert_eq!(nn.files_under("/").len(), 3);
+    }
+
+    #[test]
+    fn remove_tree_drops_subtree_only() {
+        let mut nn = NameNode::new();
+        nn.put_file("/t/p1/f1", FileMeta { len: 1, blocks: 1 });
+        nn.put_file("/tx/f2", FileMeta { len: 2, blocks: 1 });
+        nn.remove_tree("/t");
+        assert!(nn.file("/t/p1/f1").is_none());
+        assert!(nn.file("/tx/f2").is_some());
+        assert!(!nn.is_dir("/t"));
+        assert!(nn.is_dir("/tx"));
+    }
+
+    #[test]
+    fn parent_of_edges() {
+        assert_eq!(parent_of("/a/b"), Some("/a".to_owned()));
+        assert_eq!(parent_of("/a"), Some("/".to_owned()));
+        assert_eq!(parent_of("/"), None);
+    }
+}

@@ -1,0 +1,94 @@
+//! Input splits: the unit of work handed to a mapper.
+//!
+//! As in Hadoop, a split is a byte range of one file, normally one HDFS
+//! block. Index-based split filtering (Hive Compact Index, DGFIndex stage 2)
+//! works at this granularity: a split is either read whole or skipped whole —
+//! unless a skipping record reader (DGFIndex stage 3) prunes inside it.
+
+use std::fmt;
+
+/// A contiguous byte range `[start, start+len)` of one file.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct FileSplit {
+    /// HDFS-style path of the file.
+    pub path: String,
+    /// First byte of the split.
+    pub start: u64,
+    /// Length in bytes.
+    pub len: u64,
+}
+
+impl FileSplit {
+    /// Construct a split.
+    pub fn new(path: impl Into<String>, start: u64, len: u64) -> Self {
+        FileSplit {
+            path: path.into(),
+            start,
+            len,
+        }
+    }
+
+    /// One byte past the end.
+    pub fn end(&self) -> u64 {
+        self.start + self.len
+    }
+
+    /// Whether the byte range `[lo, hi)` overlaps this split.
+    pub fn overlaps(&self, lo: u64, hi: u64) -> bool {
+        lo < self.end() && hi > self.start
+    }
+}
+
+impl fmt::Display for FileSplit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}+{}", self.path, self.start, self.len)
+    }
+}
+
+/// Cut a file of length `file_len` into splits of at most `split_size` bytes.
+pub fn splits_for_file(path: &str, file_len: u64, split_size: u64) -> Vec<FileSplit> {
+    assert!(split_size > 0, "split size must be positive");
+    let mut out = Vec::new();
+    let mut start = 0;
+    while start < file_len {
+        let len = split_size.min(file_len - start);
+        out.push(FileSplit::new(path, start, len));
+        start += len;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_multiple() {
+        let s = splits_for_file("/f", 128, 64);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0], FileSplit::new("/f", 0, 64));
+        assert_eq!(s[1], FileSplit::new("/f", 64, 64));
+    }
+
+    #[test]
+    fn trailing_partial_split() {
+        let s = splits_for_file("/f", 100, 64);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[1], FileSplit::new("/f", 64, 36));
+    }
+
+    #[test]
+    fn empty_file_has_no_splits() {
+        assert!(splits_for_file("/f", 0, 64).is_empty());
+    }
+
+    #[test]
+    fn overlap_logic() {
+        let s = FileSplit::new("/f", 10, 10); // [10, 20)
+        assert!(s.overlaps(0, 11));
+        assert!(s.overlaps(19, 25));
+        assert!(s.overlaps(12, 13));
+        assert!(!s.overlaps(0, 10));
+        assert!(!s.overlaps(20, 30));
+    }
+}

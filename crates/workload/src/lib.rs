@@ -1,0 +1,29 @@
+//! # dgf-workload
+//!
+//! Workload generation for the DGFIndex evaluation:
+//!
+//! * [`meter`] — the smart-grid dataset of §5.2–§5.3 (17-field records,
+//!   11 regions, 30 time-ordered days) plus the archive `user_info`
+//!   table;
+//! * [`tpch`] — a TPC-H `lineitem` generator with evenly scattered
+//!   dimension values and query Q6 (§5.4);
+//! * [`queries`] — the paper's query Listings 4–7 at point / 5 % / 12 %
+//!   selectivity.
+//!
+//! Everything is seeded and deterministic, so benchmark runs are
+//! reproducible record for record.
+
+#![warn(missing_docs)]
+
+pub mod meter;
+pub mod queries;
+pub mod tpch;
+
+pub use meter::{
+    generate_meter_data, generate_user_info, meter_schema, user_info_schema, MeterConfig,
+};
+pub use queries::{
+    aggregation_query, group_by_query, join_query, meter_ranges, partial_query, MeterRanges,
+    Selectivity,
+};
+pub use tpch::{generate_lineitem, lineitem_schema, q6, q6_revenue_agg, TpchConfig};

@@ -1,0 +1,406 @@
+//! `dgf` — a command-line warehouse driven by DGFIndex.
+//!
+//! A persistent single-directory warehouse: tables live as files under
+//! the directory (the simulated HDFS root), the catalog at
+//! `/warehouse/_catalog`, and each index's GFU store as a crash-safe log
+//! under `.dgf-kv/`. Every invocation reopens the warehouse cold — the
+//! tool demonstrates that the whole system state (tables, indexes,
+//! extents, pre-computed headers) survives restarts.
+//!
+//! ```text
+//! dgf init <dir>
+//! dgf tables <dir>
+//! dgf create-table <dir> <name> --schema "user_id:int,ts:date,power:float" [--format text|rcfile]
+//! dgf load <dir> <table> <file>            # '|'-delimited rows
+//! dgf gen-meter <dir> <table> --users N --days N [--seed N]
+//! dgf index <dir> <name> --table <t> --dims "user_id:0:100,ts:2012-12-01:1" \
+//!           [--precompute "sum(power_consumed), count(*)"]
+//! dgf append <dir> <index> <file>          # index + base table extend
+//! dgf query <dir> <table> "SELECT sum(power_consumed) WHERE ..." [--index <name>] [--explain]
+//! dgf advise <dir> <table> --dims "user_id,ts" --history "u>1 AND ...; ts='2012-12-05'"
+//! ```
+
+use std::io::BufRead;
+use std::path::{Path, PathBuf};
+use std::process::exit;
+use std::sync::Arc;
+
+use dgfindex::common::{parse_date, parse_row, DgfError, Result, Row, Schema, ValueType};
+use dgfindex::core::advisor::{history_from_predicates, recommend_policy, AdvisorConfig};
+use dgfindex::hive::IndexEntry;
+use dgfindex::prelude::*;
+use dgfindex::query::{parse_aggs, parse_predicate, parse_query};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("{USAGE}");
+        exit(2);
+    }
+    if let Err(e) = dispatch(&args) {
+        eprintln!("error: {e}");
+        exit(1);
+    }
+}
+
+const USAGE: &str = "usage:
+  dgf init <dir>
+  dgf tables <dir>
+  dgf create-table <dir> <name> --schema \"a:int,b:float\" [--format text|rcfile]
+  dgf load <dir> <table> <file>
+  dgf gen-meter <dir> <table> --users N --days N [--seed N]
+  dgf index <dir> <name> --table <t> --dims \"col:min:interval,...\" [--precompute \"sum(x)\"]
+  dgf append <dir> <index> <file>
+  dgf query <dir> <table> \"SELECT ... [WHERE ...] [GROUP BY col]\" [--index <name>] [--explain]
+  dgf advise <dir> <table> --dims \"a,b\" --history \"pred; pred; ...\"";
+
+/// A reopened warehouse: cluster + catalog.
+struct Warehouse {
+    dir: PathBuf,
+    ctx: Arc<HiveContext>,
+    indexes: Vec<IndexEntry>,
+}
+
+impl Warehouse {
+    fn open(dir: &str) -> Result<Warehouse> {
+        let dir = PathBuf::from(dir);
+        if !dir.is_dir() {
+            return Err(DgfError::Io(std::io::Error::new(
+                std::io::ErrorKind::NotFound,
+                format!("{} is not a warehouse (run `dgf init`)", dir.display()),
+            )));
+        }
+        let hdfs = SimHdfs::reopen(&dir, HdfsConfig::default())?;
+        let (ctx, indexes) = HiveContext::load_catalog(hdfs, MrEngine::default())?;
+        Ok(Warehouse { dir, ctx, indexes })
+    }
+
+    fn save(&self) -> Result<()> {
+        self.ctx.save_catalog(&self.indexes)
+    }
+
+    fn kv_path(&self, index_name: &str) -> PathBuf {
+        self.dir.join(".dgf-kv").join(format!("{index_name}.log"))
+    }
+
+    fn open_index(&self, name: &str) -> Result<DgfIndex> {
+        let entry = self
+            .indexes
+            .iter()
+            .find(|i| i.name == name)
+            .ok_or_else(|| DgfError::Index(format!("no such index {name:?}")))?;
+        let base = self.ctx.table(&entry.base_table)?;
+        let aggs = if entry.aggs_text.is_empty() {
+            Vec::new()
+        } else {
+            parse_aggs(&entry.aggs_text, &base.schema)?
+        };
+        let kv: Arc<dyn KvStore> = Arc::new(LogKvStore::open(self.kv_path(name))?);
+        DgfIndex::open(Arc::clone(&self.ctx), base, kv, name, aggs)
+    }
+}
+
+fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.as_str())
+}
+
+fn dispatch(args: &[String]) -> Result<()> {
+    let bad_usage = || DgfError::Query(USAGE.to_owned());
+    match args[0].as_str() {
+        "init" => {
+            let dir = args.get(1).ok_or_else(bad_usage)?;
+            std::fs::create_dir_all(dir)?;
+            let hdfs = SimHdfs::open(dir)?;
+            let ctx = HiveContext::new(hdfs, MrEngine::default());
+            ctx.save_catalog(&[])?;
+            println!("initialized warehouse at {dir}");
+            Ok(())
+        }
+        "tables" => {
+            let w = Warehouse::open(args.get(1).ok_or_else(bad_usage)?)?;
+            let mut tables = w.ctx.tables_snapshot();
+            tables.sort_by(|a, b| a.name.cmp(&b.name));
+            for t in tables {
+                let size = w.ctx.table_size_bytes(&t);
+                println!(
+                    "table {:<24} {:<7} {:>12} bytes  {}",
+                    t.name, t.format, size, t.schema
+                );
+            }
+            for i in &w.indexes {
+                println!(
+                    "index {:<24} on {:<12} precompute: {}",
+                    i.name,
+                    i.base_table,
+                    if i.aggs_text.is_empty() { "-" } else { &i.aggs_text }
+                );
+            }
+            Ok(())
+        }
+        "create-table" => {
+            let w = Warehouse::open(args.get(1).ok_or_else(bad_usage)?)?;
+            let name = args.get(2).ok_or_else(bad_usage)?;
+            let schema = Schema::parse(flag(args, "--schema").ok_or_else(bad_usage)?)?;
+            let format = match flag(args, "--format").unwrap_or("text") {
+                "text" => FileFormat::Text,
+                "rcfile" | "rc" => FileFormat::RcFile,
+                other => return Err(DgfError::Query(format!("unknown format {other:?}"))),
+            };
+            w.ctx.create_table(name, Arc::new(schema), format)?;
+            w.save()?;
+            println!("created table {name}");
+            Ok(())
+        }
+        "load" => {
+            let w = Warehouse::open(args.get(1).ok_or_else(bad_usage)?)?;
+            let table = w.ctx.table(args.get(2).ok_or_else(bad_usage)?)?;
+            let rows = read_rows_file(args.get(3).ok_or_else(bad_usage)?, &table.schema)?;
+            let n = rows.len();
+            let file_name = format!("load-{:05}", w.ctx.table_splits(&table).len());
+            w.ctx.append_file(&table, &file_name, &rows)?;
+            w.save()?;
+            println!("loaded {n} rows into {}", table.name);
+            if w.indexes.iter().any(|i| i.base_table == table.name) {
+                println!(
+                    "note: this table has a DGFIndex; use `dgf append` to keep it in sync"
+                );
+            }
+            Ok(())
+        }
+        "gen-meter" => {
+            let w = Warehouse::open(args.get(1).ok_or_else(bad_usage)?)?;
+            let name = args.get(2).ok_or_else(bad_usage)?;
+            let users: u64 = flag(args, "--users").unwrap_or("1000").parse().unwrap_or(1000);
+            let days: u64 = flag(args, "--days").unwrap_or("30").parse().unwrap_or(30);
+            let seed: u64 = flag(args, "--seed").unwrap_or("42").parse().unwrap_or(42);
+            let cfg = dgfindex::workload::MeterConfig {
+                users,
+                days,
+                seed,
+                ..dgfindex::workload::MeterConfig::default()
+            };
+            let rows = dgfindex::workload::generate_meter_data(&cfg);
+            let table = w.ctx.create_table(
+                name,
+                dgfindex::workload::meter_schema(),
+                FileFormat::Text,
+            )?;
+            w.ctx.load_rows(&table, &rows, 4)?;
+            w.save()?;
+            println!(
+                "generated {} meter rows into {name} ({} users x {} days)",
+                rows.len(),
+                users,
+                days
+            );
+            Ok(())
+        }
+        "index" => {
+            let mut w = Warehouse::open(args.get(1).ok_or_else(bad_usage)?)?;
+            let name = args.get(2).ok_or_else(bad_usage)?.clone();
+            let table = w.ctx.table(flag(args, "--table").ok_or_else(bad_usage)?)?;
+            let policy = parse_dims_spec(
+                flag(args, "--dims").ok_or_else(bad_usage)?,
+                &table.schema,
+            )?;
+            let aggs_text = flag(args, "--precompute").unwrap_or("").to_owned();
+            let aggs = if aggs_text.is_empty() {
+                Vec::new()
+            } else {
+                parse_aggs(&aggs_text, &table.schema)?
+            };
+            std::fs::create_dir_all(w.dir.join(".dgf-kv"))?;
+            let kv: Arc<dyn KvStore> = Arc::new(LogKvStore::open(w.kv_path(&name))?);
+            let (_index, report) = DgfIndex::build(
+                Arc::clone(&w.ctx),
+                table.clone(),
+                policy,
+                aggs,
+                kv,
+                &name,
+            )?;
+            w.indexes.push(IndexEntry {
+                name: name.clone(),
+                base_table: table.name.clone(),
+                aggs_text,
+            });
+            w.save()?;
+            println!(
+                "built index {name}: {} GFUs, {} bytes, in {:.2?}",
+                report.index_entries, report.index_size_bytes, report.build_time
+            );
+            Ok(())
+        }
+        "append" => {
+            let w = Warehouse::open(args.get(1).ok_or_else(bad_usage)?)?;
+            let index = w.open_index(args.get(2).ok_or_else(bad_usage)?)?;
+            let rows = read_rows_file(args.get(3).ok_or_else(bad_usage)?, &index.base.schema)?;
+            let n = rows.len();
+            let report = index.append(&rows)?;
+            w.save()?;
+            println!(
+                "appended {n} rows; index now holds {} GFUs ({:.2?})",
+                report.index_entries, report.build_time
+            );
+            Ok(())
+        }
+        "query" => {
+            let w = Warehouse::open(args.get(1).ok_or_else(bad_usage)?)?;
+            let table = w.ctx.table(args.get(2).ok_or_else(bad_usage)?)?;
+            let sql = args.get(3).ok_or_else(bad_usage)?;
+            let query = parse_query(sql, &table.schema)?;
+            let explain = args.iter().any(|a| a == "--explain");
+            let run = match flag(args, "--index") {
+                Some(index_name) => {
+                    let index = Arc::new(w.open_index(index_name)?);
+                    if explain {
+                        let plan = index.plan(&query, true)?;
+                        println!(
+                            "plan: {} inner GFUs (headers, {} records skipped), \
+                             {} boundary GFUs, {}/{} splits",
+                            plan.inner_gfus,
+                            plan.inner_records,
+                            plan.boundary_gfus,
+                            plan.splits_read,
+                            plan.splits_total
+                        );
+                    }
+                    DgfEngine::new(index).run(&query)?
+                }
+                None => ScanEngine::new(Arc::clone(&w.ctx), table).run(&query)?,
+            };
+            print_result(&run);
+            Ok(())
+        }
+        "advise" => {
+            let w = Warehouse::open(args.get(1).ok_or_else(bad_usage)?)?;
+            let table = w.ctx.table(args.get(2).ok_or_else(bad_usage)?)?;
+            let dims: Vec<String> = flag(args, "--dims")
+                .ok_or_else(bad_usage)?
+                .split(',')
+                .map(|s| s.trim().to_owned())
+                .collect();
+            let history_text = flag(args, "--history").ok_or_else(bad_usage)?;
+            let mut preds = Vec::new();
+            for p in history_text.split(';') {
+                preds.push(parse_predicate(p.trim(), &table.schema)?);
+            }
+            let sample = w.ctx.read_all(&table)?;
+            let rows_total = sample.len() as u64;
+            let rec = recommend_policy(
+                &sample,
+                &table.schema,
+                &dims,
+                &history_from_predicates(&preds),
+                rows_total,
+                &AdvisorConfig::default(),
+            )?;
+            println!(
+                "recommended policy (expected cost {:.1}, ~{:.0} cells):",
+                rec.expected_cost, rec.expected_cells
+            );
+            for (d, c) in rec.policy.dims().iter().zip(&rec.counts) {
+                println!("  {}: {:?} (~{c} intervals)", d.name, d.scale);
+            }
+            Ok(())
+        }
+        other => Err(DgfError::Query(format!("unknown command {other:?}\n{USAGE}"))),
+    }
+}
+
+fn read_rows_file(path: &str, schema: &Schema) -> Result<Vec<Row>> {
+    let f = std::fs::File::open(Path::new(path))?;
+    let mut rows = Vec::new();
+    for (i, line) in std::io::BufReader::new(f).lines().enumerate() {
+        let line = line?;
+        if line.is_empty() {
+            continue;
+        }
+        rows.push(parse_row(&line, schema).map_err(|e| {
+            DgfError::Schema(format!("{path}:{}: {e}", i + 1))
+        })?);
+    }
+    Ok(rows)
+}
+
+/// Parse `"col:min:interval,..."`; min is a date literal for date columns.
+fn parse_dims_spec(text: &str, schema: &Schema) -> Result<SplittingPolicy> {
+    let mut dims = Vec::new();
+    for part in text.split(',') {
+        let fields: Vec<&str> = part.trim().split(':').collect();
+        if fields.len() != 3 {
+            return Err(DgfError::Query(format!(
+                "expected col:min:interval, found {part:?}"
+            )));
+        }
+        let (name, min_s, int_s) = (fields[0], fields[1], fields[2]);
+        let dim = match schema.type_of(name)? {
+            ValueType::Int => DimPolicy::int(
+                name,
+                min_s
+                    .parse()
+                    .map_err(|e| DgfError::Query(format!("bad min {min_s:?}: {e}")))?,
+                int_s
+                    .parse()
+                    .map_err(|e| DgfError::Query(format!("bad interval {int_s:?}: {e}")))?,
+            ),
+            ValueType::Date => DimPolicy::date(
+                name,
+                parse_date(min_s)?,
+                int_s
+                    .parse()
+                    .map_err(|e| DgfError::Query(format!("bad interval {int_s:?}: {e}")))?,
+            ),
+            ValueType::Float => DimPolicy::float(
+                name,
+                min_s
+                    .parse()
+                    .map_err(|e| DgfError::Query(format!("bad min {min_s:?}: {e}")))?,
+                int_s
+                    .parse()
+                    .map_err(|e| DgfError::Query(format!("bad interval {int_s:?}: {e}")))?,
+            ),
+            ValueType::Str => {
+                return Err(DgfError::Query(format!(
+                    "{name:?} is a string column; grid dimensions must be numeric or date"
+                )))
+            }
+        };
+        dims.push(dim);
+    }
+    SplittingPolicy::new(dims)
+}
+
+fn print_result(run: &EngineRun) {
+    match &run.result {
+        QueryResult::Scalars(vals) => {
+            println!(
+                "{}",
+                vals.iter()
+                    .map(|v| v.to_string())
+                    .collect::<Vec<_>>()
+                    .join(" | ")
+            );
+        }
+        QueryResult::Groups(groups) => {
+            for (k, vals) in groups {
+                println!(
+                    "{k} | {}",
+                    vals.iter()
+                        .map(|v| v.to_string())
+                        .collect::<Vec<_>>()
+                        .join(" | ")
+                );
+            }
+        }
+        QueryResult::Rows(rows) => {
+            for r in rows {
+                println!("{}", dgfindex::common::format_row(r));
+            }
+        }
+    }
+    eprintln!("-- {}", run.stats);
+}

@@ -1,0 +1,164 @@
+//! End-to-end tests of the `dgf` command-line warehouse: every command
+//! runs as a separate process, so these tests also cover cold-restart
+//! recovery of the catalog, the namespace, and the index's KV log.
+
+use std::path::Path;
+use std::process::{Command, Output};
+
+use dgf_common::TempDir;
+
+fn dgf(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_dgf"))
+        .args(args)
+        .output()
+        .expect("spawn dgf")
+}
+
+fn dgf_ok(args: &[&str]) -> String {
+    let out = dgf(args);
+    assert!(
+        out.status.success(),
+        "dgf {args:?} failed:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn write_rows_file(dir: &Path, name: &str, lines: &[&str]) -> String {
+    let p = dir.join(name);
+    std::fs::write(&p, lines.join("\n")).unwrap();
+    p.to_string_lossy().into_owned()
+}
+
+#[test]
+fn full_cli_lifecycle() {
+    let tmp = TempDir::new("cli").unwrap();
+    let wh = tmp.path().join("wh");
+    let wh = wh.to_str().unwrap();
+
+    // init + create-table + load from a file.
+    dgf_ok(&["init", wh]);
+    dgf_ok(&[
+        "create-table",
+        wh,
+        "readings",
+        "--schema",
+        "user_id:int,region_id:int,ts:date,power:float",
+    ]);
+    let data = write_rows_file(
+        tmp.path(),
+        "rows.txt",
+        &[
+            "1|0|2013-01-01|10.5",
+            "2|1|2013-01-01|20.0",
+            "3|0|2013-01-02|30.25",
+            "4|1|2013-01-02|40.0",
+        ],
+    );
+    let out = dgf_ok(&["load", wh, "readings", &data]);
+    assert!(out.contains("loaded 4 rows"), "{out}");
+
+    // tables lists it (fresh process — catalog restored).
+    let out = dgf_ok(&["tables", wh]);
+    assert!(out.contains("readings"), "{out}");
+
+    // Build an index, again in a fresh process.
+    let out = dgf_ok(&[
+        "index",
+        wh,
+        "dgf_readings",
+        "--table",
+        "readings",
+        "--dims",
+        "user_id:0:2,ts:2013-01-01:1",
+        "--precompute",
+        "sum(power), count(*)",
+    ]);
+    assert!(out.contains("built index"), "{out}");
+
+    // Query through the index and through a scan; both must agree.
+    let sql = "SELECT sum(power), count(*) WHERE ts = '2013-01-01'";
+    let indexed = dgf_ok(&["query", wh, "readings", sql, "--index", "dgf_readings"]);
+    let scanned = dgf_ok(&["query", wh, "readings", sql]);
+    assert_eq!(indexed.trim(), "30.5 | 2");
+    assert_eq!(scanned.trim(), indexed.trim());
+
+    // Append through the index (extends the base table too).
+    let more = write_rows_file(
+        tmp.path(),
+        "more.txt",
+        &["5|0|2013-01-03|5.0", "6|1|2013-01-03|6.0"],
+    );
+    let out = dgf_ok(&["append", wh, "dgf_readings", &more]);
+    assert!(out.contains("appended 2 rows"), "{out}");
+    let total = dgf_ok(&[
+        "query",
+        wh,
+        "readings",
+        "SELECT count(*)",
+        "--index",
+        "dgf_readings",
+    ]);
+    assert_eq!(total.trim(), "6");
+
+    // GROUP BY through the index.
+    let grouped = dgf_ok(&[
+        "query",
+        wh,
+        "readings",
+        "SELECT ts, sum(power) WHERE user_id >= 1 AND user_id <= 6 GROUP BY ts",
+        "--index",
+        "dgf_readings",
+    ]);
+    let lines: Vec<&str> = grouped.trim().lines().collect();
+    assert_eq!(lines.len(), 3, "{grouped}");
+    assert!(lines[0].starts_with("2013-01-01"), "{grouped}");
+
+    // The advisor runs on warehouse data.
+    let out = dgf_ok(&[
+        "advise",
+        wh,
+        "readings",
+        "--dims",
+        "user_id,ts",
+        "--history",
+        "user_id >= 1 AND user_id < 3; ts = '2013-01-02'",
+    ]);
+    assert!(out.contains("recommended policy"), "{out}");
+}
+
+#[test]
+fn cli_errors_are_clean() {
+    let tmp = TempDir::new("cli-err").unwrap();
+    let wh = tmp.path().join("wh");
+    let wh_s = wh.to_str().unwrap();
+
+    // Unknown command.
+    let out = dgf(&["frobnicate"]);
+    assert!(!out.status.success());
+
+    // Query before init.
+    let out = dgf(&["query", wh_s, "t", "SELECT count(*)"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("init"));
+
+    dgf_ok(&["init", wh_s]);
+    // Bad schema.
+    let out = dgf(&["create-table", wh_s, "t", "--schema", "a:blob"]);
+    assert!(!out.status.success());
+    // Unknown table.
+    let out = dgf(&["query", wh_s, "nope", "SELECT count(*)"]);
+    assert!(!out.status.success());
+    // Bad SQL.
+    dgf_ok(&["create-table", wh_s, "t", "--schema", "a:int"]);
+    let out = dgf(&["query", wh_s, "t", "SELEKT count(*)"]);
+    assert!(!out.status.success());
+    // Bad dims spec.
+    let out = dgf(&["index", wh_s, "i", "--table", "t", "--dims", "a:zero:1"]);
+    assert!(!out.status.success());
+    // String dimension rejected.
+    dgf_ok(&["create-table", wh_s, "s", "--schema", "name:string"]);
+    let out = dgf(&["index", wh_s, "i2", "--table", "s", "--dims", "name:0:1"]);
+    assert!(!out.status.success());
+}
