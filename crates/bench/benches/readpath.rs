@@ -1,0 +1,56 @@
+//! Read-path bench: prefix-scan planning and the warm header cache vs.
+//! the per-cell point-get baseline, swept over interval size (grid
+//! granularity) and latency model, plus timed steady-state planning.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dgf_bench::readpath::{readpath_experiment, ReadPathLab};
+use dgf_core::PlanStrategy;
+use dgf_kvstore::LatencyModel;
+
+fn bench(c: &mut Criterion) {
+    // The Figure 12–13 trend: finer grids mean more GFUs per query and
+    // more round trips for the baseline, while prefix scans stay flat.
+    // Swept across grid granularity × latency model; the 110×100 grid
+    // under `hbase_like` is the PR's recorded acceptance configuration.
+    for (label, users, days) in [
+        ("coarse 25x25", 25i64, 25i64),
+        ("medium 55x50", 55, 50),
+        ("fine  110x100", 110, 100),
+    ] {
+        for (model_label, model) in [
+            ("zero-latency", LatencyModel::ZERO),
+            ("hbase-like", LatencyModel::hbase_like()),
+        ] {
+            let report = readpath_experiment(users, days, 3_000, model).unwrap();
+            println!(
+                "readpath [{label}, {model_label}]: {} cells | point-gets {} ops in {:.3?} | \
+                 cold prefix-scan {} ops in {:.3?} ({:.0}x fewer ops) | \
+                 warm {} ops in {:.3?} ({:.1}% cache hits)",
+                report.cells,
+                report.point_gets.read_ops,
+                report.point_gets.time,
+                report.cold_scan.read_ops,
+                report.cold_scan.time,
+                report.read_op_ratio(),
+                report.warm_scan.read_ops,
+                report.warm_scan.time,
+                report.warm_hit_ratio() * 100.0,
+            );
+        }
+    }
+
+    let lab = ReadPathLab::build(110, 100, 3_000, LatencyModel::hbase_like()).unwrap();
+    let mut g = c.benchmark_group("readpath");
+    // Mostly-warm after the first iteration: the steady state of a
+    // dashboard re-issuing the same query.
+    g.bench_function("plan_10k_cells_prefix_scan", |b| {
+        b.iter(|| lab.pass(PlanStrategy::PrefixScan).unwrap())
+    });
+    g.bench_function("plan_10k_cells_point_gets", |b| {
+        b.iter(|| lab.pass(PlanStrategy::PointGets).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -22,6 +22,7 @@
 
 pub mod experiments;
 pub mod meter_lab;
+pub mod readpath;
 pub mod report;
 pub mod scale;
 pub mod tpch_lab;

@@ -1,0 +1,286 @@
+//! Epoch-tagged GFU header cache.
+//!
+//! Planning a query reads the same GFU values over and over: dashboards
+//! re-issue the same aggregation every few seconds, and the inner region
+//! of a stable grid never changes between appends. This cache keeps
+//! decoded [`GfuValue`]s (headers *and* slice locations) in memory,
+//! keyed by the encoded [`GfuKey`](crate::gfu::GfuKey) and tagged with
+//! the index **generation** — the append counter of
+//! [`DgfIndex`](crate::index::DgfIndex). An append bumps the generation,
+//! which invalidates every cached entry wholesale: an epoch mismatch
+//! clears a shard lazily on its next access, so invalidation is O(1) at
+//! append time and requires no coordination with readers.
+//!
+//! The cache also stores **negative entries** (`None`) for cells the
+//! planner proved absent by scanning their key run. Without them a
+//! repeated query could never tell "absent" from "evicted" and would
+//! have to re-scan; with them, a repeated identical query is answered
+//! entirely from memory with zero key-value traffic.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::gfu::GfuValue;
+
+/// Default total entry capacity of a [`GfuHeaderCache`].
+pub const DEFAULT_HEADER_CACHE_CAPACITY: usize = 1 << 16;
+
+const SHARDS: usize = 8;
+
+/// A cached lookup result: `Some(v)` for a present GFU, `None` for a
+/// cell proven absent at this generation.
+pub type CachedGfu = Option<Arc<GfuValue>>;
+
+/// Cumulative hit/miss counters of a cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Probes answered from the cache (including negative entries).
+    pub hits: u64,
+    /// Probes that found no entry for the current generation.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Hit ratio in `[0, 1]`; `0` when no probes happened.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Shard {
+    /// Generation the entries belong to; a mismatch clears the shard.
+    epoch: u64,
+    /// LRU clock, incremented per touch.
+    stamp: u64,
+    entries: HashMap<Vec<u8>, (CachedGfu, u64)>,
+    /// stamp → key, for O(log n) eviction of the coldest entry.
+    lru: BTreeMap<u64, Vec<u8>>,
+}
+
+impl Shard {
+    fn new() -> Shard {
+        Shard {
+            epoch: 0,
+            stamp: 0,
+            entries: HashMap::new(),
+            lru: BTreeMap::new(),
+        }
+    }
+
+    fn roll_epoch(&mut self, generation: u64) {
+        if self.epoch != generation {
+            self.entries.clear();
+            self.lru.clear();
+            self.epoch = generation;
+        }
+    }
+
+    fn touch(&mut self, key: &[u8]) {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        if let Some((_, old)) = self.entries.get_mut(key) {
+            self.lru.remove(old);
+            *old = stamp;
+            self.lru.insert(stamp, key.to_vec());
+        }
+    }
+}
+
+/// Sharded LRU cache of decoded GFU values, invalidated by generation.
+///
+/// Thread-safe behind `&self`; locks are per-shard so concurrent plans
+/// probing different keys rarely contend.
+pub struct GfuHeaderCache {
+    shards: Vec<Mutex<Shard>>,
+    per_shard_capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl GfuHeaderCache {
+    /// A cache holding up to `capacity` entries across all shards.
+    pub fn new(capacity: usize) -> GfuHeaderCache {
+        GfuHeaderCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::new())).collect(),
+            per_shard_capacity: capacity.div_ceil(SHARDS).max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: &[u8]) -> &Mutex<Shard> {
+        let h = dgf_common::codec::fnv1a(key) as usize;
+        &self.shards[h % SHARDS]
+    }
+
+    /// Probe for `key` at `generation`. `Some(cached)` is a hit — where
+    /// `cached` itself may be a negative entry; `None` is a miss. Counts
+    /// toward [`stats`](Self::stats) and refreshes the entry's LRU
+    /// position.
+    pub fn get(&self, generation: u64, key: &[u8]) -> Option<CachedGfu> {
+        let mut shard = self.shard(key).lock();
+        shard.roll_epoch(generation);
+        match shard.entries.get(key) {
+            Some((value, _)) => {
+                let value = value.clone();
+                shard.touch(key);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(value)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Store `value` for `key` at `generation`, evicting the coldest
+    /// entry of the shard when full. Does not count as a hit or miss.
+    pub fn insert(&self, generation: u64, key: Vec<u8>, value: CachedGfu) {
+        let mut shard = self.shard(&key).lock();
+        shard.roll_epoch(generation);
+        shard.stamp += 1;
+        let stamp = shard.stamp;
+        if let Some((_, old)) = shard.entries.get(&key) {
+            let old = *old;
+            shard.lru.remove(&old);
+        } else if shard.entries.len() >= self.per_shard_capacity {
+            if let Some((_, coldest)) = shard.lru.pop_first() {
+                shard.entries.remove(&coldest);
+            }
+        }
+        shard.lru.insert(stamp, key.clone());
+        shard.entries.insert(key, (value, stamp));
+    }
+
+    /// Cumulative probe counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of live entries (all generations' shards combined).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().entries.len()).sum()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl std::fmt::Debug for GfuHeaderCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("GfuHeaderCache")
+            .field("entries", &self.len())
+            .field("hits", &stats.hits)
+            .field("misses", &stats.misses)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn value(n: u64) -> CachedGfu {
+        Some(Arc::new(GfuValue {
+            header: vec![n as u8],
+            slices: vec![],
+            record_count: n,
+        }))
+    }
+
+    #[test]
+    fn insert_then_get_hits() {
+        let cache = GfuHeaderCache::new(16);
+        assert!(cache.get(0, b"k1").is_none());
+        cache.insert(0, b"k1".to_vec(), value(7));
+        let got = cache.get(0, b"k1").expect("hit");
+        assert_eq!(got.unwrap().record_count, 7);
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn negative_entries_are_hits() {
+        let cache = GfuHeaderCache::new(16);
+        cache.insert(0, b"absent".to_vec(), None);
+        assert_eq!(cache.get(0, b"absent"), Some(None));
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn generation_bump_invalidates() {
+        let cache = GfuHeaderCache::new(16);
+        cache.insert(3, b"k".to_vec(), value(1));
+        assert!(cache.get(3, b"k").is_some());
+        // Next generation: the entry must not be served.
+        assert!(cache.get(4, b"k").is_none());
+        // And the old-generation view is gone too (shard was cleared).
+        assert!(cache.get(3, b"k").is_none());
+    }
+
+    #[test]
+    fn lru_evicts_coldest() {
+        // Single-entry shards: every insert into an occupied shard evicts.
+        let cache = GfuHeaderCache::new(1);
+        // Find two keys in the same shard by brute force.
+        let base = b"a".to_vec();
+        let mut other = None;
+        for i in 0u32..1000 {
+            let k = format!("probe-{i}").into_bytes();
+            if std::ptr::eq(cache.shard(&k), cache.shard(&base)) {
+                other = Some(k);
+                break;
+            }
+        }
+        let other = other.expect("some key shares a shard");
+        cache.insert(0, base.clone(), value(1));
+        cache.insert(0, other.clone(), value(2));
+        assert!(cache.get(0, &base).is_none(), "coldest entry evicted");
+        assert!(cache.get(0, &other).is_some());
+    }
+
+    #[test]
+    fn touch_refreshes_lru_position() {
+        let cache = GfuHeaderCache::new(1);
+        let a = b"a".to_vec();
+        let mut same_shard = Vec::new();
+        for i in 0u32..2000 {
+            let k = format!("probe-{i}").into_bytes();
+            if std::ptr::eq(cache.shard(&k), cache.shard(&a)) {
+                same_shard.push(k);
+                if same_shard.len() == 2 {
+                    break;
+                }
+            }
+        }
+        let [b, c] = <[Vec<u8>; 2]>::try_from(same_shard).expect("two keys share a shard");
+        cache.insert(0, a.clone(), value(1));
+        cache.insert(0, b.clone(), value(2)); // evicts a
+        cache.get(0, &b); // touch b
+        cache.insert(0, c.clone(), value(3)); // must evict... b is the only entry
+        assert!(cache.get(0, &c).is_some());
+    }
+
+    #[test]
+    fn capacity_is_bounded() {
+        let cache = GfuHeaderCache::new(32);
+        for i in 0..10_000u32 {
+            cache.insert(0, i.to_be_bytes().to_vec(), value(i as u64));
+        }
+        assert!(cache.len() <= 32usize.div_ceil(SHARDS).max(1) * SHARDS);
+    }
+}

@@ -115,6 +115,8 @@ impl Engine for DgfEngine {
                 data_bytes_read: delta.bytes_read,
                 splits_total: plan.splits_total,
                 splits_read: plan.splits_read,
+                index_cache_hits: plan.cache_hits,
+                index_cache_misses: plan.cache_misses,
             },
         })
     }

@@ -26,6 +26,7 @@ use dgf_mapreduce::JobReport;
 use dgf_query::{AggFunc, AggSet};
 use dgf_storage::FileSplit;
 
+use crate::cache::{GfuHeaderCache, DEFAULT_HEADER_CACHE_CAPACITY};
 use crate::gfu::{
     Extents, GfuKey, GfuValue, GFU_PREFIX, META_AGGS_KEY, META_EXTENT_KEY, META_FILES_KEY,
     META_PLACEMENT_KEY, META_POLICY_KEY,
@@ -103,6 +104,7 @@ pub struct DgfIndex {
     /// Slice placement policy used by construction and appends.
     pub placement: SlicePlacement,
     generation: AtomicU64,
+    header_cache: GfuHeaderCache,
 }
 
 impl DgfIndex {
@@ -176,6 +178,7 @@ impl DgfIndex {
             kv,
             placement,
             generation: AtomicU64::new(0),
+            header_cache: GfuHeaderCache::new(DEFAULT_HEADER_CACHE_CAPACITY),
         };
         let watch = Stopwatch::start();
         let splits = index.ctx.table_splits(&index.base);
@@ -254,6 +257,7 @@ impl DgfIndex {
             kv,
             placement,
             generation: AtomicU64::new(max_gen),
+            header_cache: GfuHeaderCache::new(DEFAULT_HEADER_CACHE_CAPACITY),
         })
     }
 
@@ -268,12 +272,31 @@ impl DgfIndex {
         let watch = Stopwatch::start();
         let len = self.ctx.hdfs.file_len(&path)?;
         let splits = dgf_storage::splits_for_file(&path, len, self.ctx.hdfs.block_size());
-        self.reorganize(splits, self.base.format)?;
+        let reorganized = self.reorganize(splits, self.base.format);
+        // Retire the header-cache epoch only after the new GFU values are
+        // in the store (or the write failed partway through): a plan racing
+        // this append may have cached pre-append values under `gen`, and
+        // this bump orphans them. Generation numbers only need to be
+        // monotonic, not consecutive.
+        self.generation.fetch_add(1, Ordering::Relaxed);
+        reorganized?;
         Ok(BuildReport {
             build_time: watch.elapsed(),
             index_size_bytes: self.kv.logical_size_bytes(),
             index_entries: self.kv.len() as u64 - META_KEY_COUNT,
         })
+    }
+
+    /// The current append generation. Every [`append`](Self::append) bumps
+    /// it; the planner tags header-cache epochs with it.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Relaxed)
+    }
+
+    /// The in-memory cache of decoded GFU values used by the prefix-scan
+    /// planner (see [`crate::cache`]).
+    pub fn header_cache(&self) -> &GfuHeaderCache {
+        &self.header_cache
     }
 
     /// The shared reorganization job (Algorithms 1 + 2).

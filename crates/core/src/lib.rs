@@ -11,7 +11,10 @@
 //!   into per-GFU Slices) and incremental, rebuild-free appends.
 //! * [`plan`] — query planning: inner/boundary region decomposition,
 //!   header-based answering of the inner region, split filtering, and
-//!   per-split Slice range lists.
+//!   per-split Slice range lists. Cell fetches ride contiguous key-range
+//!   scans rather than per-cell round trips (see [`plan::PlanStrategy`]).
+//! * [`cache`] — the epoch-tagged GFU header cache that lets repeated
+//!   queries plan without touching the key-value store.
 //! * [`engine`] — the [`DgfEngine`] implementing the common
 //!   [`dgf_query::Engine`] interface.
 //!
@@ -50,6 +53,7 @@
 #![warn(missing_docs)]
 
 pub mod advisor;
+pub mod cache;
 pub mod engine;
 pub mod gfu;
 pub mod index;
@@ -57,10 +61,11 @@ pub mod plan;
 pub mod policy;
 
 pub use advisor::{collect_stats, recommend_policy, AdvisorConfig, DimStats, Recommendation};
+pub use cache::{CacheStats, GfuHeaderCache, DEFAULT_HEADER_CACHE_CAPACITY};
 pub use engine::DgfEngine;
 pub use gfu::{Extents, GfuKey, GfuValue, SliceLoc};
 pub use index::{all_gfus, default_precompute, DgfIndex, SlicePlacement};
-pub use plan::DgfPlan;
+pub use plan::{DgfPlan, PlanStrategy};
 pub use policy::{DimPolicy, DimScale, DimSpan, SplittingPolicy};
 
 #[cfg(test)]
@@ -449,11 +454,6 @@ mod tests {
         )
         .unwrap();
         let ctx = HiveContext::new(h, MrEngine::new(8));
-        let schema = Arc::new(Schema::from_pairs(&[
-            ("user", ValueType::Int),
-            ("day", ValueType::Int),
-            ("power", ValueType::Float),
-        ]));
         // Many days per user so the time series has many cells.
         let mut rows = Vec::new();
         for day in 0..40i64 {
@@ -688,6 +688,92 @@ mod tests {
     }
 
     #[test]
+    fn repeated_plan_is_served_from_header_cache() {
+        let (_t, ctx) = setup(1 << 20);
+        let idx = build_figure5(&ctx);
+        let q = Query::Aggregate {
+            aggs: vec![AggFunc::Sum("C".into())],
+            predicate: Predicate::all()
+                .and("A", ColumnRange::half_open(Value::Int(5), Value::Int(12)))
+                .and("B", ColumnRange::half_open(Value::Int(12), Value::Int(16))),
+        };
+        let before_first = idx.kv.stats().snapshot();
+        let first = idx.plan(&q, true).unwrap();
+        let first_delta = idx.kv.stats().snapshot().since(&before_first);
+        // Cold cache: every cell misses, and the runs are actually scanned.
+        assert_eq!(first.cache_hits, 0);
+        assert!(first.cache_misses > 0);
+        assert!(first_delta.scans > 0);
+
+        let before_second = idx.kv.stats().snapshot();
+        let second = idx.plan(&q, true).unwrap();
+        let second_delta = idx.kv.stats().snapshot().since(&before_second);
+        // Warm cache: the whole cell region (present cells and negative
+        // entries alike) is answered from memory. The only store traffic
+        // left is the two metadata reads every plan performs (freshness
+        // and extents).
+        assert_eq!(second.cache_misses, 0);
+        assert_eq!(second.cache_hits, first.cache_hits + first.cache_misses);
+        assert_eq!(second_delta.scans, 0);
+        assert_eq!(second_delta.multi_gets, 0);
+        assert_eq!(second_delta.gets, 2);
+        // And the plan is the very same.
+        assert_eq!(first.inputs, second.inputs);
+        assert_eq!(first.inner_states, second.inner_states);
+        assert_eq!(first.inner_gfus, second.inner_gfus);
+        assert_eq!(first.boundary_gfus, second.boundary_gfus);
+        assert_eq!(first.inner_records, second.inner_records);
+        // Engine-level stats surface the cache counters.
+        let run = DgfEngine::new(Arc::clone(&idx)).run(&q).unwrap();
+        assert!(run.stats.index_cache_hits > 0);
+        assert_eq!(run.stats.index_cache_misses, 0);
+    }
+
+    #[test]
+    fn append_invalidates_header_cache() {
+        let (_t, ctx) = setup(1 << 20);
+        let idx = build_figure5(&ctx);
+        let q = Query::Aggregate {
+            aggs: vec![AggFunc::Sum("C".into())],
+            predicate: Predicate::all()
+                .and("A", ColumnRange::half_open(Value::Int(7), Value::Int(10)))
+                .and("B", ColumnRange::half_open(Value::Int(13), Value::Int(15))),
+        };
+        // Warm the cache, then change the indexed data.
+        let warm = idx.plan(&q, true).unwrap();
+        assert_eq!(idx.plan(&q, true).unwrap().cache_misses, 0);
+        let gen_before = idx.generation();
+        idx.append(&[vec![Value::Int(9), Value::Int(13), Value::Float(0.5)]])
+            .unwrap();
+        assert!(idx.generation() > gen_before);
+
+        // The post-append plan must not serve any pre-append entry: the
+        // epoch rolled, so every probe misses.
+        let fresh = idx.plan(&q, true).unwrap();
+        assert_eq!(fresh.cache_hits, 0);
+        assert!(fresh.cache_misses > 0);
+        assert_eq!(fresh.inner_records, warm.inner_records + 1);
+
+        // And it matches the cache-free point-get baseline field for
+        // field, so nothing stale leaked into the answer.
+        let baseline = idx
+            .plan_with_strategy(&q, true, PlanStrategy::PointGets)
+            .unwrap();
+        assert_eq!(fresh.inputs, baseline.inputs);
+        assert_eq!(fresh.inner_states, baseline.inner_states);
+        assert_eq!(fresh.inner_gfus, baseline.inner_gfus);
+        assert_eq!(fresh.boundary_gfus, baseline.boundary_gfus);
+        assert_eq!(fresh.inner_records, baseline.inner_records);
+
+        let run = DgfEngine::new(Arc::clone(&idx)).run(&q).unwrap();
+        // Rows now in the region: (9,14,0.8),(8,13,0.2),(9,13,0.5).
+        assert!(run.result.approx_eq(
+            &dgf_query::QueryResult::Scalars(vec![Value::Float(1.5)]),
+            1e-9
+        ));
+    }
+
+    #[test]
     fn type_mismatch_rejected_at_build() {
         let (_t, ctx) = setup(1 << 20);
         let schema = Arc::new(Schema::from_pairs(&[("A", ValueType::Float)]));
@@ -804,6 +890,118 @@ mod proptests {
             prop_assert!(
                 run.stats.data_records_read + plan.inner_records >= expect_count as u64
             );
+        }
+
+        /// The prefix-scan planner is a pure fetch optimization: for an
+        /// arbitrary grid, arbitrary data, and an arbitrary query shape
+        /// (full or partially specified rectangle, aggregation or select,
+        /// headers on or off), its plan is identical — inputs, merged
+        /// header states, and every counter — to the per-cell point-get
+        /// baseline, cold and warm.
+        #[test]
+        fn prefix_scan_plans_equal_point_get_plans(
+            ia in 1i64..7,
+            ib in 1i64..7,
+            min_a in -5i64..5,
+            rows in prop::collection::vec((0i64..40, 0i64..20, 0u32..1000), 1..100),
+            qa in (0i64..40, 1i64..20),
+            qb in (0i64..20, 1i64..10),
+            constrain_a in any::<bool>(),
+            constrain_b in any::<bool>(),
+            aggregate in any::<bool>(),
+            use_headers in any::<bool>(),
+        ) {
+            let t = TempDir::new("core-prop-eq").unwrap();
+            let h = SimHdfs::new(t.path(), HdfsConfig { block_size: 512, replication: 1 })
+                .unwrap();
+            let ctx = HiveContext::new(h, MrEngine::new(2));
+            let schema = Arc::new(Schema::from_pairs(&[
+                ("a", ValueType::Int),
+                ("b", ValueType::Int),
+                ("v", ValueType::Float),
+            ]));
+            let table = ctx.create_table("t", schema, FileFormat::Text).unwrap();
+            let data: Vec<Vec<Value>> = rows
+                .iter()
+                .map(|(a, b, v)| {
+                    vec![Value::Int(*a), Value::Int(*b), Value::Float(*v as f64 / 8.0)]
+                })
+                .collect();
+            ctx.load_rows(&table, &data, 2).unwrap();
+
+            let policy = SplittingPolicy::new(vec![
+                DimPolicy::int("a", min_a, ia),
+                DimPolicy::int("b", 0, ib),
+            ])
+            .unwrap();
+            let (idx, _) = DgfIndex::build(
+                Arc::clone(&ctx),
+                table,
+                policy,
+                vec![AggFunc::Count, AggFunc::Sum("v".into())],
+                Arc::new(MemKvStore::new()),
+                "dgf_prop_eq",
+            )
+            .unwrap();
+            let idx = Arc::new(idx);
+
+            // Partially specified rectangles exercise the full-extent
+            // run folding; select queries exercise the headers-off path.
+            let (a_lo, a_w) = qa;
+            let (b_lo, b_w) = qb;
+            let mut pred = Predicate::all();
+            if constrain_a {
+                pred = pred.and(
+                    "a",
+                    ColumnRange::half_open(Value::Int(a_lo), Value::Int(a_lo + a_w)),
+                );
+            }
+            if constrain_b {
+                pred = pred.and(
+                    "b",
+                    ColumnRange::half_open(Value::Int(b_lo), Value::Int(b_lo + b_w)),
+                );
+            }
+            let q = if aggregate {
+                Query::Aggregate {
+                    aggs: vec![AggFunc::Count, AggFunc::Sum("v".into())],
+                    predicate: pred,
+                }
+            } else {
+                Query::Select {
+                    project: vec!["a".into(), "v".into()],
+                    predicate: pred,
+                }
+            };
+
+            let base = idx
+                .plan_with_strategy(&q, use_headers, PlanStrategy::PointGets)
+                .unwrap();
+            // The baseline never touches the cache.
+            prop_assert_eq!(base.cache_hits, 0);
+            prop_assert_eq!(base.cache_misses, 0);
+
+            // Cold run, then warm run served from the header cache.
+            let cold = idx
+                .plan_with_strategy(&q, use_headers, PlanStrategy::PrefixScan)
+                .unwrap();
+            prop_assert_eq!(cold.cache_hits, 0);
+            let warm = idx
+                .plan_with_strategy(&q, use_headers, PlanStrategy::PrefixScan)
+                .unwrap();
+            prop_assert_eq!(warm.cache_misses, 0);
+            prop_assert_eq!(warm.cache_hits, cold.cache_misses);
+
+            for plan in [&cold, &warm] {
+                prop_assert_eq!(&base.inputs, &plan.inputs);
+                prop_assert_eq!(&base.chosen_splits, &plan.chosen_splits);
+                prop_assert_eq!(&base.inner_states, &plan.inner_states);
+                prop_assert_eq!(base.inner_gfus, plan.inner_gfus);
+                prop_assert_eq!(base.boundary_gfus, plan.boundary_gfus);
+                prop_assert_eq!(base.inner_records, plan.inner_records);
+                prop_assert_eq!(base.splits_total, plan.splits_total);
+                prop_assert_eq!(base.splits_read, plan.splits_read);
+            }
         }
     }
 }

@@ -9,8 +9,23 @@
 //! per-split byte-range lists that the skipping record reader (step 3)
 //! consumes. A Slice straddling a split boundary is clipped into both
 //! splits and processed by two mappers, exactly as in the paper.
+//!
+//! ## Fetch strategies
+//!
+//! GFU keys are order-preserving: the encoded key of a cell sorts
+//! exactly like its coordinate vector compared lexicographically, most
+//! significant dimension first. The query hyper-rectangle therefore maps
+//! to a small number of **contiguous key runs** — one per combination of
+//! the leading "prefix" dimensions, each covering every trailing
+//! coordinate in one stretch of the keyspace. [`PlanStrategy::PrefixScan`]
+//! exploits this: it issues a single `scan_range` per run instead of one
+//! round trip per cell, and consults the index's epoch-tagged
+//! [`GfuHeaderCache`](crate::cache::GfuHeaderCache) so that a repeated
+//! query touches the store not at all. [`PlanStrategy::PointGets`] keeps
+//! the historical cell-at-a-time behaviour for comparison.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Duration;
 
 use dgf_common::{Result, Stopwatch};
@@ -18,9 +33,24 @@ use dgf_format::{coalesce_ranges, ByteRange};
 use dgf_hive::ScanInput;
 use dgf_query::{AggSet, AggState, Query};
 
-use crate::gfu::{GfuKey, GfuValue};
+use crate::cache::CachedGfu;
+use crate::gfu::{GfuKey, GfuValue, GFU_PREFIX};
 use crate::index::DgfIndex;
 use crate::policy::DimSpan;
+
+/// How the planner fetches GFU values from the key-value store.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum PlanStrategy {
+    /// One `get` round trip per cell of the query hyper-rectangle: the
+    /// historical behaviour, kept as the baseline for benchmarks and for
+    /// the equivalence tests. Never touches the header cache.
+    PointGets,
+    /// One `scan_range` per contiguous key run, with results classified
+    /// inner/boundary on the fly, backed by the epoch-tagged header
+    /// cache. A fully cached run costs zero key-value operations.
+    #[default]
+    PrefixScan,
+}
 
 /// The plan for one DGFIndex query.
 pub struct DgfPlan {
@@ -43,15 +73,81 @@ pub struct DgfPlan {
     pub splits_total: u64,
     /// Splits with at least one query-related Slice.
     pub splits_read: u64,
+    /// Header-cache hits while planning (always 0 for
+    /// [`PlanStrategy::PointGets`]).
+    pub cache_hits: u64,
+    /// Header-cache misses while planning (always 0 for
+    /// [`PlanStrategy::PointGets`]).
+    pub cache_misses: u64,
     /// Planning time, including key-value store traffic.
     pub index_time: Duration,
 }
 
+/// Accumulates the per-cell work of a plan: header merging for covered
+/// cells, slice collection for boundary cells, and the cache tallies.
+/// Both strategies feed cells through [`Collector::absorb`] in odometer
+/// order, which is what makes their plans bit-identical.
+struct Collector {
+    header_merge: Option<HeaderMerge>,
+    inner_gfus: u64,
+    inner_records: u64,
+    boundary_gfus: u64,
+    per_file: HashMap<String, Vec<ByteRange>>,
+    cache_hits: u64,
+    cache_misses: u64,
+}
+
+struct HeaderMerge {
+    index_set: AggSet,
+    query_set: AggSet,
+    positions: Vec<usize>,
+    acc: Vec<AggState>,
+}
+
+impl Collector {
+    fn absorb(&mut self, covered: bool, value: &GfuValue) -> Result<()> {
+        if covered {
+            let hm = self
+                .header_merge
+                .as_mut()
+                .expect("covered cells imply usable headers");
+            self.inner_gfus += 1;
+            self.inner_records += value.record_count;
+            let states = hm.index_set.decode_states(&value.header)?;
+            let picked: Vec<AggState> = hm.positions.iter().map(|p| states[*p].clone()).collect();
+            hm.query_set.merge(&mut hm.acc, &picked)?;
+        } else {
+            self.boundary_gfus += 1;
+            for s in &value.slices {
+                if !s.is_empty() {
+                    self.per_file
+                        .entry(s.file.clone())
+                        .or_default()
+                        .push(ByteRange::new(s.start, s.end));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
 impl DgfIndex {
-    /// Plan a query (Algorithm 3 + Algorithm 4). `use_headers` disables
-    /// the pre-computation shortcut for ablations (Figure 17's
-    /// "DGF-noprecompute").
+    /// Plan a query (Algorithm 3 + Algorithm 4) with the default
+    /// [`PlanStrategy`]. `use_headers` disables the pre-computation
+    /// shortcut for ablations (Figure 17's "DGF-noprecompute").
     pub fn plan(&self, query: &Query, use_headers: bool) -> Result<DgfPlan> {
+        self.plan_with_strategy(query, use_headers, PlanStrategy::default())
+    }
+
+    /// Plan a query with an explicit fetch strategy. Both strategies
+    /// produce identical plans; they differ only in the key-value traffic
+    /// needed to build them.
+    pub fn plan_with_strategy(
+        &self,
+        query: &Query,
+        use_headers: bool,
+        strategy: PlanStrategy,
+    ) -> Result<DgfPlan> {
         let watch = Stopwatch::start();
         self.check_freshness()?;
         let predicate = query.predicate();
@@ -67,6 +163,8 @@ impl DgfIndex {
             inner_records: 0,
             splits_total: 0,
             splits_read: 0,
+            cache_hits: 0,
+            cache_misses: 0,
             index_time: watch.elapsed(),
         };
         if extents.is_empty() {
@@ -97,43 +195,7 @@ impl DgfIndex {
                 .columns()
                 .all(|c| self.policy.dims().iter().any(|d| d.name == c));
 
-        // Enumerate the cells of the query hyper-rectangle.
-        let mut inner_keys: Vec<Vec<u8>> = Vec::new();
-        let mut boundary_keys: Vec<Vec<u8>> = Vec::new();
-        let mut coord: Vec<i64> = spans.iter().map(|s| s.lo).collect();
-        let mut done = false;
-        while !done {
-            let covered = headers_usable
-                && spans
-                    .iter()
-                    .zip(&coord)
-                    .all(|(s, c)| s.covered(*c));
-            let key = GfuKey::new(coord.clone()).encode();
-            if covered {
-                inner_keys.push(key);
-            } else {
-                boundary_keys.push(key);
-            }
-            // Odometer increment, least-significant dimension last.
-            done = true;
-            for d in (0..arity).rev() {
-                if coord[d] < spans[d].hi {
-                    coord[d] += 1;
-                    // Reset the less significant digits.
-                    for (s, span) in coord[d + 1..].iter_mut().zip(&spans[d + 1..]) {
-                        *s = span.lo;
-                    }
-                    done = false;
-                    break;
-                }
-            }
-        }
-
-        // Inner region: batched header fetch, merged in query-agg order.
-        let mut inner_states: Option<Vec<AggState>> = None;
-        let mut inner_gfus = 0u64;
-        let mut inner_records = 0u64;
-        if headers_usable {
+        let header_merge = if headers_usable {
             let positions = header_positions.expect("checked usable");
             let index_set = AggSet::bind(&self.aggs, &self.base.schema)?;
             let query_aggs = match query {
@@ -141,36 +203,37 @@ impl DgfIndex {
                 _ => unreachable!("headers_usable implies aggregation"),
             };
             let query_set = AggSet::bind(&query_aggs, &self.base.schema)?;
-            let mut acc = query_set.new_states();
-            for got in self.kv.multi_get(&inner_keys)?.into_iter().flatten() {
-                let value = GfuValue::decode(&got)?;
-                inner_gfus += 1;
-                inner_records += value.record_count;
-                let states = index_set.decode_states(&value.header)?;
-                let picked: Vec<AggState> =
-                    positions.iter().map(|p| states[*p].clone()).collect();
-                query_set.merge(&mut acc, &picked)?;
-            }
-            inner_states = Some(acc);
+            let acc = query_set.new_states();
+            Some(HeaderMerge {
+                index_set,
+                query_set,
+                positions,
+                acc,
+            })
         } else {
-            boundary_keys.append(&mut inner_keys);
+            None
+        };
+
+        let mut collector = Collector {
+            header_merge,
+            inner_gfus: 0,
+            inner_records: 0,
+            boundary_gfus: 0,
+            per_file: HashMap::new(),
+            cache_hits: 0,
+            cache_misses: 0,
+        };
+
+        match strategy {
+            PlanStrategy::PointGets => {
+                self.fetch_point_gets(&spans, headers_usable, &mut collector)?
+            }
+            PlanStrategy::PrefixScan => {
+                self.fetch_prefix_scans(&spans, &extents.dims, headers_usable, &mut collector)?
+            }
         }
 
-        // Boundary region: fetch slice locations.
-        let mut per_file: HashMap<String, Vec<ByteRange>> = HashMap::new();
-        let mut boundary_gfus = 0u64;
-        for got in self.kv.multi_get(&boundary_keys)?.into_iter().flatten() {
-            let value = GfuValue::decode(&got)?;
-            boundary_gfus += 1;
-            for s in &value.slices {
-                if !s.is_empty() {
-                    per_file
-                        .entry(s.file.clone())
-                        .or_default()
-                        .push(ByteRange::new(s.start, s.end));
-                }
-            }
-        }
+        let inner_states = collector.header_merge.map(|hm| hm.acc);
 
         // Algorithm 4: keep splits overlapping a Slice; clip the Slices of
         // each chosen split to its byte range so each mapper reads only
@@ -180,7 +243,7 @@ impl DgfIndex {
         let mut inputs = Vec::new();
         let mut chosen_splits = Vec::new();
         for split in all_splits {
-            let Some(ranges) = per_file.get(&split.path) else {
+            let Some(ranges) = collector.per_file.get(&split.path) else {
                 continue;
             };
             let split_range = ByteRange::new(split.start, split.end());
@@ -210,13 +273,228 @@ impl DgfIndex {
             inputs,
             chosen_splits,
             inner_states,
-            inner_gfus,
-            boundary_gfus,
-            inner_records,
+            inner_gfus: collector.inner_gfus,
+            boundary_gfus: collector.boundary_gfus,
+            inner_records: collector.inner_records,
             splits_total,
             splits_read,
+            cache_hits: collector.cache_hits,
+            cache_misses: collector.cache_misses,
             index_time: watch.elapsed(),
         })
+    }
+
+    /// Baseline fetch: enumerate every cell of the query hyper-rectangle
+    /// and issue one `get` per cell — inner cells first, then boundary
+    /// cells, each set in odometer order, matching the historical planner.
+    fn fetch_point_gets(
+        &self,
+        spans: &[DimSpan],
+        headers_usable: bool,
+        collector: &mut Collector,
+    ) -> Result<()> {
+        let arity = spans.len();
+        let mut inner_keys: Vec<Vec<u8>> = Vec::new();
+        let mut boundary_keys: Vec<Vec<u8>> = Vec::new();
+        let mut coord: Vec<i64> = spans.iter().map(|s| s.lo).collect();
+        let mut done = false;
+        while !done {
+            let covered =
+                headers_usable && spans.iter().zip(&coord).all(|(s, c)| s.covered(*c));
+            let key = GfuKey::new(coord.clone()).encode();
+            if covered {
+                inner_keys.push(key);
+            } else {
+                boundary_keys.push(key);
+            }
+            // Odometer increment, least-significant dimension last.
+            done = true;
+            for d in (0..arity).rev() {
+                if coord[d] < spans[d].hi {
+                    coord[d] += 1;
+                    // Reset the less significant digits.
+                    for (s, span) in coord[d + 1..].iter_mut().zip(&spans[d + 1..]) {
+                        *s = span.lo;
+                    }
+                    done = false;
+                    break;
+                }
+            }
+        }
+        for key in &inner_keys {
+            if let Some(got) = self.kv.get(key)? {
+                let value = GfuValue::decode(&got)?;
+                collector.absorb(true, &value)?;
+            }
+        }
+        for key in &boundary_keys {
+            if let Some(got) = self.kv.get(key)? {
+                let value = GfuValue::decode(&got)?;
+                collector.absorb(false, &value)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Batched fetch: decompose the hyper-rectangle into contiguous key
+    /// runs and serve each run from the header cache or one `scan_range`.
+    ///
+    /// Dimensions whose span covers the full stored extent admit *every*
+    /// stored coordinate, so a trailing block of full-extent dimensions
+    /// can be folded into a run without pulling in any extraneous keys.
+    /// `scan_from` is the most significant dimension inside the run: the
+    /// run's keys share the encoded coordinates of every dimension before
+    /// it ("the prefix") and sweep all span combinations from it onward.
+    fn fetch_prefix_scans(
+        &self,
+        spans: &[DimSpan],
+        extents: &[(i64, i64)],
+        headers_usable: bool,
+        collector: &mut Collector,
+    ) -> Result<()> {
+        let arity = spans.len();
+        let generation = self.generation();
+
+        // The longest suffix of dimensions whose span is the full extent.
+        let mut suffix_full_start = arity;
+        while suffix_full_start > 0 {
+            let d = suffix_full_start - 1;
+            if spans[d].lo == extents[d].0 && spans[d].hi == extents[d].1 {
+                suffix_full_start -= 1;
+            } else {
+                break;
+            }
+        }
+        // The dimension the scan sweeps first. It may have a partial
+        // span: being the most significant swept dimension, its bounds
+        // clip the run exactly. Everything after it is full-extent.
+        let scan_from = suffix_full_start.saturating_sub(1);
+
+        // Odometer over the prefix dimensions; each setting is one run.
+        let mut prefix: Vec<i64> = spans[..scan_from].iter().map(|s| s.lo).collect();
+        loop {
+            self.process_run(&prefix, spans, scan_from, headers_usable, generation, collector)?;
+            let mut advanced = false;
+            for d in (0..scan_from).rev() {
+                if prefix[d] < spans[d].hi {
+                    prefix[d] += 1;
+                    for (p, span) in prefix[d + 1..].iter_mut().zip(&spans[d + 1..scan_from]) {
+                        *p = span.lo;
+                    }
+                    advanced = true;
+                    break;
+                }
+            }
+            if !advanced {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Serve one key run: probe the header cache for every expected cell;
+    /// if all probes hit (negative entries included) the run costs zero
+    /// key-value operations, otherwise one `scan_range` re-reads the whole
+    /// run and repopulates the cache, with negative entries for cells the
+    /// scan proved absent.
+    fn process_run(
+        &self,
+        prefix: &[i64],
+        spans: &[DimSpan],
+        scan_from: usize,
+        headers_usable: bool,
+        generation: u64,
+        collector: &mut Collector,
+    ) -> Result<()> {
+        let arity = spans.len();
+        let cache = self.header_cache();
+        let prefix_covered =
+            headers_usable && spans[..scan_from].iter().zip(prefix).all(|(s, c)| s.covered(*c));
+
+        // Encode the shared key prefix once; cells only differ past it.
+        let mut key_prefix = Vec::with_capacity(GFU_PREFIX.len() + 8 * arity);
+        key_prefix.extend_from_slice(GFU_PREFIX);
+        for c in prefix {
+            dgf_common::codec::encode_key_i64(&mut key_prefix, *c);
+        }
+
+        // Expected cells of the run, in key (= odometer) order.
+        let mut cells: Vec<(Vec<u8>, bool, Option<CachedGfu>)> = Vec::new();
+        let mut all_hit = true;
+        let mut suffix: Vec<i64> = spans[scan_from..].iter().map(|s| s.lo).collect();
+        let mut done = false;
+        while !done {
+            let covered = prefix_covered
+                && spans[scan_from..]
+                    .iter()
+                    .zip(&suffix)
+                    .all(|(s, c)| s.covered(*c));
+            let mut key = key_prefix.clone();
+            for c in &suffix {
+                dgf_common::codec::encode_key_i64(&mut key, *c);
+            }
+            let probe = cache.get(generation, &key);
+            match &probe {
+                Some(_) => collector.cache_hits += 1,
+                None => {
+                    collector.cache_misses += 1;
+                    all_hit = false;
+                }
+            }
+            cells.push((key, covered, probe));
+            done = true;
+            for d in (0..suffix.len()).rev() {
+                if suffix[d] < spans[scan_from + d].hi {
+                    suffix[d] += 1;
+                    for (s, span) in suffix[d + 1..].iter_mut().zip(&spans[scan_from + d + 1..]) {
+                        *s = span.lo;
+                    }
+                    done = false;
+                    break;
+                }
+            }
+        }
+
+        if all_hit {
+            for (_, covered, probe) in &cells {
+                if let Some(Some(value)) = probe {
+                    collector.absorb(*covered, value)?;
+                }
+            }
+            return Ok(());
+        }
+
+        // Authoritative scan of the whole run. The run's keys are exactly
+        // the expected cells intersected with the store: the prefix pins
+        // the leading coordinates, dimension `scan_from` is clipped by the
+        // scan bounds, and every later dimension is full-extent, so no
+        // stored key inside the bounds falls outside the cell set.
+        let start = cells.first().expect("runs are non-empty").0.clone();
+        let mut end = cells.last().expect("runs are non-empty").0.clone();
+        // Keys are fixed-length, so appending a byte makes the half-open
+        // scan include the run's maximum key.
+        end.push(0x00);
+        let pairs = self.kv.scan_range(&start, &end)?;
+
+        // Merge-walk the expected cells (sorted) against the scan results
+        // (sorted): found cells are absorbed and cached, expected-but-
+        // absent cells get a negative cache entry.
+        let mut next_pair = 0usize;
+        for (key, covered, _) in &cells {
+            if next_pair < pairs.len() && pairs[next_pair].0 == *key {
+                let value = Arc::new(GfuValue::decode(&pairs[next_pair].1)?);
+                cache.insert(generation, key.clone(), Some(value.clone()));
+                collector.absorb(*covered, &value)?;
+                next_pair += 1;
+            } else {
+                cache.insert(generation, key.clone(), None);
+            }
+        }
+        debug_assert_eq!(
+            next_pair,
+            pairs.len(),
+            "scan returned a key outside the run's cell set"
+        );
+        Ok(())
     }
 
     /// For each query aggregate, its position in the index's pre-computed

@@ -283,6 +283,7 @@ impl Engine for BitmapEngine {
                 data_bytes_read: delta.bytes_read,
                 splits_total: plan.splits_total,
                 splits_read,
+                ..RunStats::default()
             },
         })
     }

@@ -284,6 +284,7 @@ impl Engine for CompactEngine {
                 data_bytes_read: delta.bytes_read,
                 splits_total: plan.splits_total,
                 splits_read,
+                ..RunStats::default()
             },
         })
     }

@@ -18,7 +18,7 @@ use dgf_storage::FileSplit;
 use crate::context::{HiveContext, TableDesc, TableRef};
 
 /// One unit of work for a scan map task.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ScanInput {
     /// Read a whole split (scan baseline; Compact Index granularity).
     FullSplit(FileSplit),

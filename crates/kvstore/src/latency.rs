@@ -104,10 +104,26 @@ impl<S: KvStore> KvStore for LatencyKv<S> {
     }
 
     fn multi_get(&self, keys: &[Vec<u8>]) -> Result<Vec<Option<Vec<u8>>>> {
+        // An empty batch is no RPC at all.
+        if keys.is_empty() {
+            return Ok(Vec::new());
+        }
         // One batched RPC plus per-entry transfer, like an HBase multi-get.
         self.charge(self.model.per_op);
         self.charge(self.model.per_entry * keys.len() as u32);
         self.inner.multi_get(keys)
+    }
+
+    fn scan_prefix(&self, prefix: &[u8]) -> Result<Vec<KvPair>> {
+        // Without this override the default trait implementation would
+        // re-enter `self.scan_range`, so a prefix scan was charged through
+        // a different code path than a range scan and bypassed any
+        // `scan_prefix` specialization of the wrapped store. Charge it
+        // exactly like a range scan and delegate to the inner store.
+        self.charge(self.model.per_scan);
+        let out = self.inner.scan_prefix(prefix)?;
+        self.charge(self.model.per_entry * out.len() as u32);
+        Ok(out)
     }
 
     fn len(&self) -> usize {
@@ -151,6 +167,63 @@ mod tests {
         let t = std::time::Instant::now();
         kv.put(b"a", b"1").unwrap();
         kv.get(b"a").unwrap();
+        assert!(t.elapsed() >= Duration::from_millis(4));
+    }
+
+    #[test]
+    fn empty_multi_get_charges_nothing() {
+        let model = LatencyModel {
+            per_op: Duration::from_millis(5),
+            per_scan: Duration::ZERO,
+            per_entry: Duration::from_millis(5),
+        };
+        let kv = LatencyKv::new(MemKvStore::new(), model);
+        let t = std::time::Instant::now();
+        assert!(kv.multi_get(&[]).unwrap().is_empty());
+        assert!(t.elapsed() < Duration::from_millis(5));
+    }
+
+    #[test]
+    fn multi_get_charges_one_op_plus_entries() {
+        let model = LatencyModel {
+            per_op: Duration::from_millis(2),
+            per_scan: Duration::ZERO,
+            per_entry: Duration::from_millis(1),
+        };
+        let kv = LatencyKv::new(MemKvStore::new(), model);
+        kv.put(b"a", b"1").unwrap();
+        let t = std::time::Instant::now();
+        let got = kv
+            .multi_get(&[b"a".to_vec(), b"b".to_vec(), b"c".to_vec()])
+            .unwrap();
+        assert_eq!(got.len(), 3);
+        // 2 ms batch RPC + 3 × 1 ms per key; well under the 3 × 2 ms a
+        // per-key loop would pay in per_op alone for larger models.
+        assert!(t.elapsed() >= Duration::from_millis(5));
+    }
+
+    #[test]
+    fn scan_prefix_charges_like_scan_range() {
+        let model = LatencyModel {
+            per_op: Duration::ZERO,
+            per_scan: Duration::from_millis(2),
+            per_entry: Duration::from_millis(1),
+        };
+        let kv = LatencyKv::new(MemKvStore::new(), model);
+        kv.put(b"row/1", b"x").unwrap();
+        kv.put(b"row/2", b"y").unwrap();
+        kv.put(b"other", b"z").unwrap();
+
+        let t = std::time::Instant::now();
+        let via_prefix = kv.scan_prefix(b"row/").unwrap();
+        let prefix_elapsed = t.elapsed();
+        assert_eq!(via_prefix.len(), 2);
+        // per_scan + 2 × per_entry, same bill as the equivalent scan_range.
+        assert!(prefix_elapsed >= Duration::from_millis(4));
+
+        let t = std::time::Instant::now();
+        let via_range = kv.scan_range(b"row/", b"row0").unwrap();
+        assert_eq!(via_range, via_prefix);
         assert!(t.elapsed() >= Duration::from_millis(4));
     }
 

@@ -78,6 +78,24 @@ impl KvStore for MemKvStore {
     fn stats(&self) -> &KvStats {
         &self.stats
     }
+
+    fn multi_get(&self, keys: &[Vec<u8>]) -> Result<Vec<Option<Vec<u8>>>> {
+        if keys.is_empty() {
+            return Ok(Vec::new());
+        }
+        // One lock acquisition for the whole batch — this is the moral
+        // equivalent of HBase serving a multi-get in one RPC, and is what
+        // the planner's batched header fetches rely on.
+        let map = self.map.read();
+        let out: Vec<Option<Vec<u8>>> = keys.iter().map(|k| map.get(k).cloned()).collect();
+        let bytes = out
+            .iter()
+            .flatten()
+            .map(|v| v.len() as u64)
+            .sum::<u64>();
+        self.stats.on_multi_get(keys.len() as u64, bytes);
+        Ok(out)
+    }
 }
 
 #[cfg(test)]
@@ -147,15 +165,35 @@ mod tests {
 
     #[test]
     fn multi_get_preserves_order() {
+        use std::sync::atomic::Ordering;
         let kv = MemKvStore::new();
         kv.put(b"a", b"1").unwrap();
         kv.put(b"c", b"3").unwrap();
+        let gets_before = kv.stats().gets.load(Ordering::Relaxed);
         let got = kv
             .multi_get(&[b"c".to_vec(), b"b".to_vec(), b"a".to_vec()])
             .unwrap();
+        // One result slot per requested key, in request order, with a
+        // `None` hole for the missing key.
+        assert_eq!(got.len(), 3);
         assert_eq!(got[0].as_deref(), Some(b"3".as_slice()));
         assert!(got[1].is_none());
         assert_eq!(got[2].as_deref(), Some(b"1".as_slice()));
+        // The batch is one round trip: no per-key gets, one multi_get
+        // covering all three keys (including the miss).
+        assert_eq!(kv.stats().gets.load(Ordering::Relaxed), gets_before);
+        assert_eq!(kv.stats().multi_gets.load(Ordering::Relaxed), 1);
+        assert_eq!(kv.stats().multi_get_keys.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn multi_get_empty_key_list_is_free() {
+        use std::sync::atomic::Ordering;
+        let kv = MemKvStore::new();
+        kv.put(b"a", b"1").unwrap();
+        assert!(kv.multi_get(&[]).unwrap().is_empty());
+        assert_eq!(kv.stats().multi_gets.load(Ordering::Relaxed), 0);
+        assert_eq!(kv.stats().multi_get_keys.load(Ordering::Relaxed), 0);
     }
 
     #[test]

@@ -21,12 +21,17 @@ pub type KvPair = (Vec<u8>, Vec<u8>);
 /// and data access.
 #[derive(Debug, Default)]
 pub struct KvStats {
-    /// `get`/`multi_get` key lookups.
+    /// Single-key `get` lookups (and per-key fallbacks of un-batched
+    /// `multi_get` implementations).
     pub gets: AtomicU64,
     /// `put` operations.
     pub puts: AtomicU64,
     /// Range/prefix scans.
     pub scans: AtomicU64,
+    /// Batched `multi_get` round trips (one per batch, however large).
+    pub multi_gets: AtomicU64,
+    /// Total keys requested across all batched `multi_get` calls.
+    pub multi_get_keys: AtomicU64,
     /// Value bytes returned to callers.
     pub bytes_read: AtomicU64,
     /// Key+value bytes written.
@@ -52,13 +57,77 @@ impl KvStats {
         self.bytes_read.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Record one batched lookup of `keys` keys returning `n` value bytes.
+    pub fn on_multi_get(&self, keys: u64, n: u64) {
+        self.multi_gets.fetch_add(1, Ordering::Relaxed);
+        self.multi_get_keys.fetch_add(keys, Ordering::Relaxed);
+        self.bytes_read.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Point-in-time copy of all counters.
+    pub fn snapshot(&self) -> KvStatsSnapshot {
+        KvStatsSnapshot {
+            gets: self.gets.load(Ordering::Relaxed),
+            puts: self.puts.load(Ordering::Relaxed),
+            scans: self.scans.load(Ordering::Relaxed),
+            multi_gets: self.multi_gets.load(Ordering::Relaxed),
+            multi_get_keys: self.multi_get_keys.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+        }
+    }
+
     /// Reset all counters.
     pub fn reset(&self) {
         self.gets.store(0, Ordering::Relaxed);
         self.puts.store(0, Ordering::Relaxed);
         self.scans.store(0, Ordering::Relaxed);
+        self.multi_gets.store(0, Ordering::Relaxed);
+        self.multi_get_keys.store(0, Ordering::Relaxed);
         self.bytes_read.store(0, Ordering::Relaxed);
         self.bytes_written.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A plain-value copy of [`KvStats`], for before/after deltas.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct KvStatsSnapshot {
+    /// Single-key `get` lookups.
+    pub gets: u64,
+    /// `put` operations.
+    pub puts: u64,
+    /// Range/prefix scans.
+    pub scans: u64,
+    /// Batched `multi_get` round trips.
+    pub multi_gets: u64,
+    /// Total keys requested across all batched `multi_get` calls.
+    pub multi_get_keys: u64,
+    /// Value bytes returned to callers.
+    pub bytes_read: u64,
+    /// Key+value bytes written.
+    pub bytes_written: u64,
+}
+
+impl KvStatsSnapshot {
+    /// Read-side round trips: each `get`, each scan, and each batched
+    /// `multi_get` count as one KV operation (one RPC in the paper's
+    /// HBase deployment), regardless of how many keys or entries they
+    /// carry.
+    pub fn read_ops(&self) -> u64 {
+        self.gets + self.scans + self.multi_gets
+    }
+
+    /// Counter-wise difference `self - earlier` (saturating).
+    pub fn since(&self, earlier: &KvStatsSnapshot) -> KvStatsSnapshot {
+        KvStatsSnapshot {
+            gets: self.gets.saturating_sub(earlier.gets),
+            puts: self.puts.saturating_sub(earlier.puts),
+            scans: self.scans.saturating_sub(earlier.scans),
+            multi_gets: self.multi_gets.saturating_sub(earlier.multi_gets),
+            multi_get_keys: self.multi_get_keys.saturating_sub(earlier.multi_get_keys),
+            bytes_read: self.bytes_read.saturating_sub(earlier.bytes_read),
+            bytes_written: self.bytes_written.saturating_sub(earlier.bytes_written),
+        }
     }
 }
 
@@ -101,7 +170,12 @@ pub trait KvStore: Send + Sync {
         self.len() == 0
     }
 
-    /// Batched lookup preserving input order.
+    /// Batched lookup preserving input order: the result has exactly one
+    /// entry per requested key, `None` where the key is absent.
+    ///
+    /// The default implementation degrades to one `get` round trip per
+    /// key; stores that can serve a batch in a single operation should
+    /// override it and record the batch via [`KvStats::on_multi_get`].
     fn multi_get(&self, keys: &[Vec<u8>]) -> Result<Vec<Option<Vec<u8>>>> {
         keys.iter().map(|k| self.get(k)).collect()
     }

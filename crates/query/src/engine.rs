@@ -30,6 +30,12 @@ pub struct RunStats {
     pub splits_total: u64,
     /// Splits actually scheduled after filtering.
     pub splits_read: u64,
+    /// Index-structure cache hits while planning (DGFIndex: GFU header
+    /// cache probes answered from memory). Zero for engines without a
+    /// planning cache.
+    pub index_cache_hits: u64,
+    /// Index-structure cache misses while planning.
+    pub index_cache_misses: u64,
 }
 
 impl RunStats {

@@ -1,0 +1,222 @@
+//! Offline stand-in for the `criterion` crate (see `vendor/README.md`).
+//!
+//! Provides the `Criterion` / `benchmark_group` / `bench_function` /
+//! `Bencher::iter` surface the workspace's benches use, measuring plain
+//! wall-clock time and printing one line per benchmark. No statistics,
+//! plots, or baseline comparison.
+//!
+//! `cargo test` runs `harness = false` bench targets with `--test`; in
+//! that mode each benchmark body executes exactly once so test runs stay
+//! fast.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Harness entry point, one per bench target.
+pub struct Criterion {
+    sample_size: usize,
+    /// `--test` mode: run each routine once, skip timing-loop repeats.
+    test_mode: bool,
+    /// Substring filter from the command line, like real criterion.
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut test_mode = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                // Flags cargo/criterion pass that we accept and ignore.
+                "--bench" | "--nocapture" | "-q" | "--quiet" => {}
+                a if a.starts_with('-') => {}
+                a => filter = Some(a.to_owned()),
+            }
+        }
+        Criterion {
+            sample_size: 10,
+            test_mode,
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            criterion: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.sample_size;
+        self.run_one("", &id.into(), sample_size, f);
+        self
+    }
+
+    fn run_one<F>(&self, group: &str, id: &str, sample_size: usize, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = if group.is_empty() {
+            id.to_owned()
+        } else {
+            format!("{group}/{id}")
+        };
+        if let Some(filter) = &self.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut b = Bencher {
+            samples: if self.test_mode { 1 } else { sample_size },
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        if self.test_mode {
+            println!("test {full} ... ok");
+        } else if b.iters > 0 {
+            let per_iter = b.total.as_nanos() as f64 / b.iters as f64;
+            println!("{full:<60} {:>14}/iter ({} iters)", fmt_ns(per_iter), b.iters);
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let (name, sample_size) = (self.name.clone(), self.sample_size);
+        self.criterion.run_one(&name, &id.into(), sample_size, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; `iter` runs and times the routine.
+pub struct Bencher {
+    samples: usize,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            let out = routine();
+            self.total += start.elapsed();
+            self.iters += 1;
+            drop(black_box(out));
+        }
+    }
+}
+
+/// Bundle benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` from one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut c = Criterion::default();
+        let mut runs = 0usize;
+        c.sample_size(3);
+        let mut g = c.benchmark_group("g");
+        g.bench_function("counted", |b| b.iter(|| runs += 1));
+        g.finish();
+        // 3 samples unless the test binary itself was passed --test.
+        assert!(runs == 3 || runs == 1);
+    }
+
+    #[test]
+    fn group_sample_size_overrides_default() {
+        let mut c = Criterion {
+            sample_size: 10,
+            test_mode: false,
+            filter: None,
+        };
+        let mut runs = 0usize;
+        let mut g = c.benchmark_group("g");
+        g.sample_size(5);
+        g.bench_function("counted", |b| b.iter(|| runs += 1));
+        g.finish();
+        assert_eq!(runs, 5);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion {
+            sample_size: 2,
+            test_mode: false,
+            filter: Some("match-me".into()),
+        };
+        let mut runs = 0usize;
+        let mut g = c.benchmark_group("g");
+        g.bench_function("other", |b| b.iter(|| runs += 1));
+        g.bench_function("match-me", |b| b.iter(|| runs += 1));
+        g.finish();
+        assert_eq!(runs, 2);
+    }
+}

@@ -1,0 +1,90 @@
+//! Offline stand-in for the `crossbeam` crate (see `vendor/README.md`).
+//!
+//! Only the API this workspace uses is provided: [`scope`] with
+//! crossbeam's signature — the closure passed to [`Scope::spawn`] receives
+//! the scope again (for nested spawns) and `scope` returns `Err` when any
+//! spawned thread panicked, instead of unwinding like
+//! `std::thread::scope` does.
+
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Scoped-thread handle passed to [`scope`]'s closure and to every
+/// spawned thread.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<'scope, 'env> Copy for Scope<'scope, 'env> {}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a thread scoped to `'env`; like crossbeam, the closure is
+    /// handed the scope so it can spawn further threads.
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let me = *self;
+        self.inner.spawn(move || f(&me))
+    }
+}
+
+/// Create a scope for spawning borrowed-data threads. All threads are
+/// joined before `scope` returns; a panic in any of them yields `Err`.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: FnOnce(&Scope<'_, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| {
+        std::thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn scope_joins_all_threads() {
+        let count = AtomicU64::new(0);
+        let out = super::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| count.fetch_add(1, Ordering::Relaxed));
+            }
+            42
+        })
+        .unwrap();
+        assert_eq!(out, 42);
+        assert_eq!(count.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn nested_scopes_work() {
+        let count = AtomicU64::new(0);
+        super::scope(|s| {
+            s.spawn(|_| {
+                super::scope(|inner| {
+                    inner.spawn(|_| count.fetch_add(1, Ordering::Relaxed));
+                })
+                .unwrap();
+            });
+        })
+        .unwrap();
+        assert_eq!(count.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn panicking_thread_yields_err() {
+        let res = super::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(res.is_err());
+    }
+}

@@ -1,0 +1,68 @@
+//! `any::<T>()` over the primitive types the workspace samples.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    type Strategy: Strategy<Value = Self>;
+
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `A`.
+pub fn any<A: Arbitrary>() -> A::Strategy {
+    A::arbitrary()
+}
+
+/// Full-width integer strategy with a bias toward boundary values so
+/// MIN/MAX/0 show up at practical case counts.
+#[derive(Debug, Clone, Copy)]
+pub struct IntAny<T>(PhantomData<T>);
+
+macro_rules! impl_int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Strategy for IntAny<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                const EDGES: [$t; 4] = [<$t>::MIN, 0, 1, <$t>::MAX];
+                if rng.below(16) == 0 {
+                    EDGES[rng.below(EDGES.len() as u64) as usize]
+                } else {
+                    rng.next_u64() as $t
+                }
+            }
+        }
+
+        impl Arbitrary for $t {
+            type Strategy = IntAny<$t>;
+
+            fn arbitrary() -> Self::Strategy {
+                IntAny(PhantomData)
+            }
+        }
+    )*};
+}
+
+impl_int_arbitrary!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+#[derive(Debug, Clone, Copy)]
+pub struct BoolAny;
+
+impl Strategy for BoolAny {
+    type Value = bool;
+
+    fn sample(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = BoolAny;
+
+    fn arbitrary() -> Self::Strategy {
+        BoolAny
+    }
+}

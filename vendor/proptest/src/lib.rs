@@ -1,0 +1,219 @@
+//! Offline stand-in for the `proptest` crate (see `vendor/README.md`).
+//!
+//! Implements the exact API subset this workspace's property tests use:
+//! the [`proptest!`] / [`prop_oneof!`] / [`prop_assert!`] /
+//! [`prop_assert_eq!`] macros, [`strategy::Strategy`] with `prop_map`,
+//! range / tuple / `Just` / string-pattern strategies,
+//! [`collection::vec`], [`num::f64::NORMAL`], and [`arbitrary::any`].
+//!
+//! Differences from real proptest, on purpose:
+//! - Cases are generated from a seed derived from the test's module path
+//!   and case number, so runs are fully deterministic — a failure message
+//!   includes the case seed, and re-running reproduces it.
+//! - No shrinking. The failing input is printed as-is via the failure
+//!   message; inputs here are small enough to eyeball.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod num;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+pub mod prelude {
+    //! Glob-import target: `use proptest::prelude::*;`.
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, Reason, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Define property tests. Supports an optional
+/// `#![proptest_config(expr)]` header followed by any number of
+/// `fn name(arg in strategy, ...) { body }` items, each carrying its own
+/// outer attributes (`#[test]`, doc comments).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_items {
+    (($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            $crate::test_runner::run(
+                &__config,
+                concat!(module_path!(), "::", stringify!($name)),
+                |__rng| {
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), __rng);)+
+                    $body
+                    ::core::result::Result::Ok(())
+                },
+            );
+        }
+    )*};
+}
+
+/// Choose uniformly between several strategies producing the same value
+/// type. (Weights are not supported; the workspace does not use them.)
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+/// Assert inside a `proptest!` body; failure aborts the case with a
+/// [`test_runner::TestCaseError::Fail`] instead of panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: {} at {}:{}",
+                    stringify!($cond),
+                    file!(),
+                    line!()
+                ),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Equality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __left = $left;
+        let __right = $right;
+        if !(__left == __right) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `{:?}` == `{:?}` at {}:{}",
+                    __left,
+                    __right,
+                    file!(),
+                    line!()
+                ),
+            ));
+        }
+    }};
+}
+
+/// Inequality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let __left = $left;
+        let __right = $right;
+        if __left == __right {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `{:?}` != `{:?}` at {}:{}",
+                    __left,
+                    __right,
+                    file!(),
+                    line!()
+                ),
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn int_ranges_in_bounds(a in -5i64..10, b in 3u8..=9, n in 1usize..4) {
+            prop_assert!((-5..10).contains(&a));
+            prop_assert!((3..=9).contains(&b));
+            prop_assert!((1..4).contains(&n));
+        }
+
+        #[test]
+        fn vec_and_tuple_strategies(
+            v in prop::collection::vec((0u8..16, 1u64..100), 0..20),
+        ) {
+            prop_assert!(v.len() < 20);
+            for (k, x) in &v {
+                prop_assert!(*k < 16 && (1..100).contains(x));
+            }
+        }
+
+        #[test]
+        fn oneof_maps_and_just(
+            x in prop_oneof![
+                Just(0i64),
+                (1i64..10).prop_map(|v| v * 100),
+                any::<i64>().prop_map(|v| v.min(5)),
+            ],
+        ) {
+            prop_assert!(x == 0 || (100..1000).contains(&x) || x <= 5);
+        }
+
+        #[test]
+        fn string_pattern_respects_class_and_len(s in "[a-c ]{1,8}") {
+            prop_assert!(!s.is_empty() && s.len() <= 8);
+            prop_assert!(s.chars().all(|c| c == ' ' || ('a'..='c').contains(&c)));
+        }
+
+        #[test]
+        fn normal_floats_are_normal(f in prop::num::f64::NORMAL) {
+            prop_assert!(f.is_normal());
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        let collect = || {
+            let mut out = Vec::new();
+            crate::test_runner::run(
+                &ProptestConfig::with_cases(16),
+                "vendor::determinism",
+                |rng| {
+                    out.push((0i64..1000).sample(rng));
+                    Ok(())
+                },
+            );
+            out
+        };
+        assert_eq!(collect(), collect());
+    }
+
+    #[test]
+    #[should_panic(expected = "boom marker")]
+    fn failing_case_panics_with_reason() {
+        crate::test_runner::run(&ProptestConfig::with_cases(4), "vendor::fail", |_| {
+            Err(TestCaseError::fail("boom marker"))
+        });
+    }
+}

@@ -1,0 +1,26 @@
+//! Numeric strategies mirroring `proptest::num`.
+
+/// `f64` strategies.
+pub mod f64 {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Uniformly random *normal* `f64` bit patterns: random sign, biased
+    /// exponent in `1..=2046`, random mantissa. Never zero, subnormal,
+    /// infinite, or NaN.
+    #[derive(Debug, Clone, Copy)]
+    pub struct NormalStrategy;
+
+    pub const NORMAL: NormalStrategy = NormalStrategy;
+
+    impl Strategy for NormalStrategy {
+        type Value = f64;
+
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            let sign = rng.next_u64() & (1 << 63);
+            let exponent = rng.int_inclusive(1, 2046) as u64;
+            let mantissa = rng.next_u64() & ((1 << 52) - 1);
+            f64::from_bits(sign | (exponent << 52) | mantissa)
+        }
+    }
+}

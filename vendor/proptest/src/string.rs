@@ -1,0 +1,96 @@
+//! `&'static str` as a strategy: a small regex subset of the form
+//! `"[<class>]{m}"` / `"[<class>]{m,n}"`, which is the only shape the
+//! workspace's tests use (e.g. `"[a-zA-Z0-9 _.,-]{0,24}"`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let (alphabet, lo, hi) = parse_pattern(self);
+        let len = rng.int_inclusive(lo as i128, hi as i128) as usize;
+        (0..len)
+            .map(|_| alphabet[rng.below(alphabet.len() as u64) as usize])
+            .collect()
+    }
+}
+
+/// Parse `[<class>]{m}` or `[<class>]{m,n}` into (alphabet, m, n).
+/// `<class>` supports `a-z` ranges and literal characters; a `-` that is
+/// not between two characters is a literal.
+fn parse_pattern(pattern: &str) -> (Vec<char>, usize, usize) {
+    let fail = || -> ! {
+        panic!(
+            "vendored proptest only supports string patterns of the form \
+             \"[chars]{{m,n}}\", got {pattern:?}"
+        )
+    };
+    let rest = pattern.strip_prefix('[').unwrap_or_else(|| fail());
+    let (class, counts) = rest.split_once(']').unwrap_or_else(|| fail());
+    let counts = counts
+        .strip_prefix('{')
+        .and_then(|c| c.strip_suffix('}'))
+        .unwrap_or_else(|| fail());
+    let (lo, hi) = match counts.split_once(',') {
+        Some((m, n)) => (
+            m.parse().unwrap_or_else(|_| fail()),
+            n.parse().unwrap_or_else(|_| fail()),
+        ),
+        None => {
+            let m: usize = counts.parse().unwrap_or_else(|_| fail());
+            (m, m)
+        }
+    };
+    if lo > hi || class.is_empty() {
+        fail();
+    }
+
+    let chars: Vec<char> = class.chars().collect();
+    let mut alphabet = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        // `a-z` range: needs a character on both sides of the dash.
+        if i + 2 < chars.len() && chars[i + 1] == '-' {
+            let (a, b) = (chars[i], chars[i + 2]);
+            if a > b {
+                fail();
+            }
+            alphabet.extend(a..=b);
+            i += 3;
+        } else {
+            alphabet.push(chars[i]);
+            i += 1;
+        }
+    }
+    (alphabet, lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_pattern;
+
+    #[test]
+    fn parses_ranges_and_literals() {
+        let (alpha, lo, hi) = parse_pattern("[a-zA-Z0-9 _.,-]{0,24}");
+        assert_eq!((lo, hi), (0, 24));
+        for c in ['a', 'z', 'A', 'Z', '0', '9', ' ', '_', '.', ',', '-'] {
+            assert!(alpha.contains(&c), "missing {c:?}");
+        }
+        assert!(!alpha.contains(&'!'));
+    }
+
+    #[test]
+    fn parses_exact_count() {
+        let (alpha, lo, hi) = parse_pattern("[ab]{3}");
+        assert_eq!((lo, hi), (3, 3));
+        assert_eq!(alpha, vec!['a', 'b']);
+    }
+
+    #[test]
+    #[should_panic(expected = "only supports string patterns")]
+    fn rejects_unsupported_shapes() {
+        parse_pattern("hello.*");
+    }
+}

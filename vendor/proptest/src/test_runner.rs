@@ -1,0 +1,166 @@
+//! Deterministic case runner: config, error type, and the RNG handed to
+//! strategies.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// Per-`proptest!` block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of passing cases required before the test succeeds.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; these suites do real file and
+        // KV I/O per case, so keep the unconfigured default moderate.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Human-readable failure reason.
+#[derive(Debug, Clone)]
+pub struct Reason(String);
+
+impl From<&str> for Reason {
+    fn from(s: &str) -> Self {
+        Reason(s.to_owned())
+    }
+}
+
+impl From<String> for Reason {
+    fn from(s: String) -> Self {
+        Reason(s)
+    }
+}
+
+impl std::fmt::Display for Reason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The property is violated: the whole test fails.
+    Fail(Reason),
+    /// The input was unsuitable: the case is skipped, not counted.
+    Reject(Reason),
+}
+
+impl TestCaseError {
+    pub fn fail(reason: impl Into<Reason>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    pub fn reject(reason: impl Into<Reason>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+/// The random source strategies draw from: xoshiro256** seeded through
+/// SplitMix64, same construction as the vendored `rand` but independent
+/// of it so the two crates have no dependency edge.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    pub fn from_seed(seed: u64) -> Self {
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        TestRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform value in `[0, n)`. Panics if `n == 0`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0)");
+        self.next_u64() % n
+    }
+
+    /// Uniform integer in `[lo, hi]`, wide enough for any primitive int.
+    pub fn int_inclusive(&mut self, lo: i128, hi: i128) -> i128 {
+        assert!(lo <= hi, "empty integer range");
+        let span = (hi - lo) as u128 + 1;
+        let word = ((self.next_u64() as u128) << 64) | self.next_u64() as u128;
+        lo + (word % span) as i128
+    }
+
+    /// Uniform `f64` in `[0, 1)` from the top 53 bits of one word.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in bytes {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Run `f` until `config.cases` cases pass. The seed of each case is a
+/// pure function of the test name and case number, so failures reproduce
+/// across runs and machines.
+pub fn run<F>(config: &ProptestConfig, name: &str, mut f: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let base = fnv1a(name.as_bytes());
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    let mut case = 0u64;
+    while passed < config.cases {
+        let seed = base ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        case += 1;
+        let mut rng = TestRng::from_seed(seed);
+        match catch_unwind(AssertUnwindSafe(|| f(&mut rng))) {
+            Ok(Ok(())) => passed += 1,
+            Ok(Err(TestCaseError::Reject(_))) => {
+                rejected += 1;
+                assert!(
+                    rejected <= config.cases.saturating_mul(16),
+                    "proptest '{name}': too many rejected cases ({rejected})"
+                );
+            }
+            Ok(Err(TestCaseError::Fail(reason))) => {
+                panic!("proptest '{name}' failed at case #{case} (seed {seed:#018x}): {reason}")
+            }
+            Err(payload) => {
+                eprintln!("proptest '{name}' panicked at case #{case} (seed {seed:#018x})");
+                resume_unwind(payload);
+            }
+        }
+    }
+}

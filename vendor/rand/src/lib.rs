@@ -1,0 +1,220 @@
+//! Offline stand-in for the `rand` crate, 0.9 API subset (see
+//! `vendor/README.md`).
+//!
+//! The workload generators only need a seedable, deterministic generator
+//! with `random_range` over integer/float ranges and `random_bool`. The
+//! core is xoshiro256** seeded through SplitMix64 — high-quality enough
+//! that generated datasets keep realistic value dispersion, and fully
+//! deterministic for a given seed so benches are reproducible.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level generator interface: a source of raw 64-bit words.
+pub trait RngCore {
+    /// The next raw 64 bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seedable construction, `rand 0.9` subset.
+pub trait SeedableRng: Sized {
+    /// Derive a full generator state from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// High-level sampling interface, `rand 0.9` subset.
+pub trait Rng: RngCore {
+    /// A uniform sample from `range`. Panics on an empty range.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample(&mut |_| self.next_u64())
+    }
+
+    /// `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// `u64` → uniform `f64` in `[0, 1)` using the top 53 bits.
+fn unit_f64(word: u64) -> f64 {
+    (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// A range that can produce uniform samples of `T`.
+///
+/// The sampler is passed as a closure so the trait stays object-safe for
+/// the provided [`Rng::random_range`] default method; the `u32` argument
+/// is unused and only keeps the closure type nameable.
+pub trait SampleRange<T> {
+    /// Draw one sample using `word` as the source of raw 64-bit values.
+    fn sample(self, word: &mut dyn FnMut(u32) -> u64) -> T;
+}
+
+/// Element types `random_range` can sample. Mirrors rand's
+/// `SampleUniform` so `Range<T>: SampleRange<T>` is a single generic
+/// impl — that keeps type inference working for untyped integer
+/// literals like `rng.random_range(1..30)`.
+pub trait SampleUniform: Copy {
+    /// Uniform sample from `[lo, hi)`.
+    fn sample_half_open(lo: Self, hi: Self, word: &mut dyn FnMut(u32) -> u64) -> Self;
+    /// Uniform sample from `[lo, hi]`.
+    fn sample_inclusive(lo: Self, hi: Self, word: &mut dyn FnMut(u32) -> u64) -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample(self, word: &mut dyn FnMut(u32) -> u64) -> T {
+        T::sample_half_open(self.start, self.end, word)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample(self, word: &mut dyn FnMut(u32) -> u64) -> T {
+        T::sample_inclusive(*self.start(), *self.end(), word)
+    }
+}
+
+macro_rules! impl_int_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open(lo: $t, hi: $t, word: &mut dyn FnMut(u32) -> u64) -> $t {
+                assert!(lo < hi, "empty range in random_range");
+                let span = (hi as i128 - lo as i128) as u128;
+                let offset = (word(0) as u128) % span;
+                (lo as i128 + offset as i128) as $t
+            }
+
+            fn sample_inclusive(lo: $t, hi: $t, word: &mut dyn FnMut(u32) -> u64) -> $t {
+                assert!(lo <= hi, "empty range in random_range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let offset = (word(0) as u128) % span;
+                (lo as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_uniform!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+macro_rules! impl_float_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open(lo: $t, hi: $t, word: &mut dyn FnMut(u32) -> u64) -> $t {
+                assert!(lo < hi, "empty range in random_range");
+                lo + (unit_f64(word(0)) as $t) * (hi - lo)
+            }
+
+            fn sample_inclusive(lo: $t, hi: $t, word: &mut dyn FnMut(u32) -> u64) -> $t {
+                assert!(lo <= hi, "empty range in random_range");
+                lo + (unit_f64(word(0)) as $t) * (hi - lo)
+            }
+        }
+    )*};
+}
+
+impl_float_uniform!(f32, f64);
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The default deterministic generator: xoshiro256**.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            // SplitMix64 expansion, the reference seeding for xoshiro.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+pub use rngs::StdRng as DefaultRng;
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(StdRng::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: i64 = rng.random_range(-30..60);
+            assert!((-30..60).contains(&x));
+            let y: usize = rng.random_range(0..3);
+            assert!(y < 3);
+            let z: i32 = rng.random_range(1..=50);
+            assert!((1..=50).contains(&z));
+            let f: f64 = rng.random_range(0.5..35.0);
+            assert!((0.5..35.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn bool_probability_is_roughly_respected() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let hits = (0..10_000).filter(|_| rng.random_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "got {hits}");
+    }
+
+    #[test]
+    fn range_samples_cover_the_span() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[rng.random_range(0usize..10)] = true;
+        }
+        assert!(seen.iter().all(|s| *s));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let _: i64 = rng.random_range(5..5);
+    }
+}
