@@ -22,6 +22,17 @@ pub enum DgfError {
     Job(String),
     /// A feature deliberately out of scope for this reproduction.
     Unsupported(String),
+    /// A transient failure (injected or environmental) that a
+    /// [`RetryPolicy`](crate::fault::RetryPolicy) may absorb.
+    Transient(String),
+}
+
+impl DgfError {
+    /// Whether this error is transient and worth retrying. See
+    /// [`fault::is_transient`](crate::fault::is_transient).
+    pub fn is_transient(&self) -> bool {
+        crate::fault::is_transient(self)
+    }
 }
 
 impl fmt::Display for DgfError {
@@ -35,6 +46,7 @@ impl fmt::Display for DgfError {
             DgfError::KvStore(m) => write!(f, "kv store error: {m}"),
             DgfError::Job(m) => write!(f, "job error: {m}"),
             DgfError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            DgfError::Transient(m) => write!(f, "transient error: {m}"),
         }
     }
 }

@@ -12,12 +12,14 @@
 
 pub mod codec;
 pub mod error;
+pub mod fault;
 pub mod schema;
 pub mod stats;
 pub mod tempdir;
 pub mod value;
 
 pub use error::{DgfError, Result};
+pub use fault::{FaultConfig, FaultPlan, RetryPolicy, TransientFault};
 pub use schema::{format_row, parse_row, Field, Row, Schema, SchemaRef, FIELD_DELIM};
 pub use stats::{Counter, IoSnapshot, IoStats, IoStatsRef, Stopwatch};
 pub use tempdir::TempDir;

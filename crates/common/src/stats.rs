@@ -56,6 +56,8 @@ pub struct IoStats {
     pub records_written: Counter,
     /// Seek operations issued by skipping readers.
     pub seeks: Counter,
+    /// Transient faults absorbed by retry loops in the storage layer.
+    pub retries: Counter,
 }
 
 /// Shared handle to [`IoStats`].
@@ -74,6 +76,7 @@ impl IoStats {
         self.records_read.reset();
         self.records_written.reset();
         self.seeks.reset();
+        self.retries.reset();
     }
 
     /// A point-in-time copy of all counters.
@@ -84,6 +87,7 @@ impl IoStats {
             records_read: self.records_read.get(),
             records_written: self.records_written.get(),
             seeks: self.seeks.get(),
+            retries: self.retries.get(),
         }
     }
 }
@@ -101,6 +105,8 @@ pub struct IoSnapshot {
     pub records_written: u64,
     /// Seek operations issued by skipping readers.
     pub seeks: u64,
+    /// Transient faults absorbed by retry loops in the storage layer.
+    pub retries: u64,
 }
 
 impl IoSnapshot {
@@ -112,6 +118,7 @@ impl IoSnapshot {
             records_read: self.records_read.saturating_sub(earlier.records_read),
             records_written: self.records_written.saturating_sub(earlier.records_written),
             seeks: self.seeks.saturating_sub(earlier.seeks),
+            retries: self.retries.saturating_sub(earlier.retries),
         }
     }
 }

@@ -82,7 +82,7 @@ pub fn collect_stats(sample: &[Row], schema: &Schema, dims: &[String]) -> Result
             histogram[b.min(BUCKETS - 1)] += 1;
         }
         let mut sorted = values.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN here"));
+        sorted.sort_by(f64::total_cmp);
         sorted.dedup();
         out.push(DimStats {
             name: d.clone(),

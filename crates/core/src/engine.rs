@@ -117,6 +117,8 @@ impl Engine for DgfEngine {
                 splits_read: plan.splits_read,
                 index_cache_hits: plan.cache_hits,
                 index_cache_misses: plan.cache_misses,
+                // Planning-time KV retries plus data-phase file retries.
+                retries_absorbed: plan.retries_absorbed + delta.retries,
             },
         })
     }

@@ -18,13 +18,14 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use dgf_common::fault::{FaultPlan, RetryPolicy};
 use dgf_common::{format_row, parse_row, DgfError, Result, Row, Stopwatch, Value};
 use dgf_format::{FileFormat, RcReader, TextReader, TextWriter};
 use dgf_hive::{BuildReport, HiveContext, TableRef};
 use dgf_kvstore::KvStore;
 use dgf_mapreduce::JobReport;
 use dgf_query::{AggFunc, AggSet};
-use dgf_storage::FileSplit;
+use dgf_storage::{FileSplit, HdfsRef};
 
 use crate::cache::{GfuHeaderCache, DEFAULT_HEADER_CACHE_CAPACITY};
 use crate::gfu::{
@@ -32,6 +33,7 @@ use crate::gfu::{
     META_PLACEMENT_KEY, META_POLICY_KEY,
 };
 use crate::policy::SplittingPolicy;
+use crate::txn::{live_key, stage_key, TxnManifest, TxnState, STAGE_PREFIX, TXN_MANIFEST_KEY};
 
 /// How GFU Slices are placed across reducer output files — the paper's §8
 /// "optimal placement of Slices" future work.
@@ -83,6 +85,37 @@ impl SlicePlacement {
 /// aggregates, extents, placement, indexed-file count).
 const META_KEY_COUNT: u64 = 5;
 
+/// Construction/open options beyond the required arguments: slice
+/// placement, the retry policy wrapped around every key-value and
+/// storage round trip, and an optional fault plan whose crash points the
+/// commit protocol consults (tests enumerate them to sweep every crash
+/// site).
+#[derive(Debug, Clone)]
+pub struct IndexOptions {
+    /// Slice placement policy used by construction and appends.
+    pub placement: SlicePlacement,
+    /// Retry policy for transient key-value faults.
+    pub retry: RetryPolicy,
+    /// Fault schedule consulted at the commit protocol's crash points.
+    pub fault: Option<Arc<FaultPlan>>,
+}
+
+impl Default for IndexOptions {
+    fn default() -> Self {
+        IndexOptions {
+            placement: SlicePlacement::KeyHash,
+            retry: RetryPolicy::standard(),
+            fault: None,
+        }
+    }
+}
+
+/// Run `f` with the policy's retry loop, counting absorbed faults into
+/// the store's own `retries_absorbed` stat.
+fn kv_retry<T>(retry: RetryPolicy, kv: &dyn KvStore, f: impl FnMut() -> Result<T>) -> Result<T> {
+    retry.run(&kv.stats().retries_absorbed, f)
+}
+
 /// A built DGFIndex: the reorganized data table plus the GFU store.
 ///
 /// Per the paper, each table can have only one DGFIndex, because the index
@@ -103,6 +136,9 @@ pub struct DgfIndex {
     pub kv: Arc<dyn KvStore>,
     /// Slice placement policy used by construction and appends.
     pub placement: SlicePlacement,
+    /// Retry policy wrapped around every key-value round trip.
+    pub retry: RetryPolicy,
+    fault: Option<Arc<FaultPlan>>,
     generation: AtomicU64,
     header_cache: GfuHeaderCache,
 }
@@ -139,6 +175,31 @@ impl DgfIndex {
         index_name: &str,
         placement: SlicePlacement,
     ) -> Result<(DgfIndex, BuildReport)> {
+        Self::build_with_options(
+            ctx,
+            base,
+            policy,
+            aggs,
+            kv,
+            index_name,
+            IndexOptions {
+                placement,
+                ..IndexOptions::default()
+            },
+        )
+    }
+
+    /// [`build`](Self::build) with full [`IndexOptions`].
+    pub fn build_with_options(
+        ctx: Arc<HiveContext>,
+        base: TableRef,
+        policy: SplittingPolicy,
+        aggs: Vec<AggFunc>,
+        kv: Arc<dyn KvStore>,
+        index_name: &str,
+        options: IndexOptions,
+    ) -> Result<(DgfIndex, BuildReport)> {
+        let placement = options.placement;
         // Validate dimensions against the schema.
         for d in policy.dims() {
             let t = base.schema.type_of(&d.name)?;
@@ -177,11 +238,18 @@ impl DgfIndex {
             aggs,
             kv,
             placement,
+            retry: options.retry,
+            fault: options.fault,
             generation: AtomicU64::new(0),
             header_cache: GfuHeaderCache::new(DEFAULT_HEADER_CACHE_CAPACITY),
         };
         let watch = Stopwatch::start();
         let splits = index.ctx.table_splits(&index.base);
+        // Declare the transaction before its first write so a crash at
+        // any later point is recoverable.
+        let manifest = TxnManifest::intent(0, index.staging_dir(0), None);
+        index.kv_put(TXN_MANIFEST_KEY, &manifest.encode())?;
+        index.crash_point("build.intent")?;
         let job = index.reorganize(splits, index.base.format)?;
         let report = BuildReport {
             build_time: watch.elapsed(),
@@ -207,12 +275,26 @@ impl DgfIndex {
         index_name: &str,
         aggs: Vec<AggFunc>,
     ) -> Result<DgfIndex> {
-        let policy_bytes = kv
-            .get(META_POLICY_KEY)?
+        Self::open_with_options(ctx, base, kv, index_name, aggs, IndexOptions::default())
+    }
+
+    /// [`open`](Self::open) with full [`IndexOptions`]. Runs crash
+    /// recovery first: an interrupted transaction found in the store is
+    /// rolled back (pre-commit) or re-applied (post-commit) before any
+    /// metadata is read.
+    pub fn open_with_options(
+        ctx: Arc<HiveContext>,
+        base: TableRef,
+        kv: Arc<dyn KvStore>,
+        index_name: &str,
+        aggs: Vec<AggFunc>,
+        options: IndexOptions,
+    ) -> Result<DgfIndex> {
+        Self::recover(&ctx.hdfs, &kv, options.retry)?;
+        let policy_bytes = kv_retry(options.retry, kv.as_ref(), || kv.get(META_POLICY_KEY))?
             .ok_or_else(|| DgfError::Index("store holds no DGFIndex metadata".into()))?;
         let policy = SplittingPolicy::decode(&policy_bytes)?;
-        let stored_keys = kv
-            .get(META_AGGS_KEY)?
+        let stored_keys = kv_retry(options.retry, kv.as_ref(), || kv.get(META_AGGS_KEY))?
             .map(|b| String::from_utf8_lossy(&b).into_owned())
             .unwrap_or_default();
         let supplied_keys = aggs
@@ -244,8 +326,7 @@ impl DgfIndex {
             })
             .max()
             .unwrap_or(0);
-        let placement = kv
-            .get(META_PLACEMENT_KEY)?
+        let placement = kv_retry(options.retry, kv.as_ref(), || kv.get(META_PLACEMENT_KEY))?
             .map(|b| SlicePlacement::decode(&b))
             .unwrap_or(SlicePlacement::KeyHash);
         Ok(DgfIndex {
@@ -256,9 +337,133 @@ impl DgfIndex {
             aggs,
             kv,
             placement,
+            retry: options.retry,
+            fault: options.fault,
             generation: AtomicU64::new(max_gen),
             header_cache: GfuHeaderCache::new(DEFAULT_HEADER_CACHE_CAPACITY),
         })
+    }
+
+    /// Repair an interrupted transaction, if the store holds one. Called
+    /// by [`open`](Self::open); also usable directly after a simulated
+    /// crash. Returns the state the transaction was found in, or `None`
+    /// when the store was clean.
+    ///
+    /// * [`TxnState::Intent`] / [`TxnState::Prepared`] — the commit
+    ///   point never passed: staged keys, the staging directory, and any
+    ///   unacknowledged base-table delta file are deleted, restoring the
+    ///   previous epoch exactly.
+    /// * [`TxnState::Committed`] — the commit point passed: the apply
+    ///   recipe recorded in the manifest is (re-)executed; every step is
+    ///   idempotent, so partial prior applies are harmless.
+    ///
+    /// The manifest itself is deleted last in both directions, so a
+    /// crash *during recovery* is recovered by the next recovery.
+    pub fn recover(
+        hdfs: &HdfsRef,
+        kv: &Arc<dyn KvStore>,
+        retry: RetryPolicy,
+    ) -> Result<Option<TxnState>> {
+        let Some(bytes) = kv_retry(retry, kv.as_ref(), || kv.get(TXN_MANIFEST_KEY))? else {
+            // No manifest: any staged key is an orphan from a cleanup
+            // that lost the race with a crash after the manifest delete —
+            // unreachable by design, but garbage-collecting is cheap.
+            let orphans = kv_retry(retry, kv.as_ref(), || kv.scan_prefix(STAGE_PREFIX))?;
+            for (k, _) in orphans {
+                kv_retry(retry, kv.as_ref(), || kv.delete(&k))?;
+            }
+            return Ok(None);
+        };
+        let manifest = TxnManifest::decode(&bytes)?;
+        match manifest.state {
+            TxnState::Committed => {
+                Self::apply_committed(hdfs, kv.as_ref(), retry, &manifest, None)?;
+                Self::cleanup_txn(hdfs, kv.as_ref(), retry, &manifest)?;
+            }
+            TxnState::Intent | TxnState::Prepared => {
+                Self::rollback_txn(hdfs, kv.as_ref(), retry, &manifest)?;
+            }
+        }
+        Ok(Some(manifest.state))
+    }
+
+    /// Phase B of the commit protocol: make the committed transaction
+    /// live. Every step is idempotent — renames skip when the
+    /// destination exists, staged-key publishes skip keys already
+    /// garbage-collected, metadata puts are plain overwrites of
+    /// precomputed values.
+    fn apply_committed(
+        hdfs: &HdfsRef,
+        kv: &dyn KvStore,
+        retry: RetryPolicy,
+        manifest: &TxnManifest,
+        fault: Option<&Arc<FaultPlan>>,
+    ) -> Result<()> {
+        for (from, to) in &manifest.renames {
+            if hdfs.file_exists(to) {
+                continue;
+            }
+            if hdfs.file_exists(from) {
+                kv_retry(retry, kv, || hdfs.rename_file(from, to))?;
+            }
+        }
+        if let Some(plan) = fault {
+            plan.crash_point("apply.renamed")?;
+        }
+        for staged in &manifest.staged_keys {
+            if let Some(v) = kv_retry(retry, kv, || kv.get(staged))? {
+                kv_retry(retry, kv, || kv.put(live_key(staged), &v))?;
+            }
+        }
+        if let Some(plan) = fault {
+            plan.crash_point("apply.published")?;
+        }
+        for (k, v) in &manifest.meta_puts {
+            kv_retry(retry, kv, || kv.put(k, v))?;
+        }
+        Ok(())
+    }
+
+    /// Remove a finished (applied) transaction's staging state. The
+    /// manifest goes last: if a crash interrupts cleanup, recovery
+    /// re-applies and re-cleans.
+    fn cleanup_txn(
+        hdfs: &HdfsRef,
+        kv: &dyn KvStore,
+        retry: RetryPolicy,
+        manifest: &TxnManifest,
+    ) -> Result<()> {
+        for staged in &manifest.staged_keys {
+            kv_retry(retry, kv, || kv.delete(staged))?;
+        }
+        hdfs.delete_tree(&manifest.staging_dir)?;
+        kv_retry(retry, kv, || kv.delete(TXN_MANIFEST_KEY))?;
+        kv_retry(retry, kv, || kv.flush())?;
+        Ok(())
+    }
+
+    /// Undo a transaction that never reached its commit point. The
+    /// staged-key sweep uses the prefix (not the manifest's list) because
+    /// an Intent-state manifest predates the list.
+    fn rollback_txn(
+        hdfs: &HdfsRef,
+        kv: &dyn KvStore,
+        retry: RetryPolicy,
+        manifest: &TxnManifest,
+    ) -> Result<()> {
+        let staged = kv_retry(retry, kv, || kv.scan_prefix(STAGE_PREFIX))?;
+        for (k, _) in staged {
+            kv_retry(retry, kv, || kv.delete(&k))?;
+        }
+        hdfs.delete_tree(&manifest.staging_dir)?;
+        if let Some(delta) = &manifest.base_delta {
+            if hdfs.file_exists(delta) {
+                hdfs.delete_file(delta)?;
+            }
+        }
+        kv_retry(retry, kv, || kv.delete(TXN_MANIFEST_KEY))?;
+        kv_retry(retry, kv, || kv.flush())?;
+        Ok(())
     }
 
     /// Index new records: they are appended to the base table as a fresh
@@ -266,9 +471,17 @@ impl DgfIndex {
     /// rather than rebuild (the paper's time-extension load path).
     pub fn append(&self, rows: &[Row]) -> Result<BuildReport> {
         let gen = self.generation.fetch_add(1, Ordering::Relaxed) + 1;
-        let path = self
-            .ctx
-            .append_file(&self.base, &format!("delta-{gen:05}"), rows)?;
+        // Declare the transaction — including the delta file about to be
+        // written — BEFORE writing it: a crash between the base-table
+        // write and the commit point must roll the unacknowledged delta
+        // back, or the index would be permanently stale.
+        let delta_name = format!("delta-{gen:05}");
+        let delta_path = format!("{}/{delta_name}", self.base.location);
+        let manifest = TxnManifest::intent(gen, self.staging_dir(gen), Some(delta_path));
+        self.kv_put(TXN_MANIFEST_KEY, &manifest.encode())?;
+        self.crash_point("append.intent")?;
+        let path = self.ctx.append_file(&self.base, &delta_name, rows)?;
+        self.crash_point("append.delta-written")?;
         let watch = Stopwatch::start();
         let len = self.ctx.hdfs.file_len(&path)?;
         let splits = dgf_storage::splits_for_file(&path, len, self.ctx.hdfs.block_size());
@@ -293,20 +506,58 @@ impl DgfIndex {
         self.generation.load(Ordering::Relaxed)
     }
 
+    /// Staging directory of transaction `txn` — a *sibling* of the data
+    /// directory, so half-written Slice files never appear in the data
+    /// table's split enumeration.
+    fn staging_dir(&self, txn: u64) -> String {
+        format!("{}_staging/txn-{txn:05}", self.data.location)
+    }
+
+    /// Consult the fault plan's crash point `site` (no-op without a plan).
+    fn crash_point(&self, site: &str) -> Result<()> {
+        match &self.fault {
+            Some(plan) => plan.crash_point(site),
+            None => Ok(()),
+        }
+    }
+
+    pub(crate) fn kv_get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        kv_retry(self.retry, self.kv.as_ref(), || self.kv.get(key))
+    }
+
+    pub(crate) fn kv_scan_range(&self, start: &[u8], end: &[u8]) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        kv_retry(self.retry, self.kv.as_ref(), || self.kv.scan_range(start, end))
+    }
+
+    fn kv_put(&self, key: &[u8], value: &[u8]) -> Result<()> {
+        kv_retry(self.retry, self.kv.as_ref(), || self.kv.put(key, value))
+    }
+
+    fn kv_delete(&self, key: &[u8]) -> Result<bool> {
+        kv_retry(self.retry, self.kv.as_ref(), || self.kv.delete(key))
+    }
+
     /// The in-memory cache of decoded GFU values used by the prefix-scan
     /// planner (see [`crate::cache`]).
     pub fn header_cache(&self) -> &GfuHeaderCache {
         &self.header_cache
     }
 
-    /// The shared reorganization job (Algorithms 1 + 2).
+    /// The shared reorganization job (Algorithms 1 + 2), run as a
+    /// crash-atomic transaction (see [`crate::txn`]): reducers write
+    /// Slices into a staging directory and merged GFU values under
+    /// staged keys; one manifest put commits the new epoch, after which
+    /// the idempotent apply phase publishes everything. The caller must
+    /// already have written an Intent-state manifest.
     fn reorganize(&self, splits: Vec<FileSplit>, format: FileFormat) -> Result<JobReport> {
+        let gen = self.generation.load(Ordering::Relaxed);
         if splits.is_empty() {
-            // Nothing to index; still persist metadata so queries work.
+            // Nothing to index; still persist metadata so queries work,
+            // then retire the (empty) transaction.
             self.persist_meta(&Extents::empty(self.policy.arity()))?;
+            self.kv_delete(TXN_MANIFEST_KEY)?;
             return Ok(JobReport::default());
         }
-        let gen = self.generation.load(Ordering::Relaxed);
         let dim_idx: Vec<usize> = self
             .policy
             .dims()
@@ -319,7 +570,9 @@ impl DgfIndex {
         let base = &self.base;
         let policy = &self.policy;
         let data_loc = self.data.location.clone();
+        let staging_dir = self.staging_dir(gen);
         let kv = &self.kv;
+        let retry = self.retry;
         let arity = self.policy.arity();
 
         // Slice placement: which encoded-key prefix defines the reducer.
@@ -368,12 +621,18 @@ impl DgfIndex {
                 Ok(())
             },
             None,
-            // Reduce (Algorithm 2): write each GFU's records as one Slice,
-            // fold the header, put (key, value) into the store.
+            // Reduce (Algorithm 2): write each GFU's records as one Slice
+            // of a STAGED file, fold the header, and stage the merged
+            // (key, value) pair. Nothing live changes until commit.
             &|tid, groups: Vec<(Vec<u8>, Vec<String>)>| {
-                let path = format!("{data_loc}/part-r-{gen:05}-{tid:05}");
+                let path = format!("{staging_dir}/part-r-{gen:05}-{tid:05}");
+                // Slice locations record the post-commit path: files are
+                // renamed into the data directory at apply, keys publish
+                // unmodified.
+                let final_path = format!("{data_loc}/part-r-{gen:05}-{tid:05}");
                 let mut w = SliceWriter::create(&ctx.hdfs, &path, base, format)?;
                 let mut extents = Extents::empty(arity);
+                let mut staged_keys: Vec<Vec<u8>> = Vec::new();
                 for (key_bytes, lines) in groups {
                     let key = GfuKey::decode(&key_bytes, arity)?;
                     extents.observe(&key);
@@ -385,42 +644,82 @@ impl DgfIndex {
                         w.write(line, row)?;
                     }
                     let end = w.end_slice()?;
-                    let slice = crate::gfu::SliceLoc::new(path.clone(), start, end);
+                    let slice = crate::gfu::SliceLoc::new(final_path.clone(), start, end);
                     let header = AggSet::encode_states(&states);
                     let count = lines.len() as u64;
-                    let mut merge_err = None;
-                    kv.update(&key_bytes, &mut |old| {
-                        match merge_gfu(old, &header, &slice, count, &agg_set) {
-                            Ok(v) => v.encode(),
-                            Err(e) => {
-                                merge_err = Some(e);
-                                old.map(|o| o.to_vec()).unwrap_or_default()
-                            }
-                        }
-                    })?;
-                    if let Some(e) = merge_err {
-                        return Err(e);
-                    }
+                    // The staged value is the FINAL post-commit value:
+                    // the live value (untouched until commit) merged with
+                    // this slice. The shuffle gives each key to exactly
+                    // one reducer exactly once per job, so publishing it
+                    // later is an idempotent put.
+                    let old = kv_retry(retry, kv.as_ref(), || kv.get(&key_bytes))?;
+                    let merged = merge_gfu(old.as_deref(), &header, &slice, count, &agg_set)?;
+                    let skey = stage_key(&key_bytes);
+                    let enc = merged.encode();
+                    kv_retry(retry, kv.as_ref(), || kv.put(&skey, &enc))?;
+                    staged_keys.push(skey);
                 }
                 w.close()?;
-                Ok(extents)
+                Ok((extents, staged_keys))
             },
         )?;
 
-        // Merge the reducers' extents into the persisted metadata.
-        let mut extents = Extents::empty(arity);
-        for e in &job.outputs {
+        // Prepare: complete the manifest with the full apply recipe —
+        // renames, staged keys, and precomputed (merge-free) metadata.
+        let mut extents = match self.kv_get(META_EXTENT_KEY)? {
+            Some(bytes) => Extents::decode(&bytes)?,
+            None => Extents::empty(arity),
+        };
+        let mut staged_keys: Vec<Vec<u8>> = Vec::new();
+        for (e, keys) in &job.outputs {
             extents.merge(e);
+            staged_keys.extend(keys.iter().cloned());
         }
-        self.persist_meta(&extents)?;
+        let renames: Vec<(String, String)> = self
+            .ctx
+            .hdfs
+            .list_files(&staging_dir)
+            .into_iter()
+            .map(|(p, _)| {
+                let name = p.rsplit('/').next().unwrap_or(&p).to_owned();
+                (p, format!("{data_loc}/{name}"))
+            })
+            .collect();
+        self.crash_point("reorg.staged")?;
+        let mut manifest = match self.kv_get(TXN_MANIFEST_KEY)? {
+            Some(b) => TxnManifest::decode(&b)?,
+            None => TxnManifest::intent(gen, staging_dir.clone(), None),
+        };
+        manifest.state = TxnState::Prepared;
+        manifest.renames = renames;
+        manifest.staged_keys = staged_keys;
+        manifest.meta_puts = self.meta_puts(&extents);
+        self.kv_put(TXN_MANIFEST_KEY, &manifest.encode())?;
+        self.crash_point("reorg.prepared")?;
+
+        // COMMIT POINT: this single put flips the epoch. Before it,
+        // recovery rolls everything back; after it, recovery re-applies.
+        manifest.state = TxnState::Committed;
+        self.kv_put(TXN_MANIFEST_KEY, &manifest.encode())?;
+        self.crash_point("reorg.committed")?;
+
+        Self::apply_committed(
+            &self.ctx.hdfs,
+            self.kv.as_ref(),
+            self.retry,
+            &manifest,
+            self.fault.as_ref(),
+        )?;
+        self.crash_point("reorg.applied")?;
+        Self::cleanup_txn(&self.ctx.hdfs, self.kv.as_ref(), self.retry, &manifest)?;
         Ok(job.report)
     }
 
-    fn persist_meta(&self, new_extents: &Extents) -> Result<()> {
-        self.kv.put(META_POLICY_KEY, &self.policy.encode())?;
-        self.kv.put(META_PLACEMENT_KEY, &self.placement.encode())?;
+    /// The precomputed post-commit metadata puts. Plain overwrites (the
+    /// extents are merged *here*, not at apply time) so re-applying after
+    /// a crash never double-merges.
+    fn meta_puts(&self, extents: &Extents) -> Vec<(Vec<u8>, Vec<u8>)> {
         let files = self.ctx.hdfs.list_files(&self.base.location).len() as u64;
-        self.kv.put(META_FILES_KEY, &files.to_le_bytes())?;
         let agg_keys: Vec<u8> = self
             .aggs
             .iter()
@@ -428,19 +727,26 @@ impl DgfIndex {
             .collect::<Vec<_>>()
             .join("\n")
             .into_bytes();
-        self.kv.put(META_AGGS_KEY, &agg_keys)?;
-        let arity = self.policy.arity();
-        let enc = new_extents.encode();
-        self.kv.update(META_EXTENT_KEY, &mut |old| match old {
-            Some(bytes) => {
-                let mut merged = Extents::decode(bytes)
-                    .unwrap_or_else(|_| Extents::empty(arity));
-                merged.merge(new_extents);
-                merged.encode()
-            }
-            None => enc.clone(),
-        })?;
-        self.kv.flush()?;
+        vec![
+            (META_POLICY_KEY.to_vec(), self.policy.encode()),
+            (META_PLACEMENT_KEY.to_vec(), self.placement.encode()),
+            (META_FILES_KEY.to_vec(), files.to_le_bytes().to_vec()),
+            (META_AGGS_KEY.to_vec(), agg_keys),
+            (META_EXTENT_KEY.to_vec(), extents.encode()),
+        ]
+    }
+
+    fn persist_meta(&self, new_extents: &Extents) -> Result<()> {
+        let mut extents = match self.kv_get(META_EXTENT_KEY)? {
+            Some(bytes) => Extents::decode(&bytes)
+                .unwrap_or_else(|_| Extents::empty(self.policy.arity())),
+            None => Extents::empty(self.policy.arity()),
+        };
+        extents.merge(new_extents);
+        for (k, v) in self.meta_puts(&extents) {
+            self.kv_put(&k, &v)?;
+        }
+        kv_retry(self.retry, self.kv.as_ref(), || self.kv.flush())?;
         Ok(())
     }
 
@@ -449,7 +755,7 @@ impl DgfIndex {
     /// [`append`](Self::append)). A stale index would silently drop those
     /// records from every answer.
     pub fn check_freshness(&self) -> Result<()> {
-        let Some(bytes) = self.kv.get(META_FILES_KEY)? else {
+        let Some(bytes) = self.kv_get(META_FILES_KEY)? else {
             return Ok(()); // pre-freshness index: assume in sync
         };
         let mut b = [0u8; 8];
@@ -468,7 +774,7 @@ impl DgfIndex {
 
     /// The persisted per-dimension extents.
     pub fn extents(&self) -> Result<Extents> {
-        match self.kv.get(META_EXTENT_KEY)? {
+        match self.kv_get(META_EXTENT_KEY)? {
             Some(bytes) => Extents::decode(&bytes),
             None => Ok(Extents::empty(self.policy.arity())),
         }

@@ -59,13 +59,15 @@ pub mod gfu;
 pub mod index;
 pub mod plan;
 pub mod policy;
+pub mod txn;
 
 pub use advisor::{collect_stats, recommend_policy, AdvisorConfig, DimStats, Recommendation};
 pub use cache::{CacheStats, GfuHeaderCache, DEFAULT_HEADER_CACHE_CAPACITY};
 pub use engine::DgfEngine;
 pub use gfu::{Extents, GfuKey, GfuValue, SliceLoc};
-pub use index::{all_gfus, default_precompute, DgfIndex, SlicePlacement};
+pub use index::{all_gfus, default_precompute, DgfIndex, IndexOptions, SlicePlacement};
 pub use plan::{DgfPlan, PlanStrategy};
+pub use txn::{TxnManifest, TxnState};
 pub use policy::{DimPolicy, DimScale, DimSpan, SplittingPolicy};
 
 #[cfg(test)]
@@ -793,14 +795,15 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use dgf_common::{Schema, TempDir, Value, ValueType};
+    use dgf_common::{FaultConfig, FaultPlan, RetryPolicy, Schema, TempDir, Value, ValueType};
     use dgf_format::FileFormat;
     use dgf_hive::HiveContext;
-    use dgf_kvstore::MemKvStore;
+    use dgf_kvstore::{ChaosKv, KvStore, MemKvStore};
     use dgf_mapreduce::MrEngine;
     use dgf_query::{AggFunc, ColumnRange, Engine, Predicate, Query};
     use dgf_storage::{HdfsConfig, SimHdfs};
     use proptest::prelude::*;
+    use std::sync::atomic::Ordering;
     use std::sync::Arc;
 
     proptest! {
@@ -1002,6 +1005,129 @@ mod proptests {
                 prop_assert_eq!(base.splits_total, plan.splits_total);
                 prop_assert_eq!(base.splits_read, plan.splits_read);
             }
+        }
+
+        /// Transient faults are invisible above the retry layer: an
+        /// index built and queried through a chaos key-value store and a
+        /// fault-injecting file system (generous retry budget) plans and
+        /// answers identically to a fault-free twin over the same data —
+        /// and the accounting closes exactly: every injected fault shows
+        /// up as one absorbed retry, in the kv or file-system counters.
+        #[test]
+        fn transient_faults_leave_plans_and_answers_identical(
+            ia in 1i64..7,
+            ib in 1i64..7,
+            min_a in -5i64..5,
+            rows in prop::collection::vec((0i64..40, 0i64..20, 0u32..1000), 1..80),
+            qa in (0i64..40, 1i64..20),
+            qb in (0i64..20, 1i64..10),
+            seed in 1u64..1_000_000,
+        ) {
+            let data: Vec<Vec<Value>> = rows
+                .iter()
+                .map(|(a, b, v)| {
+                    vec![Value::Int(*a), Value::Int(*b), Value::Float(*v as f64 / 8.0)]
+                })
+                .collect();
+            let policy = || {
+                SplittingPolicy::new(vec![
+                    DimPolicy::int("a", min_a, ia),
+                    DimPolicy::int("b", 0, ib),
+                ])
+                .unwrap()
+            };
+            let build_world = |plan: Option<&Arc<FaultPlan>>| {
+                let t = TempDir::new("core-prop-fault").unwrap();
+                let h =
+                    SimHdfs::new(t.path(), HdfsConfig { block_size: 512, replication: 1 })
+                        .unwrap();
+                let ctx = HiveContext::new(h, MrEngine::new(2));
+                let schema = Arc::new(Schema::from_pairs(&[
+                    ("a", ValueType::Int),
+                    ("b", ValueType::Int),
+                    ("v", ValueType::Float),
+                ]));
+                let table = ctx.create_table("t", schema, FileFormat::Text).unwrap();
+                ctx.load_rows(&table, &data, 2).unwrap();
+                let inner: Arc<dyn KvStore> = Arc::new(MemKvStore::new());
+                let (kv, options): (Arc<dyn KvStore>, IndexOptions) = match plan {
+                    Some(p) => {
+                        ctx.hdfs.enable_faults(Arc::clone(p), RetryPolicy::fast(64));
+                        (
+                            Arc::new(ChaosKv::new(Arc::clone(&inner), Arc::clone(p))),
+                            IndexOptions {
+                                retry: RetryPolicy::fast(64),
+                                ..IndexOptions::default()
+                            },
+                        )
+                    }
+                    None => (inner, IndexOptions::default()),
+                };
+                let (idx, _) = DgfIndex::build_with_options(
+                    Arc::clone(&ctx),
+                    table,
+                    policy(),
+                    vec![AggFunc::Count, AggFunc::Sum("v".into())],
+                    kv,
+                    "dgf_prop_fault",
+                    options,
+                )
+                .unwrap();
+                (t, ctx, Arc::new(idx))
+            };
+
+            let (_t1, clean_ctx, clean) = build_world(None);
+            let plan = Arc::new(FaultPlan::new(FaultConfig::transient(seed, 0.4)));
+            let (_t2, noisy_ctx, noisy) = build_world(Some(&plan));
+
+            let (a_lo, a_w) = qa;
+            let (b_lo, b_w) = qb;
+            let q = Query::Aggregate {
+                aggs: vec![AggFunc::Count, AggFunc::Sum("v".into())],
+                predicate: Predicate::all()
+                    .and("a", ColumnRange::half_open(Value::Int(a_lo), Value::Int(a_lo + a_w)))
+                    .and("b", ColumnRange::half_open(Value::Int(b_lo), Value::Int(b_lo + b_w))),
+            };
+
+            // Plans are identical field by field (cold, so both hit the
+            // store — the chaos one through its retry loops).
+            let base = clean
+                .plan_with_strategy(&q, true, PlanStrategy::PrefixScan)
+                .unwrap();
+            let chaos = noisy
+                .plan_with_strategy(&q, true, PlanStrategy::PrefixScan)
+                .unwrap();
+            prop_assert_eq!(&base.inputs, &chaos.inputs);
+            prop_assert_eq!(&base.chosen_splits, &chaos.chosen_splits);
+            prop_assert_eq!(&base.inner_states, &chaos.inner_states);
+            prop_assert_eq!(base.inner_gfus, chaos.inner_gfus);
+            prop_assert_eq!(base.boundary_gfus, chaos.boundary_gfus);
+            prop_assert_eq!(base.inner_records, chaos.inner_records);
+            prop_assert_eq!(base.splits_total, chaos.splits_total);
+            prop_assert_eq!(base.splits_read, chaos.splits_read);
+            prop_assert_eq!(base.retries_absorbed, 0);
+
+            // Answers are identical too (same plan, same fold order).
+            let clean_run = DgfEngine::new(Arc::clone(&clean)).run(&q).unwrap();
+            let noisy_run = DgfEngine::new(Arc::clone(&noisy)).run(&q).unwrap();
+            prop_assert!(noisy_run.result.approx_eq(&clean_run.result, 1e-12));
+            prop_assert_eq!(clean_run.stats.retries_absorbed, 0);
+            prop_assert_eq!(clean_run.stats.splits_read, noisy_run.stats.splits_read);
+            prop_assert_eq!(
+                clean_run.stats.data_records_read,
+                noisy_run.stats.data_records_read
+            );
+
+            // The noise was real, and every injected fault was absorbed
+            // by exactly one counted retry somewhere in the stack.
+            let injected = plan.faults_injected();
+            prop_assert!(injected > 0, "schedule produced no faults");
+            let absorbed = noisy.kv.stats().retries_absorbed.load(Ordering::Relaxed)
+                + noisy_ctx.hdfs.stats().retries.get();
+            prop_assert_eq!(absorbed, injected);
+            let clean_absorbed = clean.kv.stats().retries_absorbed.load(Ordering::Relaxed)
+                + clean_ctx.hdfs.stats().retries.get();
+            prop_assert_eq!(clean_absorbed, 0);
         }
     }
 }

@@ -25,10 +25,11 @@
 //! the historical cell-at-a-time behaviour for comparison.
 
 use std::collections::HashMap;
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Duration;
 
-use dgf_common::{Result, Stopwatch};
+use dgf_common::{DgfError, Result, Stopwatch};
 use dgf_format::{coalesce_ranges, ByteRange};
 use dgf_hive::ScanInput;
 use dgf_query::{AggSet, AggState, Query};
@@ -79,6 +80,10 @@ pub struct DgfPlan {
     /// Header-cache misses while planning (always 0 for
     /// [`PlanStrategy::PointGets`]).
     pub cache_misses: u64,
+    /// Transient key-value faults absorbed by the planner's retry loops
+    /// while building this plan. Zero on a healthy store; chaos tests
+    /// assert it is positive exactly when faults were scheduled.
+    pub retries_absorbed: u64,
     /// Planning time, including key-value store traffic.
     pub index_time: Duration,
 }
@@ -107,10 +112,9 @@ struct HeaderMerge {
 impl Collector {
     fn absorb(&mut self, covered: bool, value: &GfuValue) -> Result<()> {
         if covered {
-            let hm = self
-                .header_merge
-                .as_mut()
-                .expect("covered cells imply usable headers");
+            let hm = self.header_merge.as_mut().ok_or_else(|| {
+                DgfError::Index("covered cell absorbed without usable headers".into())
+            })?;
             self.inner_gfus += 1;
             self.inner_records += value.record_count;
             let states = hm.index_set.decode_states(&value.header)?;
@@ -149,6 +153,13 @@ impl DgfIndex {
         strategy: PlanStrategy,
     ) -> Result<DgfPlan> {
         let watch = Stopwatch::start();
+        let retries_before = self.kv.stats().retries_absorbed.load(Ordering::Relaxed);
+        let retries_since = |kv: &dyn dgf_kvstore::KvStore| {
+            kv.stats()
+                .retries_absorbed
+                .load(Ordering::Relaxed)
+                .saturating_sub(retries_before)
+        };
         self.check_freshness()?;
         let predicate = query.predicate();
         let extents = self.extents()?;
@@ -165,6 +176,7 @@ impl DgfIndex {
             splits_read: 0,
             cache_hits: 0,
             cache_misses: 0,
+            retries_absorbed: retries_since(self.kv.as_ref()),
             index_time: watch.elapsed(),
         };
         if extents.is_empty() {
@@ -196,11 +208,19 @@ impl DgfIndex {
                 .all(|c| self.policy.dims().iter().any(|d| d.name == c));
 
         let header_merge = if headers_usable {
-            let positions = header_positions.expect("checked usable");
+            // `headers_usable` already checked both of these; the error
+            // arms are unreachable but cheaper than a panic in the read
+            // hot path.
+            let positions = header_positions
+                .ok_or_else(|| DgfError::Index("usable headers lost their positions".into()))?;
             let index_set = AggSet::bind(&self.aggs, &self.base.schema)?;
             let query_aggs = match query {
                 Query::Aggregate { aggs, .. } => aggs.clone(),
-                _ => unreachable!("headers_usable implies aggregation"),
+                _ => {
+                    return Err(DgfError::Index(
+                        "usable headers on a non-aggregation query".into(),
+                    ))
+                }
             };
             let query_set = AggSet::bind(&query_aggs, &self.base.schema)?;
             let acc = query_set.new_states();
@@ -280,6 +300,7 @@ impl DgfIndex {
             splits_read,
             cache_hits: collector.cache_hits,
             cache_misses: collector.cache_misses,
+            retries_absorbed: retries_since(self.kv.as_ref()),
             index_time: watch.elapsed(),
         })
     }
@@ -322,13 +343,13 @@ impl DgfIndex {
             }
         }
         for key in &inner_keys {
-            if let Some(got) = self.kv.get(key)? {
+            if let Some(got) = self.kv_get(key)? {
                 let value = GfuValue::decode(&got)?;
                 collector.absorb(true, &value)?;
             }
         }
         for key in &boundary_keys {
-            if let Some(got) = self.kv.get(key)? {
+            if let Some(got) = self.kv_get(key)? {
                 let value = GfuValue::decode(&got)?;
                 collector.absorb(false, &value)?;
             }
@@ -468,12 +489,16 @@ impl DgfIndex {
         // the leading coordinates, dimension `scan_from` is clipped by the
         // scan bounds, and every later dimension is full-extent, so no
         // stored key inside the bounds falls outside the cell set.
-        let start = cells.first().expect("runs are non-empty").0.clone();
-        let mut end = cells.last().expect("runs are non-empty").0.clone();
+        let (first, last) = match (cells.first(), cells.last()) {
+            (Some(f), Some(l)) => (f, l),
+            _ => return Err(DgfError::Index("prefix-scan run with no cells".into())),
+        };
+        let start = first.0.clone();
+        let mut end = last.0.clone();
         // Keys are fixed-length, so appending a byte makes the half-open
         // scan include the run's maximum key.
         end.push(0x00);
-        let pairs = self.kv.scan_range(&start, &end)?;
+        let pairs = self.kv_scan_range(&start, &end)?;
 
         // Merge-walk the expected cells (sorted) against the scan results
         // (sorted): found cells are absorbed and cached, expected-but-

@@ -9,18 +9,23 @@
 //!   recovery, and compaction.
 //! * [`LatencyKv`] — a decorator charging simulated RPC latency so benches
 //!   can reproduce the index-read-time trends of Figures 12–13.
+//! * [`ChaosKv`] — a decorator injecting deterministic faults from a
+//!   seeded [`FaultPlan`](dgf_common::fault::FaultPlan), for the chaos
+//!   test suite.
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod latency;
 pub mod log;
 pub mod mem;
 pub mod traits;
 
+pub use chaos::ChaosKv;
 pub use latency::{LatencyKv, LatencyModel};
 pub use log::LogKvStore;
 pub use mem::MemKvStore;
-pub use traits::{prefix_upper_bound, KvPair, KvRef, KvStats, KvStore};
+pub use traits::{prefix_upper_bound, KvPair, KvRef, KvStats, KvStatsSnapshot, KvStore};
 
 #[cfg(test)]
 mod proptests {

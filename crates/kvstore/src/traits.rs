@@ -36,6 +36,8 @@ pub struct KvStats {
     pub bytes_read: AtomicU64,
     /// Key+value bytes written.
     pub bytes_written: AtomicU64,
+    /// Transient faults absorbed by retry loops around this store.
+    pub retries_absorbed: AtomicU64,
 }
 
 impl KvStats {
@@ -74,6 +76,7 @@ impl KvStats {
             multi_get_keys: self.multi_get_keys.load(Ordering::Relaxed),
             bytes_read: self.bytes_read.load(Ordering::Relaxed),
             bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            retries_absorbed: self.retries_absorbed.load(Ordering::Relaxed),
         }
     }
 
@@ -86,6 +89,7 @@ impl KvStats {
         self.multi_get_keys.store(0, Ordering::Relaxed);
         self.bytes_read.store(0, Ordering::Relaxed);
         self.bytes_written.store(0, Ordering::Relaxed);
+        self.retries_absorbed.store(0, Ordering::Relaxed);
     }
 }
 
@@ -106,6 +110,8 @@ pub struct KvStatsSnapshot {
     pub bytes_read: u64,
     /// Key+value bytes written.
     pub bytes_written: u64,
+    /// Transient faults absorbed by retry loops around this store.
+    pub retries_absorbed: u64,
 }
 
 impl KvStatsSnapshot {
@@ -127,6 +133,7 @@ impl KvStatsSnapshot {
             multi_get_keys: self.multi_get_keys.saturating_sub(earlier.multi_get_keys),
             bytes_read: self.bytes_read.saturating_sub(earlier.bytes_read),
             bytes_written: self.bytes_written.saturating_sub(earlier.bytes_written),
+            retries_absorbed: self.retries_absorbed.saturating_sub(earlier.retries_absorbed),
         }
     }
 }
@@ -222,6 +229,49 @@ mod tests {
         assert_eq!(prefix_upper_bound(&[1, 0xFF]), Some(vec![2]));
         assert_eq!(prefix_upper_bound(&[0xFF, 0xFF]), None);
         assert_eq!(prefix_upper_bound(b""), None);
+    }
+
+    #[test]
+    fn scan_prefix_handles_unbounded_prefixes() {
+        use crate::mem::MemKvStore;
+        let kv = MemKvStore::new();
+        kv.put(&[0xFF, 0xFF, 1], b"a").unwrap();
+        kv.put(&[0xFF, 0xFF, 0xFF], b"b").unwrap();
+        kv.put(&[0xFF, 0xFE], b"other").unwrap();
+        kv.put(b"low", b"c").unwrap();
+
+        // All-0xFF prefix has no upper bound; the sentinel path must
+        // still return exactly the matching keys.
+        let got = kv.scan_prefix(&[0xFF, 0xFF]).unwrap();
+        assert_eq!(got.len(), 2);
+        assert!(got.iter().all(|(k, _)| k.starts_with(&[0xFF, 0xFF])));
+
+        // The empty prefix matches every key.
+        let all = kv.scan_prefix(b"").unwrap();
+        assert_eq!(all.len(), kv.len());
+    }
+
+    #[test]
+    fn since_saturates_when_counters_were_reset() {
+        let s = KvStats::default();
+        s.on_get(100);
+        s.on_put(50);
+        let before = s.snapshot();
+        s.reset();
+        s.on_get(3);
+        let after = s.snapshot();
+        // `after` is numerically behind `before`; the delta must clamp to
+        // zero instead of wrapping to u64::MAX.
+        let d = after.since(&before);
+        assert_eq!(d.gets, 0);
+        assert_eq!(d.puts, 0);
+        assert_eq!(d.bytes_read, 0);
+        assert_eq!(d.bytes_written, 0);
+        assert_eq!(d.retries_absorbed, 0);
+        // And a forward delta still works on the reset counters.
+        s.on_get(2);
+        let d2 = s.snapshot().since(&after);
+        assert_eq!(d2.gets, 1);
     }
 
     #[test]

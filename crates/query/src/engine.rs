@@ -36,6 +36,11 @@ pub struct RunStats {
     pub index_cache_hits: u64,
     /// Index-structure cache misses while planning.
     pub index_cache_misses: u64,
+    /// Transient storage faults absorbed by retry loops during this run
+    /// (key-value and file-system combined). Zero on a healthy cluster;
+    /// the chaos suite asserts it is positive exactly when faults were
+    /// scheduled, proving the run rode them out rather than dodging them.
+    pub retries_absorbed: u64,
 }
 
 impl RunStats {

@@ -14,6 +14,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use dgf_common::fault::{io_error_is_transient, FaultPlan, RetryPolicy};
 use dgf_common::stats::{IoStats, IoStatsRef};
 use dgf_common::{DgfError, Result};
 
@@ -42,6 +43,16 @@ impl Default for HdfsConfig {
     }
 }
 
+/// Chaos-mode wiring: a fault schedule plus the retry policy that
+/// readers and writers use to absorb its transient faults internally
+/// (the fault decision is drawn *before* any bytes move, so a retry is
+/// always idempotent).
+#[derive(Debug, Clone)]
+struct FaultCtx {
+    plan: Arc<FaultPlan>,
+    retry: RetryPolicy,
+}
+
 /// A simulated HDFS instance rooted at a local directory.
 #[derive(Debug)]
 pub struct SimHdfs {
@@ -49,6 +60,7 @@ pub struct SimHdfs {
     config: HdfsConfig,
     namenode: Mutex<NameNode>,
     stats: IoStatsRef,
+    fault: Mutex<Option<FaultCtx>>,
 }
 
 /// Shared handle to a [`SimHdfs`].
@@ -64,6 +76,7 @@ impl SimHdfs {
             config,
             namenode: Mutex::new(NameNode::new()),
             stats: Arc::new(IoStats::default()),
+            fault: Mutex::new(None),
         }))
     }
 
@@ -121,6 +134,50 @@ impl SimHdfs {
     /// The shared I/O counters charged by all readers and writers.
     pub fn stats(&self) -> &IoStatsRef {
         &self.stats
+    }
+
+    /// Enable chaos mode: every subsequent `create`/`open_reader` and
+    /// every read/write of the handles they return consults `plan`.
+    /// Transient faults are absorbed internally under `retry` (counted in
+    /// [`IoStats::retries`]); crashes at writer close produce torn,
+    /// unregistered files, like an HDFS client dying before the block
+    /// report.
+    pub fn enable_faults(&self, plan: Arc<FaultPlan>, retry: RetryPolicy) {
+        *self.fault.lock() = Some(FaultCtx { plan, retry });
+    }
+
+    /// Disable chaos mode (already-open readers/writers keep the plan
+    /// they captured).
+    pub fn disable_faults(&self) {
+        *self.fault.lock() = None;
+    }
+
+    fn fault_ctx(&self) -> Option<FaultCtx> {
+        self.fault.lock().clone()
+    }
+
+    /// Consult the fault plan (if any) for a metadata-level operation,
+    /// retrying transient faults into `stats.retries`.
+    fn fault_check(&self, what: &str, is_write: bool) -> Result<()> {
+        let Some(ctx) = self.fault_ctx() else {
+            return Ok(());
+        };
+        let mut attempt = 1u32;
+        loop {
+            let res = if is_write {
+                ctx.plan.before_write(what)
+            } else {
+                ctx.plan.before_read(what)
+            };
+            match res {
+                Ok(()) => return Ok(()),
+                Err(e) if e.is_transient() && attempt < ctx.retry.max_attempts => {
+                    self.stats.retries.inc();
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     /// Estimated NameNode heap usage for the current namespace.
@@ -186,6 +243,7 @@ impl SimHdfs {
     /// HDFS files are write-once, which is exactly the meter-data contract
     /// the paper relies on (feature ii in §1).
     pub fn create(self: &Arc<Self>, path: &str) -> Result<HdfsWriter> {
+        self.fault_check("hdfs.create", true)?;
         if self.file_exists(path) {
             return Err(DgfError::Io(io::Error::new(
                 io::ErrorKind::AlreadyExists,
@@ -206,18 +264,49 @@ impl SimHdfs {
             hdfs: Arc::clone(self),
             path: path.to_owned(),
             written: 0,
+            fault: self.fault_ctx(),
         })
     }
 
     /// Open a file for positioned reading.
     pub fn open_reader(&self, path: &str) -> Result<HdfsReader> {
+        self.fault_check("hdfs.open_reader", false)?;
         let len = self.file_len(path)?;
         let file = File::open(self.localize(path)?)?;
         Ok(HdfsReader {
             file,
             len,
             stats: Arc::clone(&self.stats),
+            fault: self.fault_ctx(),
         })
+    }
+
+    /// Atomically move a file to a new path. Fails if `from` is missing
+    /// or `to` already exists; parents of `to` are created. This is the
+    /// publish step of the staging→commit protocol (HDFS renames are
+    /// atomic NameNode operations).
+    pub fn rename_file(&self, from: &str, to: &str) -> Result<()> {
+        self.fault_check("hdfs.rename", true)?;
+        let meta = self
+            .namenode
+            .lock()
+            .file(from)
+            .cloned()
+            .ok_or_else(|| DgfError::Io(io::Error::new(io::ErrorKind::NotFound, from.to_owned())))?;
+        if self.file_exists(to) {
+            return Err(DgfError::Io(io::Error::new(
+                io::ErrorKind::AlreadyExists,
+                to.to_owned(),
+            )));
+        }
+        if let Some(parent) = parent_of(to) {
+            self.mkdirs(&parent)?;
+        }
+        std::fs::rename(self.localize(from)?, self.localize(to)?)?;
+        let mut nn = self.namenode.lock();
+        nn.remove_file(from);
+        nn.put_file(to, meta);
+        Ok(())
     }
 
     /// Delete one file.
@@ -273,6 +362,7 @@ pub struct HdfsWriter {
     hdfs: HdfsRef,
     path: String,
     written: u64,
+    fault: Option<FaultCtx>,
 }
 
 impl HdfsWriter {
@@ -293,16 +383,59 @@ impl HdfsWriter {
     }
 
     fn close_inner(&mut self) -> Result<()> {
-        if let Some(mut w) = self.inner.take() {
-            w.flush()?;
-            self.hdfs.finish_file(&self.path, self.written);
+        let Some(mut w) = self.inner.take() else {
+            return Ok(());
+        };
+        // Crash point before close: the client dies with data in flight.
+        // The file is torn at a schedule-chosen offset and never reaches
+        // the NameNode — exactly the partial-write state HDFS leaves when
+        // a writer crashes before its final block report.
+        if let Some(ctx) = &self.fault {
+            if let Err(e) = ctx.plan.crash_point("hdfs.writer.close") {
+                let _ = w.flush();
+                drop(w);
+                let keep = ctx.plan.draw_below(self.written + 1);
+                if let Ok(local) = self.hdfs.localize(&self.path) {
+                    if let Ok(f) = OpenOptions::new().write(true).open(local) {
+                        let _ = f.set_len(keep);
+                    }
+                }
+                return Err(e);
+            }
+        }
+        w.flush()?;
+        self.hdfs.finish_file(&self.path, self.written);
+        // Crash point after close: the file is durable and registered,
+        // but the caller never learns the close succeeded.
+        if let Some(ctx) = &self.fault {
+            ctx.plan.crash_point("hdfs.writer.close.ack")?;
         }
         Ok(())
+    }
+
+    /// Consult the fault plan before moving bytes; absorbs transient
+    /// faults internally (idempotent — nothing was transferred yet).
+    fn fault_check_io(fault: &Option<FaultCtx>, stats: &IoStats, what: &str) -> io::Result<()> {
+        let Some(ctx) = fault else {
+            return Ok(());
+        };
+        let mut attempt = 1u32;
+        loop {
+            match ctx.plan.before_write_io(what) {
+                Ok(()) => return Ok(()),
+                Err(e) if io_error_is_transient(&e) && attempt < ctx.retry.max_attempts => {
+                    stats.retries.inc();
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 }
 
 impl Write for HdfsWriter {
     fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        HdfsWriter::fault_check_io(&self.fault, &self.hdfs.stats, "hdfs.write")?;
         let w = self
             .inner
             .as_mut()
@@ -334,6 +467,7 @@ pub struct HdfsReader {
     file: File,
     len: u64,
     stats: IoStatsRef,
+    fault: Option<FaultCtx>,
 }
 
 impl HdfsReader {
@@ -350,6 +484,20 @@ impl HdfsReader {
 
 impl Read for HdfsReader {
     fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        // Draw the fault before the transfer so a retry re-reads nothing.
+        if let Some(ctx) = &self.fault {
+            let mut attempt = 1u32;
+            loop {
+                match ctx.plan.before_read_io("hdfs.read") {
+                    Ok(()) => break,
+                    Err(e) if io_error_is_transient(&e) && attempt < ctx.retry.max_attempts => {
+                        self.stats.retries.inc();
+                        attempt += 1;
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+        }
         let n = self.file.read(buf)?;
         self.stats.bytes_read.add(n as u64);
         Ok(n)
@@ -520,6 +668,89 @@ mod tests {
         let mut buf = Vec::new();
         r.read_to_end(&mut buf).unwrap();
         assert_eq!(buf.len(), 100);
+    }
+
+    #[test]
+    fn rename_file_moves_data_and_metadata() {
+        let (_t, h) = cluster();
+        let mut w = h.create("/stage/f").unwrap();
+        w.write_all(b"payload").unwrap();
+        w.close().unwrap();
+
+        h.rename_file("/stage/f", "/live/f").unwrap();
+        assert!(!h.file_exists("/stage/f"));
+        assert_eq!(h.file_len("/live/f").unwrap(), 7);
+        let mut r = h.open_reader("/live/f").unwrap();
+        let mut s = String::new();
+        r.read_to_string(&mut s).unwrap();
+        assert_eq!(s, "payload");
+
+        // Missing source and occupied destination are both errors.
+        assert!(h.rename_file("/stage/f", "/live/g").is_err());
+        h.create("/live/g").unwrap().close().unwrap();
+        assert!(h.rename_file("/live/f", "/live/g").is_err());
+    }
+
+    #[test]
+    fn transient_faults_are_absorbed_and_counted() {
+        use dgf_common::fault::{FaultConfig, FaultPlan};
+        let (_t, h) = cluster();
+        let mut w = h.create("/f").unwrap();
+        w.write_all(b"0123456789").unwrap();
+        w.close().unwrap();
+
+        // Half the draws fault; a generous retry budget absorbs them all.
+        h.enable_faults(
+            Arc::new(FaultPlan::new(FaultConfig::transient(3, 0.5))),
+            RetryPolicy::fast(20),
+        );
+        let mut r = h.open_reader("/f").unwrap();
+        let mut s = String::new();
+        r.read_to_string(&mut s).unwrap();
+        assert_eq!(s, "0123456789");
+        assert!(h.stats().retries.get() > 0, "absorbed retries must be counted");
+
+        // With no retry budget the same fault surfaces as a typed error.
+        h.enable_faults(
+            Arc::new(FaultPlan::new(FaultConfig::transient(3, 1.0))),
+            RetryPolicy::NONE,
+        );
+        let err = h.open_reader("/f").unwrap_err();
+        assert!(err.is_transient());
+    }
+
+    #[test]
+    fn crash_at_close_leaves_a_torn_unregistered_file() {
+        use dgf_common::fault::{FaultConfig, FaultPlan};
+        let (_t, h) = cluster();
+        h.enable_faults(
+            Arc::new(FaultPlan::new(FaultConfig::crash_at(9, 0))),
+            RetryPolicy::NONE,
+        );
+        let mut w = h.create("/f").unwrap();
+        w.write_all(b"will be torn").unwrap();
+        let err = w.close().unwrap_err();
+        assert!(!err.is_transient());
+        // Not in the namespace: a reopen-style recovery never sees it.
+        assert!(!h.file_exists("/f"));
+        // And the local bytes are truncated at or before the full length.
+        let local = std::fs::metadata(h.root().join("f")).unwrap();
+        assert!(local.len() <= 12);
+    }
+
+    #[test]
+    fn crash_after_close_registers_but_reports_failure() {
+        use dgf_common::fault::{FaultConfig, FaultPlan};
+        let (_t, h) = cluster();
+        h.enable_faults(
+            Arc::new(FaultPlan::new(FaultConfig::crash_at(9, 1))),
+            RetryPolicy::NONE,
+        );
+        let mut w = h.create("/f").unwrap();
+        w.write_all(b"acked late").unwrap();
+        assert!(w.close().is_err());
+        // The close itself completed: data is durable and registered.
+        assert_eq!(h.file_len("/f").unwrap(), 10);
     }
 
     #[test]

@@ -75,15 +75,17 @@ pub mod prelude {
     pub use dgf_common::{
         format_date, parse_date, Row, Schema, SchemaRef, TempDir, Value, ValueType,
     };
+    pub use dgf_common::{FaultConfig, FaultPlan, RetryPolicy};
     pub use dgf_core::{
-        DgfEngine, DgfIndex, DimPolicy, Extents, GfuKey, GfuValue, SliceLoc, SplittingPolicy,
+        DgfEngine, DgfIndex, DimPolicy, Extents, GfuKey, GfuValue, IndexOptions, SliceLoc,
+        SplittingPolicy,
     };
     pub use dgf_format::FileFormat;
     pub use dgf_hive::{
         AggregateIndex, AggregateIndexEngine, BitmapEngine, BitmapIndex, CompactEngine,
         CompactIndex, HiveContext, PartitionEngine, PartitionedTable, ScanEngine, TableRef,
     };
-    pub use dgf_kvstore::{KvStore, LatencyKv, LatencyModel, LogKvStore, MemKvStore};
+    pub use dgf_kvstore::{ChaosKv, KvStore, LatencyKv, LatencyModel, LogKvStore, MemKvStore};
     pub use dgf_mapreduce::MrEngine;
     pub use dgf_query::{
         AggFunc, ColumnRange, Engine, EngineRun, Predicate, Query, QueryResult, RunStats,
