@@ -3,7 +3,7 @@
 //! granularity) and latency model, plus timed steady-state planning.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use dgf_bench::readpath::{readpath_experiment, ReadPathLab};
+use dgf_bench::readpath::{readpath_experiment, readpath_json, ReadPathLab};
 use dgf_core::PlanStrategy;
 use dgf_kvstore::LatencyModel;
 
@@ -37,6 +37,24 @@ fn bench(c: &mut Criterion) {
                 report.warm_hit_ratio() * 100.0,
             );
         }
+    }
+
+    // BENCH_readpath.json: the acceptance configuration's pass costs plus
+    // one fully profiled engine run with its per-stage span tree. Goes to
+    // $DGF_BENCH_JSON if set, else target/BENCH_readpath.json (which the
+    // CI bench job uploads as an artifact).
+    let report = readpath_experiment(110, 100, 3_000, LatencyModel::hbase_like()).unwrap();
+    let stats = ReadPathLab::build(110, 100, 3_000, LatencyModel::hbase_like())
+        .unwrap()
+        .profiled_run()
+        .unwrap();
+    let json = readpath_json("fine 110x100, hbase-like", &report, &stats);
+    let path = std::env::var("DGF_BENCH_JSON").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/BENCH_readpath.json").to_owned()
+    });
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("readpath: wrote per-stage profile JSON to {path}"),
+        Err(e) => eprintln!("readpath: could not write {path}: {e}"),
     }
 
     let lab = ReadPathLab::build(110, 100, 3_000, LatencyModel::hbase_like()).unwrap();

@@ -12,13 +12,14 @@
 use std::sync::Arc;
 use std::time::Duration;
 
+use dgf_common::obs::Profiler;
 use dgf_common::{Result, Row, Schema, Stopwatch, TempDir, Value, ValueType};
-use dgf_core::{DgfIndex, DgfPlan, DimPolicy, PlanStrategy, SplittingPolicy};
+use dgf_core::{DgfEngine, DgfIndex, DgfPlan, DimPolicy, PlanStrategy, SplittingPolicy};
 use dgf_format::FileFormat;
 use dgf_hive::HiveContext;
 use dgf_kvstore::{KvStore, LatencyKv, LatencyModel, MemKvStore};
 use dgf_mapreduce::MrEngine;
-use dgf_query::{AggFunc, ColumnRange, Predicate, Query};
+use dgf_query::{AggFunc, ColumnRange, Engine, Predicate, Query, RunStats};
 use dgf_storage::{HdfsConfig, SimHdfs};
 
 /// One planning pass's cost.
@@ -167,6 +168,85 @@ impl ReadPathLab {
             plan,
         ))
     }
+
+    /// Run a boundary-heavy variant of the experiment query end to end
+    /// through [`DgfEngine`] with a force-enabled profiler (regardless of
+    /// `DGF_TRACE`), returning the run's [`RunStats`] — whose `profile`
+    /// field carries the per-stage span tree. Consumes the lab: the
+    /// engine wants the index behind an `Arc`.
+    ///
+    /// The variant adds a residual predicate on the non-dimension
+    /// `power` column, which makes the pre-computed headers unusable and
+    /// turns the whole covered region into boundary Slices — so the
+    /// profile exercises both the planning stages (`plan.*`, from
+    /// `dgf-core`) and the data scan (`hdfs.*`, from `dgf-storage`).
+    pub fn profiled_run(self) -> Result<RunStats> {
+        let ReadPathLab {
+            _tmp,
+            mut idx,
+            query,
+            ..
+        } = self;
+        let query = match query {
+            Query::Aggregate { aggs, predicate } => Query::Aggregate {
+                aggs,
+                predicate: predicate.and(
+                    "power",
+                    ColumnRange::half_open(Value::Float(-1.0), Value::Float(1e9)),
+                ),
+            },
+            other => other,
+        };
+        idx.set_profiler(Profiler::enabled());
+        let engine = DgfEngine::new(Arc::new(idx));
+        let run = engine.run(&query)?;
+        Ok(run.stats)
+    }
+}
+
+fn pass_json(p: &PassCost) -> String {
+    format!(
+        "{{\"read_ops\":{},\"time_us\":{},\"cache_hits\":{},\"cache_misses\":{}}}",
+        p.read_ops,
+        p.time.as_micros(),
+        p.cache_hits,
+        p.cache_misses
+    )
+}
+
+/// Assemble the `BENCH_readpath.json` document: the three planning-pass
+/// costs plus one fully profiled engine run, whose `profile` array is the
+/// per-stage span tree (`query` → `query.plan`/`query.scan` → `plan.*`)
+/// with `kv.*`, `plan.*` and `hdfs.*` metrics attached to the stages that
+/// incurred them. See DESIGN.md §8 for the schema.
+pub fn readpath_json(config: &str, report: &ReadPathReport, stats: &RunStats) -> String {
+    format!(
+        concat!(
+            "{{\"experiment\":\"readpath\",\"config\":\"{config}\",\"cells\":{cells},",
+            "\"passes\":{{\"point_gets\":{pg},\"cold_scan\":{cold},\"warm_scan\":{warm}}},",
+            "\"query\":{{\"index_time_us\":{itime},\"data_time_us\":{dtime},",
+            "\"index_records_read\":{irec},\"data_records_read\":{drec},",
+            "\"data_bytes_read\":{dbytes},\"splits_total\":{st},\"splits_read\":{sr},",
+            "\"index_cache_hits\":{ch},\"index_cache_misses\":{cm},",
+            "\"retries_absorbed\":{ra},\"profile\":{profile}}}}}"
+        ),
+        config = config,
+        cells = report.cells,
+        pg = pass_json(&report.point_gets),
+        cold = pass_json(&report.cold_scan),
+        warm = pass_json(&report.warm_scan),
+        itime = stats.index_time.as_micros(),
+        dtime = stats.data_time.as_micros(),
+        irec = stats.index_records_read,
+        drec = stats.data_records_read,
+        dbytes = stats.data_bytes_read,
+        st = stats.splits_total,
+        sr = stats.splits_read,
+        ch = stats.index_cache_hits,
+        cm = stats.index_cache_misses,
+        ra = stats.retries_absorbed,
+        profile = stats.profile.to_json(),
+    )
 }
 
 /// Run a partially-specified aggregation over a `users × days` unit grid
@@ -236,5 +316,39 @@ mod tests {
         // The latency model makes the round-trip savings visible in wall
         // time too.
         assert!(report.cold_scan.time < report.point_gets.time);
+    }
+
+    /// The bench JSON document must carry per-stage profile data sourced
+    /// from at least two crates: planning stages (`plan.*`, attached in
+    /// `dgf-core`) and data-scan I/O (`hdfs.*`, attached by
+    /// `dgf-storage`'s `SimHdfs`).
+    #[test]
+    fn bench_json_has_per_stage_profile_from_core_and_storage() {
+        let report = readpath_experiment(25, 25, 800, LatencyModel::ZERO).unwrap();
+        let stats = ReadPathLab::build(25, 25, 800, LatencyModel::ZERO)
+            .unwrap()
+            .profiled_run()
+            .unwrap();
+        assert!(!stats.profile.is_empty(), "profiled run produced no spans");
+        let violations = stats.profile.check_nesting();
+        assert!(violations.is_empty(), "nesting violations: {violations:?}");
+        // Core-side planning stages with their metrics.
+        assert!(stats.profile.find("plan.fetch").is_some());
+        assert!(stats.profile.find("plan.splits").is_some());
+        assert!(stats.profile.metric_total("kv.gets") + stats.profile.metric_total("kv.scans") > 0);
+        // Storage-side scan I/O attributed to the scan stage.
+        let scan = stats.profile.find("query.scan").expect("scan stage");
+        assert!(scan.metrics.get("hdfs.bytes_read").copied().unwrap_or(0) > 0);
+        let json = readpath_json("test 25x25", &report, &stats);
+        for needle in [
+            "\"experiment\":\"readpath\"",
+            "\"passes\":",
+            "\"warm_scan\":",
+            "\"profile\":[",
+            "plan.fetch",
+            "hdfs.bytes_read",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
     }
 }

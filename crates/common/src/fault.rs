@@ -174,6 +174,20 @@ struct FaultState {
 /// A crash is **sticky**: once triggered, every subsequent consultation
 /// of the plan fails, modeling a dead process. Recovery tests then build
 /// fresh, fault-free handles over the surviving on-disk state.
+///
+/// # Example
+///
+/// ```
+/// use dgf_common::{FaultConfig, FaultPlan};
+///
+/// // Same seed → same schedule: a failure replays exactly.
+/// let mk = || FaultPlan::new(FaultConfig::transient(7, 0.5));
+/// let (a, b) = (mk(), mk());
+/// for op in 0..32 {
+///     assert_eq!(a.before_read("get").is_err(), b.before_read("get").is_err());
+/// }
+/// assert_eq!(a.faults_injected(), b.faults_injected());
+/// ```
 #[derive(Debug)]
 pub struct FaultPlan {
     cfg: FaultConfig,
@@ -313,6 +327,26 @@ fn to_io(e: DgfError) -> io::Error {
 ///
 /// Deterministic by construction: no jitter, and tests use zero
 /// backoff so absorbed-retry counts are exact.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::atomic::{AtomicU64, Ordering};
+/// use dgf_common::{DgfError, RetryPolicy};
+///
+/// let absorbed = AtomicU64::new(0);
+/// let mut failures_left = 3;
+/// let v = RetryPolicy::fast(8).run(&absorbed, || {
+///     if failures_left > 0 {
+///         failures_left -= 1;
+///         return Err(DgfError::Transient("rpc timeout".into()));
+///     }
+///     Ok(42)
+/// })?;
+/// assert_eq!(v, 42);
+/// assert_eq!(absorbed.load(Ordering::Relaxed), 3);
+/// # Ok::<(), DgfError>(())
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RetryPolicy {
     /// Total attempts, including the first (1 = no retry).

@@ -1,18 +1,45 @@
 //! # dgf-common
 //!
 //! Shared foundation for the DGFIndex reproduction: dynamic values and
-//! schemas, error types, binary and order-preserving codecs, I/O counters,
-//! and a temp-dir utility.
+//! schemas ([`value`], [`schema`]), error types ([`error`]), binary and
+//! order-preserving codecs ([`codec`]), I/O counters ([`stats`]),
+//! deterministic fault injection and retry policies ([`fault`]), the
+//! observability layer — span-based tracing and the unified metrics
+//! registry ([`obs`]) — and a temp-dir utility ([`tempdir`]).
 //!
 //! Everything downstream (`dgf-storage`, `dgf-format`, `dgf-query`,
 //! `dgf-core`, …) builds on these types; nothing here knows about grids,
 //! indexes, or MapReduce.
+//!
+//! The observability layer in one breath — spans time stages, counters
+//! attach to the stage that incurred them, and the profile renders as a
+//! tree (see [`obs`] for the full model):
+//!
+//! ```
+//! use dgf_common::{MetricsRegistry, Profiler};
+//!
+//! let profiler = Profiler::enabled();
+//! let span = profiler.span("query");
+//! let child = span.child("query.scan");
+//! child.add("hdfs.bytes_read", 4096);
+//! child.finish();
+//! span.finish();
+//!
+//! let profile = profiler.take_profile();
+//! assert_eq!(profile.metric_total("hdfs.bytes_read"), 4096);
+//! assert!(profile.check_nesting().is_empty());
+//!
+//! let registry = MetricsRegistry::new();
+//! registry.add("hdfs.bytes_read", 4096);
+//! assert_eq!(registry.get("hdfs.bytes_read"), 4096);
+//! ```
 
 #![warn(missing_docs)]
 
 pub mod codec;
 pub mod error;
 pub mod fault;
+pub mod obs;
 pub mod schema;
 pub mod stats;
 pub mod tempdir;
@@ -20,6 +47,7 @@ pub mod value;
 
 pub use error::{DgfError, Result};
 pub use fault::{FaultConfig, FaultPlan, RetryPolicy, TransientFault};
+pub use obs::{MetricsRegistry, ProfileNode, Profiler, QueryProfile, SpanGuard, TraceFilter};
 pub use schema::{format_row, parse_row, Field, Row, Schema, SchemaRef, FIELD_DELIM};
 pub use stats::{Counter, IoSnapshot, IoStats, IoStatsRef, Stopwatch};
 pub use tempdir::TempDir;

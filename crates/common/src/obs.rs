@@ -1,0 +1,916 @@
+//! Query-lifecycle observability: tracing spans, a unified metrics
+//! registry, and structured per-query profiles.
+//!
+//! The paper's evaluation attributes query latency to its stages — index
+//! lookup in the KV store, split pruning, Slice scanning, aggregation from
+//! pre-computed GFU headers — and counts exactly how much data each
+//! strategy reads. This module provides the plumbing for that attribution:
+//!
+//! * [`Profiler`] / [`SpanGuard`] — a lightweight span tree with monotonic
+//!   wall-clock timing, parent links, and per-span counter attachment.
+//!   When the profiler is disabled (the default) every operation is a
+//!   no-op on an `Option` that is `None`, so instrumented code pays
+//!   nothing.
+//! * [`MetricsRegistry`] — named [`Counter`]s under stable hierarchical
+//!   names (`kv.gets`, `hdfs.bytes_read`, `cache.header.hits`, …; see
+//!   [`names`]) so the ad-hoc stats blocks (`KvStats`, `IoStats`,
+//!   `RunStats`, `JobCounters`) reconcile in one place.
+//! * [`QueryProfile`] / [`ProfileNode`] — the frozen result of a profiled
+//!   run: a stage tree with wall time, metrics, and children, renderable
+//!   as a flame-style text tree or exportable as JSON for `BENCH_*.json`.
+//! * [`TraceFilter`] — `DGF_TRACE=plan,kv`-style category filtering parsed
+//!   from the environment by [`Profiler::from_env`].
+//!
+//! # Example
+//!
+//! ```
+//! use dgf_common::obs::Profiler;
+//!
+//! let profiler = Profiler::enabled();
+//! {
+//!     let query = profiler.span("query");
+//!     {
+//!         let plan = query.child("query.plan");
+//!         plan.add("kv.gets", 7);
+//!     } // plan finishes on drop
+//! }
+//! let profile = profiler.take_profile();
+//! assert_eq!(profile.metric_total("kv.gets"), 7);
+//! assert!(profile.find("query.plan").is_some());
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::stats::Counter;
+
+/// Stable hierarchical metric names used across the workspace.
+///
+/// Spans and the [`MetricsRegistry`] both use these constants so that a
+/// profile, a registry dump, and the legacy stats structs all speak the
+/// same vocabulary.
+pub mod names {
+    /// KV point lookups (`KvStats::gets`).
+    pub const KV_GETS: &str = "kv.gets";
+    /// KV writes (`KvStats::puts`).
+    pub const KV_PUTS: &str = "kv.puts";
+    /// KV range scans (`KvStats::scans`).
+    pub const KV_SCANS: &str = "kv.scans";
+    /// Batched KV lookups (`KvStats::multi_gets`).
+    pub const KV_MULTI_GETS: &str = "kv.multi_gets";
+    /// Keys requested across batched lookups (`KvStats::multi_get_keys`).
+    pub const KV_MULTI_GET_KEYS: &str = "kv.multi_get_keys";
+    /// Value bytes returned by the KV store (`KvStats::bytes_read`).
+    pub const KV_BYTES_READ: &str = "kv.bytes_read";
+    /// Value bytes written to the KV store (`KvStats::bytes_written`).
+    pub const KV_BYTES_WRITTEN: &str = "kv.bytes_written";
+    /// Transient KV faults absorbed by retry loops
+    /// (`KvStats::retries_absorbed`).
+    pub const KV_RETRIES_ABSORBED: &str = "kv.retries_absorbed";
+
+    /// Bytes read from simulated HDFS data files (`IoStats::bytes_read`).
+    pub const HDFS_BYTES_READ: &str = "hdfs.bytes_read";
+    /// Bytes written to data files (`IoStats::bytes_written`).
+    pub const HDFS_BYTES_WRITTEN: &str = "hdfs.bytes_written";
+    /// Records decoded by record readers (`IoStats::records_read`).
+    pub const HDFS_RECORDS_READ: &str = "hdfs.records_read";
+    /// Records appended by writers (`IoStats::records_written`).
+    pub const HDFS_RECORDS_WRITTEN: &str = "hdfs.records_written";
+    /// Seeks issued by skipping readers (`IoStats::seeks`).
+    pub const HDFS_SEEKS: &str = "hdfs.seeks";
+    /// Transient storage faults absorbed by retries (`IoStats::retries`).
+    pub const HDFS_RETRIES: &str = "hdfs.retries";
+
+    /// GFU header cache hits (`CacheStats::hits`).
+    pub const CACHE_HEADER_HITS: &str = "cache.header.hits";
+    /// GFU header cache misses (`CacheStats::misses`).
+    pub const CACHE_HEADER_MISSES: &str = "cache.header.misses";
+
+    /// Map input records (`JobReport::map_inputs`).
+    pub const MR_MAP_INPUTS: &str = "mr.map_inputs";
+    /// Map output records (`JobReport::map_outputs`).
+    pub const MR_MAP_OUTPUTS: &str = "mr.map_outputs";
+    /// Key/value pairs shuffled (`JobReport::shuffled_pairs`).
+    pub const MR_SHUFFLED_PAIRS: &str = "mr.shuffled_pairs";
+    /// Reduce groups (`JobReport::reduce_groups`).
+    pub const MR_REDUCE_GROUPS: &str = "mr.reduce_groups";
+    /// Map phase wall time in microseconds (`JobReport::map_time`).
+    pub const MR_MAP_TIME_US: &str = "mr.map_time_us";
+    /// Reduce phase wall time in microseconds (`JobReport::reduce_time`).
+    pub const MR_REDUCE_TIME_US: &str = "mr.reduce_time_us";
+
+    /// Inner GFUs answered from pre-computed headers (`DgfPlan`).
+    pub const PLAN_INNER_GFUS: &str = "plan.inner_gfus";
+    /// Boundary GFUs needing Slice reads (`DgfPlan`).
+    pub const PLAN_BOUNDARY_GFUS: &str = "plan.boundary_gfus";
+    /// Records pre-aggregated from inner GFU headers (`DgfPlan`).
+    pub const PLAN_INNER_RECORDS: &str = "plan.inner_records";
+    /// Splits in the table (`DgfPlan::splits_total`).
+    pub const PLAN_SPLITS_TOTAL: &str = "plan.splits_total";
+    /// Splits kept after pruning (`DgfPlan::splits_read`).
+    pub const PLAN_SPLITS_READ: &str = "plan.splits_read";
+
+    /// Pages read by the hadoopdb chunk reader (`ChunkStats::pages_read`).
+    pub const HADOOPDB_PAGES_READ: &str = "hadoopdb.pages_read";
+    /// Rows read by the hadoopdb chunk reader (`ChunkStats::rows_read`).
+    pub const HADOOPDB_ROWS_READ: &str = "hadoopdb.rows_read";
+    /// Bytes read by the hadoopdb chunk reader (`ChunkStats::bytes_read`).
+    pub const HADOOPDB_BYTES_READ: &str = "hadoopdb.bytes_read";
+}
+
+/// Category filter parsed from a `DGF_TRACE`-style string.
+///
+/// A span's *category* is the part of its name before the first `.`
+/// (`"plan.fetch"` → `"plan"`). A filter of `"plan,kv"` records only
+/// spans in those categories; filtered-out spans are *transparent* —
+/// their children re-attach to the nearest recorded ancestor and their
+/// metrics are dropped. The strings `""`, `"*"`, `"all"` and `"1"`
+/// record everything.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub enum TraceFilter {
+    /// Record every span.
+    #[default]
+    All,
+    /// Record only spans whose category is in the list.
+    Only(Vec<String>),
+}
+
+impl TraceFilter {
+    /// Parse a comma-separated category list (`"plan,kv"`).
+    pub fn parse(spec: &str) -> TraceFilter {
+        let spec = spec.trim();
+        if spec.is_empty() || spec == "*" || spec == "all" || spec == "1" {
+            return TraceFilter::All;
+        }
+        TraceFilter::Only(
+            spec.split(',')
+                .map(|s| s.trim().to_string())
+                .filter(|s| !s.is_empty())
+                .collect(),
+        )
+    }
+
+    /// Does this filter record a span with the given name?
+    pub fn accepts(&self, span_name: &str) -> bool {
+        match self {
+            TraceFilter::All => true,
+            TraceFilter::Only(cats) => {
+                let cat = span_name.split('.').next().unwrap_or(span_name);
+                cats.iter().any(|c| c == cat)
+            }
+        }
+    }
+}
+
+#[derive(Debug)]
+struct SpanNode {
+    name: String,
+    parent: Option<usize>,
+    start: Instant,
+    wall: Option<Duration>,
+    metrics: BTreeMap<String, u64>,
+}
+
+#[derive(Debug)]
+struct ProfilerInner {
+    filter: TraceFilter,
+    spans: Mutex<Vec<SpanNode>>,
+}
+
+/// Handle for collecting a span tree during a query or build.
+///
+/// Cloning a `Profiler` shares the underlying arena; [`Profiler::fork`]
+/// creates an independent arena with the same filter (used so plan
+/// assembly can own its subtree and embed it in the [`DgfPlan`]'s
+/// profile while the engine assembles the enclosing query profile).
+///
+/// The disabled profiler ([`Profiler::disabled`], also `Default`) holds
+/// no allocation at all: every span or metric operation is a branch on
+/// `Option::None`.
+///
+/// [`DgfPlan`]: https://docs.rs/dgf-core
+#[derive(Debug, Clone, Default)]
+pub struct Profiler(Option<Arc<ProfilerInner>>);
+
+impl Profiler {
+    /// A no-op profiler: spans are never recorded, nothing allocates.
+    pub fn disabled() -> Profiler {
+        Profiler(None)
+    }
+
+    /// A profiler recording every span.
+    pub fn enabled() -> Profiler {
+        Profiler::with_filter(TraceFilter::All)
+    }
+
+    /// A profiler recording spans matching `filter`.
+    pub fn with_filter(filter: TraceFilter) -> Profiler {
+        Profiler(Some(Arc::new(ProfilerInner {
+            filter,
+            spans: Mutex::new(Vec::new()),
+        })))
+    }
+
+    /// Build from the `DGF_TRACE` environment variable.
+    ///
+    /// Unset or empty → disabled (zero-cost). `DGF_TRACE=1`/`all`/`*` →
+    /// record everything. `DGF_TRACE=plan,kv` → record only those
+    /// categories.
+    pub fn from_env() -> Profiler {
+        match std::env::var("DGF_TRACE") {
+            Ok(spec) if !spec.trim().is_empty() => {
+                Profiler::with_filter(TraceFilter::parse(&spec))
+            }
+            _ => Profiler::disabled(),
+        }
+    }
+
+    /// Is collection active?
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// An independent profiler with the same filter but a fresh arena.
+    ///
+    /// Disabled profilers fork to disabled profilers.
+    pub fn fork(&self) -> Profiler {
+        match &self.0 {
+            Some(inner) => Profiler::with_filter(inner.filter.clone()),
+            None => Profiler::disabled(),
+        }
+    }
+
+    /// Open a root span. Returns a guard that finishes the span when
+    /// dropped (or via [`SpanGuard::finish`]).
+    pub fn span(&self, name: &str) -> SpanGuard {
+        self.start_span(name, None)
+    }
+
+    fn start_span(&self, name: &str, parent: Option<usize>) -> SpanGuard {
+        let Some(inner) = &self.0 else {
+            return SpanGuard {
+                profiler: Profiler::disabled(),
+                own: None,
+                attach: None,
+            };
+        };
+        if !inner.filter.accepts(name) {
+            // Transparent: this guard records nothing itself, but its
+            // children re-attach to the nearest recorded ancestor.
+            return SpanGuard {
+                profiler: self.clone(),
+                own: None,
+                attach: parent,
+            };
+        }
+        let mut spans = inner.spans.lock().unwrap();
+        let id = spans.len();
+        spans.push(SpanNode {
+            name: name.to_string(),
+            parent,
+            start: Instant::now(),
+            wall: None,
+            metrics: BTreeMap::new(),
+        });
+        SpanGuard {
+            profiler: self.clone(),
+            own: Some(id),
+            attach: Some(id),
+        }
+    }
+
+    /// Freeze the collected spans into a [`QueryProfile`], draining the
+    /// arena. Unfinished spans are closed as of now. Returns an empty
+    /// profile when disabled.
+    pub fn take_profile(&self) -> QueryProfile {
+        let Some(inner) = &self.0 else {
+            return QueryProfile::default();
+        };
+        let mut spans = inner.spans.lock().unwrap();
+        let drained: Vec<SpanNode> = spans.drain(..).collect();
+        drop(spans);
+        let now = Instant::now();
+        // Convert arena to nodes; arena order guarantees parents precede
+        // children, so build children lists by index.
+        let mut nodes: Vec<ProfileNode> = drained
+            .iter()
+            .map(|s| ProfileNode {
+                name: s.name.clone(),
+                wall: s.wall.unwrap_or_else(|| now.saturating_duration_since(s.start)),
+                metrics: s.metrics.clone(),
+                children: Vec::new(),
+            })
+            .collect();
+        // Attach children to parents from the back so each node's own
+        // children are complete before it is moved into its parent.
+        let mut roots = Vec::new();
+        for idx in (0..drained.len()).rev() {
+            let node = std::mem::take(&mut nodes[idx]);
+            match drained[idx].parent {
+                Some(p) => nodes[p].children.insert(0, node),
+                None => roots.insert(0, node),
+            }
+        }
+        QueryProfile { roots }
+    }
+}
+
+/// RAII guard for an open span. Records wall time on drop; metrics are
+/// attached with [`SpanGuard::add`]; child spans with
+/// [`SpanGuard::child`].
+#[derive(Debug)]
+pub struct SpanGuard {
+    profiler: Profiler,
+    /// Arena index of the span this guard opened (None when disabled or
+    /// filtered out — such a guard never closes anything).
+    own: Option<usize>,
+    /// Arena index that child spans attach to (for a transparent guard
+    /// this is the nearest recorded ancestor).
+    attach: Option<usize>,
+}
+
+impl SpanGuard {
+    /// Open a child span of this one.
+    pub fn child(&self, name: &str) -> SpanGuard {
+        self.profiler.start_span(name, self.attach)
+    }
+
+    /// Add `n` to the named metric on this span.
+    pub fn add(&self, metric: &str, n: u64) {
+        let (Some(inner), Some(id)) = (&self.profiler.0, self.own) else {
+            return;
+        };
+        let mut spans = inner.spans.lock().unwrap();
+        // The arena may have been drained by `take_profile` while this
+        // guard was still open; treat the span as gone.
+        let Some(span) = spans.get_mut(id) else {
+            return;
+        };
+        *span.metrics.entry(metric.to_string()).or_insert(0) += n;
+    }
+
+    /// Is this guard actually recording?
+    pub fn is_recording(&self) -> bool {
+        self.own.is_some() && self.profiler.0.is_some()
+    }
+
+    /// Close the span now (idempotent; also happens on drop).
+    pub fn finish(mut self) {
+        self.close();
+    }
+
+    fn close(&mut self) {
+        let (Some(inner), Some(id)) = (&self.profiler.0, self.own.take()) else {
+            return;
+        };
+        let mut spans = inner.spans.lock().unwrap();
+        let Some(span) = spans.get_mut(id) else {
+            return;
+        };
+        if span.wall.is_none() {
+            span.wall = Some(span.start.elapsed());
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+/// One stage in a [`QueryProfile`]: a named span with wall time,
+/// attached metrics, and child stages.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ProfileNode {
+    /// Span name (`"query.plan.fetch"`).
+    pub name: String,
+    /// Wall-clock duration of the span.
+    pub wall: Duration,
+    /// Metrics attached to this span (not including children).
+    pub metrics: BTreeMap<String, u64>,
+    /// Child stages in start order.
+    pub children: Vec<ProfileNode>,
+}
+
+impl ProfileNode {
+    /// Sum of `metric` over this node and all descendants.
+    pub fn metric_total(&self, metric: &str) -> u64 {
+        self.metrics.get(metric).copied().unwrap_or(0)
+            + self
+                .children
+                .iter()
+                .map(|c| c.metric_total(metric))
+                .sum::<u64>()
+    }
+
+    /// First node (pre-order) whose name equals `name`.
+    pub fn find(&self, name: &str) -> Option<&ProfileNode> {
+        if self.name == name {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find(name))
+    }
+
+    fn check_nesting_in(&self, errors: &mut Vec<String>) {
+        let child_sum: Duration = self.children.iter().map(|c| c.wall).sum();
+        // Allow a small tolerance for clock granularity on coarse timers.
+        let tolerance = Duration::from_micros(500);
+        if child_sum > self.wall + tolerance {
+            errors.push(format!(
+                "span `{}`: children sum to {:?} > own wall {:?}",
+                self.name, child_sum, self.wall
+            ));
+        }
+        for c in &self.children {
+            c.check_nesting_in(errors);
+        }
+    }
+
+    fn render_into(&self, out: &mut String, depth: usize, total: Duration) {
+        let indent = "  ".repeat(depth);
+        let pct = if total.as_nanos() > 0 {
+            100.0 * self.wall.as_secs_f64() / total.as_secs_f64()
+        } else {
+            0.0
+        };
+        let bar_len = (pct / 5.0).round() as usize; // 20 chars == 100%
+        let bar: String = "#".repeat(bar_len.min(20));
+        let _ = writeln!(
+            out,
+            "{indent}{:<width$} {:>9.3} ms {:>5.1}% |{bar:<20}|",
+            self.name,
+            self.wall.as_secs_f64() * 1e3,
+            pct,
+            width = 36usize.saturating_sub(depth * 2),
+        );
+        if !self.metrics.is_empty() {
+            let mut parts = Vec::new();
+            for (k, v) in &self.metrics {
+                parts.push(format!("{k}={v}"));
+            }
+            let _ = writeln!(out, "{indent}  · {}", parts.join(" "));
+        }
+        for c in &self.children {
+            c.render_into(out, depth + 1, total);
+        }
+    }
+
+    fn json_into(&self, out: &mut String) {
+        out.push('{');
+        let _ = write!(out, "\"name\":\"{}\",", json_escape(&self.name));
+        let _ = write!(out, "\"wall_us\":{},", self.wall.as_micros());
+        out.push_str("\"metrics\":{");
+        let mut first = true;
+        for (k, v) in &self.metrics {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "\"{}\":{}", json_escape(k), v);
+        }
+        out.push_str("},\"children\":[");
+        for (i, c) in self.children.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            c.json_into(out);
+        }
+        out.push_str("]}");
+    }
+}
+
+/// A frozen span tree for one query (or build), carried on `DgfPlan`
+/// and `RunStats`, rendered by `dgf profile`, and exported as JSON by
+/// the bench harness.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QueryProfile {
+    /// Root stages (usually exactly one, e.g. `"query"`).
+    pub roots: Vec<ProfileNode>,
+}
+
+impl QueryProfile {
+    /// Is there anything in this profile?
+    pub fn is_empty(&self) -> bool {
+        self.roots.is_empty()
+    }
+
+    /// Sum of `metric` over every node in the tree.
+    pub fn metric_total(&self, metric: &str) -> u64 {
+        self.roots.iter().map(|r| r.metric_total(metric)).sum()
+    }
+
+    /// First node (pre-order) whose name equals `name`.
+    pub fn find(&self, name: &str) -> Option<&ProfileNode> {
+        self.roots.iter().find_map(|r| r.find(name))
+    }
+
+    /// Verify that every span's children sum to no more than the span's
+    /// own wall time (within clock tolerance). Returns the violations.
+    pub fn check_nesting(&self) -> Vec<String> {
+        let mut errors = Vec::new();
+        for r in &self.roots {
+            r.check_nesting_in(&mut errors);
+        }
+        errors
+    }
+
+    /// Flame-style text rendering: one line per span with wall time,
+    /// percent of root, a proportional bar, and attached metrics.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let total: Duration = self.roots.iter().map(|r| r.wall).sum();
+        for r in &self.roots {
+            r.render_into(&mut out, 0, total);
+        }
+        out
+    }
+
+    /// JSON export (hand-rolled; no serde in this workspace):
+    /// `[{"name":..,"wall_us":..,"metrics":{..},"children":[..]}]`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push('[');
+        for (i, r) in self.roots.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            r.json_into(&mut out);
+        }
+        out.push(']');
+        out
+    }
+
+    /// Graft another profile's roots under the named node (e.g. embed a
+    /// plan-time subtree under the engine's `"query"` span). No-op when
+    /// `sub` is empty; appends to roots when `under` is not found.
+    pub fn graft(&mut self, under: &str, sub: QueryProfile) {
+        if sub.is_empty() {
+            return;
+        }
+        fn find_mut<'a>(nodes: &'a mut [ProfileNode], name: &str) -> Option<&'a mut ProfileNode> {
+            for n in nodes.iter_mut() {
+                if n.name == name {
+                    return Some(n);
+                }
+                if let Some(hit) = find_mut(&mut n.children, name) {
+                    return Some(hit);
+                }
+            }
+            None
+        }
+        match find_mut(&mut self.roots, under) {
+            Some(node) => node.children.extend(sub.roots),
+            None => self.roots.extend(sub.roots),
+        }
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Named counters under the stable hierarchical scheme of [`names`].
+///
+/// The registry is the reconciliation point: the legacy stats blocks
+/// (`KvStatsSnapshot`, `IoSnapshot`, `RunStats`, `JobReport`,
+/// `CacheStats`) each know how to project themselves into it, so a
+/// single dump shows a query's totals under one naming scheme.
+///
+/// ```
+/// use dgf_common::obs::{names, MetricsRegistry};
+///
+/// let reg = MetricsRegistry::new();
+/// reg.add(names::KV_GETS, 3);
+/// reg.add(names::KV_GETS, 2);
+/// assert_eq!(reg.get(names::KV_GETS), 5);
+/// ```
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// The counter registered under `name`, creating it at zero.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut counters = self.counters.lock().unwrap();
+        Arc::clone(
+            counters
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Counter::new())),
+        )
+    }
+
+    /// Add `n` to the counter under `name`.
+    pub fn add(&self, name: &str, n: u64) {
+        self.counter(name).add(n);
+    }
+
+    /// Current value of `name` (zero if never registered).
+    pub fn get(&self, name: &str) -> u64 {
+        let counters = self.counters.lock().unwrap();
+        counters.get(name).map(|c| c.get()).unwrap_or(0)
+    }
+
+    /// Point-in-time copy of every counter, sorted by name.
+    pub fn snapshot(&self) -> BTreeMap<String, u64> {
+        let counters = self.counters.lock().unwrap();
+        counters.iter().map(|(k, v)| (k.clone(), v.get())).collect()
+    }
+
+    /// Two-column text table of every counter.
+    pub fn render(&self) -> String {
+        let snap = self.snapshot();
+        let width = snap.keys().map(|k| k.len()).max().unwrap_or(0);
+        let mut out = String::new();
+        for (k, v) in &snap {
+            let _ = writeln!(out, "{k:<width$}  {v}");
+        }
+        out
+    }
+}
+
+/// Project an [`crate::stats::IoSnapshot`] into a registry under the
+/// `hdfs.*` names.
+pub fn record_io_snapshot(reg: &MetricsRegistry, snap: &crate::stats::IoSnapshot) {
+    reg.add(names::HDFS_BYTES_READ, snap.bytes_read);
+    reg.add(names::HDFS_BYTES_WRITTEN, snap.bytes_written);
+    reg.add(names::HDFS_RECORDS_READ, snap.records_read);
+    reg.add(names::HDFS_RECORDS_WRITTEN, snap.records_written);
+    reg.add(names::HDFS_SEEKS, snap.seeks);
+    reg.add(names::HDFS_RETRIES, snap.retries);
+}
+
+/// Attach an [`crate::stats::IoSnapshot`] (usually a delta) to a span
+/// under the `hdfs.*` names. Zero-valued counters are skipped to keep
+/// profiles readable.
+pub fn span_add_io_snapshot(span: &SpanGuard, snap: &crate::stats::IoSnapshot) {
+    for (name, v) in [
+        (names::HDFS_BYTES_READ, snap.bytes_read),
+        (names::HDFS_BYTES_WRITTEN, snap.bytes_written),
+        (names::HDFS_RECORDS_READ, snap.records_read),
+        (names::HDFS_RECORDS_WRITTEN, snap.records_written),
+        (names::HDFS_SEEKS, snap.seeks),
+        (names::HDFS_RETRIES, snap.retries),
+    ] {
+        if v > 0 {
+            span.add(name, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread::sleep;
+
+    #[test]
+    fn disabled_profiler_is_inert() {
+        let p = Profiler::disabled();
+        assert!(!p.is_enabled());
+        let root = p.span("query");
+        assert!(!root.is_recording());
+        let child = root.child("query.plan");
+        child.add("kv.gets", 5);
+        drop(child);
+        drop(root);
+        let profile = p.take_profile();
+        assert!(profile.is_empty());
+        assert_eq!(profile.metric_total("kv.gets"), 0);
+    }
+
+    #[test]
+    fn span_tree_structure_and_metrics() {
+        let p = Profiler::enabled();
+        {
+            let root = p.span("query");
+            {
+                let plan = root.child("query.plan");
+                plan.add("kv.gets", 3);
+                plan.add("kv.gets", 2);
+                let fetch = plan.child("query.plan.fetch");
+                fetch.add("kv.scans", 1);
+            }
+            let scan = root.child("query.scan");
+            scan.add("hdfs.bytes_read", 100);
+        }
+        let profile = p.take_profile();
+        assert_eq!(profile.roots.len(), 1);
+        let root = &profile.roots[0];
+        assert_eq!(root.name, "query");
+        assert_eq!(root.children.len(), 2);
+        assert_eq!(root.children[0].name, "query.plan");
+        assert_eq!(root.children[0].metrics["kv.gets"], 5);
+        assert_eq!(root.children[0].children[0].name, "query.plan.fetch");
+        assert_eq!(profile.metric_total("kv.gets"), 5);
+        assert_eq!(profile.metric_total("kv.scans"), 1);
+        assert_eq!(profile.metric_total("hdfs.bytes_read"), 100);
+        assert!(profile.find("query.scan").is_some());
+        assert!(profile.find("nope").is_none());
+        // Arena drained: second take is empty.
+        assert!(p.take_profile().is_empty());
+    }
+
+    #[test]
+    fn nesting_invariant_holds() {
+        let p = Profiler::enabled();
+        {
+            let root = p.span("query");
+            {
+                let _a = root.child("query.a");
+                sleep(Duration::from_millis(2));
+            }
+            {
+                let _b = root.child("query.b");
+                sleep(Duration::from_millis(2));
+            }
+        }
+        let profile = p.take_profile();
+        assert!(profile.check_nesting().is_empty(), "{:?}", profile.check_nesting());
+        let root = &profile.roots[0];
+        let child_sum: Duration = root.children.iter().map(|c| c.wall).sum();
+        assert!(root.wall + Duration::from_micros(500) >= child_sum);
+    }
+
+    #[test]
+    fn check_nesting_flags_violations() {
+        let bad = QueryProfile {
+            roots: vec![ProfileNode {
+                name: "root".into(),
+                wall: Duration::from_millis(1),
+                metrics: BTreeMap::new(),
+                children: vec![ProfileNode {
+                    name: "child".into(),
+                    wall: Duration::from_millis(5),
+                    metrics: BTreeMap::new(),
+                    children: Vec::new(),
+                }],
+            }],
+        };
+        assert_eq!(bad.check_nesting().len(), 1);
+    }
+
+    #[test]
+    fn filter_parsing_and_semantics() {
+        assert_eq!(TraceFilter::parse(""), TraceFilter::All);
+        assert_eq!(TraceFilter::parse("*"), TraceFilter::All);
+        assert_eq!(TraceFilter::parse("all"), TraceFilter::All);
+        assert_eq!(TraceFilter::parse("1"), TraceFilter::All);
+        let f = TraceFilter::parse("plan, kv");
+        assert!(f.accepts("plan"));
+        assert!(f.accepts("plan.fetch"));
+        assert!(f.accepts("kv.gets"));
+        assert!(!f.accepts("query"));
+        assert!(!f.accepts("query.scan"));
+    }
+
+    #[test]
+    fn filtered_spans_are_transparent() {
+        let p = Profiler::with_filter(TraceFilter::parse("query,plan"));
+        {
+            let root = p.span("query");
+            // "scan" is filtered out; its child in an accepted category
+            // must re-attach to `root`.
+            let scan = root.child("scan.slice");
+            scan.add("hdfs.bytes_read", 9); // dropped: span not recorded
+            let inner = scan.child("plan.fetch");
+            inner.add("kv.gets", 4);
+        }
+        let profile = p.take_profile();
+        let root = &profile.roots[0];
+        assert_eq!(root.children.len(), 1);
+        assert_eq!(root.children[0].name, "plan.fetch");
+        assert_eq!(profile.metric_total("hdfs.bytes_read"), 0);
+        assert_eq!(profile.metric_total("kv.gets"), 4);
+    }
+
+    #[test]
+    fn fork_is_independent() {
+        let p = Profiler::enabled();
+        let f = p.fork();
+        {
+            let _a = p.span("a");
+            let _b = f.span("b");
+        }
+        assert_eq!(p.take_profile().roots[0].name, "a");
+        assert_eq!(f.take_profile().roots[0].name, "b");
+        assert!(!Profiler::disabled().fork().is_enabled());
+    }
+
+    #[test]
+    fn graft_embeds_subtree() {
+        let p = Profiler::enabled();
+        {
+            let root = p.span("query");
+            let _plan = root.child("query.plan");
+        }
+        let mut profile = p.take_profile();
+        let sub = Profiler::enabled();
+        {
+            let s = sub.span("plan.fetch");
+            s.add("kv.gets", 2);
+        }
+        profile.graft("query.plan", sub.take_profile());
+        let plan = profile.find("query.plan").unwrap();
+        assert_eq!(plan.children[0].name, "plan.fetch");
+        assert_eq!(profile.metric_total("kv.gets"), 2);
+    }
+
+    #[test]
+    fn render_and_json() {
+        let p = Profiler::enabled();
+        {
+            let root = p.span("query");
+            root.add("kv.gets", 1);
+            let _c = root.child("query.plan");
+        }
+        let profile = p.take_profile();
+        let text = profile.render();
+        assert!(text.contains("query"));
+        assert!(text.contains("query.plan"));
+        assert!(text.contains("kv.gets=1"));
+        let json = profile.to_json();
+        assert!(json.starts_with('['));
+        assert!(json.contains("\"name\":\"query\""));
+        assert!(json.contains("\"wall_us\":"));
+        assert!(json.contains("\"children\":[{\"name\":\"query.plan\""));
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn registry_counters_and_render() {
+        let reg = MetricsRegistry::new();
+        reg.add(names::KV_GETS, 3);
+        reg.counter(names::KV_GETS).add(4);
+        reg.add(names::CACHE_HEADER_HITS, 1);
+        assert_eq!(reg.get(names::KV_GETS), 7);
+        assert_eq!(reg.get("never.seen"), 0);
+        let snap = reg.snapshot();
+        assert_eq!(snap["kv.gets"], 7);
+        assert_eq!(snap["cache.header.hits"], 1);
+        let table = reg.render();
+        assert!(table.contains("kv.gets"));
+        assert!(table.contains('7'));
+    }
+
+    #[test]
+    fn io_snapshot_projection() {
+        use crate::stats::IoStats;
+        let io = IoStats::default();
+        io.bytes_read.add(42);
+        io.seeks.add(3);
+        let reg = MetricsRegistry::new();
+        record_io_snapshot(&reg, &io.snapshot());
+        assert_eq!(reg.get(names::HDFS_BYTES_READ), 42);
+        assert_eq!(reg.get(names::HDFS_SEEKS), 3);
+        assert_eq!(reg.get(names::HDFS_RETRIES), 0);
+
+        let p = Profiler::enabled();
+        {
+            let s = p.span("scan");
+            span_add_io_snapshot(&s, &io.snapshot());
+        }
+        let profile = p.take_profile();
+        assert_eq!(profile.metric_total(names::HDFS_BYTES_READ), 42);
+        // Zero-valued counters are not attached.
+        assert!(!profile.roots[0].metrics.contains_key(names::HDFS_RETRIES));
+    }
+
+    #[test]
+    fn unfinished_spans_are_closed_at_take() {
+        let p = Profiler::enabled();
+        let root = p.span("query");
+        sleep(Duration::from_millis(1));
+        // Take while `root` is still open.
+        let profile = p.take_profile();
+        assert_eq!(profile.roots.len(), 1);
+        assert!(profile.roots[0].wall >= Duration::from_millis(1));
+        drop(root); // must not panic on drained arena
+    }
+}

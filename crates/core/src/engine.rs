@@ -76,7 +76,14 @@ impl Engine for DgfEngine {
         // double-counted if headers were also merged, so the header
         // shortcut is disabled together with skipping.
         let use_headers = self.use_headers && self.slice_skipping;
+        // Per-run profile: fork the index's profiler so concurrent runs
+        // don't interleave spans. Disabled profilers make all of this a
+        // no-op.
+        let prof = self.index.profiler().fork();
+        let root = prof.span("query");
+        let plan_span = root.child("query.plan");
         let mut plan = self.index.plan(query, use_headers)?;
+        plan_span.finish();
         if !self.slice_skipping {
             plan.inputs = std::mem::take(&mut plan.chosen_splits)
                 .into_iter()
@@ -90,6 +97,7 @@ impl Engine for DgfEngine {
         // Boundary region: scan the query-related Slices only. The full
         // predicate is re-applied row by row, so boundary over-coverage
         // can never contaminate the answer.
+        let scan_span = root.child("query.scan");
         let mut sink = execute_sink(
             ctx,
             &self.index.data,
@@ -103,7 +111,13 @@ impl Engine for DgfEngine {
             sink.merge_agg_states(states)?;
         }
         let result = sink.finish();
+        // The storage layer attributes its I/O to the scan stage.
+        ctx.hdfs.attach_io_to_span(&scan_span, &before);
+        scan_span.finish();
+        root.finish();
         let delta = ctx.hdfs.stats().snapshot().since(&before);
+        let mut profile = prof.take_profile();
+        profile.graft("query.plan", std::mem::take(&mut plan.profile));
         Ok(EngineRun {
             result,
             stats: RunStats {
@@ -119,6 +133,7 @@ impl Engine for DgfEngine {
                 index_cache_misses: plan.cache_misses,
                 // Planning-time KV retries plus data-phase file retries.
                 retries_absorbed: plan.retries_absorbed + delta.retries,
+                profile,
             },
         })
     }

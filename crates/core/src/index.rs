@@ -19,6 +19,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use dgf_common::fault::{FaultPlan, RetryPolicy};
+use dgf_common::obs::{names, MetricsRegistry, Profiler};
 use dgf_common::{format_row, parse_row, DgfError, Result, Row, Stopwatch, Value};
 use dgf_format::{FileFormat, RcReader, TextReader, TextWriter};
 use dgf_hive::{BuildReport, HiveContext, TableRef};
@@ -98,6 +99,11 @@ pub struct IndexOptions {
     pub retry: RetryPolicy,
     /// Fault schedule consulted at the commit protocol's crash points.
     pub fault: Option<Arc<FaultPlan>>,
+    /// Span collector threaded through builds, opens, and query planning.
+    /// The default honours the `DGF_TRACE` environment variable and is a
+    /// no-op when it is unset; pass [`Profiler::enabled`] to collect a
+    /// [`QueryProfile`](dgf_common::obs::QueryProfile) unconditionally.
+    pub profiler: Profiler,
 }
 
 impl Default for IndexOptions {
@@ -106,6 +112,7 @@ impl Default for IndexOptions {
             placement: SlicePlacement::KeyHash,
             retry: RetryPolicy::standard(),
             fault: None,
+            profiler: Profiler::from_env(),
         }
     }
 }
@@ -139,6 +146,7 @@ pub struct DgfIndex {
     /// Retry policy wrapped around every key-value round trip.
     pub retry: RetryPolicy,
     fault: Option<Arc<FaultPlan>>,
+    profiler: Profiler,
     generation: AtomicU64,
     header_cache: GfuHeaderCache,
 }
@@ -240,22 +248,32 @@ impl DgfIndex {
             placement,
             retry: options.retry,
             fault: options.fault,
+            profiler: options.profiler,
             generation: AtomicU64::new(0),
             header_cache: GfuHeaderCache::new(DEFAULT_HEADER_CACHE_CAPACITY),
         };
         let watch = Stopwatch::start();
+        let span = index.profiler.span("build");
+        let kv_before = index.kv.stats().snapshot();
         let splits = index.ctx.table_splits(&index.base);
         // Declare the transaction before its first write so a crash at
         // any later point is recoverable.
         let manifest = TxnManifest::intent(0, index.staging_dir(0), None);
         index.kv_put(TXN_MANIFEST_KEY, &manifest.encode())?;
         index.crash_point("build.intent")?;
-        let job = index.reorganize(splits, index.base.format)?;
+        let job = {
+            let reorg = span.child("build.reorganize");
+            let job = index.reorganize(splits, index.base.format)?;
+            job.attach_to_span(&reorg);
+            job
+        };
         let report = BuildReport {
             build_time: watch.elapsed(),
             index_size_bytes: index.kv.logical_size_bytes(),
             index_entries: index.kv.len() as u64 - META_KEY_COUNT,
         };
+        index.kv.stats().snapshot().since(&kv_before).attach_to_span(&span);
+        span.finish();
         let _ = job;
         Ok((index, report))
     }
@@ -290,7 +308,15 @@ impl DgfIndex {
         aggs: Vec<AggFunc>,
         options: IndexOptions,
     ) -> Result<DgfIndex> {
-        Self::recover(&ctx.hdfs, &kv, options.retry)?;
+        let span = options.profiler.span("open");
+        let kv_before = kv.stats().snapshot();
+        {
+            let recover_span = span.child("open.recover");
+            Self::recover(&ctx.hdfs, &kv, options.retry)?;
+            kv.stats().snapshot().since(&kv_before).attach_to_span(&recover_span);
+        }
+        let meta_span = span.child("open.meta");
+        let meta_before = kv.stats().snapshot();
         let policy_bytes = kv_retry(options.retry, kv.as_ref(), || kv.get(META_POLICY_KEY))?
             .ok_or_else(|| DgfError::Index("store holds no DGFIndex metadata".into()))?;
         let policy = SplittingPolicy::decode(&policy_bytes)?;
@@ -329,6 +355,9 @@ impl DgfIndex {
         let placement = kv_retry(options.retry, kv.as_ref(), || kv.get(META_PLACEMENT_KEY))?
             .map(|b| SlicePlacement::decode(&b))
             .unwrap_or(SlicePlacement::KeyHash);
+        kv.stats().snapshot().since(&meta_before).attach_to_span(&meta_span);
+        meta_span.finish();
+        span.finish();
         Ok(DgfIndex {
             ctx,
             base,
@@ -339,6 +368,7 @@ impl DgfIndex {
             placement,
             retry: options.retry,
             fault: options.fault,
+            profiler: options.profiler,
             generation: AtomicU64::new(max_gen),
             header_cache: GfuHeaderCache::new(DEFAULT_HEADER_CACHE_CAPACITY),
         })
@@ -470,6 +500,8 @@ impl DgfIndex {
     /// file and reorganized into new Slices; existing GFU entries extend
     /// rather than rebuild (the paper's time-extension load path).
     pub fn append(&self, rows: &[Row]) -> Result<BuildReport> {
+        let span = self.profiler.span("append");
+        let kv_before = self.kv.stats().snapshot();
         let gen = self.generation.fetch_add(1, Ordering::Relaxed) + 1;
         // Declare the transaction — including the delta file about to be
         // written — BEFORE writing it: a crash between the base-table
@@ -485,6 +517,7 @@ impl DgfIndex {
         let watch = Stopwatch::start();
         let len = self.ctx.hdfs.file_len(&path)?;
         let splits = dgf_storage::splits_for_file(&path, len, self.ctx.hdfs.block_size());
+        let reorg_span = span.child("append.reorganize");
         let reorganized = self.reorganize(splits, self.base.format);
         // Retire the header-cache epoch only after the new GFU values are
         // in the store (or the write failed partway through): a plan racing
@@ -492,7 +525,12 @@ impl DgfIndex {
         // this bump orphans them. Generation numbers only need to be
         // monotonic, not consecutive.
         self.generation.fetch_add(1, Ordering::Relaxed);
+        if let Ok(job) = &reorganized {
+            job.attach_to_span(&reorg_span);
+        }
+        reorg_span.finish();
         reorganized?;
+        self.kv.stats().snapshot().since(&kv_before).attach_to_span(&span);
         Ok(BuildReport {
             build_time: watch.elapsed(),
             index_size_bytes: self.kv.logical_size_bytes(),
@@ -541,6 +579,36 @@ impl DgfIndex {
     /// planner (see [`crate::cache`]).
     pub fn header_cache(&self) -> &GfuHeaderCache {
         &self.header_cache
+    }
+
+    /// The span collector this index was opened or built with (see
+    /// [`IndexOptions::profiler`]). Engines fork it per query so each
+    /// run's profile is independent.
+    pub fn profiler(&self) -> &Profiler {
+        &self.profiler
+    }
+
+    /// Replace the index's span collector after the fact — e.g. to force
+    /// collection for one profiled run regardless of `DGF_TRACE`, as the
+    /// bench harness does when emitting `BENCH_*.json`.
+    pub fn set_profiler(&mut self, profiler: Profiler) {
+        self.profiler = profiler;
+    }
+
+    /// Project this index's lifetime counters — key-value store traffic,
+    /// header-cache hits and misses, storage-layer I/O — into one
+    /// [`MetricsRegistry`] under the stable hierarchical names, so totals
+    /// from the different stats blocks reconcile in a single dump.
+    pub fn metrics(&self) -> MetricsRegistry {
+        let reg = MetricsRegistry::new();
+        self.kv.stats().snapshot().record_into(&reg);
+        let cache = self.header_cache.stats();
+        reg.add(names::CACHE_HEADER_HITS, cache.hits);
+        reg.add(names::CACHE_HEADER_MISSES, cache.misses);
+        self.ctx
+            .hdfs
+            .record_io_into(&reg, &dgf_common::stats::IoSnapshot::default());
+        reg
     }
 
     /// The shared reorganization job (Algorithms 1 + 2), run as a

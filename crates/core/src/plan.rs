@@ -29,6 +29,7 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Duration;
 
+use dgf_common::obs::{names, QueryProfile};
 use dgf_common::{DgfError, Result, Stopwatch};
 use dgf_format::{coalesce_ranges, ByteRange};
 use dgf_hive::ScanInput;
@@ -86,6 +87,12 @@ pub struct DgfPlan {
     pub retries_absorbed: u64,
     /// Planning time, including key-value store traffic.
     pub index_time: Duration,
+    /// Stage tree collected while building this plan, when the index was
+    /// opened with an enabled [`Profiler`](dgf_common::obs::Profiler)
+    /// (root span `plan`, with `plan.meta` / `plan.fetch` /
+    /// `plan.splits` children carrying `kv.*` and `cache.header.*`
+    /// metrics). Empty — at zero cost — otherwise.
+    pub profile: QueryProfile,
 }
 
 /// Accumulates the per-cell work of a plan: header merging for covered
@@ -153,6 +160,11 @@ impl DgfIndex {
         strategy: PlanStrategy,
     ) -> Result<DgfPlan> {
         let watch = Stopwatch::start();
+        // An independent arena per plan: the subtree is frozen into
+        // `DgfPlan::profile` and engines graft it into their own query
+        // profile. Forking a disabled profiler stays disabled (no-op).
+        let prof = self.profiler().fork();
+        let span = prof.span("plan");
         let retries_before = self.kv.stats().retries_absorbed.load(Ordering::Relaxed);
         let retries_since = |kv: &dyn dgf_kvstore::KvStore| {
             kv.stats()
@@ -160,9 +172,15 @@ impl DgfIndex {
                 .load(Ordering::Relaxed)
                 .saturating_sub(retries_before)
         };
+        let meta_span = span.child("plan.meta");
+        let meta_before = meta_span.is_recording().then(|| self.kv.stats().snapshot());
         self.check_freshness()?;
         let predicate = query.predicate();
         let extents = self.extents()?;
+        if let Some(before) = &meta_before {
+            self.kv.stats().snapshot().since(before).attach_to_span(&meta_span);
+        }
+        meta_span.finish();
         let arity = self.policy.arity();
 
         let empty_plan = |watch: Stopwatch| DgfPlan {
@@ -178,9 +196,13 @@ impl DgfIndex {
             cache_misses: 0,
             retries_absorbed: retries_since(self.kv.as_ref()),
             index_time: watch.elapsed(),
+            profile: QueryProfile::default(),
         };
         if extents.is_empty() {
-            return Ok(empty_plan(watch));
+            let mut plan = empty_plan(watch);
+            span.finish();
+            plan.profile = prof.take_profile();
+            return Ok(plan);
         }
 
         // Per-dimension cell spans; a missing dimension in the predicate
@@ -188,11 +210,14 @@ impl DgfIndex {
         // paper §5.3.4).
         let mut spans: Vec<DimSpan> = Vec::with_capacity(arity);
         for (d, dim) in self.policy.dims().iter().enumerate() {
-            let span = dim.cell_span(predicate.range_of(&dim.name), extents.dims[d])?;
-            if span.is_empty() {
-                return Ok(empty_plan(watch));
+            let dim_span = dim.cell_span(predicate.range_of(&dim.name), extents.dims[d])?;
+            if dim_span.is_empty() {
+                let mut plan = empty_plan(watch);
+                span.finish();
+                plan.profile = prof.take_profile();
+                return Ok(plan);
             }
-            spans.push(span);
+            spans.push(dim_span);
         }
 
         // Headers answer the inner region only when (a) the query is a
@@ -244,6 +269,8 @@ impl DgfIndex {
             cache_misses: 0,
         };
 
+        let fetch_span = span.child("plan.fetch");
+        let fetch_before = fetch_span.is_recording().then(|| self.kv.stats().snapshot());
         match strategy {
             PlanStrategy::PointGets => {
                 self.fetch_point_gets(&spans, headers_usable, &mut collector)?
@@ -252,12 +279,28 @@ impl DgfIndex {
                 self.fetch_prefix_scans(&spans, &extents.dims, headers_usable, &mut collector)?
             }
         }
+        if let Some(before) = &fetch_before {
+            self.kv.stats().snapshot().since(before).attach_to_span(&fetch_span);
+            for (name, v) in [
+                (names::CACHE_HEADER_HITS, collector.cache_hits),
+                (names::CACHE_HEADER_MISSES, collector.cache_misses),
+                (names::PLAN_INNER_GFUS, collector.inner_gfus),
+                (names::PLAN_BOUNDARY_GFUS, collector.boundary_gfus),
+                (names::PLAN_INNER_RECORDS, collector.inner_records),
+            ] {
+                if v > 0 {
+                    fetch_span.add(name, v);
+                }
+            }
+        }
+        fetch_span.finish();
 
         let inner_states = collector.header_merge.map(|hm| hm.acc);
 
         // Algorithm 4: keep splits overlapping a Slice; clip the Slices of
         // each chosen split to its byte range so each mapper reads only
         // its part (a Slice across two splits is served by two mappers).
+        let splits_span = span.child("plan.splits");
         let all_splits = self.ctx.table_splits(&self.data);
         let splits_total = all_splits.len() as u64;
         let mut inputs = Vec::new();
@@ -288,6 +331,12 @@ impl DgfIndex {
             chosen_splits.push(split);
         }
         let splits_read = inputs.len() as u64;
+        if splits_span.is_recording() {
+            splits_span.add(names::PLAN_SPLITS_TOTAL, splits_total);
+            splits_span.add(names::PLAN_SPLITS_READ, splits_read);
+        }
+        splits_span.finish();
+        span.finish();
 
         Ok(DgfPlan {
             inputs,
@@ -302,6 +351,7 @@ impl DgfIndex {
             cache_misses: collector.cache_misses,
             retries_absorbed: retries_since(self.kv.as_ref()),
             index_time: watch.elapsed(),
+            profile: prof.take_profile(),
         })
     }
 

@@ -23,6 +23,13 @@ use dgf_query::{BoundPredicate, ColumnRange, RowSink};
 pub const ROWS_PER_PAGE: usize = 128;
 
 /// I/O counters shared across a HadoopDB deployment.
+///
+/// Chunk files are read with plain `File` I/O (they model local
+/// PostgreSQL storage, not HDFS), so these counters are the *only*
+/// account of HadoopDB's data traffic — [`ChunkStats::snapshot`] and
+/// [`ChunkSnapshot::record_into`] route them through the same
+/// delta/registry scheme as `IoStats` and `KvStats` instead of leaving
+/// them as free-floating atomics.
 #[derive(Debug, Default)]
 pub struct ChunkStats {
     /// Pages fetched from disk.
@@ -31,6 +38,47 @@ pub struct ChunkStats {
     pub rows_read: AtomicU64,
     /// Bytes read.
     pub bytes_read: AtomicU64,
+}
+
+impl ChunkStats {
+    /// A point-in-time copy of all counters.
+    pub fn snapshot(&self) -> ChunkSnapshot {
+        ChunkSnapshot {
+            pages_read: self.pages_read.load(Ordering::Relaxed),
+            rows_read: self.rows_read.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A copyable snapshot of [`ChunkStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChunkSnapshot {
+    /// Pages fetched from disk.
+    pub pages_read: u64,
+    /// Rows decoded from fetched pages.
+    pub rows_read: u64,
+    /// Bytes read.
+    pub bytes_read: u64,
+}
+
+impl ChunkSnapshot {
+    /// Counter deltas `self - earlier` (saturating).
+    pub fn since(&self, earlier: &ChunkSnapshot) -> ChunkSnapshot {
+        ChunkSnapshot {
+            pages_read: self.pages_read.saturating_sub(earlier.pages_read),
+            rows_read: self.rows_read.saturating_sub(earlier.rows_read),
+            bytes_read: self.bytes_read.saturating_sub(earlier.bytes_read),
+        }
+    }
+
+    /// Project into a registry under the `hadoopdb.*` names.
+    pub fn record_into(&self, reg: &dgf_common::obs::MetricsRegistry) {
+        use dgf_common::obs::names;
+        reg.add(names::HADOOPDB_PAGES_READ, self.pages_read);
+        reg.add(names::HADOOPDB_ROWS_READ, self.rows_read);
+        reg.add(names::HADOOPDB_BYTES_READ, self.bytes_read);
+    }
 }
 
 /// One clustered chunk on disk.

@@ -20,7 +20,6 @@
 pub mod chunk;
 
 use std::path::PathBuf;
-use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -29,7 +28,7 @@ use parking_lot::Mutex;
 use dgf_common::{DgfError, Result, Row, Schema, Stopwatch};
 use dgf_query::{Engine, EngineRun, Query, RowSink, RunStats};
 
-pub use chunk::{ChunkDb, ChunkStats, ROWS_PER_PAGE};
+pub use chunk::{ChunkDb, ChunkSnapshot, ChunkStats, ROWS_PER_PAGE};
 
 /// Deployment shape and cost model.
 #[derive(Debug, Clone)]
@@ -250,19 +249,17 @@ impl Engine for HadoopDbEngine {
     }
 
     fn run(&self, query: &Query) -> Result<EngineRun> {
-        let rows_before = self.db.stats.rows_read.load(Ordering::Relaxed);
-        let bytes_before = self.db.stats.bytes_read.load(Ordering::Relaxed);
+        let before = self.db.stats.snapshot();
         let watch = Stopwatch::start();
         let sink = self.db.query(query)?;
         let result = sink.finish();
-        let rows = self.db.stats.rows_read.load(Ordering::Relaxed) - rows_before;
-        let bytes = self.db.stats.bytes_read.load(Ordering::Relaxed) - bytes_before;
+        let delta = self.db.stats.snapshot().since(&before);
         Ok(EngineRun {
             result,
             stats: RunStats {
                 data_time: watch.elapsed(),
-                data_records_read: rows,
-                data_bytes_read: bytes,
+                data_records_read: delta.rows_read,
+                data_bytes_read: delta.bytes_read,
                 splits_total: self.db.chunk_count() as u64,
                 splits_read: self.db.chunk_count() as u64, // every chunk is probed
                 ..RunStats::default()

@@ -156,21 +156,31 @@ pub struct ScanEngine {
     ctx: Arc<HiveContext>,
     table: TableRef,
     right: Option<TableRef>,
+    profiler: dgf_common::obs::Profiler,
 }
 
 impl ScanEngine {
-    /// A scan engine over `table`.
+    /// A scan engine over `table`. Honours `DGF_TRACE` for profiling;
+    /// see [`with_profiler`](Self::with_profiler).
     pub fn new(ctx: Arc<HiveContext>, table: TableRef) -> Self {
         ScanEngine {
             ctx,
             table,
             right: None,
+            profiler: dgf_common::obs::Profiler::from_env(),
         }
     }
 
     /// Attach the dimension table used by join queries.
     pub fn with_right(mut self, right: TableRef) -> Self {
         self.right = Some(right);
+        self
+    }
+
+    /// Collect a [`dgf_common::obs::QueryProfile`] per run with this
+    /// profiler (forked per query), instead of the `DGF_TRACE` default.
+    pub fn with_profiler(mut self, profiler: dgf_common::obs::Profiler) -> Self {
+        self.profiler = profiler;
         self
     }
 }
@@ -183,10 +193,13 @@ impl Engine for ScanEngine {
     fn run(&self, query: &Query) -> Result<EngineRun> {
         let stats_block = self.ctx.hdfs.stats();
         let before = stats_block.snapshot();
+        let prof = self.profiler.fork();
+        let root = prof.span("query");
         let watch = dgf_common::Stopwatch::start();
         let splits = self.ctx.table_splits(&self.table);
         let n_splits = splits.len() as u64;
         let inputs = splits.into_iter().map(ScanInput::FullSplit).collect();
+        let scan_span = root.child("query.scan");
         let result = execute(
             &self.ctx,
             &self.table,
@@ -194,6 +207,9 @@ impl Engine for ScanEngine {
             self.right.as_deref(),
             inputs,
         )?;
+        self.ctx.hdfs.attach_io_to_span(&scan_span, &before);
+        scan_span.finish();
+        root.finish();
         let delta = stats_block.snapshot().since(&before);
         Ok(EngineRun {
             result,
@@ -203,6 +219,7 @@ impl Engine for ScanEngine {
                 data_bytes_read: delta.bytes_read,
                 splits_total: n_splits,
                 splits_read: n_splits,
+                profile: prof.take_profile(),
                 ..RunStats::default()
             },
         })

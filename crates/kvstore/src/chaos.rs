@@ -3,7 +3,7 @@
 //! The paper's DGFIndex trusts HBase to ride out region-server hiccups;
 //! this reproduction has to earn that trust explicitly. [`ChaosKv`]
 //! wraps any [`KvStore`] and consults a shared
-//! [`FaultPlan`](dgf_common::fault::FaultPlan) before every operation:
+//! [`FaultPlan`] before every operation:
 //! the plan may inject a transient error (which a
 //! [`RetryPolicy`](dgf_common::fault::RetryPolicy) upstream is expected
 //! to absorb), stall the call with a latency spike, or — once a

@@ -9,6 +9,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use dgf_common::obs::{names, MetricsRegistry, SpanGuard};
 use dgf_common::Result;
 
 /// A key-value pair.
@@ -121,6 +122,37 @@ impl KvStatsSnapshot {
     /// carry.
     pub fn read_ops(&self) -> u64 {
         self.gets + self.scans + self.multi_gets
+    }
+
+    /// Project this snapshot into a [`MetricsRegistry`] under the stable
+    /// `kv.*` names (see [`dgf_common::obs::names`]).
+    pub fn record_into(&self, reg: &MetricsRegistry) {
+        for (name, v) in self.named() {
+            reg.add(name, v);
+        }
+    }
+
+    /// Attach this snapshot (usually a delta) to a span under the `kv.*`
+    /// names. Zero-valued counters are skipped to keep profiles readable.
+    pub fn attach_to_span(&self, span: &SpanGuard) {
+        for (name, v) in self.named() {
+            if v > 0 {
+                span.add(name, v);
+            }
+        }
+    }
+
+    fn named(&self) -> [(&'static str, u64); 8] {
+        [
+            (names::KV_GETS, self.gets),
+            (names::KV_PUTS, self.puts),
+            (names::KV_SCANS, self.scans),
+            (names::KV_MULTI_GETS, self.multi_gets),
+            (names::KV_MULTI_GET_KEYS, self.multi_get_keys),
+            (names::KV_BYTES_READ, self.bytes_read),
+            (names::KV_BYTES_WRITTEN, self.bytes_written),
+            (names::KV_RETRIES_ABSORBED, self.retries_absorbed),
+        ]
     }
 
     /// Counter-wise difference `self - earlier` (saturating).

@@ -88,6 +88,27 @@ pub struct JobReport {
     pub reduce_time: Duration,
 }
 
+impl JobReport {
+    /// Attach this report's counters to a span under the `mr.*` metric
+    /// names (phase wall times become microsecond counters), so MapReduce
+    /// stages show up in a [`QueryProfile`](dgf_common::obs::QueryProfile).
+    pub fn attach_to_span(&self, span: &dgf_common::obs::SpanGuard) {
+        use dgf_common::obs::names;
+        for (name, v) in [
+            (names::MR_MAP_INPUTS, self.map_inputs),
+            (names::MR_MAP_OUTPUTS, self.map_outputs),
+            (names::MR_SHUFFLED_PAIRS, self.shuffled_pairs),
+            (names::MR_REDUCE_GROUPS, self.reduce_groups),
+            (names::MR_MAP_TIME_US, self.map_time.as_micros() as u64),
+            (names::MR_REDUCE_TIME_US, self.reduce_time.as_micros() as u64),
+        ] {
+            if v > 0 {
+                span.add(name, v);
+            }
+        }
+    }
+}
+
 /// Output of a job: one `T` per reduce task (or per map task for
 /// map-only jobs), plus the report.
 #[derive(Debug)]

@@ -9,6 +9,7 @@
 use std::time::Duration;
 
 use crate::spec::{Query, QueryResult};
+use dgf_common::obs::{names, MetricsRegistry, QueryProfile};
 use dgf_common::Result;
 
 /// Phase timings and I/O accounting for one query run.
@@ -41,12 +42,29 @@ pub struct RunStats {
     /// the chaos suite asserts it is positive exactly when faults were
     /// scheduled, proving the run rode them out rather than dodging them.
     pub retries_absorbed: u64,
+    /// Structured stage tree for this run, populated when the engine ran
+    /// under an enabled [`Profiler`](dgf_common::obs::Profiler) (e.g.
+    /// `dgf profile` or `DGF_TRACE=…`). Empty — and costing nothing —
+    /// otherwise.
+    pub profile: QueryProfile,
 }
 
 impl RunStats {
     /// Total wall time.
     pub fn total_time(&self) -> Duration {
         self.index_time + self.data_time
+    }
+
+    /// Project this run's aggregate counters into a [`MetricsRegistry`]
+    /// under the stable names, so engine totals reconcile with the
+    /// kv/hdfs-level counters collected elsewhere.
+    pub fn record_into(&self, reg: &MetricsRegistry) {
+        reg.add(names::HDFS_BYTES_READ, self.data_bytes_read);
+        reg.add(names::HDFS_RECORDS_READ, self.data_records_read);
+        reg.add(names::CACHE_HEADER_HITS, self.index_cache_hits);
+        reg.add(names::CACHE_HEADER_MISSES, self.index_cache_misses);
+        reg.add(names::PLAN_SPLITS_TOTAL, self.splits_total);
+        reg.add(names::PLAN_SPLITS_READ, self.splits_read);
     }
 }
 

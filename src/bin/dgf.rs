@@ -17,8 +17,14 @@
 //!           [--precompute "sum(power_consumed), count(*)"]
 //! dgf append <dir> <index> <file>          # index + base table extend
 //! dgf query <dir> <table> "SELECT sum(power_consumed) WHERE ..." [--index <name>] [--explain]
+//! dgf profile <dir> <table> "SELECT ..." [--index <name>] [--json]
 //! dgf advise <dir> <table> --dims "user_id,ts" --history "u>1 AND ...; ts='2012-12-05'"
 //! ```
+//!
+//! `profile` runs a query with span collection forced on and renders the
+//! per-stage tree (wall time, KV ops, bytes, cache hits, retries) plus a
+//! metrics-registry dump; `query` honours the `DGF_TRACE` env filter
+//! instead (e.g. `DGF_TRACE=plan,kv`).
 
 use std::io::BufRead;
 use std::path::{Path, PathBuf};
@@ -52,6 +58,7 @@ const USAGE: &str = "usage:
   dgf index <dir> <name> --table <t> --dims \"col:min:interval,...\" [--precompute \"sum(x)\"]
   dgf append <dir> <index> <file>
   dgf query <dir> <table> \"SELECT ... [WHERE ...] [GROUP BY col]\" [--index <name>] [--explain]
+  dgf profile <dir> <table> \"SELECT ... [WHERE ...]\" [--index <name>] [--json]
   dgf advise <dir> <table> --dims \"a,b\" --history \"pred; pred; ...\"";
 
 /// A reopened warehouse: cluster + catalog.
@@ -84,6 +91,10 @@ impl Warehouse {
     }
 
     fn open_index(&self, name: &str) -> Result<DgfIndex> {
+        self.open_index_with_options(name, IndexOptions::default())
+    }
+
+    fn open_index_with_options(&self, name: &str, options: IndexOptions) -> Result<DgfIndex> {
         let entry = self
             .indexes
             .iter()
@@ -96,7 +107,7 @@ impl Warehouse {
             parse_aggs(&entry.aggs_text, &base.schema)?
         };
         let kv: Arc<dyn KvStore> = Arc::new(LogKvStore::open(self.kv_path(name))?);
-        DgfIndex::open(Arc::clone(&self.ctx), base, kv, name, aggs)
+        DgfIndex::open_with_options(Arc::clone(&self.ctx), base, kv, name, aggs, options)
     }
 }
 
@@ -273,6 +284,55 @@ fn dispatch(args: &[String]) -> Result<()> {
                 None => ScanEngine::new(Arc::clone(&w.ctx), table).run(&query)?,
             };
             print_result(&run);
+            Ok(())
+        }
+        "profile" => {
+            use dgfindex::common::obs::{record_io_snapshot, MetricsRegistry, Profiler};
+            let w = Warehouse::open(args.get(1).ok_or_else(bad_usage)?)?;
+            let table = w.ctx.table(args.get(2).ok_or_else(bad_usage)?)?;
+            let sql = args.get(3).ok_or_else(bad_usage)?;
+            let query = parse_query(sql, &table.schema)?;
+            let as_json = args.iter().any(|a| a == "--json");
+            let profiler = Profiler::enabled();
+            let (run, registry) = match flag(args, "--index") {
+                Some(index_name) => {
+                    let index = Arc::new(w.open_index_with_options(
+                        index_name,
+                        IndexOptions {
+                            profiler: profiler.clone(),
+                            ..IndexOptions::default()
+                        },
+                    )?);
+                    let run = DgfEngine::new(Arc::clone(&index)).run(&query)?;
+                    (run, index.metrics())
+                }
+                None => {
+                    let before = w.ctx.hdfs.stats().snapshot();
+                    let run = ScanEngine::new(Arc::clone(&w.ctx), table)
+                        .with_profiler(profiler.clone())
+                        .run(&query)?;
+                    let reg = MetricsRegistry::new();
+                    record_io_snapshot(&reg, &w.ctx.hdfs.stats().snapshot().since(&before));
+                    run.stats.record_into(&reg);
+                    (run, reg)
+                }
+            };
+            if as_json {
+                println!("{}", run.stats.profile.to_json());
+                return Ok(());
+            }
+            print_result(&run);
+            // Stages recorded outside the query itself (index open,
+            // crash recovery) accumulate in the root profiler.
+            let open_profile = profiler.take_profile();
+            if !open_profile.is_empty() {
+                eprintln!("\n== open stages ==");
+                eprint!("{}", open_profile.render());
+            }
+            eprintln!("\n== query stages ==");
+            eprint!("{}", run.stats.profile.render());
+            eprintln!("\n== metrics ==");
+            eprint!("{}", registry.render());
             Ok(())
         }
         "advise" => {

@@ -1,0 +1,211 @@
+//! Invariants of the observability layer (DESIGN.md §8): span trees nest,
+//! profile metric totals reconcile with the legacy per-subsystem stats
+//! blocks, chaos-mode retries surface in profiles, and collection is
+//! inert when tracing is off.
+
+use std::sync::Arc;
+
+use dgfindex::common::obs::{names, Profiler};
+use dgfindex::prelude::*;
+
+/// A small warehouse with a DGFIndex whose profiler is supplied by the
+/// caller: enabled for the reconciliation tests, disabled for the
+/// zero-collection test, chaos-wrapped for the retry test.
+struct World {
+    _tmp: TempDir,
+    ctx: Arc<HiveContext>,
+    idx: Arc<DgfIndex>,
+    fault: Option<Arc<FaultPlan>>,
+}
+
+fn build_world(profiler: Profiler, fault: Option<Arc<FaultPlan>>) -> World {
+    let tmp = TempDir::new("profile-inv").unwrap();
+    let hdfs = SimHdfs::new(
+        tmp.path().join("hdfs"),
+        HdfsConfig {
+            block_size: 64 * 1024,
+            replication: 1,
+        },
+    )
+    .unwrap();
+    let ctx = HiveContext::new(hdfs, MrEngine::new(3));
+    let schema = Arc::new(Schema::from_pairs(&[
+        ("user_id", ValueType::Int),
+        ("day", ValueType::Int),
+        ("power", ValueType::Float),
+    ]));
+    let table = ctx.create_table("meter", schema, FileFormat::Text).unwrap();
+    let rows: Vec<Row> = (0..4_000)
+        .map(|i| {
+            let i = i as i64;
+            vec![
+                Value::Int((i * 7) % 120),
+                Value::Int((i * 13) % 30),
+                Value::Float((i % 97) as f64 / 3.0),
+            ]
+        })
+        .collect();
+    ctx.load_rows(&table, &rows, 3).unwrap();
+
+    let inner: Arc<dyn KvStore> = Arc::new(MemKvStore::new());
+    let (kv, retry): (Arc<dyn KvStore>, RetryPolicy) = match &fault {
+        Some(p) => {
+            ctx.hdfs.enable_faults(Arc::clone(p), RetryPolicy::fast(64));
+            (
+                Arc::new(ChaosKv::new(Arc::clone(&inner), Arc::clone(p))),
+                RetryPolicy::fast(64),
+            )
+        }
+        None => (inner, RetryPolicy::default()),
+    };
+    let policy = SplittingPolicy::new(vec![
+        DimPolicy::int("user_id", 0, 8),
+        DimPolicy::int("day", 0, 4),
+    ])
+    .unwrap();
+    let (idx, _) = DgfIndex::build_with_options(
+        Arc::clone(&ctx),
+        table,
+        policy,
+        vec![AggFunc::Count, AggFunc::Sum("power".into())],
+        kv,
+        "dgf_profile",
+        IndexOptions {
+            retry,
+            profiler,
+            ..IndexOptions::default()
+        },
+    )
+    .unwrap();
+    World {
+        _tmp: tmp,
+        ctx,
+        idx: Arc::new(idx),
+        fault,
+    }
+}
+
+/// A boundary-heavy MDRQ: both ranges are misaligned with the 8×4 grid,
+/// so the plan has inner GFUs answered from headers *and* boundary
+/// Slices that reach the storage layer.
+fn boundary_heavy_query() -> Query {
+    Query::Aggregate {
+        aggs: vec![AggFunc::Count, AggFunc::Sum("power".into())],
+        predicate: Predicate::all()
+            .and(
+                "user_id",
+                ColumnRange::half_open(Value::Int(3), Value::Int(101)),
+            )
+            .and("day", ColumnRange::half_open(Value::Int(1), Value::Int(27))),
+    }
+}
+
+#[test]
+fn span_trees_nest_and_cover_the_query_lifecycle() {
+    let w = build_world(Profiler::enabled(), None);
+    let run = DgfEngine::new(Arc::clone(&w.idx))
+        .run(&boundary_heavy_query())
+        .unwrap();
+    let profile = &run.stats.profile;
+    assert!(!profile.is_empty(), "enabled profiler collected nothing");
+    let violations = profile.check_nesting();
+    assert!(violations.is_empty(), "nesting violations: {violations:?}");
+    // The lifecycle stages are all present, in their places.
+    let root = profile.find("query").expect("query root span");
+    assert!(root.find("query.plan").is_some());
+    assert!(root.find("plan.meta").is_some());
+    assert!(root.find("plan.fetch").is_some());
+    assert!(root.find("plan.splits").is_some());
+    assert!(root.find("query.scan").is_some());
+}
+
+#[test]
+fn profile_totals_reconcile_with_legacy_stats_blocks() {
+    let w = build_world(Profiler::enabled(), None);
+    let q = boundary_heavy_query();
+    let kv_before = w.idx.kv.stats().snapshot();
+    let io_before = w.ctx.hdfs.stats().snapshot();
+    let run = DgfEngine::new(Arc::clone(&w.idx)).run(&q).unwrap();
+    let kv_delta = w.idx.kv.stats().snapshot().since(&kv_before);
+    let io_delta = w.ctx.hdfs.stats().snapshot().since(&io_before);
+    let profile = &run.stats.profile;
+
+    // Every key-value operation of the run is attributed to exactly one
+    // planning stage, so profile totals equal the legacy KvStats delta.
+    assert!(kv_delta.read_ops() > 0);
+    assert_eq!(profile.metric_total(names::KV_GETS), kv_delta.gets);
+    assert_eq!(profile.metric_total(names::KV_SCANS), kv_delta.scans);
+    assert_eq!(
+        profile.metric_total(names::KV_MULTI_GETS),
+        kv_delta.multi_gets
+    );
+    assert_eq!(
+        profile.metric_total(names::KV_BYTES_READ),
+        kv_delta.bytes_read
+    );
+    // Storage I/O is attributed once, to the scan stage, and matches
+    // both the legacy IoStats delta and the RunStats counters.
+    assert!(io_delta.bytes_read > 0, "boundary scan read no data");
+    assert_eq!(
+        profile.metric_total(names::HDFS_BYTES_READ),
+        io_delta.bytes_read
+    );
+    assert_eq!(
+        profile.metric_total(names::HDFS_RECORDS_READ),
+        io_delta.records_read
+    );
+    assert_eq!(profile.metric_total(names::HDFS_BYTES_READ), run.stats.data_bytes_read);
+    assert_eq!(
+        profile.metric_total(names::HDFS_RECORDS_READ),
+        run.stats.data_records_read
+    );
+
+    // The registry projections agree with the structs they summarize.
+    let reg = dgfindex::common::MetricsRegistry::new();
+    kv_delta.record_into(&reg);
+    assert_eq!(reg.get(names::KV_GETS), kv_delta.gets);
+    assert_eq!(reg.get(names::KV_BYTES_READ), kv_delta.bytes_read);
+    let reg = dgfindex::common::MetricsRegistry::new();
+    run.stats.record_into(&reg);
+    assert_eq!(reg.get(names::HDFS_BYTES_READ), run.stats.data_bytes_read);
+    assert_eq!(reg.get(names::PLAN_SPLITS_READ), run.stats.splits_read);
+    // And the index-lifetime registry equals the lifetime snapshots.
+    let reg = w.idx.metrics();
+    assert_eq!(reg.get(names::KV_GETS), w.idx.kv.stats().snapshot().gets);
+    assert_eq!(
+        reg.get(names::HDFS_BYTES_READ),
+        w.ctx.hdfs.stats().snapshot().bytes_read
+    );
+}
+
+#[test]
+fn chaos_retries_surface_in_the_profile() {
+    let plan = Arc::new(FaultPlan::new(FaultConfig::transient(4242, 0.4)));
+    let w = build_world(Profiler::enabled(), Some(Arc::clone(&plan)));
+    let fault = w.fault.as_ref().unwrap();
+    let injected_before = fault.faults_injected();
+    let run = DgfEngine::new(Arc::clone(&w.idx))
+        .run(&boundary_heavy_query())
+        .unwrap();
+    let injected = fault.faults_injected() - injected_before;
+    assert!(injected > 0, "chaos schedule produced no faults");
+    // Every fault injected during the query was absorbed by a counted
+    // retry, and every one of those retries is visible in the profile:
+    // kv retries on the planning stages, file retries on the scan stage.
+    let absorbed = run.stats.profile.metric_total(names::KV_RETRIES_ABSORBED)
+        + run.stats.profile.metric_total(names::HDFS_RETRIES);
+    assert_eq!(absorbed, injected);
+    assert_eq!(absorbed, run.stats.retries_absorbed);
+}
+
+#[test]
+fn disabled_profiler_collects_nothing() {
+    let w = build_world(Profiler::disabled(), None);
+    let run = DgfEngine::new(Arc::clone(&w.idx))
+        .run(&boundary_heavy_query())
+        .unwrap();
+    assert!(run.stats.profile.is_empty());
+    // Planning alone is just as inert.
+    let plan = w.idx.plan(&boundary_heavy_query(), true).unwrap();
+    assert!(plan.profile.is_empty());
+}
