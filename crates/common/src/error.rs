@@ -25,6 +25,11 @@ pub enum DgfError {
     /// A transient failure (injected or environmental) that a
     /// [`RetryPolicy`](crate::fault::RetryPolicy) may absorb.
     Transient(String),
+    /// Admission control rejected a streaming write: the ingest buffers
+    /// are full. Not retried blindly by a
+    /// [`RetryPolicy`](crate::fault::RetryPolicy); the caller should
+    /// flush (or wait for the background flusher) and resubmit.
+    Backpressure(String),
 }
 
 impl DgfError {
@@ -47,6 +52,7 @@ impl fmt::Display for DgfError {
             DgfError::Job(m) => write!(f, "job error: {m}"),
             DgfError::Unsupported(m) => write!(f, "unsupported: {m}"),
             DgfError::Transient(m) => write!(f, "transient error: {m}"),
+            DgfError::Backpressure(m) => write!(f, "ingest backpressure: {m}"),
         }
     }
 }

@@ -69,6 +69,9 @@ pub mod names {
     /// Transient KV faults absorbed by retry loops
     /// (`KvStats::retries_absorbed`).
     pub const KV_RETRIES_ABSORBED: &str = "kv.retries_absorbed";
+    /// Log compactions run by the store, manual or opportunistic
+    /// (`KvStats::compactions`).
+    pub const KV_COMPACTIONS: &str = "kv.compactions";
 
     /// Bytes read from simulated HDFS data files (`IoStats::bytes_read`).
     pub const HDFS_BYTES_READ: &str = "hdfs.bytes_read";
@@ -111,6 +114,36 @@ pub mod names {
     pub const PLAN_SPLITS_TOTAL: &str = "plan.splits_total";
     /// Splits kept after pruning (`DgfPlan::splits_read`).
     pub const PLAN_SPLITS_READ: &str = "plan.splits_read";
+    /// Buffered (unflushed) GFU cells merged into the plan
+    /// (`DgfPlan::fresh_gfus`).
+    pub const PLAN_FRESH_GFUS: &str = "plan.fresh_gfus";
+    /// Buffered records those cells hold (`DgfPlan::fresh_records`).
+    pub const PLAN_FRESH_RECORDS: &str = "plan.fresh_records";
+
+    /// Streaming ingest batches acknowledged (`IngestStats::batches`).
+    pub const INGEST_BATCHES: &str = "ingest.batches";
+    /// Streaming ingest rows acknowledged (`IngestStats::rows`).
+    pub const INGEST_ROWS: &str = "ingest.rows";
+    /// Bytes appended to the ingest write-ahead log
+    /// (`IngestStats::wal_bytes`).
+    pub const INGEST_WAL_BYTES: &str = "ingest.wal_bytes";
+    /// Write-ahead-log sync (group-commit) round trips
+    /// (`IngestStats::wal_syncs`).
+    pub const INGEST_WAL_SYNCS: &str = "ingest.wal_syncs";
+    /// Ingest batches rejected by admission control
+    /// (`IngestStats::rejections`).
+    pub const INGEST_REJECTIONS: &str = "ingest.rejections";
+    /// Memtable flushes committed into Slices (`IngestStats::flushes`).
+    pub const INGEST_FLUSHES: &str = "ingest.flushes";
+    /// Rows drained by committed flushes (`IngestStats::flushed_rows`).
+    pub const INGEST_FLUSHED_ROWS: &str = "ingest.flushed_rows";
+    /// Flush attempts that failed (`IngestStats::flush_failures`).
+    pub const INGEST_FLUSH_FAILURES: &str = "ingest.flush_failures";
+    /// Unflushed batches restored by WAL replay on open
+    /// (`IngestStats::replayed_batches`).
+    pub const INGEST_REPLAYED_BATCHES: &str = "ingest.replayed_batches";
+    /// Rows those replayed batches held (`IngestStats::replayed_rows`).
+    pub const INGEST_REPLAYED_ROWS: &str = "ingest.replayed_rows";
 
     /// Pages read by the hadoopdb chunk reader (`ChunkStats::pages_read`).
     pub const HADOOPDB_PAGES_READ: &str = "hadoopdb.pages_read";

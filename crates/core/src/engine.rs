@@ -110,6 +110,17 @@ impl Engine for DgfEngine {
         if let Some(states) = &plan.inner_states {
             sink.merge_agg_states(states)?;
         }
+        // Fresh region: acknowledged-but-unflushed rows from the
+        // streaming memtable. They live in no data file, so pushing them
+        // here can never double-count a scanned Slice; the full predicate
+        // re-applies row by row like any boundary read.
+        let fresh_rows = std::mem::take(&mut plan.fresh_rows);
+        if !fresh_rows.is_empty() {
+            let bound = query.predicate().bind(&self.index.data.schema)?;
+            for row in &fresh_rows {
+                sink.push_if(row, &bound)?;
+            }
+        }
         let result = sink.finish();
         // The storage layer attributes its I/O to the scan stage.
         ctx.hdfs.attach_io_to_span(&scan_span, &before);

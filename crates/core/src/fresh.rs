@@ -1,0 +1,60 @@
+//! Fresh-data sources: the planner-side half of streaming ingestion.
+//!
+//! A [`FreshSource`] is an in-memory buffer of acknowledged-but-unflushed
+//! rows (the `dgf-ingest` crate's memtable) registered on a
+//! [`DgfIndex`](crate::DgfIndex). The planner consults it so that queries
+//! observe every acknowledged write *before* the background flusher turns
+//! the buffers into persisted Slices: covered cells contribute their
+//! running partial aggregate states exactly like persisted GFU headers,
+//! boundary cells contribute raw rows that the engine re-filters with the
+//! full predicate.
+//!
+//! The trait lives in `dgf-core` (not `dgf-ingest`) so the dependency
+//! points one way: the ingest crate implements the trait and holds no
+//! reference back to the index.
+
+use dgf_common::Row;
+
+use crate::gfu::GfuKey;
+
+/// One grid cell's worth of buffered, unflushed rows.
+#[derive(Debug, Clone)]
+pub struct FreshCell {
+    /// The cell's coordinates (standardized exactly like persisted keys).
+    pub key: GfuKey,
+    /// Running partial aggregate states, encoded with the *index's*
+    /// pre-computed aggregate list (`AggSet::encode_states`), so a covered
+    /// cell merges through the same header path as a persisted `GfuValue`.
+    pub header: Vec<u8>,
+    /// Number of buffered rows in the cell.
+    pub record_count: u64,
+    /// The buffered rows themselves, for boundary cells (and for queries
+    /// whose shape cannot use headers at all).
+    pub rows: Vec<Row>,
+}
+
+/// A source of acknowledged-but-unflushed rows, consulted at plan time.
+///
+/// `flushed_seq` is the index's persisted ingest watermark (see
+/// `DgfIndex::ingest_watermark`): the highest ingest batch sequence whose
+/// rows have been committed to Slices. Implementations must return only
+/// data *newer* than it, so a row is never counted both from the store
+/// and from the buffer.
+pub trait FreshSource: Send + Sync {
+    /// Cheap emptiness probe so idle sources cost the planner nothing.
+    fn has_fresh(&self) -> bool;
+
+    /// Snapshot of all buffered cells holding rows with batch sequence
+    /// greater than `flushed_seq`. The same coordinates may appear more
+    /// than once (e.g. an actively-filling buffer and one staged for
+    /// flush); the planner absorbs each entry independently.
+    fn fresh_cells(&self, flushed_seq: u64) -> Vec<FreshCell>;
+
+    /// Flush-publication epoch: even when quiescent, odd while a flush is
+    /// publishing (staging through watermark advance). The planner reads
+    /// it before and after fetching; a change (or an odd value) means the
+    /// fetch may have seen a half-published flush, so it re-fetches.
+    fn flush_epoch(&self) -> u64 {
+        0
+    }
+}

@@ -25,6 +25,12 @@ pub const META_PLACEMENT_KEY: &[u8] = b"m:placement";
 /// Key of the persisted count of indexed base-table files (staleness
 /// detection: querying after un-indexed loads must fail loudly).
 pub const META_FILES_KEY: &[u8] = b"m:files";
+/// Key of the persisted ingest watermark: the highest streaming-ingest
+/// batch sequence whose rows have been flushed into Slices. Advances
+/// atomically with the flush transaction's commit (it rides the
+/// manifest's precomputed meta puts), so WAL replay after a crash knows
+/// exactly which batches are already indexed.
+pub const META_INGEST_KEY: &[u8] = b"m:ingest";
 
 /// A GFU key: the cell index per dimension, in policy order.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]

@@ -28,10 +28,13 @@ use dgf_mapreduce::JobReport;
 use dgf_query::{AggFunc, AggSet};
 use dgf_storage::{FileSplit, HdfsRef};
 
+use parking_lot::Mutex;
+
 use crate::cache::{GfuHeaderCache, DEFAULT_HEADER_CACHE_CAPACITY};
+use crate::fresh::FreshSource;
 use crate::gfu::{
     Extents, GfuKey, GfuValue, GFU_PREFIX, META_AGGS_KEY, META_EXTENT_KEY, META_FILES_KEY,
-    META_PLACEMENT_KEY, META_POLICY_KEY,
+    META_INGEST_KEY, META_PLACEMENT_KEY, META_POLICY_KEY,
 };
 use crate::policy::SplittingPolicy;
 use crate::txn::{live_key, stage_key, TxnManifest, TxnState, STAGE_PREFIX, TXN_MANIFEST_KEY};
@@ -83,8 +86,8 @@ impl SlicePlacement {
 }
 
 /// Number of metadata keys a DGFIndex keeps in its store (policy,
-/// aggregates, extents, placement, indexed-file count).
-const META_KEY_COUNT: u64 = 5;
+/// aggregates, extents, placement, indexed-file count, ingest watermark).
+const META_KEY_COUNT: u64 = 6;
 
 /// Construction/open options beyond the required arguments: slice
 /// placement, the retry policy wrapped around every key-value and
@@ -149,6 +152,7 @@ pub struct DgfIndex {
     profiler: Profiler,
     generation: AtomicU64,
     header_cache: GfuHeaderCache,
+    fresh_source: Mutex<Option<Arc<dyn FreshSource>>>,
 }
 
 impl DgfIndex {
@@ -251,6 +255,7 @@ impl DgfIndex {
             profiler: options.profiler,
             generation: AtomicU64::new(0),
             header_cache: GfuHeaderCache::new(DEFAULT_HEADER_CACHE_CAPACITY),
+            fresh_source: Mutex::new(None),
         };
         let watch = Stopwatch::start();
         let span = index.profiler.span("build");
@@ -263,7 +268,7 @@ impl DgfIndex {
         index.crash_point("build.intent")?;
         let job = {
             let reorg = span.child("build.reorganize");
-            let job = index.reorganize(splits, index.base.format)?;
+            let job = index.reorganize(splits, index.base.format, None)?;
             job.attach_to_span(&reorg);
             job
         };
@@ -371,6 +376,7 @@ impl DgfIndex {
             profiler: options.profiler,
             generation: AtomicU64::new(max_gen),
             header_cache: GfuHeaderCache::new(DEFAULT_HEADER_CACHE_CAPACITY),
+            fresh_source: Mutex::new(None),
         })
     }
 
@@ -500,6 +506,20 @@ impl DgfIndex {
     /// file and reorganized into new Slices; existing GFU entries extend
     /// rather than rebuild (the paper's time-extension load path).
     pub fn append(&self, rows: &[Row]) -> Result<BuildReport> {
+        self.append_with_watermark(rows, None)
+    }
+
+    /// [`append`](Self::append) that additionally advances the persisted
+    /// ingest watermark to `watermark` *atomically with the commit*: the
+    /// watermark put rides the transaction manifest's precomputed meta
+    /// puts, so after a crash either both the new Slices and the
+    /// watermark are live or neither is. The streaming flusher uses this
+    /// so WAL replay can tell flushed batches from unflushed ones.
+    pub fn append_with_watermark(
+        &self,
+        rows: &[Row],
+        watermark: Option<u64>,
+    ) -> Result<BuildReport> {
         let span = self.profiler.span("append");
         let kv_before = self.kv.stats().snapshot();
         let gen = self.generation.fetch_add(1, Ordering::Relaxed) + 1;
@@ -518,7 +538,7 @@ impl DgfIndex {
         let len = self.ctx.hdfs.file_len(&path)?;
         let splits = dgf_storage::splits_for_file(&path, len, self.ctx.hdfs.block_size());
         let reorg_span = span.child("append.reorganize");
-        let reorganized = self.reorganize(splits, self.base.format);
+        let reorganized = self.reorganize(splits, self.base.format, watermark);
         // Retire the header-cache epoch only after the new GFU values are
         // in the store (or the write failed partway through): a plan racing
         // this append may have cached pre-append values under `gen`, and
@@ -616,13 +636,19 @@ impl DgfIndex {
     /// Slices into a staging directory and merged GFU values under
     /// staged keys; one manifest put commits the new epoch, after which
     /// the idempotent apply phase publishes everything. The caller must
-    /// already have written an Intent-state manifest.
-    fn reorganize(&self, splits: Vec<FileSplit>, format: FileFormat) -> Result<JobReport> {
+    /// already have written an Intent-state manifest. `ingest_watermark`,
+    /// when set, becomes the persisted ingest watermark at commit.
+    fn reorganize(
+        &self,
+        splits: Vec<FileSplit>,
+        format: FileFormat,
+        ingest_watermark: Option<u64>,
+    ) -> Result<JobReport> {
         let gen = self.generation.load(Ordering::Relaxed);
         if splits.is_empty() {
             // Nothing to index; still persist metadata so queries work,
             // then retire the (empty) transaction.
-            self.persist_meta(&Extents::empty(self.policy.arity()))?;
+            self.persist_meta(&Extents::empty(self.policy.arity()), ingest_watermark)?;
             self.kv_delete(TXN_MANIFEST_KEY)?;
             return Ok(JobReport::default());
         }
@@ -761,7 +787,7 @@ impl DgfIndex {
         manifest.state = TxnState::Prepared;
         manifest.renames = renames;
         manifest.staged_keys = staged_keys;
-        manifest.meta_puts = self.meta_puts(&extents);
+        manifest.meta_puts = self.meta_puts(&extents, ingest_watermark)?;
         self.kv_put(TXN_MANIFEST_KEY, &manifest.encode())?;
         self.crash_point("reorg.prepared")?;
 
@@ -784,9 +810,14 @@ impl DgfIndex {
     }
 
     /// The precomputed post-commit metadata puts. Plain overwrites (the
-    /// extents are merged *here*, not at apply time) so re-applying after
-    /// a crash never double-merges.
-    fn meta_puts(&self, extents: &Extents) -> Vec<(Vec<u8>, Vec<u8>)> {
+    /// extents are merged *here*, not at apply time, and the ingest
+    /// watermark is resolved to its final monotone value) so re-applying
+    /// after a crash never double-merges.
+    fn meta_puts(
+        &self,
+        extents: &Extents,
+        ingest_watermark: Option<u64>,
+    ) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
         let files = self.ctx.hdfs.list_files(&self.base.location).len() as u64;
         let agg_keys: Vec<u8> = self
             .aggs
@@ -795,27 +826,61 @@ impl DgfIndex {
             .collect::<Vec<_>>()
             .join("\n")
             .into_bytes();
-        vec![
+        // The watermark never regresses: a flush carries the sequence of
+        // its own batches, a plain build/append re-persists the stored one.
+        let stored = self.ingest_watermark()?;
+        let watermark = stored.max(ingest_watermark.unwrap_or(0));
+        Ok(vec![
             (META_POLICY_KEY.to_vec(), self.policy.encode()),
             (META_PLACEMENT_KEY.to_vec(), self.placement.encode()),
             (META_FILES_KEY.to_vec(), files.to_le_bytes().to_vec()),
             (META_AGGS_KEY.to_vec(), agg_keys),
             (META_EXTENT_KEY.to_vec(), extents.encode()),
-        ]
+            (META_INGEST_KEY.to_vec(), watermark.to_le_bytes().to_vec()),
+        ])
     }
 
-    fn persist_meta(&self, new_extents: &Extents) -> Result<()> {
+    fn persist_meta(&self, new_extents: &Extents, ingest_watermark: Option<u64>) -> Result<()> {
         let mut extents = match self.kv_get(META_EXTENT_KEY)? {
             Some(bytes) => Extents::decode(&bytes)
                 .unwrap_or_else(|_| Extents::empty(self.policy.arity())),
             None => Extents::empty(self.policy.arity()),
         };
         extents.merge(new_extents);
-        for (k, v) in self.meta_puts(&extents) {
+        for (k, v) in self.meta_puts(&extents, ingest_watermark)? {
             self.kv_put(&k, &v)?;
         }
         kv_retry(self.retry, self.kv.as_ref(), || self.kv.flush())?;
         Ok(())
+    }
+
+    /// The persisted ingest watermark: the highest streaming batch
+    /// sequence whose rows are committed into Slices (0 before any
+    /// streaming flush). See [`append_with_watermark`](Self::append_with_watermark).
+    pub fn ingest_watermark(&self) -> Result<u64> {
+        let Some(bytes) = self.kv_get(META_INGEST_KEY)? else {
+            return Ok(0);
+        };
+        let mut b = [0u8; 8];
+        b[..bytes.len().min(8)].copy_from_slice(&bytes[..bytes.len().min(8)]);
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Register a [`FreshSource`] (the streaming memtable): from now on
+    /// plans merge its buffered rows with the persisted index, so queries
+    /// observe every acknowledged write without waiting for a flush.
+    pub fn set_fresh_source(&self, source: Arc<dyn FreshSource>) {
+        *self.fresh_source.lock() = Some(source);
+    }
+
+    /// Detach the registered [`FreshSource`], if any.
+    pub fn clear_fresh_source(&self) {
+        *self.fresh_source.lock() = None;
+    }
+
+    /// The registered [`FreshSource`], if any.
+    pub fn fresh_source(&self) -> Option<Arc<dyn FreshSource>> {
+        self.fresh_source.lock().clone()
     }
 
     /// Staleness check: error if the base table holds files that were

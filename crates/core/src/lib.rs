@@ -55,6 +55,7 @@
 pub mod advisor;
 pub mod cache;
 pub mod engine;
+pub mod fresh;
 pub mod gfu;
 pub mod index;
 pub mod plan;
@@ -64,6 +65,7 @@ pub mod txn;
 pub use advisor::{collect_stats, recommend_policy, AdvisorConfig, DimStats, Recommendation};
 pub use cache::{CacheStats, GfuHeaderCache, DEFAULT_HEADER_CACHE_CAPACITY};
 pub use engine::DgfEngine;
+pub use fresh::{FreshCell, FreshSource};
 pub use gfu::{Extents, GfuKey, GfuValue, SliceLoc};
 pub use index::{all_gfus, default_precompute, DgfIndex, IndexOptions, SlicePlacement};
 pub use plan::{DgfPlan, PlanStrategy};

@@ -30,12 +30,13 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use dgf_common::obs::{names, QueryProfile};
-use dgf_common::{DgfError, Result, Stopwatch};
+use dgf_common::{DgfError, Result, Row, Stopwatch};
 use dgf_format::{coalesce_ranges, ByteRange};
 use dgf_hive::ScanInput;
 use dgf_query::{AggSet, AggState, Query};
 
 use crate::cache::CachedGfu;
+use crate::fresh::FreshCell;
 use crate::gfu::{GfuKey, GfuValue, GFU_PREFIX};
 use crate::index::DgfIndex;
 use crate::policy::DimSpan;
@@ -85,6 +86,16 @@ pub struct DgfPlan {
     /// while building this plan. Zero on a healthy store; chaos tests
     /// assert it is positive exactly when faults were scheduled.
     pub retries_absorbed: u64,
+    /// Buffered (acknowledged-but-unflushed) GFU cells the plan merged
+    /// from a registered [`FreshSource`](crate::fresh::FreshSource).
+    pub fresh_gfus: u64,
+    /// Buffered records those cells hold.
+    pub fresh_records: u64,
+    /// Buffered rows the engine must push through the sink (boundary
+    /// fresh cells, and all fresh cells when headers are unusable). The
+    /// full predicate is re-applied row by row, exactly like boundary
+    /// Slice rows.
+    pub fresh_rows: Vec<Row>,
     /// Planning time, including key-value store traffic.
     pub index_time: Duration,
     /// Stage tree collected while building this plan, when the index was
@@ -176,7 +187,24 @@ impl DgfIndex {
         let meta_before = meta_span.is_recording().then(|| self.kv.stats().snapshot());
         self.check_freshness()?;
         let predicate = query.predicate();
-        let extents = self.extents()?;
+        // Snapshot the streaming memtable (if one is registered and
+        // non-empty) alongside the persisted extents: buffered cells may
+        // lie beyond what any flush has recorded, and the spans must
+        // admit them or fresh rows would silently fall out of the query.
+        let fresh_src = self.fresh_source().filter(|s| s.has_fresh());
+        // The epoch is read BEFORE the snapshot (and re-read before every
+        // re-snapshot): a flush completing between snapshot and fetch then
+        // shows as an epoch mismatch after the fetch, never as a silently
+        // consistent-looking pair.
+        let mut epoch_before = fresh_src.as_ref().map(|s| s.flush_epoch());
+        let mut fresh_cells: Vec<FreshCell> = match &fresh_src {
+            Some(src) => src.fresh_cells(self.ingest_watermark()?),
+            None => Vec::new(),
+        };
+        let mut extents = self.extents()?;
+        for cell in &fresh_cells {
+            extents.observe(&cell.key);
+        }
         if let Some(before) = &meta_before {
             self.kv.stats().snapshot().since(before).attach_to_span(&meta_span);
         }
@@ -195,6 +223,9 @@ impl DgfIndex {
             cache_hits: 0,
             cache_misses: 0,
             retries_absorbed: retries_since(self.kv.as_ref()),
+            fresh_gfus: 0,
+            fresh_records: 0,
+            fresh_rows: Vec::new(),
             index_time: watch.elapsed(),
             profile: QueryProfile::default(),
         };
@@ -232,11 +263,15 @@ impl DgfIndex {
                 .columns()
                 .all(|c| self.policy.dims().iter().any(|d| d.name == c));
 
-        let header_merge = if headers_usable {
+        let make_header_merge = || -> Result<Option<HeaderMerge>> {
+            if !headers_usable {
+                return Ok(None);
+            }
             // `headers_usable` already checked both of these; the error
             // arms are unreachable but cheaper than a panic in the read
             // hot path.
             let positions = header_positions
+                .clone()
                 .ok_or_else(|| DgfError::Index("usable headers lost their positions".into()))?;
             let index_set = AggSet::bind(&self.aggs, &self.base.schema)?;
             let query_aggs = match query {
@@ -249,36 +284,93 @@ impl DgfIndex {
             };
             let query_set = AggSet::bind(&query_aggs, &self.base.schema)?;
             let acc = query_set.new_states();
-            Some(HeaderMerge {
+            Ok(Some(HeaderMerge {
                 index_set,
                 query_set,
                 positions,
                 acc,
-            })
-        } else {
-            None
-        };
-
-        let mut collector = Collector {
-            header_merge,
-            inner_gfus: 0,
-            inner_records: 0,
-            boundary_gfus: 0,
-            per_file: HashMap::new(),
-            cache_hits: 0,
-            cache_misses: 0,
+            }))
         };
 
         let fetch_span = span.child("plan.fetch");
         let fetch_before = fetch_span.is_recording().then(|| self.kv.stats().snapshot());
-        match strategy {
-            PlanStrategy::PointGets => {
-                self.fetch_point_gets(&spans, headers_usable, &mut collector)?
+        let mut attempts = 0u32;
+        let (collector, fresh_gfus, fresh_records, fresh_rows) = loop {
+            let mut collector = Collector {
+                header_merge: make_header_merge()?,
+                inner_gfus: 0,
+                inner_records: 0,
+                boundary_gfus: 0,
+                per_file: HashMap::new(),
+                cache_hits: 0,
+                cache_misses: 0,
+            };
+            match strategy {
+                PlanStrategy::PointGets => {
+                    self.fetch_point_gets(&spans, headers_usable, &mut collector)?
+                }
+                PlanStrategy::PrefixScan => {
+                    self.fetch_prefix_scans(&spans, &extents.dims, headers_usable, &mut collector)?
+                }
             }
-            PlanStrategy::PrefixScan => {
-                self.fetch_prefix_scans(&spans, &extents.dims, headers_usable, &mut collector)?
+
+            // Merge the memtable snapshot: a fully covered fresh cell
+            // contributes its partial aggregate states through the same
+            // header path as a persisted GFU; anything else contributes
+            // raw rows for the engine to re-filter and push.
+            let mut fresh_gfus = 0u64;
+            let mut fresh_records = 0u64;
+            let mut fresh_rows: Vec<Row> = Vec::new();
+            for cell in &fresh_cells {
+                let in_span = spans
+                    .iter()
+                    .zip(&cell.key.cells)
+                    .all(|(s, c)| *c >= s.lo && *c <= s.hi);
+                if !in_span {
+                    continue;
+                }
+                fresh_gfus += 1;
+                fresh_records += cell.record_count;
+                let covered = headers_usable
+                    && spans.iter().zip(&cell.key.cells).all(|(s, c)| s.covered(*c));
+                if covered {
+                    let value = GfuValue {
+                        header: cell.header.clone(),
+                        slices: Vec::new(),
+                        record_count: cell.record_count,
+                    };
+                    collector.absorb(true, &value)?;
+                } else {
+                    fresh_rows.extend(cell.rows.iter().cloned());
+                }
             }
-        }
+
+            // Optimistic re-validation: if a flush published between our
+            // memtable snapshot and the store fetch, buffered rows may
+            // now also be live in the store (or half of them may be).
+            // Re-snapshot both sides and refetch; the flush's generation
+            // bump already orphaned any half-published cache fills.
+            let Some(src) = &fresh_src else {
+                break (collector, fresh_gfus, fresh_records, fresh_rows);
+            };
+            let epoch_after = src.flush_epoch();
+            if epoch_before == Some(epoch_after) && epoch_after % 2 == 0 {
+                break (collector, fresh_gfus, fresh_records, fresh_rows);
+            }
+            attempts += 1;
+            if attempts > 8 {
+                return Err(DgfError::Transient(
+                    "streaming flushes kept racing query planning".into(),
+                ));
+            }
+            std::thread::sleep(Duration::from_millis(1));
+            // Cells flushed mid-plan stay within the already-computed
+            // spans (they were in the first snapshot, which the spans
+            // admit); rows ingested *after* planning started may fall
+            // outside and are legitimately not part of this query.
+            epoch_before = Some(src.flush_epoch());
+            fresh_cells = src.fresh_cells(self.ingest_watermark()?);
+        };
         if let Some(before) = &fetch_before {
             self.kv.stats().snapshot().since(before).attach_to_span(&fetch_span);
             for (name, v) in [
@@ -287,6 +379,8 @@ impl DgfIndex {
                 (names::PLAN_INNER_GFUS, collector.inner_gfus),
                 (names::PLAN_BOUNDARY_GFUS, collector.boundary_gfus),
                 (names::PLAN_INNER_RECORDS, collector.inner_records),
+                (names::PLAN_FRESH_GFUS, fresh_gfus),
+                (names::PLAN_FRESH_RECORDS, fresh_records),
             ] {
                 if v > 0 {
                     fetch_span.add(name, v);
@@ -350,6 +444,9 @@ impl DgfIndex {
             cache_hits: collector.cache_hits,
             cache_misses: collector.cache_misses,
             retries_absorbed: retries_since(self.kv.as_ref()),
+            fresh_gfus,
+            fresh_records,
+            fresh_rows,
             index_time: watch.elapsed(),
             profile: prof.take_profile(),
         })

@@ -1,0 +1,578 @@
+//! The streaming ingestor: WAL → memtable → staged-commit flush.
+//!
+//! Write path of one batch (`ingest`):
+//!
+//! 1. **Validate** — every row's indexed dimensions standardize to GFU
+//!    cells *before* any side effect, so a malformed batch is rejected
+//!    whole.
+//! 2. **Admit** — admission control bounds buffered bytes; over the
+//!    limit the batch is rejected with [`DgfError::Backpressure`] and
+//!    counted, never silently dropped or blocking.
+//! 3. **Log** — the batch is appended to the [`IngestWal`] and made
+//!    durable by a group commit (one writer flush covers every batch
+//!    appended so far).
+//! 4. **Buffer** — rows land in the active memtable slot, updating each
+//!    touched GFU cell's running partial aggregates.
+//!
+//! The ack (the returned sequence) means: durable in the WAL, and
+//! visible to every subsequent query through the index's
+//! [`FreshSource`] merge — with **zero** header-cache generation bumps
+//! until a flush actually rewrites Slices.
+//!
+//! The flush (inline when the active slot fills, or from the background
+//! flusher when it ages out) swaps the active slot into the flushing
+//! slot — the union queries see is unchanged — and runs the existing
+//! staged-commit append with the batch watermark riding the manifest's
+//! meta puts: Slices publish and the watermark advances in the same
+//! atomic commit, which is exactly when the slot stops being merged
+//! from memory. Crash anywhere and `DgfIndex::recover` plus WAL replay
+//! reconstruct a state equal to some prefix of acknowledged batches
+//! (plus, possibly, one unacknowledged in-flight batch — atomic either
+//! way).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use dgf_common::fault::FaultPlan;
+use dgf_common::obs::{names, MetricsRegistry, SpanGuard};
+use dgf_common::{format_row, parse_row, DgfError, Result, Row};
+use dgf_core::{DgfIndex, FreshCell, FreshSource};
+use dgf_query::AggSet;
+
+use crate::memtable::Memtable;
+use crate::wal::IngestWal;
+
+/// Tuning knobs for [`StreamIngestor`].
+#[derive(Debug, Clone)]
+pub struct IngestConfig {
+    /// Admission control: reject batches that would push buffered bytes
+    /// (formatted-row accounting) past this bound.
+    pub max_buffered_bytes: u64,
+    /// Flush inline once the active slot buffers this many rows.
+    pub flush_rows: u64,
+    /// Background flusher: flush a non-empty active slot older than this.
+    pub flush_age: Duration,
+    /// Poll interval of the background flusher thread; `None` disables
+    /// the thread entirely (flushes then happen only inline or via
+    /// [`StreamIngestor::flush`] — what deterministic tests want).
+    pub auto_flush_interval: Option<Duration>,
+    /// Fault schedule consulted at the ingest crash points
+    /// (`ingest.wal-appended`, `ingest.wal-synced`, `ingest.flush-staged`,
+    /// `ingest.flush-committed`), in addition to whatever plan the index
+    /// itself was opened with.
+    pub fault: Option<Arc<FaultPlan>>,
+}
+
+impl Default for IngestConfig {
+    fn default() -> Self {
+        IngestConfig {
+            max_buffered_bytes: 64 << 20,
+            flush_rows: 50_000,
+            flush_age: Duration::from_millis(200),
+            auto_flush_interval: Some(Duration::from_millis(25)),
+            fault: None,
+        }
+    }
+}
+
+/// Counters of the streaming write path (mirrored into the `ingest.*`
+/// observability names).
+#[derive(Debug, Default)]
+pub struct IngestStats {
+    /// Acknowledged batches.
+    pub batches: AtomicU64,
+    /// Acknowledged rows.
+    pub rows: AtomicU64,
+    /// Bytes appended to the WAL.
+    pub wal_bytes: AtomicU64,
+    /// WAL sync (group-commit) operations actually performed.
+    pub wal_syncs: AtomicU64,
+    /// Batches rejected by admission control.
+    pub rejections: AtomicU64,
+    /// Completed flushes.
+    pub flushes: AtomicU64,
+    /// Rows converted into Slices by completed flushes.
+    pub flushed_rows: AtomicU64,
+    /// Flush attempts that failed (the ingestor is then poisoned).
+    pub flush_failures: AtomicU64,
+    /// Batches restored from the WAL at open.
+    pub replayed_batches: AtomicU64,
+    /// Rows restored from the WAL at open.
+    pub replayed_rows: AtomicU64,
+}
+
+impl IngestStats {
+    /// Point-in-time copy of all counters.
+    pub fn snapshot(&self) -> IngestStatsSnapshot {
+        let ld = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        IngestStatsSnapshot {
+            batches: ld(&self.batches),
+            rows: ld(&self.rows),
+            wal_bytes: ld(&self.wal_bytes),
+            wal_syncs: ld(&self.wal_syncs),
+            rejections: ld(&self.rejections),
+            flushes: ld(&self.flushes),
+            flushed_rows: ld(&self.flushed_rows),
+            flush_failures: ld(&self.flush_failures),
+            replayed_batches: ld(&self.replayed_batches),
+            replayed_rows: ld(&self.replayed_rows),
+        }
+    }
+}
+
+/// A plain-value copy of [`IngestStats`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)] // field meanings documented on IngestStats
+pub struct IngestStatsSnapshot {
+    pub batches: u64,
+    pub rows: u64,
+    pub wal_bytes: u64,
+    pub wal_syncs: u64,
+    pub rejections: u64,
+    pub flushes: u64,
+    pub flushed_rows: u64,
+    pub flush_failures: u64,
+    pub replayed_batches: u64,
+    pub replayed_rows: u64,
+}
+
+impl IngestStatsSnapshot {
+    fn named(&self) -> [(&'static str, u64); 10] {
+        [
+            (names::INGEST_BATCHES, self.batches),
+            (names::INGEST_ROWS, self.rows),
+            (names::INGEST_WAL_BYTES, self.wal_bytes),
+            (names::INGEST_WAL_SYNCS, self.wal_syncs),
+            (names::INGEST_REJECTIONS, self.rejections),
+            (names::INGEST_FLUSHES, self.flushes),
+            (names::INGEST_FLUSHED_ROWS, self.flushed_rows),
+            (names::INGEST_FLUSH_FAILURES, self.flush_failures),
+            (names::INGEST_REPLAYED_BATCHES, self.replayed_batches),
+            (names::INGEST_REPLAYED_ROWS, self.replayed_rows),
+        ]
+    }
+
+    /// Project into a [`MetricsRegistry`] under the stable `ingest.*`
+    /// names.
+    pub fn record_into(&self, reg: &MetricsRegistry) {
+        for (name, v) in self.named() {
+            reg.add(name, v);
+        }
+    }
+
+    /// Attach non-zero counters to a span under the `ingest.*` names.
+    pub fn attach_to_span(&self, span: &SpanGuard) {
+        for (name, v) in self.named() {
+            if v > 0 {
+                span.add(name, v);
+            }
+        }
+    }
+}
+
+/// The memtable + epoch state shared between the ingestor and the
+/// planner. The index holds this as its [`FreshSource`]; it holds no
+/// reference back to the index, so dropping the [`StreamIngestor`]
+/// leaves already-acknowledged (replayed or buffered) rows visible to
+/// queries until the source is cleared or the process exits.
+#[derive(Debug, Default)]
+pub struct IngestShared {
+    mem: Mutex<Memtable>,
+    /// Flush epoch: even = quiescent, odd = a flush is publishing.
+    /// Incremented once when a flush starts publishing and once when its
+    /// memtable slot clears, so any plan that overlapped a flush sees the
+    /// epoch change (or odd) and re-snapshots. See `DgfPlan`'s fetch loop.
+    epoch: AtomicU64,
+    buffered_bytes: AtomicU64,
+}
+
+impl IngestShared {
+    /// Bytes currently buffered (admission-control accounting).
+    pub fn buffered_bytes(&self) -> u64 {
+        self.buffered_bytes.load(Ordering::SeqCst)
+    }
+}
+
+impl FreshSource for IngestShared {
+    fn has_fresh(&self) -> bool {
+        self.mem.lock().has_rows()
+    }
+
+    fn fresh_cells(&self, flushed_seq: u64) -> Vec<FreshCell> {
+        self.mem.lock().fresh_cells(flushed_seq)
+    }
+
+    fn flush_epoch(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+}
+
+/// Everything the flush path needs, shared with the background flusher.
+struct Core {
+    index: Arc<DgfIndex>,
+    shared: Arc<IngestShared>,
+    wal: IngestWal,
+    config: IngestConfig,
+    agg_set: AggSet,
+    dim_idx: Vec<usize>,
+    next_seq: AtomicU64,
+    /// Serializes flushes (inline, explicit, and background).
+    flush_lock: Mutex<()>,
+    stats: IngestStats,
+    /// Set when a flush failed: a retried append could overwrite a
+    /// Committed manifest with a fresh Intent and lose staged
+    /// publications, so the only safe continuation is a reopen (which
+    /// runs `DgfIndex::recover` and replays the WAL).
+    poisoned: AtomicBool,
+}
+
+impl Core {
+    fn crash_point(&self, site: &str) -> Result<()> {
+        match &self.config.fault {
+            Some(plan) => plan.crash_point(site),
+            None => Ok(()),
+        }
+    }
+
+    fn check_poisoned(&self) -> Result<()> {
+        if self.poisoned.load(Ordering::SeqCst) {
+            return Err(DgfError::Index(
+                "streaming ingestor is poisoned by a failed flush; reopen the \
+                 index and the ingestor to recover (acknowledged rows are safe \
+                 in the WAL)"
+                    .into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Standardize every row to its GFU cell coordinates and formatted
+    /// line. Pure validation — no side effects, so a bad row rejects the
+    /// whole batch before the WAL sees it.
+    fn route(&self, rows: &[Row]) -> Result<Vec<(Vec<i64>, String)>> {
+        let dims = self.index.policy.dims();
+        rows.iter()
+            .map(|row| {
+                let mut cells = Vec::with_capacity(self.dim_idx.len());
+                for (i, d) in self.dim_idx.iter().zip(dims) {
+                    let v = row.get(*i).ok_or_else(|| {
+                        DgfError::Schema(format!(
+                            "ingest row has {} fields, schema needs {}",
+                            row.len(),
+                            self.index.base.schema.len()
+                        ))
+                    })?;
+                    cells.push(d.cell_of(v)?);
+                }
+                Ok((cells, format_row(row)))
+            })
+            .collect()
+    }
+
+    /// Ingest one batch; returns its acknowledged sequence number.
+    fn ingest(&self, rows: &[Row]) -> Result<u64> {
+        self.check_poisoned()?;
+        let stats = &self.stats;
+        if rows.is_empty() {
+            return Ok(self.next_seq.load(Ordering::SeqCst).saturating_sub(1));
+        }
+        let routed = self.route(rows)?;
+        let batch_bytes: u64 = routed.iter().map(|(_, l)| l.len() as u64).sum();
+        if self.shared.buffered_bytes() + batch_bytes > self.config.max_buffered_bytes {
+            stats.rejections.fetch_add(1, Ordering::Relaxed);
+            return Err(DgfError::Backpressure(format!(
+                "{} buffered + {batch_bytes} incoming exceeds the {} byte bound; \
+                 flush (or wait for the background flusher) and resubmit",
+                self.shared.buffered_bytes(),
+                self.config.max_buffered_bytes
+            )));
+        }
+        let span = self.index.profiler().span("ingest.batch");
+        let seq = self.next_seq.fetch_add(1, Ordering::SeqCst);
+        let wal_bytes = self.wal.append_batch(seq, &lines_of(&routed))?;
+        stats.wal_bytes.fetch_add(wal_bytes, Ordering::Relaxed);
+        self.crash_point("ingest.wal-appended")?;
+        if self.wal.sync_up_to(seq)? {
+            stats.wal_syncs.fetch_add(1, Ordering::Relaxed);
+        }
+        self.crash_point("ingest.wal-synced")?;
+        {
+            let mut mem = self.shared.mem.lock();
+            for ((cells, line), row) in routed.into_iter().zip(rows.iter().cloned()) {
+                mem.active.insert(
+                    cells,
+                    row,
+                    line.len() as u64,
+                    &self.agg_set,
+                    &self.index.base.schema,
+                )?;
+            }
+            mem.active.max_seq = mem.active.max_seq.max(seq);
+        }
+        self.shared
+            .buffered_bytes
+            .fetch_add(batch_bytes, Ordering::SeqCst);
+        stats.batches.fetch_add(1, Ordering::Relaxed);
+        stats.rows.fetch_add(rows.len() as u64, Ordering::Relaxed);
+        span.add(names::INGEST_ROWS, rows.len() as u64);
+        span.add(names::INGEST_WAL_BYTES, wal_bytes);
+        span.finish();
+        if self.active_rows() >= self.config.flush_rows {
+            self.flush()?;
+        }
+        Ok(seq)
+    }
+
+    fn active_rows(&self) -> u64 {
+        self.shared.mem.lock().active.rows
+    }
+
+    /// Convert the buffered slot into real Slices through the
+    /// staged-commit append path. Returns the number of rows flushed
+    /// (0 when there was nothing to flush).
+    fn flush(&self) -> Result<u64> {
+        let _serialize = self.flush_lock.lock();
+        self.check_poisoned()?;
+        let stats = &self.stats;
+        let span = self.index.profiler().span("ingest.flush");
+        let (snap_seq, rows, slot_bytes) = {
+            let mut mem = self.shared.mem.lock();
+            if mem.active.is_empty() {
+                span.finish();
+                return Ok(0);
+            }
+            // The swap is invisible to readers: the active/flushing union
+            // the planner merges is unchanged, and both sides stay under
+            // one lock.
+            let slot = std::mem::take(&mut mem.active);
+            let snap = (slot.max_seq, slot.all_rows(), slot.bytes);
+            mem.flushing = Some(slot);
+            snap
+        };
+        // Publishing begins: odd epoch tells overlapping plans to retry
+        // until the commit (watermark advance) and the slot clear below
+        // are both visible, so no plan ever mixes the pre-flush memtable
+        // with post-flush store state.
+        self.shared.epoch.fetch_add(1, Ordering::SeqCst);
+        let published = (|| -> Result<()> {
+            self.crash_point("ingest.flush-staged")?;
+            self.index
+                .append_with_watermark(&rows, Some(snap_seq))?;
+            self.crash_point("ingest.flush-committed")?;
+            Ok(())
+        })();
+        match published {
+            Ok(()) => {
+                {
+                    let mut mem = self.shared.mem.lock();
+                    mem.flushing = None;
+                }
+                self.shared
+                    .buffered_bytes
+                    .fetch_sub(slot_bytes, Ordering::SeqCst);
+                self.shared.epoch.fetch_add(1, Ordering::SeqCst);
+                stats.flushes.fetch_add(1, Ordering::Relaxed);
+                stats
+                    .flushed_rows
+                    .fetch_add(rows.len() as u64, Ordering::Relaxed);
+                span.add(names::INGEST_FLUSHED_ROWS, rows.len() as u64);
+                span.finish();
+                // Shrink the WAL; failing here is recoverable (replay
+                // skips flushed batches by watermark), so no poisoning.
+                self.wal.rewrite(snap_seq)?;
+                Ok(rows.len() as u64)
+            }
+            Err(e) => {
+                stats.flush_failures.fetch_add(1, Ordering::Relaxed);
+                self.poisoned.store(true, Ordering::SeqCst);
+                // Restore an even epoch so queries keep working: slot
+                // visibility is decided by the persisted watermark alone
+                // (not advanced → the slot stays merged and acknowledged
+                // rows remain visible; advanced → the commit actually
+                // landed and the slot is already excluded).
+                self.shared.epoch.fetch_add(1, Ordering::SeqCst);
+                span.finish();
+                Err(e)
+            }
+        }
+    }
+}
+
+fn lines_of(routed: &[(Vec<i64>, String)]) -> Vec<String> {
+    routed.iter().map(|(_, l)| l.clone()).collect()
+}
+
+/// The streaming write front-end of a [`DgfIndex`]. See the module docs
+/// for the write path and crash story.
+pub struct StreamIngestor {
+    core: Arc<Core>,
+    flusher: Option<JoinHandle<()>>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl StreamIngestor {
+    /// Open a streaming ingestor over `index`, with its WAL at
+    /// `wal_path`. Replays unflushed WAL batches into the memtable (so
+    /// acknowledged-but-unflushed rows from a previous process are
+    /// immediately query-visible again) and registers the memtable as the
+    /// index's fresh source.
+    pub fn open(
+        index: Arc<DgfIndex>,
+        wal_path: impl Into<std::path::PathBuf>,
+        config: IngestConfig,
+    ) -> Result<StreamIngestor> {
+        let agg_set = AggSet::bind(&index.aggs, &index.base.schema)?;
+        let dim_idx: Vec<usize> = index
+            .policy
+            .dims()
+            .iter()
+            .map(|d| index.base.schema.index_of(&d.name))
+            .collect::<Result<_>>()?;
+        let flushed = index.ingest_watermark()?;
+        let (wal, unflushed) = IngestWal::open(wal_path, flushed)?;
+        let shared = Arc::new(IngestShared::default());
+        let stats = IngestStats::default();
+        let mut top_seq = flushed;
+        {
+            let mut mem = shared.mem.lock();
+            let mut replayed_rows = 0u64;
+            let mut replayed_bytes = 0u64;
+            for batch in &unflushed {
+                for line in &batch.lines {
+                    let row = parse_row(line, &index.base.schema)?;
+                    let mut cells = Vec::with_capacity(dim_idx.len());
+                    for (i, d) in dim_idx.iter().zip(index.policy.dims()) {
+                        cells.push(d.cell_of(&row[*i])?);
+                    }
+                    mem.active.insert(
+                        cells,
+                        row,
+                        line.len() as u64,
+                        &agg_set,
+                        &index.base.schema,
+                    )?;
+                    replayed_rows += 1;
+                    replayed_bytes += line.len() as u64;
+                }
+                mem.active.max_seq = mem.active.max_seq.max(batch.seq);
+                top_seq = top_seq.max(batch.seq);
+            }
+            shared
+                .buffered_bytes
+                .store(replayed_bytes, Ordering::SeqCst);
+            stats
+                .replayed_batches
+                .store(unflushed.len() as u64, Ordering::Relaxed);
+            stats.replayed_rows.store(replayed_rows, Ordering::Relaxed);
+        }
+        let core = Arc::new(Core {
+            index: index.clone(),
+            shared: shared.clone(),
+            wal,
+            config: config.clone(),
+            agg_set,
+            dim_idx,
+            next_seq: AtomicU64::new(top_seq + 1),
+            flush_lock: Mutex::new(()),
+            poisoned: AtomicBool::new(false),
+            stats,
+        });
+        index.set_fresh_source(shared);
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flusher = config.auto_flush_interval.map(|interval| {
+            let core = core.clone();
+            let shutdown = shutdown.clone();
+            std::thread::spawn(move || {
+                // The vendored parking_lot has no Condvar, so the flusher
+                // polls; the interval bounds both freshness lag and the
+                // shutdown latency.
+                while !shutdown.load(Ordering::SeqCst) {
+                    std::thread::sleep(interval);
+                    if core.poisoned.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let due = {
+                        let mem = core.shared.mem.lock();
+                        !mem.active.is_empty()
+                            && mem
+                                .active
+                                .first_row_at
+                                .is_some_and(|t| t.elapsed() >= core.config.flush_age)
+                    };
+                    if due {
+                        // A failure poisons the ingestor; the next
+                        // iteration then exits the loop.
+                        let _ = core.flush();
+                    }
+                }
+            })
+        });
+        Ok(StreamIngestor {
+            core,
+            flusher,
+            shutdown,
+        })
+    }
+
+    /// Ingest one batch of rows. On success the returned sequence is
+    /// acknowledged: durable in the WAL and visible to every query from
+    /// now on. Errors leave no trace ([`DgfError::Backpressure`] when
+    /// admission control rejects; schema errors reject pre-WAL).
+    pub fn ingest(&self, rows: &[Row]) -> Result<u64> {
+        self.core.ingest(rows)
+    }
+
+    /// Flush buffered rows into real Slices now. Returns rows flushed.
+    pub fn flush(&self) -> Result<u64> {
+        self.core.flush()
+    }
+
+    /// Whether a failed flush poisoned this ingestor (reopen to recover).
+    pub fn is_poisoned(&self) -> bool {
+        self.core.poisoned.load(Ordering::SeqCst)
+    }
+
+    /// Streaming counters.
+    pub fn stats(&self) -> IngestStatsSnapshot {
+        self.core.stats.snapshot()
+    }
+
+    /// The shared memtable state (the index's registered fresh source).
+    pub fn shared(&self) -> Arc<IngestShared> {
+        self.core.shared.clone()
+    }
+
+    /// The WAL file length in bytes.
+    pub fn wal_len_bytes(&self) -> u64 {
+        self.core.wal.len_bytes()
+    }
+
+    /// Stop the background flusher, flush remaining rows, and detach.
+    /// Prefer this over dropping when the process intends to exit
+    /// cleanly; plain `drop` stops the flusher but leaves buffered rows
+    /// in the WAL (and query-visible), the crash-recovery path.
+    pub fn close(mut self) -> Result<()> {
+        self.stop_flusher();
+        self.flush().map(|_| ())
+    }
+
+    fn stop_flusher(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(h) = self.flusher.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for StreamIngestor {
+    fn drop(&mut self) {
+        self.stop_flusher();
+        // Deliberately no flush and no clear_fresh_source: acknowledged
+        // rows stay in the WAL (durable) and in the shared memtable the
+        // index still references (visible), matching crash semantics.
+    }
+}

@@ -1,0 +1,42 @@
+//! # dgf-ingest
+//!
+//! Streaming ingestion for the DGFIndex: a WAL-backed memtable write
+//! path that makes meter rows query-visible the moment they are
+//! acknowledged, while the existing staged-commit machinery keeps every
+//! persisted structure crash-atomic.
+//!
+//! The paper's load path (§4.2) is batch: reorganize a file of new rows
+//! into Slices with a MapReduce job. Real meter head-ends, though, hand
+//! the warehouse a continuous trickle of small batches, and running a
+//! reorganization per batch would melt both the job scheduler and the
+//! header cache (every append bumps the planner's cache generation).
+//! This crate adds the standard LSM-style answer on top of the paper's
+//! design:
+//!
+//! * [`IngestWal`] — acknowledged batches first hit a checksummed
+//!   write-ahead log (the same record framing as the key-value store's
+//!   log), group-committed so concurrent writers share syncs.
+//! * a memtable of per-GFU buffers maintaining the same running partial
+//!   aggregates (`sum`/`count`/`min`/`max`) the index pre-computes into
+//!   GFU headers, registered with the index as its
+//!   [`FreshSource`](dgf_core::FreshSource): query plans merge buffered
+//!   cells with persisted headers (covered cells through the header
+//!   path, boundary cells as re-filtered rows) with **zero** header-cache
+//!   generation bumps between flushes.
+//! * [`StreamIngestor`] — the front-end tying them together: admission
+//!   control with [`Backpressure`](dgf_common::DgfError::Backpressure)
+//!   rejections, an inline flush when the buffer fills, a background
+//!   flusher for aged buffers, and crash recovery (WAL replay restores
+//!   unflushed batches; the flush's watermark advance rides the commit
+//!   manifest, so replay knows exactly which batches are already in
+//!   Slices).
+
+#![warn(missing_docs)]
+
+pub mod ingest;
+pub mod memtable;
+pub mod wal;
+
+pub use ingest::{IngestConfig, IngestShared, IngestStats, IngestStatsSnapshot, StreamIngestor};
+pub use memtable::{MemCell, Memtable, Slot};
+pub use wal::{IngestWal, WalBatch};

@@ -1,0 +1,326 @@
+//! The streaming write-ahead log.
+//!
+//! Acknowledged batches hit this single-file log before they are visible
+//! anywhere else; the memtable and every query answer derive from state
+//! the WAL can reconstruct. The record framing is the same checksummed
+//! idiom as [`dgf_kvstore::LogKvStore`]'s log —
+//! `[u32 payload_len][payload][u64 fnv1a(payload)]` — so a torn or
+//! corrupt tail truncates cleanly instead of poisoning recovery, and a
+//! batch is atomic: after a crash it is either fully replayable or
+//! entirely absent (its ack was then never returned).
+//!
+//! The payload of one record is one ingest batch:
+//! `seq(u64) | nrows(u32) | nrows × (u32 line_len | line)`, where each
+//! line is a [`dgf_common::format_row`] rendering of one row.
+//!
+//! Group commit: [`sync_up_to`](IngestWal::sync_up_to) makes everything
+//! appended so far durable in one writer flush and *skips* entirely when
+//! a concurrent caller's flush already covered the requested sequence —
+//! N racing ingesters pay one sync, not N.
+
+use std::collections::VecDeque;
+use std::fs::{File, OpenOptions};
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+use parking_lot::Mutex;
+
+use dgf_common::codec::fnv1a;
+use dgf_common::Result;
+
+/// One acknowledged WAL batch (possibly not yet flushed into Slices).
+#[derive(Debug, Clone)]
+pub struct WalBatch {
+    /// Monotone batch sequence number; the index's persisted ingest
+    /// watermark is the highest `seq` whose rows are committed.
+    pub seq: u64,
+    /// The batch's rows in `format_row` text form.
+    pub lines: Vec<String>,
+}
+
+#[derive(Debug)]
+struct WalState {
+    writer: BufWriter<File>,
+    len: u64,
+    /// Highest sequence appended (buffered; durable only once synced).
+    appended_seq: u64,
+    /// Highest sequence covered by a sync.
+    synced_seq: u64,
+    /// Appended batches not yet dropped by `rewrite`, oldest first.
+    tail: VecDeque<WalBatch>,
+}
+
+/// A checksummed, group-committed write-ahead log of ingest batches.
+#[derive(Debug)]
+pub struct IngestWal {
+    path: PathBuf,
+    state: Mutex<WalState>,
+}
+
+impl IngestWal {
+    /// Open (or create) the WAL at `path`. Batches with
+    /// `seq <= flushed_seq` were committed into Slices by a flush whose
+    /// watermark advance reached the store — they are dropped here (the
+    /// log is rewritten without them). Everything newer is returned for
+    /// the caller to rebuild the memtable from, and retained in the log
+    /// until a future [`rewrite`](Self::rewrite) covers it.
+    pub fn open(path: impl Into<PathBuf>, flushed_seq: u64) -> Result<(IngestWal, Vec<WalBatch>)> {
+        let path = path.into();
+        let mut batches = replay(&path)?;
+        batches.retain(|b| b.seq > flushed_seq);
+        write_whole_log(&path, &batches)?;
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        let len = file.metadata()?.len();
+        let top_seq = batches.iter().map(|b| b.seq).max().unwrap_or(flushed_seq);
+        let wal = IngestWal {
+            path,
+            state: Mutex::new(WalState {
+                writer: BufWriter::new(file),
+                len,
+                appended_seq: top_seq,
+                synced_seq: top_seq,
+                tail: batches.iter().cloned().collect(),
+            }),
+        };
+        Ok((wal, batches))
+    }
+
+    /// The log file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Current log length in bytes.
+    pub fn len_bytes(&self) -> u64 {
+        self.state.lock().len
+    }
+
+    /// Number of batches the log still retains.
+    pub fn batch_count(&self) -> usize {
+        self.state.lock().tail.len()
+    }
+
+    /// Append one batch (buffered — not durable until a sync covers
+    /// `seq`). Returns the framed bytes written.
+    pub fn append_batch(&self, seq: u64, lines: &[String]) -> Result<u64> {
+        let mut st = self.state.lock();
+        let n = write_batch_record(&mut st.writer, seq, lines)?;
+        st.len += n;
+        st.appended_seq = st.appended_seq.max(seq);
+        st.tail.push_back(WalBatch {
+            seq,
+            lines: lines.to_vec(),
+        });
+        Ok(n)
+    }
+
+    /// Group commit: make every batch up to (at least) `seq` durable.
+    /// Returns `false` when a concurrent sync already covered `seq` and
+    /// this call did no I/O at all.
+    pub fn sync_up_to(&self, seq: u64) -> Result<bool> {
+        let mut st = self.state.lock();
+        if st.synced_seq >= seq {
+            return Ok(false);
+        }
+        st.writer.flush()?;
+        // One flush covers everything appended so far, not just `seq`.
+        st.synced_seq = st.appended_seq;
+        Ok(true)
+    }
+
+    /// Drop batches with `seq <= flushed_seq` by rewriting the log
+    /// (write-temporary-then-rename, like the key-value store's
+    /// compaction). Crash-safe in both orders: if the rename never
+    /// lands, replay still skips the stale prefix by watermark.
+    pub fn rewrite(&self, flushed_seq: u64) -> Result<()> {
+        let mut st = self.state.lock();
+        st.writer.flush()?;
+        while st.tail.front().is_some_and(|b| b.seq <= flushed_seq) {
+            st.tail.pop_front();
+        }
+        let keep: Vec<WalBatch> = st.tail.iter().cloned().collect();
+        write_whole_log(&self.path, &keep)?;
+        let file = OpenOptions::new().append(true).open(&self.path)?;
+        st.len = file.metadata()?.len();
+        st.writer = BufWriter::new(file);
+        Ok(())
+    }
+}
+
+fn write_batch_record<W: Write>(w: &mut W, seq: u64, lines: &[String]) -> Result<u64> {
+    let body: usize = lines.iter().map(|l| 4 + l.len()).sum();
+    let mut payload = Vec::with_capacity(8 + 4 + body);
+    payload.extend_from_slice(&seq.to_le_bytes());
+    payload.extend_from_slice(&(lines.len() as u32).to_le_bytes());
+    for line in lines {
+        payload.extend_from_slice(&(line.len() as u32).to_le_bytes());
+        payload.extend_from_slice(line.as_bytes());
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(&payload)?;
+    w.write_all(&fnv1a(&payload).to_le_bytes())?;
+    Ok(4 + payload.len() as u64 + 8)
+}
+
+/// Replace the log file with exactly `batches` via tmp + rename.
+fn write_whole_log(path: &Path, batches: &[WalBatch]) -> Result<()> {
+    let tmp = path.with_extension("rewrite");
+    {
+        let mut w = BufWriter::new(File::create(&tmp)?);
+        for b in batches {
+            write_batch_record(&mut w, b.seq, &b.lines)?;
+        }
+        w.flush()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Replay every intact batch; stop (truncating implicitly) at the first
+/// torn or corrupt record.
+fn replay(path: &Path) -> Result<Vec<WalBatch>> {
+    let mut out = Vec::new();
+    let Ok(file) = File::open(path) else {
+        return Ok(out);
+    };
+    let mut r = BufReader::new(file);
+    loop {
+        let mut len_buf = [0u8; 4];
+        if r.read_exact(&mut len_buf).is_err() {
+            break;
+        }
+        let n = u32::from_le_bytes(len_buf) as usize;
+        let mut payload = vec![0u8; n];
+        if r.read_exact(&mut payload).is_err() {
+            break; // torn record
+        }
+        let mut sum_buf = [0u8; 8];
+        if r.read_exact(&mut sum_buf).is_err() {
+            break;
+        }
+        if u64::from_le_bytes(sum_buf) != fnv1a(&payload) {
+            break; // corrupt record: the batch was never acknowledged
+        }
+        let Some(batch) = decode_batch(&payload) else {
+            break;
+        };
+        out.push(batch);
+    }
+    Ok(out)
+}
+
+fn decode_batch(payload: &[u8]) -> Option<WalBatch> {
+    if payload.len() < 12 {
+        return None;
+    }
+    let seq = u64::from_le_bytes(payload[..8].try_into().ok()?);
+    let nrows = u32::from_le_bytes(payload[8..12].try_into().ok()?) as usize;
+    let mut lines = Vec::with_capacity(nrows);
+    let mut at = 12;
+    for _ in 0..nrows {
+        let llen = u32::from_le_bytes(payload.get(at..at + 4)?.try_into().ok()?) as usize;
+        at += 4;
+        let line = std::str::from_utf8(payload.get(at..at + llen)?).ok()?;
+        at += llen;
+        lines.push(line.to_owned());
+    }
+    Some(WalBatch { seq, lines })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgf_common::TempDir;
+
+    fn lines(tag: &str, n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("{tag}-{i}")).collect()
+    }
+
+    #[test]
+    fn append_replay_roundtrip() {
+        let t = TempDir::new("wal").unwrap();
+        let p = t.path().join("ingest.wal");
+        {
+            let (wal, replayed) = IngestWal::open(&p, 0).unwrap();
+            assert!(replayed.is_empty());
+            wal.append_batch(1, &lines("a", 3)).unwrap();
+            wal.append_batch(2, &lines("b", 2)).unwrap();
+            assert!(wal.sync_up_to(2).unwrap());
+        }
+        let (wal, replayed) = IngestWal::open(&p, 0).unwrap();
+        assert_eq!(replayed.len(), 2);
+        assert_eq!(replayed[0].seq, 1);
+        assert_eq!(replayed[0].lines, lines("a", 3));
+        assert_eq!(replayed[1].lines, lines("b", 2));
+        assert_eq!(wal.batch_count(), 2);
+    }
+
+    #[test]
+    fn open_drops_flushed_batches() {
+        let t = TempDir::new("wal").unwrap();
+        let p = t.path().join("ingest.wal");
+        {
+            let (wal, _) = IngestWal::open(&p, 0).unwrap();
+            for s in 1..=4u64 {
+                wal.append_batch(s, &lines("x", 1)).unwrap();
+            }
+            wal.sync_up_to(4).unwrap();
+        }
+        // Watermark 2: batches 1–2 are committed in Slices already.
+        let (wal, replayed) = IngestWal::open(&p, 2).unwrap();
+        assert_eq!(replayed.iter().map(|b| b.seq).collect::<Vec<_>>(), [3, 4]);
+        drop(wal);
+        // The rewrite stuck: a second open with watermark 0 no longer
+        // sees the flushed prefix.
+        let (_, replayed) = IngestWal::open(&p, 0).unwrap();
+        assert_eq!(replayed.iter().map(|b| b.seq).collect::<Vec<_>>(), [3, 4]);
+    }
+
+    #[test]
+    fn torn_tail_drops_only_last_batch() {
+        let t = TempDir::new("wal").unwrap();
+        let p = t.path().join("ingest.wal");
+        {
+            let (wal, _) = IngestWal::open(&p, 0).unwrap();
+            wal.append_batch(1, &lines("a", 2)).unwrap();
+            wal.append_batch(2, &lines("b", 2)).unwrap();
+            wal.sync_up_to(2).unwrap();
+        }
+        let len = std::fs::metadata(&p).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&p).unwrap();
+        f.set_len(len - 3).unwrap();
+
+        let (_, replayed) = IngestWal::open(&p, 0).unwrap();
+        assert_eq!(replayed.len(), 1);
+        assert_eq!(replayed[0].seq, 1);
+    }
+
+    #[test]
+    fn group_commit_skips_covered_seqs() {
+        let t = TempDir::new("wal").unwrap();
+        let (wal, _) = IngestWal::open(t.path().join("ingest.wal"), 0).unwrap();
+        wal.append_batch(1, &lines("a", 1)).unwrap();
+        wal.append_batch(2, &lines("b", 1)).unwrap();
+        wal.append_batch(3, &lines("c", 1)).unwrap();
+        // One sync at 3 covers everything…
+        assert!(wal.sync_up_to(3).unwrap());
+        // …so syncing the earlier batches is free.
+        assert!(!wal.sync_up_to(1).unwrap());
+        assert!(!wal.sync_up_to(2).unwrap());
+        assert!(!wal.sync_up_to(3).unwrap());
+    }
+
+    #[test]
+    fn rewrite_shrinks_log() {
+        let t = TempDir::new("wal").unwrap();
+        let (wal, _) = IngestWal::open(t.path().join("ingest.wal"), 0).unwrap();
+        for s in 1..=10u64 {
+            wal.append_batch(s, &lines("r", 4)).unwrap();
+        }
+        wal.sync_up_to(10).unwrap();
+        let before = wal.len_bytes();
+        wal.rewrite(8).unwrap();
+        assert!(wal.len_bytes() < before);
+        assert_eq!(wal.batch_count(), 2);
+    }
+}

@@ -23,7 +23,7 @@ pub mod traits;
 
 pub use chaos::ChaosKv;
 pub use latency::{LatencyKv, LatencyModel};
-pub use log::LogKvStore;
+pub use log::{LogKvConfig, LogKvStore};
 pub use mem::MemKvStore;
 pub use traits::{prefix_upper_bound, KvPair, KvRef, KvStats, KvStatsSnapshot, KvStore};
 

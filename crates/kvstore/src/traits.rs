@@ -39,6 +39,9 @@ pub struct KvStats {
     pub bytes_written: AtomicU64,
     /// Transient faults absorbed by retry loops around this store.
     pub retries_absorbed: AtomicU64,
+    /// Log compactions run by the store (manual calls and opportunistic
+    /// auto-compactions alike; always 0 for purely in-memory stores).
+    pub compactions: AtomicU64,
 }
 
 impl KvStats {
@@ -67,6 +70,11 @@ impl KvStats {
         self.bytes_read.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Record one log compaction.
+    pub fn on_compact(&self) {
+        self.compactions.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Point-in-time copy of all counters.
     pub fn snapshot(&self) -> KvStatsSnapshot {
         KvStatsSnapshot {
@@ -78,6 +86,7 @@ impl KvStats {
             bytes_read: self.bytes_read.load(Ordering::Relaxed),
             bytes_written: self.bytes_written.load(Ordering::Relaxed),
             retries_absorbed: self.retries_absorbed.load(Ordering::Relaxed),
+            compactions: self.compactions.load(Ordering::Relaxed),
         }
     }
 
@@ -91,6 +100,7 @@ impl KvStats {
         self.bytes_read.store(0, Ordering::Relaxed);
         self.bytes_written.store(0, Ordering::Relaxed);
         self.retries_absorbed.store(0, Ordering::Relaxed);
+        self.compactions.store(0, Ordering::Relaxed);
     }
 }
 
@@ -113,6 +123,8 @@ pub struct KvStatsSnapshot {
     pub bytes_written: u64,
     /// Transient faults absorbed by retry loops around this store.
     pub retries_absorbed: u64,
+    /// Log compactions run by the store.
+    pub compactions: u64,
 }
 
 impl KvStatsSnapshot {
@@ -142,7 +154,7 @@ impl KvStatsSnapshot {
         }
     }
 
-    fn named(&self) -> [(&'static str, u64); 8] {
+    fn named(&self) -> [(&'static str, u64); 9] {
         [
             (names::KV_GETS, self.gets),
             (names::KV_PUTS, self.puts),
@@ -152,6 +164,7 @@ impl KvStatsSnapshot {
             (names::KV_BYTES_READ, self.bytes_read),
             (names::KV_BYTES_WRITTEN, self.bytes_written),
             (names::KV_RETRIES_ABSORBED, self.retries_absorbed),
+            (names::KV_COMPACTIONS, self.compactions),
         ]
     }
 
@@ -166,6 +179,7 @@ impl KvStatsSnapshot {
             bytes_read: self.bytes_read.saturating_sub(earlier.bytes_read),
             bytes_written: self.bytes_written.saturating_sub(earlier.bytes_written),
             retries_absorbed: self.retries_absorbed.saturating_sub(earlier.retries_absorbed),
+            compactions: self.compactions.saturating_sub(earlier.compactions),
         }
     }
 }

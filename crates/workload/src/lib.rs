@@ -20,7 +20,8 @@ pub mod queries;
 pub mod tpch;
 
 pub use meter::{
-    generate_meter_data, generate_user_info, meter_schema, user_info_schema, MeterConfig,
+    generate_meter_data, generate_user_info, meter_schema, stream_meter_data, user_info_schema,
+    MeterConfig, MeterStream,
 };
 pub use queries::{
     aggregation_query, group_by_query, join_query, meter_ranges, partial_query, MeterRanges,

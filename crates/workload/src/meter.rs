@@ -88,6 +88,40 @@ fn round2(x: f64) -> f64 {
     (x * 100.0).round() / 100.0
 }
 
+/// One reading for `user` on epoch day `ts`, drawing from `rng` in the
+/// canonical order (shared by the batch and streaming generators so both
+/// produce byte-identical rows for a given config).
+fn meter_row(cfg: &MeterConfig, rng: &mut StdRng, user: u64, ts: i64) -> Row {
+    let power = round2(rng.random_range(0.5..35.0));
+    let r1 = round2(power * rng.random_range(0.2..0.5));
+    let r2 = round2(power * rng.random_range(0.1..0.3));
+    let r3 = round2(power * rng.random_range(0.05..0.2));
+    let r4 = round2((power - r1 - r2 - r3).max(0.0));
+    vec![
+        Value::Int(user as i64),
+        Value::Int(cfg.region_of(user)),
+        Value::Date(ts),
+        Value::Float(power),
+        Value::Float(r1),
+        Value::Float(r2),
+        Value::Float(r3),
+        Value::Float(r4),
+        Value::Float(round2(r1 + r2 + r3 + r4)),
+        Value::Float(round2(rng.random_range(0.0..1.0))),
+        Value::Float(round2(rng.random_range(0.0..1.0))),
+        Value::Float(round2(rng.random_range(0.0..0.5))),
+        Value::Float(round2(rng.random_range(0.0..0.5))),
+        Value::Float(round2(rng.random_range(218.0..242.0))),
+        Value::Float(round2(rng.random_range(0.1..40.0))),
+        Value::Str(if rng.random_range(0..1000) == 0 {
+            "E1".to_owned()
+        } else {
+            "OK".to_owned()
+        }),
+        Value::Int(rng.random_range(0..3)),
+    ]
+}
+
 /// Generate the meter table, time-ordered (day-major, then user).
 pub fn generate_meter_data(cfg: &MeterConfig) -> Vec<Row> {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
@@ -96,38 +130,77 @@ pub fn generate_meter_data(cfg: &MeterConfig) -> Vec<Row> {
         let ts = cfg.start_day + day;
         for _reading in 0..cfg.readings_per_day {
             for user in 0..cfg.users {
-                let power = round2(rng.random_range(0.5..35.0));
-                let r1 = round2(power * rng.random_range(0.2..0.5));
-                let r2 = round2(power * rng.random_range(0.1..0.3));
-                let r3 = round2(power * rng.random_range(0.05..0.2));
-                let r4 = round2((power - r1 - r2 - r3).max(0.0));
-                rows.push(vec![
-                    Value::Int(user as i64),
-                    Value::Int(cfg.region_of(user)),
-                    Value::Date(ts),
-                    Value::Float(power),
-                    Value::Float(r1),
-                    Value::Float(r2),
-                    Value::Float(r3),
-                    Value::Float(r4),
-                    Value::Float(round2(r1 + r2 + r3 + r4)),
-                    Value::Float(round2(rng.random_range(0.0..1.0))),
-                    Value::Float(round2(rng.random_range(0.0..1.0))),
-                    Value::Float(round2(rng.random_range(0.0..0.5))),
-                    Value::Float(round2(rng.random_range(0.0..0.5))),
-                    Value::Float(round2(rng.random_range(218.0..242.0))),
-                    Value::Float(round2(rng.random_range(0.1..40.0))),
-                    Value::Str(if rng.random_range(0..1000) == 0 {
-                        "E1".to_owned()
-                    } else {
-                        "OK".to_owned()
-                    }),
-                    Value::Int(rng.random_range(0..3)),
-                ]);
+                rows.push(meter_row(cfg, &mut rng, user, ts));
             }
         }
     }
     rows
+}
+
+/// Streaming variant of [`generate_meter_data`]: yields the same rows in
+/// the same collection-time order, but in bounded batches of at most
+/// `batch_rows`, the shape a meter head-end hands an ingestion pipeline.
+/// Concatenating every batch reproduces `generate_meter_data(cfg)` exactly
+/// (same seed, same draw order).
+pub fn stream_meter_data(cfg: &MeterConfig, batch_rows: usize) -> MeterStream {
+    MeterStream {
+        cfg: cfg.clone(),
+        rng: StdRng::seed_from_u64(cfg.seed),
+        batch_rows: batch_rows.max(1),
+        day: 0,
+        reading: 0,
+        user: 0,
+    }
+}
+
+/// Iterator over bounded, arrival-ordered meter batches. See
+/// [`stream_meter_data`].
+#[derive(Debug)]
+pub struct MeterStream {
+    cfg: MeterConfig,
+    rng: StdRng,
+    batch_rows: usize,
+    day: u64,
+    reading: u32,
+    user: u64,
+}
+
+impl MeterStream {
+    /// Rows not yet yielded.
+    pub fn remaining(&self) -> u64 {
+        let done = (self.day * self.cfg.readings_per_day as u64 + self.reading as u64)
+            * self.cfg.users
+            + self.user;
+        self.cfg.row_count().saturating_sub(done)
+    }
+}
+
+impl Iterator for MeterStream {
+    type Item = Vec<Row>;
+
+    fn next(&mut self) -> Option<Vec<Row>> {
+        // `remaining` (not a bare day check) also ends degenerate configs
+        // with zero users or zero readings per day.
+        if self.remaining() == 0 {
+            return None;
+        }
+        let mut batch = Vec::with_capacity(self.batch_rows.min(self.remaining() as usize));
+        while batch.len() < self.batch_rows && self.remaining() > 0 {
+            let ts = self.cfg.start_day + self.day as i64;
+            batch.push(meter_row(&self.cfg, &mut self.rng, self.user, ts));
+            // Advance the (day, reading, user) odometer.
+            self.user += 1;
+            if self.user == self.cfg.users {
+                self.user = 0;
+                self.reading += 1;
+                if self.reading == self.cfg.readings_per_day {
+                    self.reading = 0;
+                    self.day += 1;
+                }
+            }
+        }
+        Some(batch)
+    }
 }
 
 /// Schema of the archive `user_info` table joined in Listing 6.
@@ -214,6 +287,46 @@ mod tests {
         assert_eq!(users[7][0], Value::Int(7));
         assert_eq!(users[7][2], Value::Int(cfg.region_of(7)));
         assert_eq!(users[0].len(), user_info_schema().len());
+    }
+
+    #[test]
+    fn streaming_batches_reproduce_batch_generation() {
+        let cfg = MeterConfig {
+            users: 37,
+            days: 3,
+            readings_per_day: 2,
+            ..MeterConfig::default()
+        };
+        let oracle = generate_meter_data(&cfg);
+        // A batch size that doesn't divide the row count exercises the
+        // odometer mid-day and the short final batch.
+        let batches: Vec<Vec<Row>> = stream_meter_data(&cfg, 50).collect();
+        assert!(batches.iter().rev().skip(1).all(|b| b.len() == 50));
+        assert!(batches.last().unwrap().len() <= 50);
+        let streamed: Vec<Row> = batches.into_iter().flatten().collect();
+        assert_eq!(streamed, oracle);
+    }
+
+    #[test]
+    fn streaming_tracks_remaining_and_handles_degenerate_configs() {
+        let cfg = MeterConfig {
+            users: 10,
+            days: 2,
+            ..MeterConfig::default()
+        };
+        let mut s = stream_meter_data(&cfg, 7);
+        assert_eq!(s.remaining(), 20);
+        let first = s.next().unwrap();
+        assert_eq!(first.len(), 7);
+        assert_eq!(s.remaining(), 13);
+        assert_eq!(s.by_ref().map(|b| b.len() as u64).sum::<u64>(), 13);
+        assert!(s.next().is_none());
+
+        let empty = MeterConfig {
+            users: 0,
+            ..MeterConfig::default()
+        };
+        assert!(stream_meter_data(&empty, 8).next().is_none());
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! dgf index <dir> <name> --table <t> --dims "user_id:0:100,ts:2012-12-01:1" \
 //!           [--precompute "sum(power_consumed), count(*)"]
 //! dgf append <dir> <index> <file>          # index + base table extend
+//! dgf ingest <dir> <index> <file> [--batch N] [--flush]
 //! dgf query <dir> <table> "SELECT sum(power_consumed) WHERE ..." [--index <name>] [--explain]
 //! dgf profile <dir> <table> "SELECT ..." [--index <name>] [--json]
 //! dgf advise <dir> <table> --dims "user_id,ts" --history "u>1 AND ...; ts='2012-12-05'"
@@ -25,6 +26,14 @@
 //! per-stage tree (wall time, KV ops, bytes, cache hits, retries) plus a
 //! metrics-registry dump; `query` honours the `DGF_TRACE` env filter
 //! instead (e.g. `DGF_TRACE=plan,kv`).
+//!
+//! `ingest` streams rows through the WAL-backed memtable path instead of
+//! running a reorganization job per batch: rows are acknowledged once
+//! logged (WAL at `.dgf-kv/<index>.wal`) and become query-visible
+//! immediately. Without `--flush` the rows stay in the WAL across
+//! invocations — `query --index` and `profile --index` replay it on open,
+//! so freshness survives restarts; `--flush` converts everything into
+//! real Slices before exiting.
 
 use std::io::BufRead;
 use std::path::{Path, PathBuf};
@@ -57,6 +66,7 @@ const USAGE: &str = "usage:
   dgf gen-meter <dir> <table> --users N --days N [--seed N]
   dgf index <dir> <name> --table <t> --dims \"col:min:interval,...\" [--precompute \"sum(x)\"]
   dgf append <dir> <index> <file>
+  dgf ingest <dir> <index> <file> [--batch N] [--flush]
   dgf query <dir> <table> \"SELECT ... [WHERE ...] [GROUP BY col]\" [--index <name>] [--explain]
   dgf profile <dir> <table> \"SELECT ... [WHERE ...]\" [--index <name>] [--json]
   dgf advise <dir> <table> --dims \"a,b\" --history \"pred; pred; ...\"";
@@ -88,6 +98,42 @@ impl Warehouse {
 
     fn kv_path(&self, index_name: &str) -> PathBuf {
         self.dir.join(".dgf-kv").join(format!("{index_name}.log"))
+    }
+
+    fn wal_path(&self, index_name: &str) -> PathBuf {
+        self.dir.join(".dgf-kv").join(format!("{index_name}.wal"))
+    }
+
+    /// If the index has a streaming WAL on disk, replay it into a fresh
+    /// source so queries see acknowledged-but-unflushed rows. The
+    /// returned ingestor must stay alive for the duration of the query.
+    fn attach_fresh(
+        &self,
+        index: &Arc<DgfIndex>,
+        index_name: &str,
+    ) -> Result<Option<StreamIngestor>> {
+        let wal = self.wal_path(index_name);
+        if !wal.is_file() {
+            return Ok(None);
+        }
+        let ingestor = StreamIngestor::open(
+            Arc::clone(index),
+            wal,
+            IngestConfig {
+                // Read-only attach: never flush as a side effect of a query.
+                flush_rows: u64::MAX,
+                auto_flush_interval: None,
+                ..IngestConfig::default()
+            },
+        )?;
+        let s = ingestor.stats();
+        if s.replayed_rows > 0 {
+            eprintln!(
+                "-- replayed {} unflushed rows ({} batches) from ingest WAL",
+                s.replayed_rows, s.replayed_batches
+            );
+        }
+        Ok(Some(ingestor))
     }
 
     fn open_index(&self, name: &str) -> Result<DgfIndex> {
@@ -258,6 +304,48 @@ fn dispatch(args: &[String]) -> Result<()> {
             );
             Ok(())
         }
+        "ingest" => {
+            let w = Warehouse::open(args.get(1).ok_or_else(bad_usage)?)?;
+            let index_name = args.get(2).ok_or_else(bad_usage)?;
+            let index = Arc::new(w.open_index(index_name)?);
+            let rows = read_rows_file(args.get(3).ok_or_else(bad_usage)?, &index.base.schema)?;
+            let batch: usize = flag(args, "--batch")
+                .unwrap_or("500")
+                .parse()
+                .map_err(|e| DgfError::Query(format!("bad --batch: {e}")))?;
+            if batch == 0 {
+                return Err(DgfError::Query("--batch must be positive".into()));
+            }
+            std::fs::create_dir_all(w.dir.join(".dgf-kv"))?;
+            let ingestor = StreamIngestor::open(
+                Arc::clone(&index),
+                w.wal_path(index_name),
+                IngestConfig {
+                    auto_flush_interval: None,
+                    ..IngestConfig::default()
+                },
+            )?;
+            for chunk in rows.chunks(batch) {
+                ingestor.ingest(chunk)?;
+            }
+            let flushed = args.iter().any(|a| a == "--flush");
+            if flushed {
+                ingestor.flush()?;
+                w.save()?;
+            }
+            let s = ingestor.stats();
+            println!(
+                "ingested {} rows in {} batches ({} WAL bytes, {} syncs, {} flushes)",
+                s.rows, s.batches, s.wal_bytes, s.wal_syncs, s.flushes
+            );
+            if !flushed {
+                println!(
+                    "rows are query-visible now and held in the WAL; \
+                     rerun with --flush (or keep streaming) to persist them as Slices"
+                );
+            }
+            Ok(())
+        }
         "query" => {
             let w = Warehouse::open(args.get(1).ok_or_else(bad_usage)?)?;
             let table = w.ctx.table(args.get(2).ok_or_else(bad_usage)?)?;
@@ -267,6 +355,7 @@ fn dispatch(args: &[String]) -> Result<()> {
             let run = match flag(args, "--index") {
                 Some(index_name) => {
                     let index = Arc::new(w.open_index(index_name)?);
+                    let _fresh = w.attach_fresh(&index, index_name)?;
                     if explain {
                         let plan = index.plan(&query, true)?;
                         println!(
@@ -303,6 +392,7 @@ fn dispatch(args: &[String]) -> Result<()> {
                             ..IndexOptions::default()
                         },
                     )?);
+                    let _fresh = w.attach_fresh(&index, index_name)?;
                     let run = DgfEngine::new(Arc::clone(&index)).run(&query)?;
                     (run, index.metrics())
                 }

@@ -63,6 +63,7 @@ pub use dgf_core as core;
 pub use dgf_format as format;
 pub use dgf_hadoopdb as hadoopdb;
 pub use dgf_hive as hive;
+pub use dgf_ingest as ingest;
 pub use dgf_kvstore as kvstore;
 pub use dgf_mapreduce as mapreduce;
 pub use dgf_query as query;
@@ -85,6 +86,7 @@ pub mod prelude {
         AggregateIndex, AggregateIndexEngine, BitmapEngine, BitmapIndex, CompactEngine,
         CompactIndex, HiveContext, PartitionEngine, PartitionedTable, ScanEngine, TableRef,
     };
+    pub use dgf_ingest::{IngestConfig, StreamIngestor};
     pub use dgf_kvstore::{ChaosKv, KvStore, LatencyKv, LatencyModel, LogKvStore, MemKvStore};
     pub use dgf_mapreduce::MrEngine;
     pub use dgf_query::{

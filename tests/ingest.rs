@@ -1,0 +1,604 @@
+//! Streaming ingestion: freshness, crash recovery, and build equivalence.
+//!
+//! Three pillars:
+//!
+//! * **Freshness** — a query issued immediately after an acknowledged
+//!   streaming write returns that row, with zero header-cache generation
+//!   bumps between flushes.
+//! * **Chaos matrix** — crash at every instrumented site (WAL append,
+//!   WAL sync, flush staging, flush commit, plus every append/reorg/
+//!   apply site the flush passes through) × transient-noise seeds; after
+//!   reopening, the recovered answer equals the batch-built oracle over
+//!   the acknowledged batches (an unacknowledged in-flight batch may
+//!   land either way — atomically — and nothing else may differ).
+//! * **Equivalence** — property test: streamed-then-flushed ingestion
+//!   answers queries identically to a one-shot batch `build` over the
+//!   same rows.
+
+use std::sync::Arc;
+
+use dgfindex::common::DgfError;
+use dgfindex::core::txn::{STAGE_PREFIX, TXN_MANIFEST_KEY};
+use dgfindex::ingest::IngestConfig;
+use dgfindex::prelude::*;
+use dgfindex::workload::{generate_meter_data, meter_schema, stream_meter_data, MeterConfig};
+use proptest::prelude::*;
+
+const INDEX: &str = "dgf_stream";
+
+fn retry() -> RetryPolicy {
+    RetryPolicy::fast(40)
+}
+
+fn aggs() -> Vec<AggFunc> {
+    vec![AggFunc::Sum("power_consumed".into()), AggFunc::Count]
+}
+
+fn meter_cfg() -> MeterConfig {
+    MeterConfig {
+        users: 8,
+        days: 4,
+        ..MeterConfig::default()
+    }
+}
+
+fn grid(cfg: &MeterConfig) -> SplittingPolicy {
+    SplittingPolicy::new(vec![
+        DimPolicy::int("user_id", 0, 4),
+        DimPolicy::date("ts", cfg.start_day, 1),
+    ])
+    .unwrap()
+}
+
+fn queries(cfg: &MeterConfig) -> Vec<Query> {
+    vec![
+        Query::Aggregate {
+            aggs: vec![AggFunc::Count],
+            predicate: Predicate::all(),
+        },
+        Query::Aggregate {
+            aggs: aggs(),
+            predicate: Predicate::all()
+                .and(
+                    "user_id",
+                    ColumnRange::half_open(Value::Int(1), Value::Int(7)),
+                )
+                .and(
+                    "ts",
+                    ColumnRange::half_open(
+                        Value::Date(cfg.start_day + 1),
+                        Value::Date(cfg.start_day + 3),
+                    ),
+                ),
+        },
+    ]
+}
+
+struct World {
+    tmp: TempDir,
+    ctx: Arc<HiveContext>,
+    base: TableRef,
+    inner: Arc<dyn KvStore>,
+}
+
+fn world(tag: &str) -> World {
+    let tmp = TempDir::new(&format!("stream-{tag}")).unwrap();
+    let hdfs = SimHdfs::open(tmp.path()).unwrap();
+    let ctx = HiveContext::new(hdfs, MrEngine::new(1));
+    let base = ctx
+        .create_table("meter", meter_schema(), FileFormat::Text)
+        .unwrap();
+    World {
+        tmp,
+        ctx,
+        base,
+        inner: Arc::new(MemKvStore::new()),
+    }
+}
+
+/// Build the index fault-free over the first two days of data. The
+/// streaming phase then runs under whatever fault plan the test chooses.
+fn seed_index(w: &World) -> (Vec<Row>, Vec<Row>) {
+    let cfg = meter_cfg();
+    let rows = generate_meter_data(&cfg);
+    let per_day = rows.len() / cfg.days as usize;
+    let (seeded, streamed) = rows.split_at(2 * per_day);
+    w.ctx.load_rows(&w.base, seeded, 2).unwrap();
+    let (_, _) = DgfIndex::build(
+        Arc::clone(&w.ctx),
+        Arc::clone(&w.base),
+        grid(&cfg),
+        aggs(),
+        Arc::clone(&w.inner),
+        INDEX,
+    )
+    .unwrap();
+    (seeded.to_vec(), streamed.to_vec())
+}
+
+fn deterministic_config(fault: Option<Arc<FaultPlan>>) -> IngestConfig {
+    IngestConfig {
+        // Inline flush roughly every other batch; no background thread so
+        // crash-point ordinals are a pure function of the batch sequence.
+        flush_rows: 12,
+        auto_flush_interval: None,
+        fault,
+        ..IngestConfig::default()
+    }
+}
+
+fn wal_path(w: &World) -> std::path::PathBuf {
+    w.tmp.path().join("ingest.wal")
+}
+
+/// Expected scalar answers computed directly from a row set.
+fn oracle(cfg: &MeterConfig, rows: &[Row]) -> Vec<Vec<f64>> {
+    let mut count_all = 0f64;
+    let (mut sum_r, mut count_r) = (0f64, 0f64);
+    for row in rows {
+        count_all += 1.0;
+        let user = row[0].as_i64().unwrap();
+        let ts = row[2].as_i64().unwrap();
+        if (1..7).contains(&user) && (cfg.start_day + 1..cfg.start_day + 3).contains(&ts) {
+            sum_r += row[3].as_f64().unwrap();
+            count_r += 1.0;
+        }
+    }
+    vec![vec![count_all], vec![sum_r, count_r]]
+}
+
+fn run_queries(engine: &DgfEngine, cfg: &MeterConfig) -> Vec<Vec<f64>> {
+    queries(cfg)
+        .iter()
+        .map(|q| {
+            engine
+                .run(q)
+                .unwrap()
+                .result
+                .into_scalars()
+                .iter()
+                .map(|v| v.as_f64().unwrap())
+                .collect()
+        })
+        .collect()
+}
+
+fn close_to(a: &[Vec<f64>], b: &[Vec<f64>]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| {
+            x.len() == y.len() && x.iter().zip(y).all(|(p, q)| (p - q).abs() < 1e-6)
+        })
+}
+
+/// Acknowledged writes are immediately query-visible, and no flush means
+/// no header-cache generation bump — the acceptance criterion verbatim.
+#[test]
+fn acked_writes_visible_with_zero_generation_bumps() {
+    let w = world("fresh");
+    let cfg = meter_cfg();
+    let (seeded, streamed) = seed_index(&w);
+    let index = Arc::new(
+        DgfIndex::open(
+            Arc::clone(&w.ctx),
+            Arc::clone(&w.base),
+            Arc::clone(&w.inner),
+            INDEX,
+            aggs(),
+        )
+        .unwrap(),
+    );
+    let ingestor = dgfindex::ingest::StreamIngestor::open(
+        Arc::clone(&index),
+        wal_path(&w),
+        IngestConfig {
+            flush_rows: u64::MAX,
+            auto_flush_interval: None,
+            ..IngestConfig::default()
+        },
+    )
+    .unwrap();
+    let engine = DgfEngine::new(Arc::clone(&index));
+
+    let gen_before = index.generation();
+    let mut present = seeded.clone();
+    for batch in streamed.chunks(5) {
+        ingestor.ingest(batch).unwrap();
+        present.extend(batch.iter().cloned());
+        // Immediately after the ack, every query sees the batch.
+        assert!(
+            close_to(&run_queries(&engine, &cfg), &oracle(&cfg, &present)),
+            "acknowledged batch not visible to the very next query"
+        );
+    }
+    assert_eq!(
+        index.generation(),
+        gen_before,
+        "freshness merge must not bump the header-cache generation"
+    );
+    assert_eq!(ingestor.stats().flushes, 0);
+
+    // The flush changes where the rows live, not what queries see.
+    ingestor.flush().unwrap();
+    assert!(index.generation() > gen_before);
+    assert!(close_to(&run_queries(&engine, &cfg), &oracle(&cfg, &present)));
+    // And now the persisted index alone (scan vs dgf) agrees too.
+    let scan = ScanEngine::new(Arc::clone(&w.ctx), Arc::clone(&w.base));
+    for q in &queries(&cfg) {
+        let truth = scan.run(q).unwrap().result;
+        let got = engine.run(q).unwrap().result;
+        assert!(got.approx_eq(&truth, 1e-9));
+    }
+}
+
+/// Acknowledged-but-unflushed rows survive a process exit: WAL replay at
+/// reopen restores them, and they are query-visible again before any
+/// flush happens.
+#[test]
+fn wal_replay_restores_unflushed_rows_across_reopen() {
+    let w = world("replay");
+    let cfg = meter_cfg();
+    let (seeded, streamed) = seed_index(&w);
+    let mut present = seeded.clone();
+    {
+        let index = Arc::new(
+            DgfIndex::open(
+                Arc::clone(&w.ctx),
+                Arc::clone(&w.base),
+                Arc::clone(&w.inner),
+                INDEX,
+                aggs(),
+            )
+            .unwrap(),
+        );
+        let ingestor = dgfindex::ingest::StreamIngestor::open(
+            Arc::clone(&index),
+            wal_path(&w),
+            IngestConfig {
+                flush_rows: u64::MAX,
+                auto_flush_interval: None,
+                ..IngestConfig::default()
+            },
+        )
+        .unwrap();
+        for batch in streamed.chunks(7).take(3) {
+            ingestor.ingest(batch).unwrap();
+            present.extend(batch.iter().cloned());
+        }
+        // Dropped without flush: rows exist only in the WAL now.
+    }
+    let ingested = (present.len() - seeded.len()) as u64;
+    let batches = streamed.chunks(7).take(3).count() as u64;
+    let index = Arc::new(
+        DgfIndex::open(
+            Arc::clone(&w.ctx),
+            Arc::clone(&w.base),
+            Arc::clone(&w.inner),
+            INDEX,
+            aggs(),
+        )
+        .unwrap(),
+    );
+    let ingestor =
+        dgfindex::ingest::StreamIngestor::open(Arc::clone(&index), wal_path(&w), deterministic_config(None))
+            .unwrap();
+    let replayed = ingestor.stats();
+    assert!(ingested > 0);
+    assert_eq!(replayed.replayed_batches, batches);
+    assert_eq!(replayed.replayed_rows, ingested);
+    let engine = DgfEngine::new(Arc::clone(&index));
+    assert!(
+        close_to(&run_queries(&engine, &cfg), &oracle(&cfg, &present)),
+        "replayed rows must be query-visible before any flush"
+    );
+}
+
+/// Admission control: a buffer past the byte bound rejects with
+/// `Backpressure` (counted, no side effects); a flush reopens admission.
+#[test]
+fn backpressure_rejects_then_flush_reopens_admission() {
+    let w = world("backpressure");
+    let (_, streamed) = seed_index(&w);
+    let index = Arc::new(
+        DgfIndex::open(
+            Arc::clone(&w.ctx),
+            Arc::clone(&w.base),
+            Arc::clone(&w.inner),
+            INDEX,
+            aggs(),
+        )
+        .unwrap(),
+    );
+    let ingestor = dgfindex::ingest::StreamIngestor::open(
+        Arc::clone(&index),
+        wal_path(&w),
+        IngestConfig {
+            max_buffered_bytes: 600,
+            flush_rows: u64::MAX,
+            auto_flush_interval: None,
+            ..IngestConfig::default()
+        },
+    )
+    .unwrap();
+    let mut acked = 0u64;
+    let mut rejected = false;
+    for batch in streamed.chunks(4) {
+        match ingestor.ingest(batch) {
+            Ok(_) => acked += batch.len() as u64,
+            Err(DgfError::Backpressure(_)) => {
+                rejected = true;
+                break;
+            }
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+    assert!(rejected, "tiny buffer bound never rejected");
+    assert!(acked > 0, "first batches should have been admitted");
+    assert_eq!(ingestor.stats().rejections, 1);
+    assert_eq!(ingestor.stats().rows, acked);
+
+    // Flushing drains the buffer; the same batch is admitted now.
+    ingestor.flush().unwrap();
+    ingestor.ingest(&streamed[..4]).unwrap();
+}
+
+/// Outcome of one faulted streaming run.
+struct DriveOutcome {
+    /// Rows of every acknowledged batch, in ack order.
+    acked: Vec<Row>,
+    /// The batch in flight when the crash fired (if any): atomic — the
+    /// recovered index may contain all of it or none of it.
+    inflight: Vec<Row>,
+    err: Option<DgfError>,
+}
+
+/// Stream two days of data in small batches under `plan`; inline flushes
+/// (every other batch) route through the full staged-commit append path,
+/// so the crash-site space covers WAL, memtable swap, reorganize, and
+/// apply.
+fn drive_streaming(w: &World, plan: &Arc<FaultPlan>) -> DriveOutcome {
+    let (_, streamed) = seed_index(w);
+    w.ctx.hdfs.enable_faults(Arc::clone(plan), retry());
+    let kv: Arc<dyn KvStore> = Arc::new(ChaosKv::new(Arc::clone(&w.inner), Arc::clone(plan)));
+    let index = Arc::new(
+        DgfIndex::open_with_options(
+            Arc::clone(&w.ctx),
+            Arc::clone(&w.base),
+            kv,
+            INDEX,
+            aggs(),
+            IndexOptions {
+                retry: retry(),
+                fault: Some(Arc::clone(plan)),
+                ..IndexOptions::default()
+            },
+        )
+        .unwrap(),
+    );
+    let mut out = DriveOutcome {
+        acked: Vec::new(),
+        inflight: Vec::new(),
+        err: None,
+    };
+    let ingestor = match dgfindex::ingest::StreamIngestor::open(
+        Arc::clone(&index),
+        wal_path(w),
+        deterministic_config(Some(Arc::clone(plan))),
+    ) {
+        Ok(i) => i,
+        Err(e) => {
+            out.err = Some(e);
+            return out;
+        }
+    };
+    for batch in streamed.chunks(5) {
+        match ingestor.ingest(batch) {
+            Ok(_) => out.acked.extend(batch.iter().cloned()),
+            Err(e) => {
+                out.inflight = batch.to_vec();
+                out.err = Some(e);
+                return out;
+            }
+        }
+    }
+    if let Err(e) = ingestor.flush() {
+        out.err = Some(e);
+    }
+    out
+}
+
+/// Reopen everything fault-free and assert the recovery invariants: the
+/// answer equals the oracle over seeded + acknowledged rows (possibly
+/// plus the atomic in-flight batch), before AND after a full flush, and
+/// no transaction residue leaks.
+fn verify_recovered(w: &World, out: &DriveOutcome, label: &str) {
+    w.ctx.hdfs.disable_faults();
+    let cfg = meter_cfg();
+    let index = Arc::new(
+        DgfIndex::open(
+            Arc::clone(&w.ctx),
+            Arc::clone(&w.base),
+            Arc::clone(&w.inner),
+            INDEX,
+            aggs(),
+        )
+        .unwrap(),
+    );
+    let ingestor = dgfindex::ingest::StreamIngestor::open(
+        Arc::clone(&index),
+        wal_path(w),
+        deterministic_config(None),
+    )
+    .unwrap();
+    let engine = DgfEngine::new(Arc::clone(&index));
+
+    let seeded_rows = generate_meter_data(&cfg);
+    let per_day = seeded_rows.len() / cfg.days as usize;
+    let mut with_acked: Vec<Row> = seeded_rows[..2 * per_day].to_vec();
+    with_acked.extend(out.acked.iter().cloned());
+    let mut with_inflight = with_acked.clone();
+    with_inflight.extend(out.inflight.iter().cloned());
+
+    let got = run_queries(&engine, &cfg);
+    let ok_acked = close_to(&got, &oracle(&cfg, &with_acked));
+    let ok_inflight = close_to(&got, &oracle(&cfg, &with_inflight));
+    assert!(
+        ok_acked || ok_inflight,
+        "{label}: recovered answer {got:?} matches neither acked-only \
+         {:?} nor acked+inflight {:?}",
+        oracle(&cfg, &with_acked),
+        oracle(&cfg, &with_inflight),
+    );
+
+    // Flushing the replayed remainder must not change any answer.
+    ingestor.flush().unwrap();
+    let after = run_queries(&engine, &cfg);
+    assert!(
+        close_to(&got, &after),
+        "{label}: flush changed the recovered answer: {got:?} vs {after:?}"
+    );
+    // And the persisted state now agrees with a ground-truth scan.
+    let scan = ScanEngine::new(Arc::clone(&w.ctx), Arc::clone(&w.base));
+    for q in &queries(&cfg) {
+        let truth = scan.run(q).unwrap().result;
+        let got = engine.run(q).unwrap().result;
+        assert!(
+            got.approx_eq(&truth, 1e-9),
+            "{label}: post-flush index disagrees with scan"
+        );
+    }
+    // No residue from any interrupted transaction.
+    assert!(
+        w.inner.scan_prefix(STAGE_PREFIX).unwrap().is_empty(),
+        "{label}: staged keys leaked"
+    );
+    assert!(
+        w.inner.get(TXN_MANIFEST_KEY).unwrap().is_none(),
+        "{label}: transaction manifest leaked"
+    );
+}
+
+/// Count crash sites with a quiet plan, checking the run itself.
+fn record_sites(tag: &str) -> u64 {
+    let quiet = Arc::new(FaultPlan::new(FaultConfig::quiet(0)));
+    let w = world(tag);
+    let out = drive_streaming(&w, &quiet);
+    assert!(out.err.is_none(), "quiet run failed: {:?}", out.err);
+    verify_recovered(&w, &out, "record");
+    let sites = quiet.points_hit();
+    assert!(
+        sites >= 12,
+        "expected WAL + flush + append sites, got {sites}"
+    );
+    sites
+}
+
+/// Crash at every instrumented site once; the recovered index must match
+/// the batch-built oracle from each of them.
+#[test]
+fn ingest_crash_matrix_every_site_recovers() {
+    let sites = record_sites("record");
+    for site in 0..sites {
+        let w = world(&format!("site{site}"));
+        let plan = Arc::new(FaultPlan::new(FaultConfig::crash_at(site, site)));
+        let out = drive_streaming(&w, &plan);
+        assert!(
+            plan.crashed(),
+            "site {site}: scheduled crash did not fire ({:?})",
+            out.err
+        );
+        verify_recovered(&w, &out, &format!("site {site}"));
+    }
+}
+
+/// The same matrix under 20% transient-fault noise, four seeds. Retries
+/// absorb the noise; the crash still lands on the intended site.
+#[test]
+fn ingest_crash_matrix_with_transient_noise_recovers() {
+    let sites = record_sites("record-noise");
+    for seed in 1..=4u64 {
+        for site in 0..sites {
+            let w = world(&format!("s{seed}x{site}"));
+            let plan = Arc::new(FaultPlan::new(FaultConfig {
+                p_transient: 0.2,
+                ..FaultConfig::crash_at(seed, site)
+            }));
+            let out = drive_streaming(&w, &plan);
+            assert!(
+                plan.crashed(),
+                "seed {seed} site {site}: crash did not fire ({:?})",
+                out.err
+            );
+            verify_recovered(&w, &out, &format!("seed {seed} site {site}"));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Streamed-then-flushed ingestion is query-equivalent to one-shot
+    /// batch construction over the same rows.
+    #[test]
+    fn streamed_ingest_equals_one_shot_build(
+        users in 4u64..10,
+        days in 2u64..5,
+        batch in 3usize..17,
+        flush_rows in 5u64..40,
+    ) {
+        let cfg = MeterConfig { users, days, ..MeterConfig::default() };
+        let per_day = (cfg.row_count() / cfg.days) as usize;
+
+        // Path A: one-shot build over the full table.
+        let wa = world("prop-a");
+        let all: Vec<Row> = stream_meter_data(&cfg, usize::MAX).flatten().collect();
+        wa.ctx.load_rows(&wa.base, &all, 2).unwrap();
+        let (index_a, _) = DgfIndex::build(
+            Arc::clone(&wa.ctx),
+            Arc::clone(&wa.base),
+            grid(&cfg),
+            aggs(),
+            Arc::clone(&wa.inner),
+            INDEX,
+        )
+        .unwrap();
+        let engine_a = DgfEngine::new(Arc::new(index_a));
+
+        // Path B: build over day one, stream the rest, final flush.
+        let wb = world("prop-b");
+        wb.ctx.load_rows(&wb.base, &all[..per_day], 2).unwrap();
+        let (index_b, _) = DgfIndex::build(
+            Arc::clone(&wb.ctx),
+            Arc::clone(&wb.base),
+            grid(&cfg),
+            aggs(),
+            Arc::clone(&wb.inner),
+            INDEX,
+        )
+        .unwrap();
+        let index_b = Arc::new(index_b);
+        let ingestor = dgfindex::ingest::StreamIngestor::open(
+            Arc::clone(&index_b),
+            wb.tmp.path().join("ingest.wal"),
+            IngestConfig {
+                flush_rows,
+                auto_flush_interval: None,
+                ..IngestConfig::default()
+            },
+        )
+        .unwrap();
+        for b in all[per_day..].chunks(batch) {
+            ingestor.ingest(b).unwrap();
+        }
+        ingestor.close().unwrap();
+        let engine_b = DgfEngine::new(Arc::clone(&index_b));
+
+        for q in &queries(&cfg) {
+            let a = engine_a.run(q).unwrap().result;
+            let b = engine_b.run(q).unwrap().result;
+            prop_assert!(
+                a.approx_eq(&b, 1e-9),
+                "streamed vs one-shot diverged: {a:?} vs {b:?}"
+            );
+        }
+    }
+}
