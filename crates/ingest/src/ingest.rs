@@ -5,14 +5,27 @@
 //! 1. **Validate** — every row's indexed dimensions standardize to GFU
 //!    cells *before* any side effect, so a malformed batch is rejected
 //!    whole.
-//! 2. **Admit** — admission control bounds buffered bytes; over the
-//!    limit the batch is rejected with [`DgfError::Backpressure`] and
-//!    counted, never silently dropped or blocking.
+//! 2. **Admit** — admission control bounds buffered bytes by *reserving*
+//!    the batch's bytes atomically up front (released again on rejection
+//!    or failure), so N racing batches cannot each pass a stale check and
+//!    collectively overshoot the bound; over the limit the batch is
+//!    rejected with [`DgfError::Backpressure`] and counted, never
+//!    silently dropped or blocking.
 //! 3. **Log** — the batch is appended to the [`IngestWal`] and made
-//!    durable by a group commit (one writer flush covers every batch
-//!    appended so far).
+//!    durable by a group commit (one writer flush + fsync covers every
+//!    batch appended so far, judged by append ticket).
 //! 4. **Buffer** — rows land in the active memtable slot, updating each
 //!    touched GFU cell's running partial aggregates.
+//!
+//! Steps 3–4 (from sequence allocation through the memtable insert) run
+//! under the shared side of a batch gate; a flush's memtable snapshot
+//! takes the exclusive side. The snapshot therefore never observes a
+//! `max_seq` while some lower, already-WAL-appended sequence is still on
+//! its way into the memtable — without the gate such a flush would
+//! commit a watermark covering that in-flight batch, and recovery would
+//! drop it from both the WAL and the memtable: an acknowledged batch
+//! lost. Concurrent ingesters share the gate (reads), so group-commit
+//! amortization is unaffected.
 //!
 //! The ack (the returned sequence) means: durable in the WAL, and
 //! visible to every subsequent query through the index's
@@ -35,7 +48,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
 use dgf_common::fault::FaultPlan;
 use dgf_common::obs::{names, MetricsRegistry, SpanGuard};
@@ -220,6 +233,11 @@ struct Core {
     agg_set: AggSet,
     dim_idx: Vec<usize>,
     next_seq: AtomicU64,
+    /// Guards the seq-allocate → WAL-append → memtable-insert window:
+    /// ingesters hold the shared side across it, the flush snapshot takes
+    /// the exclusive side, so a snapshot's `max_seq` always covers every
+    /// lower acknowledged sequence (see the module docs).
+    batch_gate: RwLock<()>,
     /// Serializes flushes (inline, explicit, and background).
     flush_lock: Mutex<()>,
     stats: IngestStats,
@@ -282,25 +300,35 @@ impl Core {
         }
         let routed = self.route(rows)?;
         let batch_bytes: u64 = routed.iter().map(|(_, l)| l.len() as u64).sum();
-        if self.shared.buffered_bytes() + batch_bytes > self.config.max_buffered_bytes {
+        // Reserve the batch's bytes atomically: the check and the
+        // accounting are one fetch_add, so concurrent batches cannot all
+        // pass against the same stale reading and overshoot the bound.
+        let already = self
+            .shared
+            .buffered_bytes
+            .fetch_add(batch_bytes, Ordering::SeqCst);
+        if already + batch_bytes > self.config.max_buffered_bytes {
+            self.shared
+                .buffered_bytes
+                .fetch_sub(batch_bytes, Ordering::SeqCst);
             stats.rejections.fetch_add(1, Ordering::Relaxed);
             return Err(DgfError::Backpressure(format!(
-                "{} buffered + {batch_bytes} incoming exceeds the {} byte bound; \
-                 flush (or wait for the background flusher) and resubmit",
-                self.shared.buffered_bytes(),
+                "{already} buffered + {batch_bytes} incoming exceeds the {} byte \
+                 bound; flush (or wait for the background flusher) and resubmit",
                 self.config.max_buffered_bytes
             )));
         }
         let span = self.index.profiler().span("ingest.batch");
-        let seq = self.next_seq.fetch_add(1, Ordering::SeqCst);
-        let wal_bytes = self.wal.append_batch(seq, &lines_of(&routed))?;
-        stats.wal_bytes.fetch_add(wal_bytes, Ordering::Relaxed);
-        self.crash_point("ingest.wal-appended")?;
-        if self.wal.sync_up_to(seq)? {
-            stats.wal_syncs.fetch_add(1, Ordering::Relaxed);
-        }
-        self.crash_point("ingest.wal-synced")?;
-        {
+        let written = (|| -> Result<(u64, u64)> {
+            let _gate = self.batch_gate.read();
+            let seq = self.next_seq.fetch_add(1, Ordering::SeqCst);
+            let (wal_bytes, ticket) = self.wal.append_batch(seq, &lines_of(&routed))?;
+            stats.wal_bytes.fetch_add(wal_bytes, Ordering::Relaxed);
+            self.crash_point("ingest.wal-appended")?;
+            if self.wal.sync(ticket)? {
+                stats.wal_syncs.fetch_add(1, Ordering::Relaxed);
+            }
+            self.crash_point("ingest.wal-synced")?;
             let mut mem = self.shared.mem.lock();
             for ((cells, line), row) in routed.into_iter().zip(rows.iter().cloned()) {
                 mem.active.insert(
@@ -312,10 +340,21 @@ impl Core {
                 )?;
             }
             mem.active.max_seq = mem.active.max_seq.max(seq);
-        }
-        self.shared
-            .buffered_bytes
-            .fetch_add(batch_bytes, Ordering::SeqCst);
+            Ok((seq, wal_bytes))
+        })();
+        let (seq, wal_bytes) = match written {
+            Ok(v) => v,
+            Err(e) => {
+                // The batch never fully reached the memtable: release its
+                // reservation so a still-live ingestor's admission
+                // accounting matches what is actually buffered.
+                self.shared
+                    .buffered_bytes
+                    .fetch_sub(batch_bytes, Ordering::SeqCst);
+                span.finish();
+                return Err(e);
+            }
+        };
         stats.batches.fetch_add(1, Ordering::Relaxed);
         stats.rows.fetch_add(rows.len() as u64, Ordering::Relaxed);
         span.add(names::INGEST_ROWS, rows.len() as u64);
@@ -340,6 +379,11 @@ impl Core {
         let stats = &self.stats;
         let span = self.index.profiler().span("ingest.flush");
         let (snap_seq, rows, slot_bytes) = {
+            // Exclusive side of the batch gate: wait out every batch
+            // between WAL append and memtable insert, so the snapshot's
+            // `max_seq` — committed below as the ingest watermark — never
+            // covers an acknowledged sequence the memtable lacks.
+            let _gate = self.batch_gate.write();
             let mut mem = self.shared.mem.lock();
             if mem.active.is_empty() {
                 span.finish();
@@ -477,6 +521,7 @@ impl StreamIngestor {
             agg_set,
             dim_idx,
             next_seq: AtomicU64::new(top_seq + 1),
+            batch_gate: RwLock::new(()),
             flush_lock: Mutex::new(()),
             poisoned: AtomicBool::new(false),
             stats,

@@ -13,10 +13,16 @@
 //! `seq(u64) | nrows(u32) | nrows × (u32 line_len | line)`, where each
 //! line is a [`dgf_common::format_row`] rendering of one row.
 //!
-//! Group commit: [`sync_up_to`](IngestWal::sync_up_to) makes everything
-//! appended so far durable in one writer flush and *skips* entirely when
-//! a concurrent caller's flush already covered the requested sequence —
-//! N racing ingesters pay one sync, not N.
+//! Group commit: [`append_batch`](IngestWal::append_batch) hands out a
+//! monotone *ticket* under the log lock, and [`sync`](IngestWal::sync)
+//! makes everything appended so far durable in one writer flush +
+//! `fsync`, skipping entirely when a concurrent caller's sync already
+//! covered this call's own ticket — N racing ingesters pay one fsync,
+//! not N. Coverage is judged by append order (tickets), never by batch
+//! sequence numbers: sequences are allocated before the log lock, so a
+//! lower seq can be appended *after* a higher one was synced, and a
+//! seq-based skip test would wrongly treat its buffered bytes as
+//! durable.
 
 use std::collections::VecDeque;
 use std::fs::{File, OpenOptions};
@@ -42,10 +48,12 @@ pub struct WalBatch {
 struct WalState {
     writer: BufWriter<File>,
     len: u64,
-    /// Highest sequence appended (buffered; durable only once synced).
-    appended_seq: u64,
-    /// Highest sequence covered by a sync.
-    synced_seq: u64,
+    /// Monotone count of appends through this handle; each append's
+    /// ticket is the counter value after it (buffered; durable only once
+    /// a sync covers the ticket).
+    append_ticket: u64,
+    /// Highest append ticket covered by a durable sync.
+    synced_ticket: u64,
     /// Appended batches not yet dropped by `rewrite`, oldest first.
     tail: VecDeque<WalBatch>,
 }
@@ -71,14 +79,13 @@ impl IngestWal {
         write_whole_log(&path, &batches)?;
         let file = OpenOptions::new().create(true).append(true).open(&path)?;
         let len = file.metadata()?.len();
-        let top_seq = batches.iter().map(|b| b.seq).max().unwrap_or(flushed_seq);
         let wal = IngestWal {
             path,
             state: Mutex::new(WalState {
                 writer: BufWriter::new(file),
                 len,
-                appended_seq: top_seq,
-                synced_seq: top_seq,
+                append_ticket: 0,
+                synced_ticket: 0,
                 tail: batches.iter().cloned().collect(),
             }),
         };
@@ -100,31 +107,35 @@ impl IngestWal {
         self.state.lock().tail.len()
     }
 
-    /// Append one batch (buffered — not durable until a sync covers
-    /// `seq`). Returns the framed bytes written.
-    pub fn append_batch(&self, seq: u64, lines: &[String]) -> Result<u64> {
+    /// Append one batch (buffered — not durable until a sync covers the
+    /// returned ticket). Returns `(framed bytes written, append ticket)`;
+    /// tickets are handed out in append order under the log lock, so
+    /// ticket coverage — unlike seq coverage — is exactly byte coverage.
+    pub fn append_batch(&self, seq: u64, lines: &[String]) -> Result<(u64, u64)> {
         let mut st = self.state.lock();
         let n = write_batch_record(&mut st.writer, seq, lines)?;
         st.len += n;
-        st.appended_seq = st.appended_seq.max(seq);
+        st.append_ticket += 1;
+        let ticket = st.append_ticket;
         st.tail.push_back(WalBatch {
             seq,
             lines: lines.to_vec(),
         });
-        Ok(n)
+        Ok((n, ticket))
     }
 
-    /// Group commit: make every batch up to (at least) `seq` durable.
-    /// Returns `false` when a concurrent sync already covered `seq` and
-    /// this call did no I/O at all.
-    pub fn sync_up_to(&self, seq: u64) -> Result<bool> {
+    /// Group commit: make every append up to (at least) `ticket` durable
+    /// (writer flush + `sync_data`). Returns `false` when a concurrent
+    /// sync already covered the ticket and this call did no I/O at all.
+    pub fn sync(&self, ticket: u64) -> Result<bool> {
         let mut st = self.state.lock();
-        if st.synced_seq >= seq {
+        if st.synced_ticket >= ticket {
             return Ok(false);
         }
         st.writer.flush()?;
-        // One flush covers everything appended so far, not just `seq`.
-        st.synced_seq = st.appended_seq;
+        st.writer.get_ref().sync_data()?;
+        // One fsync covers everything appended so far, not just `ticket`.
+        st.synced_ticket = st.append_ticket;
         Ok(true)
     }
 
@@ -143,6 +154,9 @@ impl IngestWal {
         let file = OpenOptions::new().append(true).open(&self.path)?;
         st.len = file.metadata()?.len();
         st.writer = BufWriter::new(file);
+        // The rewritten file holds exactly the retained tail, fsynced
+        // before the rename — every outstanding ticket is durable now.
+        st.synced_ticket = st.append_ticket;
         Ok(())
     }
 }
@@ -162,7 +176,8 @@ fn write_batch_record<W: Write>(w: &mut W, seq: u64, lines: &[String]) -> Result
     Ok(4 + payload.len() as u64 + 8)
 }
 
-/// Replace the log file with exactly `batches` via tmp + rename.
+/// Replace the log file with exactly `batches` via tmp + fsync + rename
+/// (+ directory fsync, so the rename itself survives power loss).
 fn write_whole_log(path: &Path, batches: &[WalBatch]) -> Result<()> {
     let tmp = path.with_extension("rewrite");
     {
@@ -171,8 +186,12 @@ fn write_whole_log(path: &Path, batches: &[WalBatch]) -> Result<()> {
             write_batch_record(&mut w, b.seq, &b.lines)?;
         }
         w.flush()?;
+        w.get_ref().sync_data()?;
     }
     std::fs::rename(&tmp, path)?;
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        File::open(dir)?.sync_all()?;
+    }
     Ok(())
 }
 
@@ -244,8 +263,8 @@ mod tests {
             let (wal, replayed) = IngestWal::open(&p, 0).unwrap();
             assert!(replayed.is_empty());
             wal.append_batch(1, &lines("a", 3)).unwrap();
-            wal.append_batch(2, &lines("b", 2)).unwrap();
-            assert!(wal.sync_up_to(2).unwrap());
+            let (_, t) = wal.append_batch(2, &lines("b", 2)).unwrap();
+            assert!(wal.sync(t).unwrap());
         }
         let (wal, replayed) = IngestWal::open(&p, 0).unwrap();
         assert_eq!(replayed.len(), 2);
@@ -261,10 +280,11 @@ mod tests {
         let p = t.path().join("ingest.wal");
         {
             let (wal, _) = IngestWal::open(&p, 0).unwrap();
+            let mut last = 0;
             for s in 1..=4u64 {
-                wal.append_batch(s, &lines("x", 1)).unwrap();
+                last = wal.append_batch(s, &lines("x", 1)).unwrap().1;
             }
-            wal.sync_up_to(4).unwrap();
+            wal.sync(last).unwrap();
         }
         // Watermark 2: batches 1–2 are committed in Slices already.
         let (wal, replayed) = IngestWal::open(&p, 2).unwrap();
@@ -283,8 +303,8 @@ mod tests {
         {
             let (wal, _) = IngestWal::open(&p, 0).unwrap();
             wal.append_batch(1, &lines("a", 2)).unwrap();
-            wal.append_batch(2, &lines("b", 2)).unwrap();
-            wal.sync_up_to(2).unwrap();
+            let (_, t) = wal.append_batch(2, &lines("b", 2)).unwrap();
+            wal.sync(t).unwrap();
         }
         let len = std::fs::metadata(&p).unwrap().len();
         let f = OpenOptions::new().write(true).open(&p).unwrap();
@@ -296,28 +316,53 @@ mod tests {
     }
 
     #[test]
-    fn group_commit_skips_covered_seqs() {
+    fn group_commit_skips_covered_tickets() {
         let t = TempDir::new("wal").unwrap();
         let (wal, _) = IngestWal::open(t.path().join("ingest.wal"), 0).unwrap();
-        wal.append_batch(1, &lines("a", 1)).unwrap();
-        wal.append_batch(2, &lines("b", 1)).unwrap();
-        wal.append_batch(3, &lines("c", 1)).unwrap();
-        // One sync at 3 covers everything…
-        assert!(wal.sync_up_to(3).unwrap());
-        // …so syncing the earlier batches is free.
-        assert!(!wal.sync_up_to(1).unwrap());
-        assert!(!wal.sync_up_to(2).unwrap());
-        assert!(!wal.sync_up_to(3).unwrap());
+        let (_, t1) = wal.append_batch(1, &lines("a", 1)).unwrap();
+        let (_, t2) = wal.append_batch(2, &lines("b", 1)).unwrap();
+        let (_, t3) = wal.append_batch(3, &lines("c", 1)).unwrap();
+        // One sync at the last ticket covers everything…
+        assert!(wal.sync(t3).unwrap());
+        // …so syncing the earlier appends is free.
+        assert!(!wal.sync(t1).unwrap());
+        assert!(!wal.sync(t2).unwrap());
+        assert!(!wal.sync(t3).unwrap());
+    }
+
+    #[test]
+    fn sync_covers_out_of_order_seq_appends() {
+        // Batch sequences are allocated before the log lock, so a lower
+        // seq can be appended after a higher one was already synced. The
+        // later append's bytes are still only buffered — its sync must do
+        // I/O (a seq-based `synced >= requested` test would skip it and
+        // acknowledge a batch a crash could lose).
+        let t = TempDir::new("wal").unwrap();
+        let p = t.path().join("ingest.wal");
+        let (wal, _) = IngestWal::open(&p, 0).unwrap();
+        let (_, t6) = wal.append_batch(6, &lines("late", 1)).unwrap();
+        assert!(wal.sync(t6).unwrap());
+        let (_, t5) = wal.append_batch(5, &lines("early", 1)).unwrap();
+        assert!(
+            wal.sync(t5).unwrap(),
+            "append after a sync must not be treated as covered"
+        );
+        assert!(!wal.sync(t5).unwrap());
+        // Both batches replay.
+        drop(wal);
+        let (_, replayed) = IngestWal::open(&p, 0).unwrap();
+        assert_eq!(replayed.iter().map(|b| b.seq).collect::<Vec<_>>(), [6, 5]);
     }
 
     #[test]
     fn rewrite_shrinks_log() {
         let t = TempDir::new("wal").unwrap();
         let (wal, _) = IngestWal::open(t.path().join("ingest.wal"), 0).unwrap();
+        let mut last = 0;
         for s in 1..=10u64 {
-            wal.append_batch(s, &lines("r", 4)).unwrap();
+            last = wal.append_batch(s, &lines("r", 4)).unwrap().1;
         }
-        wal.sync_up_to(10).unwrap();
+        wal.sync(last).unwrap();
         let before = wal.len_bytes();
         wal.rewrite(8).unwrap();
         assert!(wal.len_bytes() < before);

@@ -6,8 +6,11 @@
 //! log is replayed; a torn or corrupt tail is truncated rather than
 //! poisoning the store. `compact` rewrites the log to contain only live
 //! entries; the store also tracks dead (overwritten or deleted) bytes and
-//! compacts opportunistically once they exceed a configurable fraction of
-//! the log (see [`LogKvConfig`]).
+//! compacts opportunistically at [`flush`](crate::KvStore::flush) once
+//! they exceed a configurable fraction of the log (see [`LogKvConfig`]).
+//! The trigger deliberately sits at flush — a durability boundary —
+//! rather than inline on the put path, so a single metadata put mid
+//! staged-commit never pays a full log rewrite's tail latency.
 
 use std::fs::{File, OpenOptions};
 use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom, Write};
@@ -32,10 +35,11 @@ fn framed_len(key_len: usize, value_len: usize) -> u64 {
 /// Tuning knobs for [`LogKvStore`].
 #[derive(Debug, Clone)]
 pub struct LogKvConfig {
-    /// Run [`compact`](LogKvStore::compact) automatically after a write
+    /// Run [`compact`](LogKvStore::compact) automatically at `flush`
     /// once the dead fraction exceeds
-    /// [`compact_dead_ratio`](LogKvConfig::compact_dead_ratio). Manual
-    /// compaction stays available either way.
+    /// [`compact_dead_ratio`](LogKvConfig::compact_dead_ratio) —
+    /// individual puts stay cheap appends. Manual compaction stays
+    /// available either way.
     pub auto_compact: bool,
     /// Never auto-compact logs smaller than this (rewriting a tiny log
     /// buys nothing).
@@ -148,7 +152,9 @@ impl LogKvStore {
     }
 
     /// Compact if the dead fraction crossed the configured threshold.
-    /// Called with the lock held after every mutating append.
+    /// Called with the lock held from `flush` — never from the put path,
+    /// where an inline rewrite would add unbounded tail latency to (for
+    /// example) a metadata put inside a staged commit.
     fn maybe_auto_compact(&self, inner: &mut Inner) -> Result<()> {
         if !self.config.auto_compact
             || inner.log_len < self.config.compact_min_bytes
@@ -181,7 +187,7 @@ impl LogKvStore {
                 }
             }
         }
-        self.maybe_auto_compact(&mut inner)
+        Ok(())
     }
 }
 
@@ -301,7 +307,7 @@ impl KvStore for LogKvStore {
         if let Some(old) = inner.map.insert(key.to_vec(), new) {
             inner.dead_bytes += framed_len(key.len(), old.len());
         }
-        self.maybe_auto_compact(&mut inner)
+        Ok(())
     }
 
     fn multi_get(&self, keys: &[Vec<u8>]) -> Result<Vec<Option<Vec<u8>>>> {
@@ -331,11 +337,9 @@ impl KvStore for LogKvStore {
     }
 
     fn flush(&self) -> Result<()> {
-        self.inner
-            .lock()
-            .writer
-            .flush()
-            .map_err(DgfError::from)
+        let mut inner = self.inner.lock();
+        inner.writer.flush().map_err(DgfError::from)?;
+        self.maybe_auto_compact(&mut inner)
     }
 
     fn stats(&self) -> &KvStats {
@@ -475,9 +479,11 @@ mod tests {
         )
         .unwrap();
         // Hammer one key: almost every byte of the log goes dead, so the
-        // store must compact itself along the way.
+        // store must compact itself at the flush boundaries along the way
+        // (puts themselves never compact — they stay cheap appends).
         for i in 0..200u32 {
             kv.put(b"hot", &i.to_le_bytes()).unwrap();
+            kv.flush().unwrap();
         }
         let snap = kv.stats().snapshot();
         assert!(snap.compactions > 0, "auto-compaction never ran");
