@@ -115,6 +115,14 @@ pub struct FaultConfig {
     /// Crash at the Nth [`FaultPlan::crash_point`] invocation (0-based
     /// global ordinal across every instrumented site).
     pub crash_at_point: Option<u64>,
+    /// Probability that a [`FaultPlan::sync_point`] pauses the calling
+    /// thread (drawn from a dedicated RNG stream so enabling scheduling
+    /// noise never perturbs the fault schedule above).
+    pub p_yield: f64,
+    /// Upper bound on a single `sync_point` pause; a drawn pause is
+    /// uniform in `[0, max_pause]`. `ZERO` degrades pauses to bare
+    /// `yield_now` calls.
+    pub max_pause: Duration,
 }
 
 impl FaultConfig {
@@ -128,6 +136,20 @@ impl FaultConfig {
             latency_spike: Duration::ZERO,
             crash_after_writes: None,
             crash_at_point: None,
+            p_yield: 0.0,
+            max_pause: Duration::ZERO,
+        }
+    }
+
+    /// A scheduling-noise-only plan for interleaving tests: every
+    /// [`FaultPlan::sync_point`] yields or pauses with probability `p`,
+    /// pausing up to `max_pause`, with no faults injected. The schedule
+    /// of pauses is a pure function of `seed`.
+    pub fn interleave(seed: u64, p: f64, max_pause: Duration) -> FaultConfig {
+        FaultConfig {
+            p_yield: p,
+            max_pause,
+            ..FaultConfig::quiet(seed)
         }
     }
 
@@ -159,6 +181,10 @@ impl FaultConfig {
 #[derive(Debug)]
 struct FaultState {
     rng: XorShift64,
+    /// Independent stream for `sync_point` draws: consuming scheduling
+    /// randomness must not shift the fault schedule, or seeded chaos
+    /// tests would stop replaying when sync points are added to a path.
+    yield_rng: XorShift64,
     writes_seen: u64,
     points_seen: u64,
     crashed: bool,
@@ -201,6 +227,7 @@ impl FaultPlan {
         FaultPlan {
             state: Mutex::new(FaultState {
                 rng: XorShift64::new(cfg.seed),
+                yield_rng: XorShift64::new(cfg.seed ^ 0xA5A5_5A5A_C3C3_3C3C),
                 writes_seen: 0,
                 points_seen: 0,
                 crashed: false,
@@ -306,6 +333,36 @@ impl FaultPlan {
     /// stream (used e.g. to pick torn-write truncation offsets).
     pub fn draw_below(&self, n: u64) -> u64 {
         self.state.lock().rng.next_below(n)
+    }
+
+    /// Consult a named scheduling point (`site` is for diagnostics only).
+    /// With probability [`FaultConfig::p_yield`] the calling thread is
+    /// paused — a bounded sleep drawn below [`FaultConfig::max_pause`],
+    /// or a bare `yield_now` when that bound is zero — widening the race
+    /// windows between instrumented sites so seeded interleaving tests
+    /// explore different cross-thread schedules per seed.
+    ///
+    /// Never fails and never injects faults: sites are sprinkled through
+    /// committed hot paths, and the draws come from a dedicated RNG
+    /// stream so fault schedules replay unchanged. A no-op after a crash
+    /// or when `p_yield` is zero.
+    pub fn sync_point(&self, _site: &str) {
+        if self.cfg.p_yield <= 0.0 {
+            return;
+        }
+        let pause = {
+            let mut st = self.state.lock();
+            if st.crashed || st.yield_rng.next_f64() >= self.cfg.p_yield {
+                return;
+            }
+            let max = self.cfg.max_pause.as_micros() as u64;
+            Duration::from_micros(st.yield_rng.next_below(max.saturating_add(1)))
+        };
+        if pause.is_zero() {
+            std::thread::yield_now();
+        } else {
+            std::thread::sleep(pause);
+        }
     }
 }
 
@@ -500,6 +557,47 @@ mod tests {
         assert!(plan.crash_point("b").is_err());
         assert!(plan.crash_point("c").is_err(), "crash is sticky");
         assert!(plan.crashed());
+    }
+
+    #[test]
+    fn sync_points_do_not_perturb_the_fault_schedule() {
+        // Two plans, same seed; one also draws scheduling pauses at every
+        // op. The transient-fault schedules must stay identical.
+        let plain = FaultPlan::new(FaultConfig::transient(13, 0.4));
+        let noisy = FaultPlan::new(FaultConfig {
+            p_yield: 1.0,
+            ..FaultConfig::transient(13, 0.4)
+        });
+        for i in 0..200 {
+            noisy.sync_point("site");
+            let what = format!("op{i}");
+            assert_eq!(
+                plain.before_read(&what).is_err(),
+                noisy.before_read(&what).is_err(),
+                "sync-point draws shifted the fault schedule at op {i}"
+            );
+        }
+        assert_eq!(plain.faults_injected(), noisy.faults_injected());
+    }
+
+    #[test]
+    fn sync_point_never_fails_and_is_inert_when_disabled() {
+        let off = FaultPlan::new(FaultConfig::quiet(5));
+        let on = FaultPlan::new(FaultConfig::interleave(5, 1.0, Duration::ZERO));
+        for _ in 0..50 {
+            off.sync_point("a");
+            on.sync_point("a");
+        }
+        assert_eq!(off.faults_injected(), 0);
+        assert_eq!(on.faults_injected(), 0);
+        assert!(!on.crashed());
+        // Sticky crash silences sync points instead of erroring.
+        let crashed = FaultPlan::new(FaultConfig {
+            p_yield: 1.0,
+            ..FaultConfig::crash_after_writes(5, 1)
+        });
+        assert!(crashed.before_write("w").is_err());
+        crashed.sync_point("after-crash");
     }
 
     #[test]

@@ -1,15 +1,17 @@
-//! Epoch-tagged GFU header cache.
+//! Generation-tagged GFU header cache.
 //!
 //! Planning a query reads the same GFU values over and over: dashboards
 //! re-issue the same aggregation every few seconds, and the inner region
 //! of a stable grid never changes between appends. This cache keeps
 //! decoded [`GfuValue`]s (headers *and* slice locations) in memory,
-//! keyed by the encoded [`GfuKey`](crate::gfu::GfuKey) and tagged with
-//! the index **generation** — the append counter of
-//! [`DgfIndex`](crate::index::DgfIndex). An append bumps the generation,
-//! which invalidates every cached entry wholesale: an epoch mismatch
-//! clears a shard lazily on its next access, so invalidation is O(1) at
-//! append time and requires no coordination with readers.
+//! keyed by the encoded [`GfuKey`](crate::gfu::GfuKey) **qualified by
+//! the index generation** the value was read at — the generation of the
+//! [`ReadView`](crate::view::ReadView) a plan pinned. Entries of
+//! different generations coexist: a reader pinned to an older view keeps
+//! hitting its own entries while a commit is publishing the next
+//! generation, and superseded entries simply age out of the LRU. An
+//! entry can therefore never be served to a view it does not belong to,
+//! with no invalidation coordination at commit time at all.
 //!
 //! The cache also stores **negative entries** (`None`) for cells the
 //! planner proved absent by scanning their key run. Without them a
@@ -39,7 +41,7 @@ pub type CachedGfu = Option<Arc<GfuValue>>;
 pub struct CacheStats {
     /// Probes answered from the cache (including negative entries).
     pub hits: u64,
-    /// Probes that found no entry for the current generation.
+    /// Probes that found no entry for the probed generation.
     pub misses: u64,
 }
 
@@ -55,49 +57,49 @@ impl CacheStats {
     }
 }
 
+/// The stored key: big-endian generation, then the raw GFU key, so
+/// entries of one generation cluster and can never alias another's.
+fn tag(generation: u64, key: &[u8]) -> Vec<u8> {
+    let mut t = Vec::with_capacity(8 + key.len());
+    t.extend_from_slice(&generation.to_be_bytes());
+    t.extend_from_slice(key);
+    t
+}
+
 struct Shard {
-    /// Generation the entries belong to; a mismatch clears the shard.
-    epoch: u64,
     /// LRU clock, incremented per touch.
     stamp: u64,
     entries: HashMap<Vec<u8>, (CachedGfu, u64)>,
-    /// stamp → key, for O(log n) eviction of the coldest entry.
+    /// stamp → tagged key, for O(log n) eviction of the coldest entry.
     lru: BTreeMap<u64, Vec<u8>>,
 }
 
 impl Shard {
     fn new() -> Shard {
         Shard {
-            epoch: 0,
             stamp: 0,
             entries: HashMap::new(),
             lru: BTreeMap::new(),
         }
     }
 
-    fn roll_epoch(&mut self, generation: u64) {
-        if self.epoch != generation {
-            self.entries.clear();
-            self.lru.clear();
-            self.epoch = generation;
-        }
-    }
-
-    fn touch(&mut self, key: &[u8]) {
+    fn touch(&mut self, tagged: &[u8]) {
         self.stamp += 1;
         let stamp = self.stamp;
-        if let Some((_, old)) = self.entries.get_mut(key) {
+        if let Some((_, old)) = self.entries.get_mut(tagged) {
             self.lru.remove(old);
             *old = stamp;
-            self.lru.insert(stamp, key.to_vec());
+            self.lru.insert(stamp, tagged.to_vec());
         }
     }
 }
 
-/// Sharded LRU cache of decoded GFU values, invalidated by generation.
+/// Sharded LRU cache of decoded GFU values, keyed by `(generation, key)`.
 ///
 /// Thread-safe behind `&self`; locks are per-shard so concurrent plans
-/// probing different keys rarely contend.
+/// probing different keys rarely contend. Shard selection hashes the
+/// *raw* key only, so the same cell lands in the same shard at every
+/// generation and stale generations drain evenly.
 pub struct GfuHeaderCache {
     shards: Vec<Mutex<Shard>>,
     per_shard_capacity: usize,
@@ -126,12 +128,12 @@ impl GfuHeaderCache {
     /// toward [`stats`](Self::stats) and refreshes the entry's LRU
     /// position.
     pub fn get(&self, generation: u64, key: &[u8]) -> Option<CachedGfu> {
+        let tagged = tag(generation, key);
         let mut shard = self.shard(key).lock();
-        shard.roll_epoch(generation);
-        match shard.entries.get(key) {
+        match shard.entries.get(&tagged) {
             Some((value, _)) => {
                 let value = value.clone();
-                shard.touch(key);
+                shard.touch(&tagged);
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(value)
             }
@@ -146,10 +148,10 @@ impl GfuHeaderCache {
     /// entry of the shard when full. Does not count as a hit or miss.
     pub fn insert(&self, generation: u64, key: Vec<u8>, value: CachedGfu) {
         let mut shard = self.shard(&key).lock();
-        shard.roll_epoch(generation);
+        let tagged = tag(generation, &key);
         shard.stamp += 1;
         let stamp = shard.stamp;
-        if let Some((_, old)) = shard.entries.get(&key) {
+        if let Some((_, old)) = shard.entries.get(&tagged) {
             let old = *old;
             shard.lru.remove(&old);
         } else if shard.entries.len() >= self.per_shard_capacity {
@@ -157,8 +159,8 @@ impl GfuHeaderCache {
                 shard.entries.remove(&coldest);
             }
         }
-        shard.lru.insert(stamp, key.clone());
-        shard.entries.insert(key, (value, stamp));
+        shard.lru.insert(stamp, tagged.clone());
+        shard.entries.insert(tagged, (value, stamp));
     }
 
     /// Cumulative probe counters.
@@ -169,7 +171,7 @@ impl GfuHeaderCache {
         }
     }
 
-    /// Number of live entries (all generations' shards combined).
+    /// Number of live entries (all generations, all shards).
     pub fn len(&self) -> usize {
         self.shards.iter().map(|s| s.lock().entries.len()).sum()
     }
@@ -222,14 +224,16 @@ mod tests {
     }
 
     #[test]
-    fn generation_bump_invalidates() {
+    fn generations_are_isolated() {
         let cache = GfuHeaderCache::new(16);
         cache.insert(3, b"k".to_vec(), value(1));
         assert!(cache.get(3, b"k").is_some());
-        // Next generation: the entry must not be served.
+        // The next generation sees nothing until its own fill lands…
         assert!(cache.get(4, b"k").is_none());
-        // And the old-generation view is gone too (shard was cleared).
-        assert!(cache.get(3, b"k").is_none());
+        cache.insert(4, b"k".to_vec(), value(2));
+        // …and a reader still pinned to the old view keeps its entry.
+        assert_eq!(cache.get(3, b"k").unwrap().unwrap().record_count, 1);
+        assert_eq!(cache.get(4, b"k").unwrap().unwrap().record_count, 2);
     }
 
     #[test]
@@ -273,6 +277,17 @@ mod tests {
         cache.get(0, &b); // touch b
         cache.insert(0, c.clone(), value(3)); // must evict... b is the only entry
         assert!(cache.get(0, &c).is_some());
+    }
+
+    #[test]
+    fn stale_generations_age_out_under_pressure() {
+        // One-entry shards again: a new generation's fill for the same
+        // key evicts the old generation's entry rather than growing.
+        let cache = GfuHeaderCache::new(1);
+        cache.insert(1, b"k".to_vec(), value(1));
+        cache.insert(2, b"k".to_vec(), value(2));
+        assert!(cache.get(1, b"k").is_none(), "old generation evicted");
+        assert_eq!(cache.get(2, b"k").unwrap().unwrap().record_count, 2);
     }
 
     #[test]

@@ -31,6 +31,11 @@ pub const META_FILES_KEY: &[u8] = b"m:files";
 /// manifest's precomputed meta puts), so WAL replay after a crash knows
 /// exactly which batches are already indexed.
 pub const META_INGEST_KEY: &[u8] = b"m:ingest";
+/// Key of the persisted [`ReadView`](crate::view::ReadView): the
+/// committed snapshot (generation, extents, split list, watermark) that
+/// query planning pins with a single `get`. Published inside the commit
+/// transaction so it can never disagree with the other meta keys.
+pub const META_VIEW_KEY: &[u8] = b"m:view";
 
 /// A GFU key: the cell index per dimension, in policy order.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]

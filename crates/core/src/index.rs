@@ -34,10 +34,13 @@ use crate::cache::{GfuHeaderCache, DEFAULT_HEADER_CACHE_CAPACITY};
 use crate::fresh::FreshSource;
 use crate::gfu::{
     Extents, GfuKey, GfuValue, GFU_PREFIX, META_AGGS_KEY, META_EXTENT_KEY, META_FILES_KEY,
-    META_INGEST_KEY, META_PLACEMENT_KEY, META_POLICY_KEY,
+    META_INGEST_KEY, META_PLACEMENT_KEY, META_POLICY_KEY, META_VIEW_KEY,
 };
 use crate::policy::SplittingPolicy;
-use crate::txn::{live_key, stage_key, TxnManifest, TxnState, STAGE_PREFIX, TXN_MANIFEST_KEY};
+use crate::txn::{
+    live_key, stage_key, stage_prefix, TxnManifest, TxnState, STAGE_PREFIX, TXN_MANIFEST_KEY,
+};
+use crate::view::ReadView;
 
 /// How GFU Slices are placed across reducer output files — the paper's §8
 /// "optimal placement of Slices" future work.
@@ -84,10 +87,6 @@ impl SlicePlacement {
         }
     }
 }
-
-/// Number of metadata keys a DGFIndex keeps in its store (policy,
-/// aggregates, extents, placement, indexed-file count, ingest watermark).
-const META_KEY_COUNT: u64 = 6;
 
 /// Construction/open options beyond the required arguments: slice
 /// placement, the retry policy wrapped around every key-value and
@@ -275,7 +274,10 @@ impl DgfIndex {
         let report = BuildReport {
             build_time: watch.elapsed(),
             index_size_bytes: index.kv.logical_size_bytes(),
-            index_entries: index.kv.len() as u64 - META_KEY_COUNT,
+            // Count data keys by prefix: subtracting a fixed meta-key
+            // count from `len()` miscounts whenever the meta-key set
+            // grows (and underflows on a sparse store).
+            index_entries: index.gfu_count()? as u64,
         };
         index.kv.stats().snapshot().since(&kv_before).attach_to_span(&span);
         span.finish();
@@ -400,6 +402,19 @@ impl DgfIndex {
         kv: &Arc<dyn KvStore>,
         retry: RetryPolicy,
     ) -> Result<Option<TxnState>> {
+        Self::recover_with_fault(hdfs, kv, retry, None)
+    }
+
+    /// [`recover`](Self::recover) that threads a fault plan into the
+    /// re-apply path, so its crash and scheduling points fire during
+    /// recovery too. The interleaving harness uses this to drive query
+    /// threads through a recovery in progress.
+    pub fn recover_with_fault(
+        hdfs: &HdfsRef,
+        kv: &Arc<dyn KvStore>,
+        retry: RetryPolicy,
+        fault: Option<&Arc<FaultPlan>>,
+    ) -> Result<Option<TxnState>> {
         let Some(bytes) = kv_retry(retry, kv.as_ref(), || kv.get(TXN_MANIFEST_KEY))? else {
             // No manifest: any staged key is an orphan from a cleanup
             // that lost the race with a crash after the manifest delete —
@@ -413,7 +428,7 @@ impl DgfIndex {
         let manifest = TxnManifest::decode(&bytes)?;
         match manifest.state {
             TxnState::Committed => {
-                Self::apply_committed(hdfs, kv.as_ref(), retry, &manifest, None)?;
+                Self::apply_committed(hdfs, kv.as_ref(), retry, &manifest, fault)?;
                 Self::cleanup_txn(hdfs, kv.as_ref(), retry, &manifest)?;
             }
             TxnState::Intent | TxnState::Prepared => {
@@ -428,6 +443,14 @@ impl DgfIndex {
     /// destination exists, staged-key publishes skip keys already
     /// garbage-collected, metadata puts are plain overwrites of
     /// precomputed values.
+    ///
+    /// Ordering is load-bearing for live readers (DESIGN.md §11): the
+    /// new pending [`ReadView`] is put *after* the renames (so its split
+    /// list resolves) and *before* the first live GFU overwrite. A
+    /// reader pinned to the old view that races the publishes will see
+    /// the new view at validation time and retry; a reader pinned to the
+    /// pending view reconstructs the complete new state by overlaying
+    /// this transaction's staged keys.
     fn apply_committed(
         hdfs: &HdfsRef,
         kv: &dyn KvStore,
@@ -446,7 +469,16 @@ impl DgfIndex {
         if let Some(plan) = fault {
             plan.crash_point("apply.renamed")?;
         }
+        if !manifest.view.is_empty() {
+            kv_retry(retry, kv, || kv.put(META_VIEW_KEY, &manifest.view))?;
+        }
+        if let Some(plan) = fault {
+            plan.crash_point("apply.view")?;
+        }
         for staged in &manifest.staged_keys {
+            if let Some(plan) = fault {
+                plan.sync_point("apply.publish-cell");
+            }
             if let Some(v) = kv_retry(retry, kv, || kv.get(staged))? {
                 kv_retry(retry, kv, || kv.put(live_key(staged), &v))?;
             }
@@ -460,7 +492,10 @@ impl DgfIndex {
         Ok(())
     }
 
-    /// Remove a finished (applied) transaction's staging state. The
+    /// Remove a finished (applied) transaction's staging state. The view
+    /// is re-put with `pending` cleared only after the staged keys are
+    /// gone (readers read staged-then-live, so a deleted staged key
+    /// always falls back to the already-published live value); the
     /// manifest goes last: if a crash interrupts cleanup, recovery
     /// re-applies and re-cleans.
     fn cleanup_txn(
@@ -471,6 +506,12 @@ impl DgfIndex {
     ) -> Result<()> {
         for staged in &manifest.staged_keys {
             kv_retry(retry, kv, || kv.delete(staged))?;
+        }
+        if !manifest.view.is_empty() {
+            let mut view = ReadView::decode(&manifest.view)?;
+            view.pending = false;
+            let enc = view.encode();
+            kv_retry(retry, kv, || kv.put(META_VIEW_KEY, &enc))?;
         }
         hdfs.delete_tree(&manifest.staging_dir)?;
         kv_retry(retry, kv, || kv.delete(TXN_MANIFEST_KEY))?;
@@ -522,7 +563,7 @@ impl DgfIndex {
     ) -> Result<BuildReport> {
         let span = self.profiler.span("append");
         let kv_before = self.kv.stats().snapshot();
-        let gen = self.generation.fetch_add(1, Ordering::Relaxed) + 1;
+        let gen = self.generation.fetch_add(1, Ordering::AcqRel) + 1;
         // Declare the transaction — including the delta file about to be
         // written — BEFORE writing it: a crash between the base-table
         // write and the commit point must roll the unacknowledged delta
@@ -531,37 +572,83 @@ impl DgfIndex {
         let delta_path = format!("{}/{delta_name}", self.base.location);
         let manifest = TxnManifest::intent(gen, self.staging_dir(gen), Some(delta_path));
         self.kv_put(TXN_MANIFEST_KEY, &manifest.encode())?;
-        self.crash_point("append.intent")?;
-        let path = self.ctx.append_file(&self.base, &delta_name, rows)?;
-        self.crash_point("append.delta-written")?;
-        let watch = Stopwatch::start();
-        let len = self.ctx.hdfs.file_len(&path)?;
-        let splits = dgf_storage::splits_for_file(&path, len, self.ctx.hdfs.block_size());
-        let reorg_span = span.child("append.reorganize");
-        let reorganized = self.reorganize(splits, self.base.format, watermark);
-        // Retire the header-cache epoch only after the new GFU values are
-        // in the store (or the write failed partway through): a plan racing
-        // this append may have cached pre-append values under `gen`, and
-        // this bump orphans them. Generation numbers only need to be
-        // monotonic, not consecutive.
-        self.generation.fetch_add(1, Ordering::Relaxed);
-        if let Ok(job) = &reorganized {
-            job.attach_to_span(&reorg_span);
-        }
-        reorg_span.finish();
-        reorganized?;
+        let attempt = (|| -> Result<BuildReport> {
+            self.crash_point("append.intent")?;
+            self.sync_point("append.intent");
+            let path = self.ctx.append_file(&self.base, &delta_name, rows)?;
+            self.crash_point("append.delta-written")?;
+            self.sync_point("append.delta-written");
+            let watch = Stopwatch::start();
+            let len = self.ctx.hdfs.file_len(&path)?;
+            let splits = dgf_storage::splits_for_file(&path, len, self.ctx.hdfs.block_size());
+            let reorg_span = span.child("append.reorganize");
+            let reorganized = self.reorganize(splits, self.base.format, watermark);
+            // Retire the header-cache epoch only after the new GFU values
+            // are in the store (or the write failed partway through): a
+            // plan racing this append may have cached pre-append values
+            // under `gen`, and this bump orphans them. Generation numbers
+            // only need to be monotonic, not consecutive.
+            self.generation.fetch_add(1, Ordering::AcqRel);
+            if let Ok(job) = &reorganized {
+                job.attach_to_span(&reorg_span);
+            }
+            reorg_span.finish();
+            reorganized?;
+            Ok(BuildReport {
+                build_time: watch.elapsed(),
+                index_size_bytes: self.kv.logical_size_bytes(),
+                index_entries: self.gfu_count()? as u64,
+            })
+        })();
         self.kv.stats().snapshot().since(&kv_before).attach_to_span(&span);
-        Ok(BuildReport {
-            build_time: watch.elapsed(),
-            index_size_bytes: self.kv.logical_size_bytes(),
-            index_entries: self.kv.len() as u64 - META_KEY_COUNT,
-        })
+        match attempt {
+            Ok(report) => Ok(report),
+            Err(e) => {
+                // Repair in-process instead of leaving the Intent
+                // manifest and orphaned delta for the next open: a
+                // long-lived process would otherwise leak one delta per
+                // failed append, and a concurrent opener could roll back
+                // a transaction this index still thinks it owns.
+                self.abort_append();
+                Err(e)
+            }
+        }
+    }
+
+    /// Best-effort repair after a failed append, mirroring what
+    /// [`recover`](Self::recover) would do at the next open: roll an
+    /// uncommitted transaction back, roll a committed one forward. All
+    /// repair errors are swallowed — if the store itself is down (e.g. a
+    /// sticky injected crash) the manifest survives and open-time
+    /// recovery remains the backstop, exactly as before.
+    fn abort_append(&self) {
+        // Raw read, no retry: when the store is unreachable, bail fast.
+        let Ok(Some(bytes)) = self.kv.get(TXN_MANIFEST_KEY) else {
+            return;
+        };
+        let Ok(manifest) = TxnManifest::decode(&bytes) else {
+            return;
+        };
+        let _ = match manifest.state {
+            TxnState::Intent | TxnState::Prepared => {
+                Self::rollback_txn(&self.ctx.hdfs, self.kv.as_ref(), self.retry, &manifest)
+            }
+            TxnState::Committed => {
+                Self::apply_committed(&self.ctx.hdfs, self.kv.as_ref(), self.retry, &manifest, None)
+                    .and_then(|()| {
+                        Self::cleanup_txn(&self.ctx.hdfs, self.kv.as_ref(), self.retry, &manifest)
+                    })
+            }
+        };
     }
 
     /// The current append generation. Every [`append`](Self::append) bumps
-    /// it; the planner tags header-cache epochs with it.
+    /// it; committed [`ReadView`]s carry the generation their transaction
+    /// ran at. Acquire pairs with the Release bumps around commit, so a
+    /// thread that observes a bumped generation also observes the KV
+    /// state the bumping transaction published.
     pub fn generation(&self) -> u64 {
-        self.generation.load(Ordering::Relaxed)
+        self.generation.load(Ordering::Acquire)
     }
 
     /// Staging directory of transaction `txn` — a *sibling* of the data
@@ -576,6 +663,14 @@ impl DgfIndex {
         match &self.fault {
             Some(plan) => plan.crash_point(site),
             None => Ok(()),
+        }
+    }
+
+    /// Consult the fault plan's scheduling point `site` (no-op without a
+    /// plan): interleaving tests use these to widen race windows.
+    pub(crate) fn sync_point(&self, site: &str) {
+        if let Some(plan) = &self.fault {
+            plan.sync_point(site);
         }
     }
 
@@ -644,7 +739,7 @@ impl DgfIndex {
         format: FileFormat,
         ingest_watermark: Option<u64>,
     ) -> Result<JobReport> {
-        let gen = self.generation.load(Ordering::Relaxed);
+        let gen = self.generation.load(Ordering::Acquire);
         if splits.is_empty() {
             // Nothing to index; still persist metadata so queries work,
             // then retire the (empty) transaction.
@@ -668,6 +763,7 @@ impl DgfIndex {
         let kv = &self.kv;
         let retry = self.retry;
         let arity = self.policy.arity();
+        let fault = self.fault.clone();
 
         // Slice placement: which encoded-key prefix defines the reducer.
         let prefix_len = match self.placement {
@@ -746,9 +842,12 @@ impl DgfIndex {
                     // this slice. The shuffle gives each key to exactly
                     // one reducer exactly once per job, so publishing it
                     // later is an idempotent put.
+                    if let Some(plan) = &fault {
+                        plan.sync_point("reorg.stage-cell");
+                    }
                     let old = kv_retry(retry, kv.as_ref(), || kv.get(&key_bytes))?;
                     let merged = merge_gfu(old.as_deref(), &header, &slice, count, &agg_set)?;
-                    let skey = stage_key(&key_bytes);
+                    let skey = stage_key(gen, &key_bytes);
                     let enc = merged.encode();
                     kv_retry(retry, kv.as_ref(), || kv.put(&skey, &enc))?;
                     staged_keys.push(skey);
@@ -769,25 +868,43 @@ impl DgfIndex {
             extents.merge(e);
             staged_keys.extend(keys.iter().cloned());
         }
-        let renames: Vec<(String, String)> = self
-            .ctx
-            .hdfs
-            .list_files(&staging_dir)
-            .into_iter()
-            .map(|(p, _)| {
-                let name = p.rsplit('/').next().unwrap_or(&p).to_owned();
-                (p, format!("{data_loc}/{name}"))
-            })
-            .collect();
+        // The post-commit split list: every data file already live plus
+        // this transaction's rename destinations (sized from the staged
+        // files — slice files are immutable once renamed, so the pinned
+        // lengths stay exact). Recorded in the view so a pinned reader
+        // never mixes one epoch's headers with another's split list.
+        let staged_files = self.ctx.hdfs.list_files(&staging_dir);
+        let mut renames: Vec<(String, String)> = Vec::with_capacity(staged_files.len());
+        let mut data_files: Vec<(String, u64)> = self.ctx.hdfs.list_files(&self.data.location);
+        for (p, len) in staged_files {
+            let name = p.rsplit('/').next().unwrap_or(&p).to_owned();
+            let dest = format!("{data_loc}/{name}");
+            data_files.push((dest.clone(), len));
+            renames.push((p, dest));
+        }
+        data_files.sort();
+        data_files.dedup();
         self.crash_point("reorg.staged")?;
         let mut manifest = match self.kv_get(TXN_MANIFEST_KEY)? {
             Some(b) => TxnManifest::decode(&b)?,
             None => TxnManifest::intent(gen, staging_dir.clone(), None),
         };
+        let files = self.ctx.hdfs.list_files(&self.base.location).len() as u64;
+        let watermark = self.ingest_watermark()?.max(ingest_watermark.unwrap_or(0));
         manifest.state = TxnState::Prepared;
         manifest.renames = renames;
         manifest.staged_keys = staged_keys;
-        manifest.meta_puts = self.meta_puts(&extents, ingest_watermark)?;
+        manifest.meta_puts = self.meta_puts(&extents, files, watermark);
+        manifest.view = ReadView {
+            generation: gen,
+            pending: true,
+            watermark,
+            files: Some(files),
+            extents: extents.clone(),
+            data_files: Some(data_files),
+            versioned: true,
+        }
+        .encode();
         self.kv_put(TXN_MANIFEST_KEY, &manifest.encode())?;
         self.crash_point("reorg.prepared")?;
 
@@ -810,15 +927,12 @@ impl DgfIndex {
     }
 
     /// The precomputed post-commit metadata puts. Plain overwrites (the
-    /// extents are merged *here*, not at apply time, and the ingest
-    /// watermark is resolved to its final monotone value) so re-applying
-    /// after a crash never double-merges.
-    fn meta_puts(
-        &self,
-        extents: &Extents,
-        ingest_watermark: Option<u64>,
-    ) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
-        let files = self.ctx.hdfs.list_files(&self.base.location).len() as u64;
+    /// extents are merged at prepare time, not at apply time, and the
+    /// caller resolves the ingest watermark to its final monotone value)
+    /// so re-applying after a crash never double-merges. The watermark
+    /// never regresses: a flush carries the sequence of its own batches,
+    /// a plain build/append re-persists the stored one.
+    fn meta_puts(&self, extents: &Extents, files: u64, watermark: u64) -> Vec<(Vec<u8>, Vec<u8>)> {
         let agg_keys: Vec<u8> = self
             .aggs
             .iter()
@@ -826,20 +940,20 @@ impl DgfIndex {
             .collect::<Vec<_>>()
             .join("\n")
             .into_bytes();
-        // The watermark never regresses: a flush carries the sequence of
-        // its own batches, a plain build/append re-persists the stored one.
-        let stored = self.ingest_watermark()?;
-        let watermark = stored.max(ingest_watermark.unwrap_or(0));
-        Ok(vec![
+        vec![
             (META_POLICY_KEY.to_vec(), self.policy.encode()),
             (META_PLACEMENT_KEY.to_vec(), self.placement.encode()),
             (META_FILES_KEY.to_vec(), files.to_le_bytes().to_vec()),
             (META_AGGS_KEY.to_vec(), agg_keys),
             (META_EXTENT_KEY.to_vec(), extents.encode()),
             (META_INGEST_KEY.to_vec(), watermark.to_le_bytes().to_vec()),
-        ])
+        ]
     }
 
+    /// The non-transactional metadata path, used only when a build or
+    /// append indexed no records (empty split set): nothing data-visible
+    /// changes, so plain puts suffice. A fresh non-pending view goes last
+    /// so even this path bumps the pinned-reader generation.
     fn persist_meta(&self, new_extents: &Extents, ingest_watermark: Option<u64>) -> Result<()> {
         let mut extents = match self.kv_get(META_EXTENT_KEY)? {
             Some(bytes) => Extents::decode(&bytes)
@@ -847,9 +961,24 @@ impl DgfIndex {
             None => Extents::empty(self.policy.arity()),
         };
         extents.merge(new_extents);
-        for (k, v) in self.meta_puts(&extents, ingest_watermark)? {
+        let files = self.ctx.hdfs.list_files(&self.base.location).len() as u64;
+        let watermark = self.ingest_watermark()?.max(ingest_watermark.unwrap_or(0));
+        for (k, v) in self.meta_puts(&extents, files, watermark) {
             self.kv_put(&k, &v)?;
         }
+        let mut data_files: Vec<(String, u64)> = self.ctx.hdfs.list_files(&self.data.location);
+        data_files.sort();
+        data_files.dedup();
+        let view = ReadView {
+            generation: self.generation.load(Ordering::Acquire),
+            pending: false,
+            watermark,
+            files: Some(files),
+            extents,
+            data_files: Some(data_files),
+            versioned: true,
+        };
+        self.kv_put(META_VIEW_KEY, &view.encode())?;
         kv_retry(self.retry, self.kv.as_ref(), || self.kv.flush())?;
         Ok(())
     }
@@ -881,6 +1010,144 @@ impl DgfIndex {
     /// The registered [`FreshSource`], if any.
     pub fn fresh_source(&self) -> Option<Arc<dyn FreshSource>> {
         self.fresh_source.lock().clone()
+    }
+
+    /// Pin the committed [`ReadView`] with a single KV read — the one
+    /// atomic snapshot query planning works from. Stores that predate
+    /// views (no `m:view` key) get a view synthesized from one batched
+    /// `multi_get` of the legacy meta keys, marked non-`versioned` so
+    /// validation falls back to the in-memory generation counter.
+    pub fn pin_view(&self) -> Result<ReadView> {
+        if let Some(bytes) = self.kv_get(META_VIEW_KEY)? {
+            return ReadView::decode(&bytes);
+        }
+        let metas = kv_retry(self.retry, self.kv.as_ref(), || {
+            self.kv.multi_get(&[
+                META_FILES_KEY.to_vec(),
+                META_EXTENT_KEY.to_vec(),
+                META_INGEST_KEY.to_vec(),
+            ])
+        })?;
+        let files = metas[0].as_deref().map(le_u64);
+        let extents = match metas[1].as_deref() {
+            Some(b) => Extents::decode(b)?,
+            None => Extents::empty(self.policy.arity()),
+        };
+        let watermark = metas[2].as_deref().map(le_u64).unwrap_or(0);
+        Ok(ReadView {
+            generation: self.generation(),
+            pending: false,
+            watermark,
+            files,
+            extents,
+            data_files: None,
+            versioned: false,
+        })
+    }
+
+    /// Whether `view` is still the committed view. The `pending` flag may
+    /// legitimately flip (cleanup clears it without changing state a
+    /// reader can observe inconsistently), so only the generation counts.
+    pub fn view_unchanged(&self, view: &ReadView) -> Result<bool> {
+        if view.versioned {
+            match self.kv_get(META_VIEW_KEY)? {
+                Some(bytes) => Ok(ReadView::decode(&bytes)?.generation == view.generation),
+                None => Ok(false),
+            }
+        } else {
+            Ok(self.generation() == view.generation)
+        }
+    }
+
+    /// A point `get` as seen from `view`: while the view's transaction is
+    /// still publishing, its staged twin is consulted *first* (a staged
+    /// miss means the key is either unchanged or already published, so
+    /// the live read that follows is the new state either way).
+    pub(crate) fn kv_get_pinned(&self, view: &ReadView, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        if view.versioned && view.pending {
+            if let Some(v) = self.kv_get(&stage_key(view.generation, key))? {
+                return Ok(Some(v));
+            }
+        }
+        self.kv_get(key)
+    }
+
+    /// A range scan as seen from `view`: staged keys are scanned before
+    /// the live range (same ordering argument as
+    /// [`kv_get_pinned`](Self::kv_get_pinned)) and overlaid with staged
+    /// precedence. The stage prefix preserves live-key order, so the
+    /// overlay is a sorted two-list merge.
+    pub(crate) fn kv_scan_range_pinned(
+        &self,
+        view: &ReadView,
+        start: &[u8],
+        end: &[u8],
+    ) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        if !(view.versioned && view.pending) {
+            return self.kv_scan_range(start, end);
+        }
+        let sp = stage_prefix(view.generation);
+        let sstart = [sp.as_slice(), start].concat();
+        let send = [sp.as_slice(), end].concat();
+        let staged = self.kv_scan_range(&sstart, &send)?;
+        let live = self.kv_scan_range(start, end)?;
+        if staged.is_empty() {
+            return Ok(live);
+        }
+        let mut out = Vec::with_capacity(live.len() + staged.len());
+        let mut staged = staged
+            .into_iter()
+            .map(|(k, v)| (live_key(&k).to_vec(), v))
+            .peekable();
+        for (k, v) in live {
+            while staged.peek().is_some_and(|(sk, _)| *sk < k) {
+                out.push(staged.next().expect("peeked"));
+            }
+            if staged.peek().is_some_and(|(sk, _)| *sk == k) {
+                out.push(staged.next().expect("peeked"));
+            } else {
+                out.push((k, v));
+            }
+        }
+        out.extend(staged);
+        Ok(out)
+    }
+
+    /// [`check_freshness`](Self::check_freshness) against a pinned view.
+    /// Extra base-table files are tolerated when an in-flight transaction
+    /// accounts for them (its delta is not acknowledged yet, so the
+    /// pinned pre-commit answer is correct) or when the live file count
+    /// already moved past the view (a commit landed; validation will see
+    /// the new view and retry). Anything else is genuine staleness.
+    pub(crate) fn check_freshness_pinned(&self, view: &ReadView) -> Result<()> {
+        let Some(indexed) = view.files else {
+            return Ok(()); // pre-freshness index: assume in sync
+        };
+        let current = self.ctx.hdfs.list_files(&self.base.location).len() as u64;
+        if current <= indexed {
+            return Ok(());
+        }
+        if let Ok(Some(bytes)) = self.kv.get(TXN_MANIFEST_KEY) {
+            if let Ok(manifest) = TxnManifest::decode(&bytes) {
+                let base_loc = format!("{}/", self.base.location);
+                if manifest
+                    .base_delta
+                    .as_deref()
+                    .is_some_and(|d| d.starts_with(&base_loc))
+                {
+                    return Ok(());
+                }
+            }
+        }
+        let live_files = self.kv_get(META_FILES_KEY)?.as_deref().map(le_u64);
+        if live_files != Some(indexed) {
+            return Ok(());
+        }
+        Err(DgfError::Index(format!(
+            "index is stale: base table {:?} has {current} files but only \
+             {indexed} are indexed — load new data through DgfIndex::append",
+            self.base.name
+        )))
     }
 
     /// Staleness check: error if the base table holds files that were
@@ -918,10 +1185,23 @@ impl DgfIndex {
         self.aggs.iter().map(|a| a.key()).collect()
     }
 
-    /// Number of GFU entries currently stored.
-    pub fn gfu_count(&self) -> usize {
-        self.kv.len().saturating_sub(META_KEY_COUNT as usize)
+    /// Number of GFU entries currently stored, counted explicitly by
+    /// prefix: deriving it from `len()` minus a fixed meta-key count
+    /// breaks whenever the meta-key set changes, and underflows on a
+    /// store that holds only some of the meta keys.
+    pub fn gfu_count(&self) -> Result<usize> {
+        let pairs = kv_retry(self.retry, self.kv.as_ref(), || {
+            self.kv.scan_prefix(GFU_PREFIX)
+        })?;
+        Ok(pairs.len())
     }
+}
+
+/// Little-endian `u64` from a (possibly short) stored value.
+fn le_u64(bytes: &[u8]) -> u64 {
+    let mut b = [0u8; 8];
+    b[..bytes.len().min(8)].copy_from_slice(&bytes[..bytes.len().min(8)]);
+    u64::from_le_bytes(b)
 }
 
 /// Format-dispatched writer of slice-aligned reorganized data.

@@ -61,6 +61,7 @@ pub mod index;
 pub mod plan;
 pub mod policy;
 pub mod txn;
+pub mod view;
 
 pub use advisor::{collect_stats, recommend_policy, AdvisorConfig, DimStats, Recommendation};
 pub use cache::{CacheStats, GfuHeaderCache, DEFAULT_HEADER_CACHE_CAPACITY};
@@ -70,6 +71,7 @@ pub use gfu::{Extents, GfuKey, GfuValue, SliceLoc};
 pub use index::{all_gfus, default_precompute, DgfIndex, IndexOptions, SlicePlacement};
 pub use plan::{DgfPlan, PlanStrategy};
 pub use txn::{TxnManifest, TxnState};
+pub use view::ReadView;
 pub use policy::{DimPolicy, DimScale, DimSpan, SplittingPolicy};
 
 #[cfg(test)]
@@ -259,7 +261,7 @@ mod tests {
     fn append_extends_index_without_rebuild() {
         let (_t, ctx) = setup(1 << 20);
         let idx = build_figure5(&ctx);
-        let before_entries = idx.gfu_count();
+        let before_entries = idx.gfu_count().unwrap();
         // New records: one lands in the existing GFU (2,1), one in a new
         // cell far away.
         idx.append(&[
@@ -267,7 +269,7 @@ mod tests {
             vec![Value::Int(100), Value::Int(30), Value::Float(9.9)],
         ])
         .unwrap();
-        assert_eq!(idx.gfu_count(), before_entries + 1);
+        assert_eq!(idx.gfu_count().unwrap(), before_entries + 1);
         // The merged GFU now answers with the updated header.
         let q = Query::Aggregate {
             aggs: vec![AggFunc::Sum("C".into())],

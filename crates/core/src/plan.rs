@@ -40,6 +40,7 @@ use crate::fresh::FreshCell;
 use crate::gfu::{GfuKey, GfuValue, GFU_PREFIX};
 use crate::index::DgfIndex;
 use crate::policy::DimSpan;
+use crate::view::ReadView;
 
 /// How the planner fetches GFU values from the key-value store.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -118,6 +119,11 @@ struct Collector {
     per_file: HashMap<String, Vec<ByteRange>>,
     cache_hits: u64,
     cache_misses: u64,
+    /// Header-cache fills this fetch wants to make, deferred until the
+    /// pinned view validates: a fetch that raced a commit may have read
+    /// torn values, and publishing them under the pinned generation
+    /// would poison other readers still planning against that view.
+    pending_fills: Vec<(Vec<u8>, CachedGfu)>,
 }
 
 struct HeaderMerge {
@@ -183,32 +189,12 @@ impl DgfIndex {
                 .load(Ordering::Relaxed)
                 .saturating_sub(retries_before)
         };
-        let meta_span = span.child("plan.meta");
-        let meta_before = meta_span.is_recording().then(|| self.kv.stats().snapshot());
-        self.check_freshness()?;
         let predicate = query.predicate();
         // Snapshot the streaming memtable (if one is registered and
-        // non-empty) alongside the persisted extents: buffered cells may
-        // lie beyond what any flush has recorded, and the spans must
-        // admit them or fresh rows would silently fall out of the query.
+        // non-empty) alongside the pinned view: buffered cells may lie
+        // beyond what any flush has recorded, and the spans must admit
+        // them or fresh rows would silently fall out of the query.
         let fresh_src = self.fresh_source().filter(|s| s.has_fresh());
-        // The epoch is read BEFORE the snapshot (and re-read before every
-        // re-snapshot): a flush completing between snapshot and fetch then
-        // shows as an epoch mismatch after the fetch, never as a silently
-        // consistent-looking pair.
-        let mut epoch_before = fresh_src.as_ref().map(|s| s.flush_epoch());
-        let mut fresh_cells: Vec<FreshCell> = match &fresh_src {
-            Some(src) => src.fresh_cells(self.ingest_watermark()?),
-            None => Vec::new(),
-        };
-        let mut extents = self.extents()?;
-        for cell in &fresh_cells {
-            extents.observe(&cell.key);
-        }
-        if let Some(before) = &meta_before {
-            self.kv.stats().snapshot().since(before).attach_to_span(&meta_span);
-        }
-        meta_span.finish();
         let arity = self.policy.arity();
 
         let empty_plan = |watch: Stopwatch| DgfPlan {
@@ -229,28 +215,6 @@ impl DgfIndex {
             index_time: watch.elapsed(),
             profile: QueryProfile::default(),
         };
-        if extents.is_empty() {
-            let mut plan = empty_plan(watch);
-            span.finish();
-            plan.profile = prof.take_profile();
-            return Ok(plan);
-        }
-
-        // Per-dimension cell spans; a missing dimension in the predicate
-        // falls back to the stored extents (partially-specified queries,
-        // paper §5.3.4).
-        let mut spans: Vec<DimSpan> = Vec::with_capacity(arity);
-        for (d, dim) in self.policy.dims().iter().enumerate() {
-            let dim_span = dim.cell_span(predicate.range_of(&dim.name), extents.dims[d])?;
-            if dim_span.is_empty() {
-                let mut plan = empty_plan(watch);
-                span.finish();
-                plan.profile = prof.take_profile();
-                return Ok(plan);
-            }
-            spans.push(dim_span);
-        }
-
         // Headers answer the inner region only when (a) the query is a
         // plain aggregation, (b) every predicate column is an indexed
         // dimension (otherwise inner rows still need row-level
@@ -292,10 +256,72 @@ impl DgfIndex {
             }))
         };
 
-        let fetch_span = span.child("plan.fetch");
-        let fetch_before = fetch_span.is_recording().then(|| self.kv.stats().snapshot());
+        // Optimistic snapshot loop. Each attempt pins one committed
+        // ReadView with a single KV read, fetches against it, and
+        // validates afterwards that (a) the view is still the committed
+        // one and (b) no streaming flush published mid-fetch. Either
+        // mismatch discards the attempt — including its header-cache
+        // fills — and re-pins, so the plan that escapes the loop is built
+        // entirely from one index epoch: never a blend (DESIGN.md §11).
         let mut attempts = 0u32;
-        let (collector, fresh_gfus, fresh_records, fresh_rows) = loop {
+        let (view, mut collector, fresh_gfus, fresh_records, fresh_rows) = loop {
+            let meta_span = span.child("plan.meta");
+            let meta_before = meta_span.is_recording().then(|| self.kv.stats().snapshot());
+            self.sync_point("plan.pin");
+            let view = self.pin_view()?;
+            self.check_freshness_pinned(&view)?;
+            // The epoch is read BEFORE the memtable snapshot: a flush
+            // completing between snapshot and fetch then shows as an
+            // epoch mismatch after the fetch, never as a silently
+            // consistent-looking pair. The snapshot cuts at the pinned
+            // view's watermark, so rows the view's flush already indexed
+            // are not double-counted.
+            let epoch_before = fresh_src.as_ref().map(|s| s.flush_epoch());
+            let fresh_cells: Vec<FreshCell> = match &fresh_src {
+                Some(src) => src.fresh_cells(view.watermark),
+                None => Vec::new(),
+            };
+            let mut extents = view.extents.clone();
+            for cell in &fresh_cells {
+                extents.observe(&cell.key);
+            }
+            if let Some(before) = &meta_before {
+                self.kv.stats().snapshot().since(before).attach_to_span(&meta_span);
+            }
+            meta_span.finish();
+
+            // A view with empty extents (or an empty per-dimension span)
+            // is already a consistent answer: the view itself is atomic,
+            // so no validation is needed for a meta-only empty plan.
+            if extents.is_empty() {
+                let mut plan = empty_plan(watch);
+                span.finish();
+                plan.profile = prof.take_profile();
+                return Ok(plan);
+            }
+            // Per-dimension cell spans; a missing dimension in the
+            // predicate falls back to the view's extents
+            // (partially-specified queries, paper §5.3.4). Recomputed per
+            // attempt because a re-pinned view may carry wider extents.
+            let mut spans: Vec<DimSpan> = Vec::with_capacity(arity);
+            let mut dead_dim = false;
+            for (d, dim) in self.policy.dims().iter().enumerate() {
+                let dim_span = dim.cell_span(predicate.range_of(&dim.name), extents.dims[d])?;
+                if dim_span.is_empty() {
+                    dead_dim = true;
+                    break;
+                }
+                spans.push(dim_span);
+            }
+            if dead_dim {
+                let mut plan = empty_plan(watch);
+                span.finish();
+                plan.profile = prof.take_profile();
+                return Ok(plan);
+            }
+
+            let fetch_span = span.child("plan.fetch");
+            let fetch_before = fetch_span.is_recording().then(|| self.kv.stats().snapshot());
             let mut collector = Collector {
                 header_merge: make_header_merge()?,
                 inner_gfus: 0,
@@ -304,14 +330,20 @@ impl DgfIndex {
                 per_file: HashMap::new(),
                 cache_hits: 0,
                 cache_misses: 0,
+                pending_fills: Vec::new(),
             };
+            self.sync_point("plan.fetch");
             match strategy {
                 PlanStrategy::PointGets => {
-                    self.fetch_point_gets(&spans, headers_usable, &mut collector)?
+                    self.fetch_point_gets(&view, &spans, headers_usable, &mut collector)?
                 }
-                PlanStrategy::PrefixScan => {
-                    self.fetch_prefix_scans(&spans, &extents.dims, headers_usable, &mut collector)?
-                }
+                PlanStrategy::PrefixScan => self.fetch_prefix_scans(
+                    &view,
+                    &spans,
+                    &extents.dims,
+                    headers_usable,
+                    &mut collector,
+                )?,
             }
 
             // Merge the memtable snapshot: a fully covered fresh cell
@@ -345,49 +377,52 @@ impl DgfIndex {
                 }
             }
 
-            // Optimistic re-validation: if a flush published between our
-            // memtable snapshot and the store fetch, buffered rows may
-            // now also be live in the store (or half of them may be).
-            // Re-snapshot both sides and refetch; the flush's generation
-            // bump already orphaned any half-published cache fills.
-            let Some(src) = &fresh_src else {
-                break (collector, fresh_gfus, fresh_records, fresh_rows);
+            // Validate: the pinned view must still be committed, and no
+            // flush may have published between our memtable snapshot and
+            // the store fetch (buffered rows might now also be live in
+            // the store — or half of them might be).
+            let view_ok = self.view_unchanged(&view)?;
+            let epoch_ok = match &fresh_src {
+                None => true,
+                Some(src) => {
+                    let epoch_after = src.flush_epoch();
+                    epoch_before == Some(epoch_after) && epoch_after % 2 == 0
+                }
             };
-            let epoch_after = src.flush_epoch();
-            if epoch_before == Some(epoch_after) && epoch_after % 2 == 0 {
-                break (collector, fresh_gfus, fresh_records, fresh_rows);
+            if let Some(before) = &fetch_before {
+                self.kv.stats().snapshot().since(before).attach_to_span(&fetch_span);
+                for (name, v) in [
+                    (names::CACHE_HEADER_HITS, collector.cache_hits),
+                    (names::CACHE_HEADER_MISSES, collector.cache_misses),
+                    (names::PLAN_INNER_GFUS, collector.inner_gfus),
+                    (names::PLAN_BOUNDARY_GFUS, collector.boundary_gfus),
+                    (names::PLAN_INNER_RECORDS, collector.inner_records),
+                    (names::PLAN_FRESH_GFUS, fresh_gfus),
+                    (names::PLAN_FRESH_RECORDS, fresh_records),
+                ] {
+                    if v > 0 {
+                        fetch_span.add(name, v);
+                    }
+                }
+            }
+            fetch_span.finish();
+            if view_ok && epoch_ok {
+                break (view, collector, fresh_gfus, fresh_records, fresh_rows);
             }
             attempts += 1;
             if attempts > 8 {
                 return Err(DgfError::Transient(
-                    "streaming flushes kept racing query planning".into(),
+                    "concurrent index commits kept racing query planning".into(),
                 ));
             }
             std::thread::sleep(Duration::from_millis(1));
-            // Cells flushed mid-plan stay within the already-computed
-            // spans (they were in the first snapshot, which the spans
-            // admit); rows ingested *after* planning started may fall
-            // outside and are legitimately not part of this query.
-            epoch_before = Some(src.flush_epoch());
-            fresh_cells = src.fresh_cells(self.ingest_watermark()?);
         };
-        if let Some(before) = &fetch_before {
-            self.kv.stats().snapshot().since(before).attach_to_span(&fetch_span);
-            for (name, v) in [
-                (names::CACHE_HEADER_HITS, collector.cache_hits),
-                (names::CACHE_HEADER_MISSES, collector.cache_misses),
-                (names::PLAN_INNER_GFUS, collector.inner_gfus),
-                (names::PLAN_BOUNDARY_GFUS, collector.boundary_gfus),
-                (names::PLAN_INNER_RECORDS, collector.inner_records),
-                (names::PLAN_FRESH_GFUS, fresh_gfus),
-                (names::PLAN_FRESH_RECORDS, fresh_records),
-            ] {
-                if v > 0 {
-                    fetch_span.add(name, v);
-                }
-            }
+        // The attempt survived validation: its header-cache fills are
+        // known-consistent for the pinned generation and safe to publish.
+        let cache = self.header_cache();
+        for (key, value) in collector.pending_fills.drain(..) {
+            cache.insert(view.generation, key, value);
         }
-        fetch_span.finish();
 
         let inner_states = collector.header_merge.map(|hm| hm.acc);
 
@@ -395,7 +430,22 @@ impl DgfIndex {
         // each chosen split to its byte range so each mapper reads only
         // its part (a Slice across two splits is served by two mappers).
         let splits_span = span.child("plan.splits");
-        let all_splits = self.ctx.table_splits(&self.data);
+        // Enumerate splits from the pinned view's file list, not a live
+        // directory listing: a racing apply renames new slice files into
+        // the data directory, and a live listing could pair them with
+        // this view's headers (or miss files a newer header refers to).
+        // Slice files are immutable once renamed, so the pinned list is
+        // always readable. Legacy non-versioned views fall back to the
+        // live listing, as before.
+        let all_splits = match &view.data_files {
+            Some(files) => files
+                .iter()
+                .flat_map(|(path, len)| {
+                    dgf_storage::splits_for_file(path, *len, self.ctx.hdfs.block_size())
+                })
+                .collect(),
+            None => self.ctx.table_splits(&self.data),
+        };
         let splits_total = all_splits.len() as u64;
         let mut inputs = Vec::new();
         let mut chosen_splits = Vec::new();
@@ -457,6 +507,7 @@ impl DgfIndex {
     /// cells, each set in odometer order, matching the historical planner.
     fn fetch_point_gets(
         &self,
+        view: &ReadView,
         spans: &[DimSpan],
         headers_usable: bool,
         collector: &mut Collector,
@@ -490,13 +541,13 @@ impl DgfIndex {
             }
         }
         for key in &inner_keys {
-            if let Some(got) = self.kv_get(key)? {
+            if let Some(got) = self.kv_get_pinned(view, key)? {
                 let value = GfuValue::decode(&got)?;
                 collector.absorb(true, &value)?;
             }
         }
         for key in &boundary_keys {
-            if let Some(got) = self.kv_get(key)? {
+            if let Some(got) = self.kv_get_pinned(view, key)? {
                 let value = GfuValue::decode(&got)?;
                 collector.absorb(false, &value)?;
             }
@@ -515,13 +566,13 @@ impl DgfIndex {
     /// it ("the prefix") and sweep all span combinations from it onward.
     fn fetch_prefix_scans(
         &self,
+        view: &ReadView,
         spans: &[DimSpan],
         extents: &[(i64, i64)],
         headers_usable: bool,
         collector: &mut Collector,
     ) -> Result<()> {
         let arity = spans.len();
-        let generation = self.generation();
 
         // The longest suffix of dimensions whose span is the full extent.
         let mut suffix_full_start = arity;
@@ -541,7 +592,7 @@ impl DgfIndex {
         // Odometer over the prefix dimensions; each setting is one run.
         let mut prefix: Vec<i64> = spans[..scan_from].iter().map(|s| s.lo).collect();
         loop {
-            self.process_run(&prefix, spans, scan_from, headers_usable, generation, collector)?;
+            self.process_run(view, &prefix, spans, scan_from, headers_usable, collector)?;
             let mut advanced = false;
             for d in (0..scan_from).rev() {
                 if prefix[d] < spans[d].hi {
@@ -562,18 +613,19 @@ impl DgfIndex {
     /// Serve one key run: probe the header cache for every expected cell;
     /// if all probes hit (negative entries included) the run costs zero
     /// key-value operations, otherwise one `scan_range` re-reads the whole
-    /// run and repopulates the cache, with negative entries for cells the
-    /// scan proved absent.
+    /// run and queues cache fills (negative entries for cells the scan
+    /// proved absent) that the caller publishes once the view validates.
     fn process_run(
         &self,
+        view: &ReadView,
         prefix: &[i64],
         spans: &[DimSpan],
         scan_from: usize,
         headers_usable: bool,
-        generation: u64,
         collector: &mut Collector,
     ) -> Result<()> {
         let arity = spans.len();
+        let generation = view.generation;
         let cache = self.header_cache();
         let prefix_covered =
             headers_usable && spans[..scan_from].iter().zip(prefix).all(|(s, c)| s.covered(*c));
@@ -645,20 +697,24 @@ impl DgfIndex {
         // Keys are fixed-length, so appending a byte makes the half-open
         // scan include the run's maximum key.
         end.push(0x00);
-        let pairs = self.kv_scan_range(&start, &end)?;
+        let pairs = self.kv_scan_range_pinned(view, &start, &end)?;
 
         // Merge-walk the expected cells (sorted) against the scan results
-        // (sorted): found cells are absorbed and cached, expected-but-
-        // absent cells get a negative cache entry.
+        // (sorted): found cells are absorbed and queued for caching,
+        // expected-but-absent cells queue a negative entry. Fills are
+        // deferred to the caller so a fetch that fails view validation
+        // never publishes possibly-torn values.
         let mut next_pair = 0usize;
         for (key, covered, _) in &cells {
             if next_pair < pairs.len() && pairs[next_pair].0 == *key {
                 let value = Arc::new(GfuValue::decode(&pairs[next_pair].1)?);
-                cache.insert(generation, key.clone(), Some(value.clone()));
+                collector
+                    .pending_fills
+                    .push((key.clone(), Some(value.clone())));
                 collector.absorb(*covered, &value)?;
                 next_pair += 1;
             } else {
-                cache.insert(generation, key.clone(), None);
+                collector.pending_fills.push((key.clone(), None));
             }
         }
         debug_assert_eq!(

@@ -31,17 +31,35 @@ pub const TXN_MANIFEST_KEY: &[u8] = b"t:manifest";
 /// metadata puts before commit. Disjoint from the live `g:`/`m:` spaces.
 pub const STAGE_PREFIX: &[u8] = b"s:";
 
-/// The staged twin of a live key.
-pub fn stage_key(live: &[u8]) -> Vec<u8> {
-    let mut k = Vec::with_capacity(STAGE_PREFIX.len() + live.len());
+/// The staged twin of a live key, qualified by the staging transaction
+/// id: `s:` + big-endian txn + live key. The qualifier keeps staged keys
+/// of transaction N invisible to a reader overlaying transaction M's
+/// staged state, and big-endian order means a prefix scan of one
+/// transaction's staged keys yields live-key order (so the overlay scan
+/// in plan assembly is a sorted two-list merge).
+pub fn stage_key(txn: u64, live: &[u8]) -> Vec<u8> {
+    let mut k = Vec::with_capacity(STAGE_PREFIX.len() + 8 + live.len());
     k.extend_from_slice(STAGE_PREFIX);
+    k.extend_from_slice(&txn.to_be_bytes());
     k.extend_from_slice(live);
+    k
+}
+
+/// The scan prefix covering every staged key of one transaction.
+pub fn stage_prefix(txn: u64) -> Vec<u8> {
+    let mut k = Vec::with_capacity(STAGE_PREFIX.len() + 8);
+    k.extend_from_slice(STAGE_PREFIX);
+    k.extend_from_slice(&txn.to_be_bytes());
     k
 }
 
 /// The live key a staged key publishes to.
 pub fn live_key(staged: &[u8]) -> &[u8] {
-    staged.strip_prefix(STAGE_PREFIX).unwrap_or(staged)
+    match staged.strip_prefix(STAGE_PREFIX) {
+        Some(rest) if rest.len() >= 8 => &rest[8..],
+        Some(rest) => rest,
+        None => staged,
+    }
 }
 
 /// Lifecycle of a transaction, recorded in its manifest.
@@ -101,6 +119,12 @@ pub struct TxnManifest {
     /// aggregates, file count, merged extents). Plain puts so re-applying
     /// never double-merges.
     pub meta_puts: Vec<(Vec<u8>, Vec<u8>)>,
+    /// Encoded [`ReadView`](crate::view::ReadView) (with `pending` set)
+    /// that apply publishes under `m:view` right after the file renames
+    /// and *before* the staged-key publishes: flipping the view is the
+    /// visibility pivot for live readers, and a pending view tells them
+    /// to overlay this transaction's staged keys. Empty = none (legacy).
+    pub view: Vec<u8>,
 }
 
 impl TxnManifest {
@@ -114,6 +138,7 @@ impl TxnManifest {
             renames: Vec::new(),
             staged_keys: Vec::new(),
             meta_puts: Vec::new(),
+            view: Vec::new(),
         }
     }
 
@@ -138,6 +163,7 @@ impl TxnManifest {
             codec::put_bytes(&mut buf, k);
             codec::put_bytes(&mut buf, v);
         }
+        codec::put_bytes(&mut buf, &self.view);
         buf
     }
 
@@ -167,6 +193,7 @@ impl TxnManifest {
             let v = d.bytes()?.to_vec();
             meta_puts.push((k, v));
         }
+        let view = d.bytes()?.to_vec();
         if d.remaining() != 0 {
             return Err(DgfError::Corrupt("txn manifest has trailing bytes".into()));
         }
@@ -178,6 +205,7 @@ impl TxnManifest {
             renames,
             staged_keys,
             meta_puts,
+            view,
         })
     }
 }
@@ -194,8 +222,9 @@ mod tests {
         m.state = TxnState::Prepared;
         m.base_delta = Some("/warehouse/base/delta-00007".into());
         m.renames = vec![("/a/x".into(), "/b/x".into()), ("/a/y".into(), "/b/y".into())];
-        m.staged_keys = vec![stage_key(b"g:k1"), stage_key(b"g:k2")];
+        m.staged_keys = vec![stage_key(7, b"g:k1"), stage_key(7, b"g:k2")];
         m.meta_puts = vec![(b"m:files".to_vec(), 3u64.to_le_bytes().to_vec())];
+        m.view = vec![0xDE, 0xAD];
         let back = TxnManifest::decode(&m.encode()).unwrap();
         assert_eq!(back, m);
 
@@ -206,9 +235,20 @@ mod tests {
     #[test]
     fn stage_and_live_keys_invert() {
         let live = b"g:\x00\x01";
-        let staged = stage_key(live);
+        let staged = stage_key(42, live);
         assert!(staged.starts_with(STAGE_PREFIX));
+        assert!(staged.starts_with(&stage_prefix(42)));
+        assert!(!staged.starts_with(&stage_prefix(41)));
         assert_eq!(live_key(&staged), live);
+    }
+
+    #[test]
+    fn stage_keys_preserve_live_key_order_within_a_txn() {
+        let lives: Vec<&[u8]> = vec![b"g:\x00", b"g:\x01", b"g:\x01\x02", b"m:extent"];
+        let staged: Vec<Vec<u8>> = lives.iter().map(|l| stage_key(9, l)).collect();
+        for w in staged.windows(2) {
+            assert!(w[0] < w[1]);
+        }
     }
 
     #[test]

@@ -1,0 +1,169 @@
+//! Versioned read views: the snapshot a query plans against.
+//!
+//! The paper's load path extends the grid in place (`append` updates
+//! existing GFU entries rather than rebuilding, §5), so header mutation
+//! and query reads race by design. A [`ReadView`] makes that race safe:
+//! it is the committed snapshot of everything plan assembly needs —
+//! generation, per-dimension extents, the exact split list, the ingest
+//! watermark — resolved from a **single** KV `get` of
+//! [`META_VIEW_KEY`](crate::gfu::META_VIEW_KEY). The commit protocol
+//! publishes a new view as part of the staged transaction, and new GFU
+//! values are staged under generation-qualified keys until the view that
+//! references them is visible, so a reader pinned to one view can never
+//! observe a blend of two index epochs (see `DESIGN.md` §11).
+
+use dgf_common::codec::{self, Decoder};
+use dgf_common::{DgfError, Result};
+
+use crate::gfu::Extents;
+
+/// The committed snapshot a plan pins at the start of assembly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadView {
+    /// Index generation this view describes. Strictly monotonic across
+    /// commits; header-cache entries are keyed by it.
+    pub generation: u64,
+    /// `true` while the committing transaction is still publishing:
+    /// readers must overlay the transaction's staged keys over the live
+    /// keyspace (staged-first, so a concurrent cleanup is harmless).
+    pub pending: bool,
+    /// Ingest watermark at commit (highest flushed batch sequence).
+    pub watermark: u64,
+    /// Number of indexed base-table files at commit (staleness check).
+    pub files: Option<u64>,
+    /// Per-dimension cell extents at commit.
+    pub extents: Extents,
+    /// The exact data files (path, length) the view's Slices point into.
+    /// Slice files are immutable once renamed into place, so the pinned
+    /// list stays valid even while a later transaction adds files.
+    pub data_files: Option<Vec<(String, u64)>>,
+    /// Whether this view was decoded from a persisted `m:view` record
+    /// (`true`) or synthesized from legacy meta keys for an index built
+    /// before views existed (`false`). Not serialized.
+    pub versioned: bool,
+}
+
+impl ReadView {
+    /// Serialize (the `versioned` marker is implied by presence).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        codec::put_u64(&mut buf, self.generation);
+        codec::put_u32(&mut buf, self.pending as u32);
+        codec::put_u64(&mut buf, self.watermark);
+        match self.files {
+            Some(n) => {
+                codec::put_u32(&mut buf, 1);
+                codec::put_u64(&mut buf, n);
+            }
+            None => codec::put_u32(&mut buf, 0),
+        }
+        codec::put_bytes(&mut buf, &self.extents.encode());
+        match &self.data_files {
+            Some(files) => {
+                codec::put_u32(&mut buf, 1);
+                codec::put_u32(&mut buf, files.len() as u32);
+                for (path, len) in files {
+                    codec::put_str(&mut buf, path);
+                    codec::put_u64(&mut buf, *len);
+                }
+            }
+            None => codec::put_u32(&mut buf, 0),
+        }
+        buf
+    }
+
+    /// Decode a stored view; the result is marked `versioned`.
+    pub fn decode(bytes: &[u8]) -> Result<ReadView> {
+        let mut d = Decoder::new(bytes);
+        let generation = d.u64()?;
+        let pending = match d.u32()? {
+            0 => false,
+            1 => true,
+            n => return Err(DgfError::Corrupt(format!("bad view pending flag {n}"))),
+        };
+        let watermark = d.u64()?;
+        let files = match d.u32()? {
+            0 => None,
+            _ => Some(d.u64()?),
+        };
+        let extents = Extents::decode(d.bytes()?)?;
+        let data_files = match d.u32()? {
+            0 => None,
+            _ => {
+                let n = d.u32()? as usize;
+                let mut files = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let path = d.str()?.to_owned();
+                    let len = d.u64()?;
+                    files.push((path, len));
+                }
+                Some(files)
+            }
+        };
+        if d.remaining() != 0 {
+            return Err(DgfError::Corrupt("read view has trailing bytes".into()));
+        }
+        Ok(ReadView {
+            generation,
+            pending,
+            watermark,
+            files,
+            extents,
+            data_files,
+            versioned: true,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gfu::GfuKey;
+
+    #[test]
+    fn view_round_trips() {
+        let mut extents = Extents::empty(2);
+        extents.observe(&GfuKey::new(vec![3, -1]));
+        let v = ReadView {
+            generation: 9,
+            pending: true,
+            watermark: 41,
+            files: Some(4),
+            extents,
+            data_files: Some(vec![
+                ("/warehouse/idx/data/part-r-00000-00000".into(), 512),
+                ("/warehouse/idx/data/part-r-00009-00001".into(), 90),
+            ]),
+            versioned: true,
+        };
+        assert_eq!(ReadView::decode(&v.encode()).unwrap(), v);
+
+        let bare = ReadView {
+            generation: 0,
+            pending: false,
+            watermark: 0,
+            files: None,
+            extents: Extents::empty(1),
+            data_files: None,
+            versioned: true,
+        };
+        assert_eq!(ReadView::decode(&bare.encode()).unwrap(), bare);
+    }
+
+    #[test]
+    fn corrupt_views_are_rejected() {
+        assert!(ReadView::decode(b"").is_err());
+        let v = ReadView {
+            generation: 1,
+            pending: false,
+            watermark: 0,
+            files: None,
+            extents: Extents::empty(1),
+            data_files: None,
+            versioned: true,
+        };
+        let mut enc = v.encode();
+        enc.push(0x77);
+        assert!(ReadView::decode(&enc).is_err());
+    }
+}

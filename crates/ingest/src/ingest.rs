@@ -256,6 +256,15 @@ impl Core {
         }
     }
 
+    /// Seeded interleaving yield (see `FaultPlan::sync_point`): widens
+    /// the window around the flush's index commit so the concurrency
+    /// harness can drive query threads through it deterministically.
+    fn sync_point(&self, site: &str) {
+        if let Some(plan) = &self.config.fault {
+            plan.sync_point(site);
+        }
+    }
+
     fn check_poisoned(&self) -> Result<()> {
         if self.poisoned.load(Ordering::SeqCst) {
             return Err(DgfError::Index(
@@ -404,8 +413,10 @@ impl Core {
         self.shared.epoch.fetch_add(1, Ordering::SeqCst);
         let published = (|| -> Result<()> {
             self.crash_point("ingest.flush-staged")?;
+            self.sync_point("ingest.flush-commit");
             self.index
                 .append_with_watermark(&rows, Some(snap_seq))?;
+            self.sync_point("ingest.flush-commit");
             self.crash_point("ingest.flush-committed")?;
             Ok(())
         })();

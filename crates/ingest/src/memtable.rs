@@ -182,8 +182,8 @@ mod tests {
         let states = set.decode_states(&c1.header).unwrap();
         assert_eq!(states[0], AggState::Count(2));
         match &states[1] {
-            AggState::Sum { sum, non_null } => {
-                assert!((sum - 5.5).abs() < 1e-9);
+            AggState::Sum { sum, comp, non_null } => {
+                assert!((sum + comp - 5.5).abs() < 1e-9);
                 assert_eq!(*non_null, 2);
             }
             other => panic!("unexpected state {other:?}"),

@@ -197,6 +197,45 @@ mod tests {
     }
 
     #[test]
+    fn multi_get_is_a_snapshot_under_concurrent_writes() {
+        use std::sync::Arc;
+        // A writer flips two keys together between two values; a batched
+        // reader must never see one key from before the flip and the
+        // other from after — the trait's snapshot-atomicity contract.
+        let kv = Arc::new(MemKvStore::new());
+        kv.put(b"x", b"0").unwrap();
+        kv.put(b"y", b"0").unwrap();
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let writer = {
+            let kv = Arc::clone(&kv);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut round = 0u64;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let v = round.to_string().into_bytes();
+                    // Both puts under one write lock so the pair is
+                    // always coherent in the store itself.
+                    kv.update(b"x", &mut |_| v.clone()).unwrap();
+                    kv.update(b"y", &mut |_| v.clone()).unwrap();
+                    round += 1;
+                }
+            })
+        };
+        // `update` writes x then y separately, so a torn batch would show
+        // x ahead of y. x == y or x one ahead (between the two updates)
+        // are the only legal observations; x behind y means the batch
+        // read y after a write that happened *during* the batch.
+        for _ in 0..2000 {
+            let got = kv.multi_get(&[b"x".to_vec(), b"y".to_vec()]).unwrap();
+            let x: u64 = String::from_utf8(got[0].clone().unwrap()).unwrap().parse().unwrap();
+            let y: u64 = String::from_utf8(got[1].clone().unwrap()).unwrap().parse().unwrap();
+            assert!(x == y || x == y + 1, "torn multi_get: x={x} y={y}");
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        writer.join().unwrap();
+    }
+
+    #[test]
     fn concurrent_updates_do_not_lose_increments() {
         use std::sync::Arc;
         let kv = Arc::new(MemKvStore::new());

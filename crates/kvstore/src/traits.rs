@@ -226,8 +226,17 @@ pub trait KvStore: Send + Sync {
     /// Batched lookup preserving input order: the result has exactly one
     /// entry per requested key, `None` where the key is absent.
     ///
+    /// **Snapshot atomicity**: an override that serves the batch in a
+    /// single operation must read every key under one consistent view of
+    /// the store — no concurrent writer's puts may land between the
+    /// batch's reads. Readers rely on this to pin a coherent set of meta
+    /// keys with one call (see `dgf_core`'s legacy read-view fallback);
+    /// a torn batch there is exactly the blended-epoch read the versioned
+    /// view protocol exists to prevent.
+    ///
     /// The default implementation degrades to one `get` round trip per
-    /// key; stores that can serve a batch in a single operation should
+    /// key and is therefore **not** atomic under concurrent writes;
+    /// stores that can serve a batch in a single operation should
     /// override it and record the batch via [`KvStats::on_multi_get`].
     fn multi_get(&self, keys: &[Vec<u8>]) -> Result<Vec<Option<Vec<u8>>>> {
         keys.iter().map(|k| self.get(k)).collect()

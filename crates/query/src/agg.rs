@@ -53,7 +53,7 @@ impl AdditiveUdf for SumProductUdf {
     }
 
     fn init(&self) -> Vec<f64> {
-        vec![0.0, 0.0] // [sum, non-null row count]
+        vec![0.0, 0.0, 0.0] // [sum, Neumaier error term, non-null row count]
     }
 
     fn update(&self, state: &mut [f64], row: &Row, schema: &Schema) -> Result<()> {
@@ -62,21 +62,25 @@ impl AdditiveUdf for SumProductUdf {
         if a.is_null() || b.is_null() {
             return Ok(());
         }
-        state[0] += a.as_f64()? * b.as_f64()?;
-        state[1] += 1.0;
+        let x = a.as_f64()? * b.as_f64()?;
+        let (sum, rest) = state.split_at_mut(1);
+        kahan_add(&mut sum[0], &mut rest[0], x);
+        state[2] += 1.0;
         Ok(())
     }
 
     fn merge(&self, state: &mut [f64], other: &[f64]) {
-        state[0] += other[0];
+        let (sum, rest) = state.split_at_mut(1);
+        kahan_add(&mut sum[0], &mut rest[0], other[0]);
         state[1] += other[1];
+        state[2] += other[2];
     }
 
     fn finalize(&self, state: &[f64]) -> Value {
-        if state[1] == 0.0 {
+        if state[2] == 0.0 {
             Value::Null
         } else {
-            Value::Float(state[0])
+            Value::Float(state[0] + state[1])
         }
     }
 }
@@ -125,6 +129,23 @@ impl PartialEq for AggFunc {
     }
 }
 
+/// One step of Neumaier's compensated summation: fold `x` into the
+/// running `sum`, accumulating the rounding error into `comp`. The true
+/// total is `sum + comp` (added once, at finalize). Plain `+=` folds
+/// make the low-order bits of a float sum depend on merge order; the
+/// compensated form keeps the error term explicit so partial states
+/// merge without drifting, and repeated runs of the same fold are
+/// bit-identical regardless of how partials were grouped.
+fn kahan_add(sum: &mut f64, comp: &mut f64, x: f64) {
+    let t = *sum + x;
+    *comp += if sum.abs() >= x.abs() {
+        (*sum - t) + x
+    } else {
+        (x - t) + *sum
+    };
+    *sum = t;
+}
+
 /// A mergeable partial aggregation state.
 #[derive(Debug, Clone, PartialEq)]
 pub enum AggState {
@@ -132,8 +153,10 @@ pub enum AggState {
     Count(u64),
     /// Running sum and non-null count (to distinguish 0 from NULL).
     Sum {
-        /// Sum of non-null values.
+        /// Compensated sum of non-null values.
         sum: f64,
+        /// Neumaier error term; the true sum is `sum + comp`.
+        comp: f64,
         /// Number of non-null values folded in.
         non_null: u64,
     },
@@ -143,8 +166,10 @@ pub enum AggState {
     Max(Option<Value>),
     /// Running sum and count for the mean.
     Avg {
-        /// Sum of non-null values.
+        /// Compensated sum of non-null values.
         sum: f64,
+        /// Neumaier error term; the true sum is `sum + comp`.
+        comp: f64,
         /// Number of non-null values folded in.
         count: u64,
     },
@@ -198,10 +223,10 @@ impl AggSet {
             .iter()
             .map(|f| match f {
                 AggFunc::Count => AggState::Count(0),
-                AggFunc::Sum(_) => AggState::Sum { sum: 0.0, non_null: 0 },
+                AggFunc::Sum(_) => AggState::Sum { sum: 0.0, comp: 0.0, non_null: 0 },
                 AggFunc::Min(_) => AggState::Min(None),
                 AggFunc::Max(_) => AggState::Max(None),
-                AggFunc::Avg(_) => AggState::Avg { sum: 0.0, count: 0 },
+                AggFunc::Avg(_) => AggState::Avg { sum: 0.0, comp: 0.0, count: 0 },
                 AggFunc::Udf(u) => AggState::Udf(u.init()),
             })
             .collect()
@@ -212,10 +237,10 @@ impl AggSet {
         for ((f, col), st) in self.funcs.iter().zip(&self.cols).zip(states.iter_mut()) {
             match (f, st) {
                 (AggFunc::Count, AggState::Count(n)) => *n += 1,
-                (AggFunc::Sum(_), AggState::Sum { sum, non_null }) => {
+                (AggFunc::Sum(_), AggState::Sum { sum, comp, non_null }) => {
                     let v = &row[col.expect("bound")];
                     if !v.is_null() {
-                        *sum += v.as_f64()?;
+                        kahan_add(sum, comp, v.as_f64()?);
                         *non_null += 1;
                     }
                 }
@@ -231,10 +256,10 @@ impl AggSet {
                         *m = Some(v.clone());
                     }
                 }
-                (AggFunc::Avg(_), AggState::Avg { sum, count }) => {
+                (AggFunc::Avg(_), AggState::Avg { sum, comp, count }) => {
                     let v = &row[col.expect("bound")];
                     if !v.is_null() {
-                        *sum += v.as_f64()?;
+                        kahan_add(sum, comp, v.as_f64()?);
                         *count += 1;
                     }
                 }
@@ -251,10 +276,11 @@ impl AggSet {
             match (st, o) {
                 (AggState::Count(a), AggState::Count(b)) => *a += b,
                 (
-                    AggState::Sum { sum: a, non_null: an },
-                    AggState::Sum { sum: b, non_null: bn },
+                    AggState::Sum { sum: a, comp: ac, non_null: an },
+                    AggState::Sum { sum: b, comp: bc, non_null: bn },
                 ) => {
-                    *a += b;
+                    kahan_add(a, ac, *b);
+                    *ac += bc;
                     *an += bn;
                 }
                 (AggState::Min(a), AggState::Min(b)) => {
@@ -271,8 +297,12 @@ impl AggSet {
                         }
                     }
                 }
-                (AggState::Avg { sum: a, count: an }, AggState::Avg { sum: b, count: bn }) => {
-                    *a += b;
+                (
+                    AggState::Avg { sum: a, comp: ac, count: an },
+                    AggState::Avg { sum: b, comp: bc, count: bn },
+                ) => {
+                    kahan_add(a, ac, *b);
+                    *ac += bc;
                     *an += bn;
                 }
                 (AggState::Udf(a), AggState::Udf(b)) => match f {
@@ -292,19 +322,19 @@ impl AggSet {
             .zip(states)
             .map(|(f, st)| match st {
                 AggState::Count(n) => Value::Int(*n as i64),
-                AggState::Sum { sum, non_null } => {
+                AggState::Sum { sum, comp, non_null } => {
                     if *non_null == 0 {
                         Value::Null
                     } else {
-                        Value::Float(*sum)
+                        Value::Float(sum + comp)
                     }
                 }
                 AggState::Min(m) | AggState::Max(m) => m.clone().unwrap_or(Value::Null),
-                AggState::Avg { sum, count } => {
+                AggState::Avg { sum, comp, count } => {
                     if *count == 0 {
                         Value::Null
                     } else {
-                        Value::Float(sum / *count as f64)
+                        Value::Float((sum + comp) / *count as f64)
                     }
                 }
                 AggState::Udf(s) => match f {
@@ -325,9 +355,10 @@ impl AggSet {
                     buf.push(0);
                     codec::put_u64(&mut buf, *n);
                 }
-                AggState::Sum { sum, non_null } => {
+                AggState::Sum { sum, comp, non_null } => {
                     buf.push(1);
                     codec::put_f64(&mut buf, *sum);
+                    codec::put_f64(&mut buf, *comp);
                     codec::put_u64(&mut buf, *non_null);
                 }
                 AggState::Min(m) => {
@@ -338,9 +369,10 @@ impl AggSet {
                     buf.push(3);
                     codec::put_value(&mut buf, &m.clone().unwrap_or(Value::Null));
                 }
-                AggState::Avg { sum, count } => {
+                AggState::Avg { sum, comp, count } => {
                     buf.push(4);
                     codec::put_f64(&mut buf, *sum);
+                    codec::put_f64(&mut buf, *comp);
                     codec::put_u64(&mut buf, *count);
                 }
                 AggState::Udf(s) => {
@@ -372,12 +404,14 @@ impl AggSet {
                 0 => AggState::Count(dec.u64()?),
                 1 => AggState::Sum {
                     sum: dec.f64()?,
+                    comp: dec.f64()?,
                     non_null: dec.u64()?,
                 },
                 2 => AggState::Min(none_if_null(codec::get_value(&mut dec)?)),
                 3 => AggState::Max(none_if_null(codec::get_value(&mut dec)?)),
                 4 => AggState::Avg {
                     sum: dec.f64()?,
+                    comp: dec.f64()?,
                     count: dec.u64()?,
                 },
                 5 => {
@@ -528,6 +562,51 @@ mod tests {
         let two = AggSet::bind(&[AggFunc::Count, AggFunc::Count], &s).unwrap();
         let bytes = AggSet::encode_states(&two.new_states());
         assert!(set.decode_states(&bytes).is_err());
+    }
+
+    #[test]
+    fn compensated_sum_survives_catastrophic_cancellation() {
+        // A naive fold of [1e16, 1.0, -1e16] loses the 1.0 entirely
+        // (1e16 + 1.0 == 1e16 in f64); Neumaier keeps it in the error
+        // term. Exercised through update, merge, and the UDF path.
+        let s = Schema::from_pairs(&[("id", ValueType::Int), ("power", ValueType::Float)]);
+        let set = AggSet::bind(
+            &[AggFunc::Sum("power".into()), AggFunc::Avg("power".into())],
+            &s,
+        )
+        .unwrap();
+        let vals = [1e16, 1.0, -1e16];
+        let mut full = set.new_states();
+        for v in vals {
+            set.update(&mut full, &vec![Value::Int(0), Value::Float(v)], &s)
+                .unwrap();
+        }
+        let out = set.finalize(&full);
+        assert_eq!(out[0], Value::Float(1.0));
+        assert_eq!(out[1], Value::Float(1.0 / 3.0));
+
+        // One-row partials merged pairwise reach the same answer.
+        let mut acc = set.new_states();
+        for v in vals {
+            let mut part = set.new_states();
+            set.update(&mut part, &vec![Value::Int(0), Value::Float(v)], &s)
+                .unwrap();
+            set.merge(&mut acc, &part).unwrap();
+        }
+        assert_eq!(set.finalize(&acc), out);
+
+        // The sum-product UDF compensates too (b == 1.0 ⇒ plain sum).
+        let s2 = Schema::from_pairs(&[("a", ValueType::Float), ("b", ValueType::Float)]);
+        let udf = SumProductUdf {
+            a: "a".into(),
+            b: "b".into(),
+        };
+        let mut st = udf.init();
+        for v in vals {
+            udf.update(&mut st, &vec![Value::Float(v), Value::Float(1.0)], &s2)
+                .unwrap();
+        }
+        assert_eq!(udf.finalize(&st), Value::Float(1.0));
     }
 
     #[test]

@@ -48,7 +48,7 @@ fn main() -> dgfindex::common::Result<()> {
     let index = Arc::new(index);
     println!(
         "day 1 indexed: {} GFUs",
-        index.gfu_count()
+        index.gfu_count()?
     );
 
     // Ingest the remaining days one at a time — each append is a small
@@ -74,7 +74,7 @@ fn main() -> dgfindex::common::Result<()> {
                 "after day {:>2}: {} GFUs ({:?} to extend), full-history count = {} \
                  (expected {}), sum = {}, records actually read: {}",
                 day + 1,
-                index.gfu_count(),
+                index.gfu_count()?,
                 report.build_time,
                 vals[0],
                 per_day * (day + 1),
