@@ -20,6 +20,7 @@
 
 #![warn(missing_docs)]
 
+pub mod columnar;
 pub mod experiments;
 pub mod meter_lab;
 pub mod readpath;

@@ -127,11 +127,11 @@ impl<'a> Decoder<'a> {
 // Value codec: rows inside binary row groups and aggregate headers.
 // ---------------------------------------------------------------------------
 
-const TAG_NULL: u8 = 0;
-const TAG_INT: u8 = 1;
-const TAG_FLOAT: u8 = 2;
-const TAG_STR: u8 = 3;
-const TAG_DATE: u8 = 4;
+pub(crate) const TAG_NULL: u8 = 0;
+pub(crate) const TAG_INT: u8 = 1;
+pub(crate) const TAG_FLOAT: u8 = 2;
+pub(crate) const TAG_STR: u8 = 3;
+pub(crate) const TAG_DATE: u8 = 4;
 
 /// Append a tagged [`Value`].
 pub fn put_value(buf: &mut Vec<u8>, v: &Value) {

@@ -36,6 +36,7 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod codec;
 pub mod error;
 pub mod fault;
@@ -45,11 +46,14 @@ pub mod stats;
 pub mod tempdir;
 pub mod value;
 
+pub use batch::{Column, ColumnBatch, ColumnData, NullMask, Selection};
 pub use error::{DgfError, Result};
 pub use fault::{FaultConfig, FaultPlan, RetryPolicy, TransientFault};
 pub use obs::{MetricsRegistry, ProfileNode, Profiler, QueryProfile, SpanGuard, TraceFilter};
 pub use schema::{format_row, parse_row, Field, Row, Schema, SchemaRef, FIELD_DELIM};
-pub use stats::{Counter, IoSnapshot, IoStats, IoStatsRef, Stopwatch};
+pub use stats::{
+    Counter, IoSnapshot, IoStats, IoStatsRef, ScanSnapshot, ScanStats, ScanStatsRef, Stopwatch,
+};
 pub use tempdir::TempDir;
 pub use value::{format_date, parse_date, Value, ValueType};
 

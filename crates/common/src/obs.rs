@@ -145,6 +145,30 @@ pub mod names {
     /// Rows those replayed batches held (`IngestStats::replayed_rows`).
     pub const INGEST_REPLAYED_ROWS: &str = "ingest.replayed_rows";
 
+    /// Row-group batches decoded by the columnar scan path
+    /// (`ScanStats::batches`).
+    pub const SCAN_BATCHES: &str = "scan.batches";
+    /// Rows decoded into batches, post row-filter
+    /// (`ScanStats::rows_decoded`).
+    pub const SCAN_ROWS_DECODED: &str = "scan.rows_decoded";
+    /// Rows surviving the predicate kernel (`ScanStats::rows_selected`).
+    pub const SCAN_ROWS_SELECTED: &str = "scan.rows_selected";
+    /// Microseconds spent decoding groups, summed across parallel map
+    /// tasks (`ScanStats::decode_us`).
+    pub const SCAN_DECODE_US: &str = "scan.decode_us";
+    /// Microseconds spent in predicate/aggregate kernels, summed
+    /// (`ScanStats::kernel_us`).
+    pub const SCAN_KERNEL_US: &str = "scan.kernel_us";
+    /// Times a scan blocked waiting on the group prefetcher
+    /// (`ScanStats::prefetch_waits`).
+    pub const SCAN_PREFETCH_WAITS: &str = "scan.prefetch_waits";
+    /// Microseconds scans spent blocked on the prefetcher
+    /// (`ScanStats::prefetch_wait_us`).
+    pub const SCAN_PREFETCH_WAIT_US: &str = "scan.prefetch_wait_us";
+    /// Rows pushed through the row-at-a-time fallback path
+    /// (`ScanStats::rowwise_rows`).
+    pub const SCAN_ROWWISE_ROWS: &str = "scan.rowwise_rows";
+
     /// Pages read by the hadoopdb chunk reader (`ChunkStats::pages_read`).
     pub const HADOOPDB_PAGES_READ: &str = "hadoopdb.pages_read";
     /// Rows read by the hadoopdb chunk reader (`ChunkStats::rows_read`).

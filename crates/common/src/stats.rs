@@ -133,6 +133,108 @@ impl fmt::Display for IoSnapshot {
     }
 }
 
+/// Columnar scan accounting shared by the batch read path (DESIGN.md §12).
+///
+/// One `ScanStats` is owned by a `HiveContext` and charged from every map
+/// task of every scan, the same snapshot/delta pattern as [`IoStats`]: the
+/// batch decoder counts groups and rows, the kernels count selected rows,
+/// and the prefetcher counts how often the consumer blocked waiting for
+/// I/O. Busy times are recorded in microseconds because map tasks run in
+/// parallel — their summed busy time is meaningful, their wall time is not.
+#[derive(Debug, Default)]
+pub struct ScanStats {
+    /// Row-group batches decoded.
+    pub batches: Counter,
+    /// Rows decoded into batches (post row-filter).
+    pub rows_decoded: Counter,
+    /// Rows surviving the predicate kernel.
+    pub rows_selected: Counter,
+    /// Microseconds spent decoding groups into batches (summed across tasks).
+    pub decode_us: Counter,
+    /// Microseconds spent in predicate + aggregate kernels (summed).
+    pub kernel_us: Counter,
+    /// Times a consumer blocked on the prefetch channel.
+    pub prefetch_waits: Counter,
+    /// Microseconds consumers spent blocked on prefetched groups.
+    pub prefetch_wait_us: Counter,
+    /// Rows pushed through the row-at-a-time fallback path.
+    pub rowwise_rows: Counter,
+}
+
+/// Shared handle to [`ScanStats`].
+pub type ScanStatsRef = Arc<ScanStats>;
+
+impl ScanStats {
+    /// A fresh zeroed stats block behind an `Arc`.
+    pub fn new_ref() -> ScanStatsRef {
+        Arc::new(ScanStats::default())
+    }
+
+    /// A point-in-time copy of all counters.
+    pub fn snapshot(&self) -> ScanSnapshot {
+        ScanSnapshot {
+            batches: self.batches.get(),
+            rows_decoded: self.rows_decoded.get(),
+            rows_selected: self.rows_selected.get(),
+            decode_us: self.decode_us.get(),
+            kernel_us: self.kernel_us.get(),
+            prefetch_waits: self.prefetch_waits.get(),
+            prefetch_wait_us: self.prefetch_wait_us.get(),
+            rowwise_rows: self.rowwise_rows.get(),
+        }
+    }
+}
+
+/// A copyable snapshot of [`ScanStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScanSnapshot {
+    /// Row-group batches decoded.
+    pub batches: u64,
+    /// Rows decoded into batches (post row-filter).
+    pub rows_decoded: u64,
+    /// Rows surviving the predicate kernel.
+    pub rows_selected: u64,
+    /// Microseconds spent decoding groups into batches.
+    pub decode_us: u64,
+    /// Microseconds spent in predicate + aggregate kernels.
+    pub kernel_us: u64,
+    /// Times a consumer blocked on the prefetch channel.
+    pub prefetch_waits: u64,
+    /// Microseconds consumers spent blocked on prefetched groups.
+    pub prefetch_wait_us: u64,
+    /// Rows pushed through the row-at-a-time fallback path.
+    pub rowwise_rows: u64,
+}
+
+impl ScanSnapshot {
+    /// Counter deltas `self - earlier` (saturating).
+    pub fn since(&self, earlier: &ScanSnapshot) -> ScanSnapshot {
+        ScanSnapshot {
+            batches: self.batches.saturating_sub(earlier.batches),
+            rows_decoded: self.rows_decoded.saturating_sub(earlier.rows_decoded),
+            rows_selected: self.rows_selected.saturating_sub(earlier.rows_selected),
+            decode_us: self.decode_us.saturating_sub(earlier.decode_us),
+            kernel_us: self.kernel_us.saturating_sub(earlier.kernel_us),
+            prefetch_waits: self.prefetch_waits.saturating_sub(earlier.prefetch_waits),
+            prefetch_wait_us: self.prefetch_wait_us.saturating_sub(earlier.prefetch_wait_us),
+            rowwise_rows: self.rowwise_rows.saturating_sub(earlier.rowwise_rows),
+        }
+    }
+
+    /// Record into a [`crate::MetricsRegistry`] under the `scan.*` names.
+    pub fn record_into(&self, reg: &crate::obs::MetricsRegistry) {
+        use crate::obs::names;
+        reg.add(names::SCAN_BATCHES, self.batches);
+        reg.add(names::SCAN_ROWS_DECODED, self.rows_decoded);
+        reg.add(names::SCAN_ROWS_SELECTED, self.rows_selected);
+        reg.add(names::SCAN_DECODE_US, self.decode_us);
+        reg.add(names::SCAN_KERNEL_US, self.kernel_us);
+        reg.add(names::SCAN_PREFETCH_WAITS, self.prefetch_waits);
+        reg.add(names::SCAN_PREFETCH_WAIT_US, self.prefetch_wait_us);
+        reg.add(names::SCAN_ROWWISE_ROWS, self.rowwise_rows);
+    }
+}
+
 /// Wall-clock stopwatch for benchmark phases.
 #[derive(Debug, Clone, Copy)]
 pub struct Stopwatch {

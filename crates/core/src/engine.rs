@@ -92,6 +92,7 @@ impl Engine for DgfEngine {
         }
         let ctx = &self.index.ctx;
         let before = ctx.hdfs.stats().snapshot();
+        let scan_before = ctx.scan_stats.snapshot();
         let watch = Stopwatch::start();
 
         // Boundary region: scan the query-related Slices only. The full
@@ -122,8 +123,10 @@ impl Engine for DgfEngine {
             }
         }
         let result = sink.finish();
+        let scan_delta = ctx.scan_stats.snapshot().since(&scan_before);
         // The storage layer attributes its I/O to the scan stage.
         ctx.hdfs.attach_io_to_span(&scan_span, &before);
+        dgf_hive::attach_scan_to_span(&scan_span, &scan_delta);
         scan_span.finish();
         root.finish();
         let delta = ctx.hdfs.stats().snapshot().since(&before);
@@ -145,6 +148,7 @@ impl Engine for DgfEngine {
                 // Planning-time KV retries plus data-phase file retries.
                 retries_absorbed: plan.retries_absorbed + delta.retries,
                 profile,
+                scan: scan_delta,
             },
         })
     }

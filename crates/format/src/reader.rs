@@ -9,6 +9,22 @@ use dgf_common::{Result, Row};
 pub trait RecordReader {
     /// The next record, or `None` when the reader's range is exhausted.
     fn next_row(&mut self) -> Result<Option<Row>>;
+
+    /// Read the next record into `row`, reusing its allocation; returns
+    /// `false` when the reader is exhausted (`row` is left unspecified).
+    ///
+    /// The default just forwards to [`Self::next_row`]; readers that decode
+    /// into columnar batches override it to refill the scratch row in place,
+    /// which keeps the row-at-a-time scan loop allocation-free per record.
+    fn next_row_into(&mut self, row: &mut Row) -> Result<bool> {
+        match self.next_row()? {
+            Some(r) => {
+                *row = r;
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
 }
 
 /// A byte range of one file that a skipping reader should materialize.

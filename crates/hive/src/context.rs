@@ -10,10 +10,34 @@ use std::sync::Arc;
 
 use parking_lot::RwLock;
 
+use dgf_common::stats::{ScanStats, ScanStatsRef};
 use dgf_common::{DgfError, Result, Row, SchemaRef};
 use dgf_format::{collect_rows, FileFormat, RcReader, RcWriter, TextReader, TextWriter};
 use dgf_mapreduce::MrEngine;
 use dgf_storage::{FileSplit, HdfsRef};
+
+/// Execution knobs for the scan path (DESIGN.md §12).
+///
+/// Both default to on; tests and benchmarks flip them to compare the
+/// vectorized path against the row-at-a-time oracle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScanOptions {
+    /// Drive RCFile scans through decoded [`dgf_common::ColumnBatch`]es
+    /// and slice kernels instead of row-at-a-time iteration.
+    pub columnar: bool,
+    /// Fetch row groups through a background double-buffer thread so
+    /// decoding group *N* overlaps reading group *N+1*.
+    pub prefetch: bool,
+}
+
+impl Default for ScanOptions {
+    fn default() -> Self {
+        ScanOptions {
+            columnar: true,
+            prefetch: true,
+        }
+    }
+}
 
 /// Descriptor of one table.
 #[derive(Debug, Clone)]
@@ -39,6 +63,10 @@ pub struct HiveContext {
     pub hdfs: HdfsRef,
     /// The MapReduce engine queries and index builds run on.
     pub engine: MrEngine,
+    /// Lifetime-global columnar scan accounting. Engines snapshot before
+    /// a run and diff after, exactly like [`HdfsRef::stats`] I/O counters.
+    pub scan_stats: ScanStatsRef,
+    scan_options: RwLock<ScanOptions>,
     tables: RwLock<HashMap<String, TableRef>>,
 }
 
@@ -48,8 +76,20 @@ impl HiveContext {
         Arc::new(HiveContext {
             hdfs,
             engine,
+            scan_stats: ScanStats::new_ref(),
+            scan_options: RwLock::new(ScanOptions::default()),
             tables: RwLock::new(HashMap::new()),
         })
+    }
+
+    /// The current scan execution knobs.
+    pub fn scan_options(&self) -> ScanOptions {
+        *self.scan_options.read()
+    }
+
+    /// Replace the scan execution knobs (affects subsequent queries).
+    pub fn set_scan_options(&self, options: ScanOptions) {
+        *self.scan_options.write() = options;
     }
 
     /// Register a new table at `/warehouse/<name>`.

@@ -34,8 +34,10 @@ pub mod scan;
 pub use aggidx::{AggregateIndex, AggregateIndexEngine};
 pub use bitmapidx::{BitmapEngine, BitmapIndex};
 pub use compact::{CompactEngine, CompactIndex, CompactPlan};
-pub use context::{HiveContext, TableDesc, TableRef};
+pub use context::{HiveContext, ScanOptions, TableDesc, TableRef};
 pub use catalog::{IndexEntry, CATALOG_PATH};
 pub use index_common::BuildReport;
 pub use partition::{PartitionEngine, PartitionedTable};
-pub use scan::{execute, execute_sink, open_input, ScanEngine, ScanInput};
+pub use scan::{
+    attach_scan_to_span, execute, execute_sink, open_input, ScanEngine, ScanInput,
+};

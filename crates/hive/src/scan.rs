@@ -10,9 +10,11 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use dgf_common::obs::{names, SpanGuard};
+use dgf_common::stats::ScanSnapshot;
 use dgf_common::{Result, Row};
 use dgf_format::{Bitmap, ByteRange, FileFormat, RcReader, RecordReader, SkippingTextReader, TextReader};
-use dgf_query::{Engine, EngineRun, Query, QueryResult, RowSink, RunStats};
+use dgf_query::{AggFunc, Engine, EngineRun, Query, QueryResult, RowSink, RunStats};
 use dgf_storage::FileSplit;
 
 use crate::context::{HiveContext, TableDesc, TableRef};
@@ -122,19 +124,52 @@ pub fn execute_sink(
         _ => None,
     };
     let bound = query.predicate().bind(&table.schema)?;
+    let options = ctx.scan_options();
+    let columnar = options.columnar && table.format == FileFormat::RcFile;
+    let projection = if columnar {
+        columnar_projection(query, table)?
+    } else {
+        None
+    };
 
-    let job = ctx.engine.map_only(inputs, &|_, input: ScanInput| {
-        let mut reader = open_input(ctx, table, &input)?;
-        let mut sink = RowSink::new(
-            query,
-            &table.schema,
-            right_rows.as_ref().map(|(s, r)| (&**s, r.as_slice())),
-        )?;
-        while let Some(row) = reader.next_row()? {
-            sink.push_if(&row, &bound)?;
-        }
-        Ok(sink)
-    })?;
+    let job = ctx.engine.map_only_with(
+        inputs,
+        &Row::new,
+        &|_, input: ScanInput, scratch: &mut Row| {
+            let mut sink = RowSink::new(
+                query,
+                &table.schema,
+                right_rows.as_ref().map(|(s, r)| (&**s, r.as_slice())),
+            )?;
+            if columnar {
+                if let Some(mut reader) =
+                    open_rc_batched(ctx, table, &input, projection.as_deref(), options.prefetch)?
+                {
+                    while let Some(batch) = reader.next_batch()? {
+                        let kernel = std::time::Instant::now();
+                        let sel = bound.select(&batch);
+                        ctx.scan_stats.rows_selected.add(sel.len() as u64);
+                        sink.push_batch(&batch, &sel)?;
+                        ctx.scan_stats
+                            .kernel_us
+                            .add(kernel.elapsed().as_micros() as u64);
+                    }
+                    return Ok(sink);
+                }
+            }
+            // Row-at-a-time fallback (text formats, or columnar disabled):
+            // the reader refills the per-worker scratch row in place, so the
+            // hot loop allocates nothing per record.
+            let mut reader = open_input(ctx, table, &input)?;
+            let mut rows = 0u64;
+            while reader.next_row_into(scratch)? {
+                rows += 1;
+                sink.push_if(scratch, &bound)?;
+            }
+            ctx.scan_stats.rowwise_rows.add(rows);
+            Ok(sink)
+        },
+    )?;
 
     let mut sinks = job.outputs.into_iter();
     let mut total = match sinks.next() {
@@ -149,6 +184,127 @@ pub fn execute_sink(
         total.merge(s)?;
     }
     Ok(total)
+}
+
+/// The column indexes a columnar scan must decode for `query`: predicate
+/// columns plus whatever the sink reads. `None` means decode everything
+/// (unconstrained SELECT, or a UDF aggregate that may read any column).
+fn columnar_projection(query: &Query, table: &TableDesc) -> Result<Option<Vec<usize>>> {
+    let mut cols: Vec<usize> = Vec::new();
+    for c in query.predicate().columns() {
+        cols.push(table.schema.index_of(c)?);
+    }
+    let mut add_aggs = |aggs: &[AggFunc]| -> Result<bool> {
+        for a in aggs {
+            match a {
+                AggFunc::Count => {}
+                AggFunc::Sum(c) | AggFunc::Min(c) | AggFunc::Max(c) | AggFunc::Avg(c) => {
+                    cols.push(table.schema.index_of(c)?);
+                }
+                // A UDF reads whole rows; decode every column.
+                AggFunc::Udf(_) => return Ok(false),
+            }
+        }
+        Ok(true)
+    };
+    match query {
+        Query::Aggregate { aggs, .. } => {
+            if !add_aggs(aggs)? {
+                return Ok(None);
+            }
+        }
+        Query::GroupBy { key, aggs, .. } => {
+            if !add_aggs(aggs)? {
+                return Ok(None);
+            }
+            cols.push(table.schema.index_of(key)?);
+        }
+        Query::Join {
+            left_key,
+            left_project,
+            ..
+        } => {
+            cols.push(table.schema.index_of(left_key)?);
+            for c in left_project {
+                cols.push(table.schema.index_of(c)?);
+            }
+        }
+        Query::Select { project, .. } => {
+            if project.is_empty() {
+                return Ok(None);
+            }
+            for c in project {
+                cols.push(table.schema.index_of(c)?);
+            }
+        }
+    }
+    cols.sort_unstable();
+    cols.dedup();
+    Ok(Some(cols))
+}
+
+/// Open `input` as a batched [`RcReader`], or `None` when the input is not
+/// RCFile-backed and must go through the row-at-a-time path.
+fn open_rc_batched(
+    ctx: &HiveContext,
+    table: &TableDesc,
+    input: &ScanInput,
+    projection: Option<&[usize]>,
+    prefetch: bool,
+) -> Result<Option<RcReader>> {
+    let reader = match input {
+        ScanInput::FullSplit(split) => match table.format {
+            FileFormat::RcFile => RcReader::open(&ctx.hdfs, table.schema.clone(), split)?,
+            FileFormat::Text => return Ok(None),
+        },
+        ScanInput::TextRanges { .. } => return Ok(None),
+        ScanInput::RcFiltered { split, row_filter } => {
+            RcReader::open(&ctx.hdfs, table.schema.clone(), split)?
+                .with_row_filter(row_filter.clone())
+        }
+        ScanInput::RcRanges { path, ranges } => {
+            let len = ctx.hdfs.file_len(path)?;
+            let whole = FileSplit::new(path.clone(), 0, len);
+            RcReader::open(&ctx.hdfs, table.schema.clone(), &whole)?.with_group_ranges(ranges)
+        }
+    };
+    let mut reader = reader.with_scan_stats(ctx.scan_stats.clone());
+    if prefetch {
+        reader = reader.with_prefetch();
+    }
+    if let Some(p) = projection {
+        reader = reader.with_projection(p.to_vec());
+    }
+    Ok(Some(reader))
+}
+
+/// Attach a columnar-scan delta to a profile span as `scan.decode` /
+/// `scan.kernel` / `scan.prefetch_wait` children plus metrics, so
+/// `dgf profile` reconciles kernel work against batch counts. Engines call
+/// this on their `query.scan` span with the delta of
+/// [`HiveContext::scan_stats`] across the run.
+pub fn attach_scan_to_span(span: &SpanGuard, delta: &ScanSnapshot) {
+    if delta.rowwise_rows > 0 {
+        span.add(names::SCAN_ROWWISE_ROWS, delta.rowwise_rows);
+    }
+    if delta.batches == 0 {
+        return;
+    }
+    let decode = span.child("scan.decode");
+    decode.add(names::SCAN_BATCHES, delta.batches);
+    decode.add(names::SCAN_ROWS_DECODED, delta.rows_decoded);
+    decode.add(names::SCAN_DECODE_US, delta.decode_us);
+    decode.finish();
+    let kernel = span.child("scan.kernel");
+    kernel.add(names::SCAN_ROWS_SELECTED, delta.rows_selected);
+    kernel.add(names::SCAN_KERNEL_US, delta.kernel_us);
+    kernel.finish();
+    if delta.prefetch_waits > 0 {
+        let wait = span.child("scan.prefetch_wait");
+        wait.add(names::SCAN_PREFETCH_WAITS, delta.prefetch_waits);
+        wait.add(names::SCAN_PREFETCH_WAIT_US, delta.prefetch_wait_us);
+        wait.finish();
+    }
 }
 
 /// The full-table-scan baseline (the paper's "ScanTable-based" style).
@@ -193,6 +349,7 @@ impl Engine for ScanEngine {
     fn run(&self, query: &Query) -> Result<EngineRun> {
         let stats_block = self.ctx.hdfs.stats();
         let before = stats_block.snapshot();
+        let scan_before = self.ctx.scan_stats.snapshot();
         let prof = self.profiler.fork();
         let root = prof.span("query");
         let watch = dgf_common::Stopwatch::start();
@@ -207,7 +364,9 @@ impl Engine for ScanEngine {
             self.right.as_deref(),
             inputs,
         )?;
+        let scan_delta = self.ctx.scan_stats.snapshot().since(&scan_before);
         self.ctx.hdfs.attach_io_to_span(&scan_span, &before);
+        attach_scan_to_span(&scan_span, &scan_delta);
         scan_span.finish();
         root.finish();
         let delta = stats_block.snapshot().since(&before);
@@ -220,6 +379,7 @@ impl Engine for ScanEngine {
                 splits_total: n_splits,
                 splits_read: n_splits,
                 profile: prof.take_profile(),
+                scan: scan_delta,
                 ..RunStats::default()
             },
         })

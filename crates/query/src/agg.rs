@@ -11,9 +11,11 @@
 //!    [`AggSet::encode_states`]),
 //! 3. combining inner-region headers with boundary-region scan results.
 
+use std::cmp::Ordering;
 use std::fmt;
 use std::sync::Arc;
 
+use dgf_common::batch::{Column, ColumnBatch, ColumnData, Selection};
 use dgf_common::codec::{self, Decoder};
 use dgf_common::{DgfError, Result, Row, Schema, Value};
 
@@ -146,6 +148,158 @@ fn kahan_add(sum: &mut f64, comp: &mut f64, x: f64) {
     *sum = t;
 }
 
+/// SUM/AVG kernel: compensated fold of a column's selected non-null cells,
+/// in ascending row order — the same values through the same [`kahan_add`]
+/// steps as the row path, hence bit-identical.
+fn fold_sum(
+    col: &Column,
+    sel: &Selection,
+    sum: &mut f64,
+    comp: &mut f64,
+    n: &mut u64,
+) -> Result<()> {
+    match &col.data {
+        ColumnData::Float(v) => {
+            if col.nulls.any_nulls() {
+                for i in sel.iter() {
+                    if !col.nulls.is_null(i) {
+                        kahan_add(sum, comp, v[i]);
+                        *n += 1;
+                    }
+                }
+            } else {
+                match sel {
+                    Selection::All(len) => {
+                        for &x in &v[..*len] {
+                            kahan_add(sum, comp, x);
+                        }
+                    }
+                    Selection::Rows(rows) => {
+                        for &i in rows {
+                            kahan_add(sum, comp, v[i as usize]);
+                        }
+                    }
+                }
+                *n += sel.len() as u64;
+            }
+        }
+        ColumnData::Int(v) | ColumnData::Date(v) => {
+            if col.nulls.any_nulls() {
+                for i in sel.iter() {
+                    if !col.nulls.is_null(i) {
+                        kahan_add(sum, comp, v[i] as f64);
+                        *n += 1;
+                    }
+                }
+            } else {
+                match sel {
+                    Selection::All(len) => {
+                        for &x in &v[..*len] {
+                            kahan_add(sum, comp, x as f64);
+                        }
+                    }
+                    Selection::Rows(rows) => {
+                        for &i in rows {
+                            kahan_add(sum, comp, v[i as usize] as f64);
+                        }
+                    }
+                }
+                *n += sel.len() as u64;
+            }
+        }
+        // An unprojected column reads as Null in the row path: nothing to
+        // fold (and nothing the row path would have errored on).
+        ColumnData::Skipped => {}
+        // Strings and mixed-type columns go through `as_f64` so non-numeric
+        // cells produce exactly the row path's error.
+        ColumnData::Str(_) | ColumnData::Values(_) => {
+            for i in sel.iter() {
+                let v = col.value_at(i);
+                if !v.is_null() {
+                    kahan_add(sum, comp, v.as_f64()?);
+                    *n += 1;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Index of the best (per `want`) selected non-null cell, first-wins on
+/// ties — the tie-break the evolving row-path fold has.
+fn best_index<T, F>(col: &Column, sel: &Selection, v: &[T], cmp: F, want: Ordering) -> Option<usize>
+where
+    F: Fn(&T, &T) -> Ordering,
+{
+    let mut best: Option<usize> = None;
+    for i in sel.iter() {
+        if col.nulls.is_null(i) {
+            continue;
+        }
+        match best {
+            None => best = Some(i),
+            Some(b) if cmp(&v[i], &v[b]) == want => best = Some(i),
+            _ => {}
+        }
+    }
+    best
+}
+
+/// MIN/MAX kernel: pick the column's best selected cell with native
+/// comparisons, then merge it into the running state under `Value`
+/// ordering. Native and `Value` orderings agree within a typed column, and
+/// min/max folds are associative over a total order, so the result is the
+/// value the row path would hold.
+fn fold_extreme(col: &Column, sel: &Selection, m: &mut Option<Value>, want: Ordering) {
+    let best: Option<Value> = match &col.data {
+        ColumnData::Int(v) => {
+            best_index(col, sel, v, |a, b| a.cmp(b), want).map(|i| Value::Int(v[i]))
+        }
+        ColumnData::Date(v) => {
+            best_index(col, sel, v, |a, b| a.cmp(b), want).map(|i| Value::Date(v[i]))
+        }
+        ColumnData::Float(v) => best_index(
+            col,
+            sel,
+            v,
+            // NaN is rejected at construction, so this is a total order.
+            |a, b| a.partial_cmp(b).unwrap_or(Ordering::Equal),
+            want,
+        )
+        .map(|i| Value::Float(v[i])),
+        ColumnData::Str(v) => {
+            best_index(col, sel, v, |a: &String, b| a.cmp(b), want).map(|i| Value::Str(v[i].clone()))
+        }
+        ColumnData::Values(vals) => {
+            // Mixed-type column: replay the row path's evolving fold under
+            // `Value` ordering directly.
+            let mut best: Option<&Value> = None;
+            for i in sel.iter() {
+                let x = &vals[i];
+                if col.nulls.is_null(i) || x.is_null() {
+                    continue;
+                }
+                match best {
+                    None => best = Some(x),
+                    Some(b) if x.cmp_value(b) == want => best = Some(x),
+                    _ => {}
+                }
+            }
+            best.cloned()
+        }
+        ColumnData::Skipped => None,
+    };
+    if let Some(v) = best {
+        let replace = match m {
+            None => true,
+            Some(cur) => v.cmp_value(cur) == want,
+        };
+        if replace {
+            *m = Some(v);
+        }
+    }
+}
+
 /// A mergeable partial aggregation state.
 #[derive(Debug, Clone, PartialEq)]
 pub enum AggState {
@@ -264,6 +418,50 @@ impl AggSet {
                     }
                 }
                 (AggFunc::Udf(u), AggState::Udf(s)) => u.update(s, row, schema)?,
+                _ => return Err(DgfError::Query("agg state/function mismatch".into())),
+            }
+        }
+        Ok(())
+    }
+
+    /// Fold every selected row of a batch into the states — the vectorized
+    /// counterpart of calling [`Self::update`] once per selected row.
+    ///
+    /// Selected rows are folded in ascending row order through the same
+    /// compensated-summation step as the row path, so the resulting states
+    /// are **bit-identical** to a row-at-a-time fold of the same rows.
+    /// UDF aggregates have no slice form; they fold through one reused
+    /// scratch row.
+    pub fn update_batch(
+        &self,
+        states: &mut [AggState],
+        batch: &ColumnBatch,
+        sel: &Selection,
+        schema: &Schema,
+    ) -> Result<()> {
+        let mut scratch: Option<Row> = None;
+        for ((f, col), st) in self.funcs.iter().zip(&self.cols).zip(states.iter_mut()) {
+            match (f, st) {
+                (AggFunc::Count, AggState::Count(n)) => *n += sel.len() as u64,
+                (AggFunc::Sum(_), AggState::Sum { sum, comp, non_null }) => {
+                    fold_sum(batch.column(col.expect("bound")), sel, sum, comp, non_null)?;
+                }
+                (AggFunc::Avg(_), AggState::Avg { sum, comp, count }) => {
+                    fold_sum(batch.column(col.expect("bound")), sel, sum, comp, count)?;
+                }
+                (AggFunc::Min(_), AggState::Min(m)) => {
+                    fold_extreme(batch.column(col.expect("bound")), sel, m, Ordering::Less);
+                }
+                (AggFunc::Max(_), AggState::Max(m)) => {
+                    fold_extreme(batch.column(col.expect("bound")), sel, m, Ordering::Greater);
+                }
+                (AggFunc::Udf(u), AggState::Udf(s)) => {
+                    let row = scratch.get_or_insert_with(Row::new);
+                    for i in sel.iter() {
+                        batch.read_row_into(i, row);
+                        u.update(s, row, schema)?;
+                    }
+                }
                 _ => return Err(DgfError::Query("agg state/function mismatch".into())),
             }
         }

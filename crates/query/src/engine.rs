@@ -10,6 +10,7 @@ use std::time::Duration;
 
 use crate::spec::{Query, QueryResult};
 use dgf_common::obs::{names, MetricsRegistry, QueryProfile};
+use dgf_common::stats::ScanSnapshot;
 use dgf_common::Result;
 
 /// Phase timings and I/O accounting for one query run.
@@ -47,6 +48,11 @@ pub struct RunStats {
     /// `dgf profile` or `DGF_TRACE=…`). Empty — and costing nothing —
     /// otherwise.
     pub profile: QueryProfile,
+    /// Columnar-scan accounting for this run: batches decoded, rows
+    /// selected, kernel/decode busy time and prefetch waits (DESIGN.md
+    /// §12). All-zero for engines or formats on the row-at-a-time path,
+    /// whose row count lands in `scan.rowwise_rows` instead.
+    pub scan: ScanSnapshot,
 }
 
 impl RunStats {
@@ -65,6 +71,7 @@ impl RunStats {
         reg.add(names::CACHE_HEADER_MISSES, self.index_cache_misses);
         reg.add(names::PLAN_SPLITS_TOTAL, self.splits_total);
         reg.add(names::PLAN_SPLITS_READ, self.splits_read);
+        self.scan.record_into(reg);
     }
 }
 

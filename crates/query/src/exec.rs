@@ -9,6 +9,7 @@
 
 use std::collections::BTreeMap;
 
+use dgf_common::batch::{ColumnBatch, Selection};
 use dgf_common::{DgfError, Result, Row, Schema, Value};
 
 use crate::agg::{AggSet, AggState};
@@ -151,6 +152,62 @@ impl RowSink {
             }
             SinkKind::Select { project, out } => {
                 out.push(project.iter().map(|i| row[*i].clone()).collect());
+                Ok(())
+            }
+        }
+    }
+
+    /// Feed every selected row of a batch — the vectorized counterpart of
+    /// calling [`Self::push`] once per selected row.
+    ///
+    /// Aggregation queries run entirely on slice kernels
+    /// ([`AggSet::update_batch`]); the other shapes need per-row structures
+    /// (group keys, join probes, projected output rows) and fold the
+    /// selection through one reused scratch row, which still skips the
+    /// per-record boxing of unselected rows. Results are bit-identical to
+    /// the row path in all shapes.
+    pub fn push_batch(&mut self, batch: &ColumnBatch, sel: &Selection) -> Result<()> {
+        match &mut self.kind {
+            SinkKind::Aggregate { set, states } => {
+                set.update_batch(states, batch, sel, &self.schema)
+            }
+            SinkKind::GroupBy {
+                key_idx,
+                set,
+                groups,
+            } => {
+                let mut scratch = Row::new();
+                for i in sel.iter() {
+                    batch.read_row_into(i, &mut scratch);
+                    let key = scratch[*key_idx].clone();
+                    let states = groups.entry(key).or_insert_with(|| set.new_states());
+                    set.update(states, &scratch, &self.schema)?;
+                }
+                Ok(())
+            }
+            SinkKind::Join {
+                left_key_idx,
+                left_project,
+                build,
+                out,
+            } => {
+                for i in sel.iter() {
+                    let k = batch.value(i, *left_key_idx);
+                    if let Some(matches) = build.get(&k) {
+                        for m in matches {
+                            let mut joined = Vec::with_capacity(m.len() + left_project.len());
+                            joined.extend(m.iter().cloned());
+                            joined.extend(left_project.iter().map(|c| batch.value(i, *c)));
+                            out.push(joined);
+                        }
+                    }
+                }
+                Ok(())
+            }
+            SinkKind::Select { project, out } => {
+                for i in sel.iter() {
+                    out.push(project.iter().map(|c| batch.value(i, *c)).collect());
+                }
                 Ok(())
             }
         }

@@ -7,10 +7,12 @@
 //! consume intervals per dimension, which is what HiveQL's index handlers
 //! extract from the predicate as well.
 
+use std::cmp::Ordering;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::ops::Bound;
 
+use dgf_common::batch::{Column, ColumnBatch, ColumnData, Selection};
 use dgf_common::{DgfError, Result, Row, Schema, Value};
 
 /// An interval condition on one column.
@@ -224,6 +226,107 @@ impl BoundPredicate {
     pub fn arity(&self) -> usize {
         self.terms.len()
     }
+
+    /// Selection-vector kernel: evaluate the predicate over a whole batch.
+    ///
+    /// Each term filters the selection in turn, reading the column's typed
+    /// vector directly instead of materializing a [`Row`] per record. Row
+    /// indexes come out ascending, and every per-cell decision delegates to
+    /// [`ColumnRange::contains`] semantics (via stack-allocated `Value`s for
+    /// primitives and an allocation-free mirror for strings), so the
+    /// surviving set is exactly the set of rows [`Self::matches`] would
+    /// accept — the property the columnar/row-wise equivalence suite pins.
+    pub fn select(&self, batch: &ColumnBatch) -> Selection {
+        let mut sel = Selection::All(batch.len());
+        for (idx, range) in &self.terms {
+            if sel.is_empty() {
+                break;
+            }
+            sel = filter_column(batch.column(*idx), range, &sel);
+        }
+        sel
+    }
+}
+
+/// Keep the selected rows of `col` that satisfy `range`.
+fn filter_column(col: &Column, range: &ColumnRange, sel: &Selection) -> Selection {
+    // The row path sees `Null` for null cells and unprojected columns alike.
+    let null_ok = range.contains(&Value::Null);
+    let mut out: Vec<u32> = Vec::with_capacity(sel.len());
+    let nulls = &col.nulls;
+    match &col.data {
+        ColumnData::Int(v) => out.extend(sel.iter().filter_map(|i| {
+            let ok = if nulls.is_null(i) {
+                null_ok
+            } else {
+                range.contains(&Value::Int(v[i]))
+            };
+            ok.then_some(i as u32)
+        })),
+        ColumnData::Date(v) => out.extend(sel.iter().filter_map(|i| {
+            let ok = if nulls.is_null(i) {
+                null_ok
+            } else {
+                range.contains(&Value::Date(v[i]))
+            };
+            ok.then_some(i as u32)
+        })),
+        ColumnData::Float(v) => out.extend(sel.iter().filter_map(|i| {
+            let ok = if nulls.is_null(i) {
+                null_ok
+            } else {
+                range.contains(&Value::Float(v[i]))
+            };
+            ok.then_some(i as u32)
+        })),
+        ColumnData::Str(v) => out.extend(sel.iter().filter_map(|i| {
+            let ok = if nulls.is_null(i) {
+                null_ok
+            } else {
+                contains_str(range, &v[i])
+            };
+            ok.then_some(i as u32)
+        })),
+        ColumnData::Values(v) => out.extend(sel.iter().filter_map(|i| {
+            let ok = if nulls.is_null(i) {
+                null_ok
+            } else {
+                range.contains(&v[i])
+            };
+            ok.then_some(i as u32)
+        })),
+        ColumnData::Skipped => {
+            if null_ok {
+                return sel.clone();
+            }
+        }
+    }
+    Selection::Rows(out)
+}
+
+/// `range.contains(&Value::Str(s))` without cloning `s` into a `Value`:
+/// mirrors `Value::cmp_value` for a string on the left-hand side.
+fn contains_str(range: &ColumnRange, s: &str) -> bool {
+    let cmp = |b: &Value| -> Ordering {
+        match b {
+            // Null sorts below everything; mixed string/number orders by
+            // type rank, where strings sort above numerics.
+            Value::Null => Ordering::Greater,
+            Value::Str(t) => s.cmp(t.as_str()),
+            Value::Int(_) | Value::Float(_) | Value::Date(_) => Ordering::Greater,
+        }
+    };
+    let lo_ok = match &range.low {
+        Bound::Unbounded => true,
+        Bound::Included(b) => cmp(b) != Ordering::Less,
+        Bound::Excluded(b) => cmp(b) == Ordering::Greater,
+    };
+    let hi_ok = match &range.high {
+        Bound::Unbounded => true,
+        Bound::Included(b) => cmp(b) != Ordering::Greater,
+        Bound::Excluded(b) => cmp(b) == Ordering::Less,
+    };
+    lo_ok && hi_ok
 }
 
 /// Error helper used by engines that require a constrained column.

@@ -1,0 +1,217 @@
+//! Double-buffered frame prefetch: overlap file I/O with decode.
+//!
+//! The RCFile read path is a strict fetch → decode → aggregate loop per row
+//! group; on a cold scan the CPU idles during every fetch. A
+//! [`FramePrefetcher`] moves the fetches onto a background thread that stays
+//! one group ahead of the consumer (bounded by [`PREFETCH_DEPTH`] in-flight
+//! frames, i.e. a double buffer): the consumer decodes group *N* while the
+//! thread reads group *N+1* from `SimHdfs` (DESIGN.md §12).
+//!
+//! The prefetcher is handed the exact offsets the reader would fetch, after
+//! group pruning — it never reads a byte a sequential scan would not, so
+//! I/O accounting (`IoStats::bytes_read`, fault injection, retry counting)
+//! is unchanged; only the timing moves. Dropping the prefetcher joins the
+//! thread, so all I/O is charged before a query's stats snapshot is taken.
+
+use std::io::{Read, Seek, SeekFrom};
+use std::sync::mpsc::{sync_channel, Receiver, TryRecvError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use dgf_common::{DgfError, Result};
+
+use crate::hdfs::HdfsRef;
+
+/// Frames the background thread keeps in flight ahead of the consumer.
+///
+/// Depth 2 is a classic double buffer: one frame being decoded, one being
+/// fetched, one queued — enough to hide fetch latency without holding many
+/// groups in memory.
+pub const PREFETCH_DEPTH: usize = 2;
+
+/// One prefetched frame: the group's file offset and its payload bytes
+/// (the length prefix already consumed).
+pub type Frame = (u64, Vec<u8>);
+
+/// Background reader of length-prefixed frames at known offsets.
+///
+/// Frames are delivered in the order the offsets were given, which is the
+/// order a sequential reader would fetch them — consumers observe the same
+/// byte stream, just earlier.
+pub struct FramePrefetcher {
+    rx: Receiver<Result<Frame>>,
+    handle: Option<JoinHandle<()>>,
+    waits: u64,
+    wait_time: Duration,
+}
+
+impl FramePrefetcher {
+    /// Spawn a prefetch thread reading a `u32` length prefix + payload at
+    /// each of `offsets` in `path`, in order.
+    pub fn spawn(hdfs: &HdfsRef, path: &str, offsets: Vec<u64>) -> Result<FramePrefetcher> {
+        let mut reader = hdfs.open_reader(path)?;
+        let path = path.to_string();
+        let (tx, rx) = sync_channel::<Result<Frame>>(PREFETCH_DEPTH);
+        let handle = std::thread::spawn(move || {
+            for offset in offsets {
+                let frame = read_frame(&mut reader, &path, offset);
+                let failed = frame.is_err();
+                // A send error means the consumer hung up; stop fetching.
+                if tx.send(frame).is_err() || failed {
+                    return;
+                }
+            }
+        });
+        Ok(FramePrefetcher {
+            rx,
+            handle: Some(handle),
+            waits: 0,
+            wait_time: Duration::ZERO,
+        })
+    }
+
+    /// The next frame, or `None` when every offset has been delivered.
+    ///
+    /// Blocks if the background thread has not fetched the frame yet; the
+    /// blocked time is recorded and reported by [`Self::wait_stats`].
+    pub fn next_frame(&mut self) -> Result<Option<Frame>> {
+        match self.rx.try_recv() {
+            Ok(frame) => frame.map(Some),
+            Err(TryRecvError::Disconnected) => Ok(None),
+            Err(TryRecvError::Empty) => {
+                let start = Instant::now();
+                let got = self.rx.recv();
+                self.waits += 1;
+                self.wait_time += start.elapsed();
+                match got {
+                    Ok(frame) => frame.map(Some),
+                    Err(_) => Ok(None),
+                }
+            }
+        }
+    }
+
+    /// How often and for how long [`Self::next`] blocked on the thread.
+    pub fn wait_stats(&self) -> (u64, Duration) {
+        (self.waits, self.wait_time)
+    }
+}
+
+impl Drop for FramePrefetcher {
+    fn drop(&mut self) {
+        // Unblock the thread (its sends start failing), then join it so no
+        // I/O is still in flight after the prefetcher is gone.
+        let (dead_tx, dead_rx) = sync_channel(0);
+        let _ = std::mem::replace(&mut self.rx, dead_rx);
+        drop(dead_tx);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Read one `u32`-length-prefixed frame at `offset`.
+fn read_frame(reader: &mut crate::hdfs::HdfsReader, path: &str, offset: u64) -> Result<Frame> {
+    reader.seek(SeekFrom::Start(offset))?;
+    let mut len_buf = [0u8; 4];
+    reader.read_exact(&mut len_buf)?;
+    let n = u32::from_le_bytes(len_buf) as usize;
+    if offset + 4 + n as u64 > reader.len() {
+        return Err(DgfError::Corrupt(format!(
+            "{path}: frame at {offset} overruns the file"
+        )));
+    }
+    let mut payload = vec![0u8; n];
+    reader.read_exact(&mut payload)?;
+    Ok((offset, payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hdfs::{HdfsConfig, SimHdfs};
+    use dgf_common::TempDir;
+    use std::io::Write as _;
+
+    fn cluster() -> (TempDir, HdfsRef) {
+        let t = TempDir::new("prefetch").unwrap();
+        let h = SimHdfs::new(
+            t.path(),
+            HdfsConfig {
+                block_size: 1024,
+                replication: 1,
+            },
+        )
+        .unwrap();
+        (t, h)
+    }
+
+    fn write_frames(h: &HdfsRef, path: &str, payloads: &[&[u8]]) -> Vec<u64> {
+        let mut w = h.create(path).unwrap();
+        let mut offsets = Vec::new();
+        for p in payloads {
+            offsets.push(w.position());
+            w.write_all(&(p.len() as u32).to_le_bytes()).unwrap();
+            w.write_all(p).unwrap();
+        }
+        w.close().unwrap();
+        offsets
+    }
+
+    #[test]
+    fn frames_arrive_in_offset_order() {
+        let (_t, h) = cluster();
+        let offs = write_frames(&h, "/p/f", &[b"alpha", b"bee", b"c"]);
+        let mut p = FramePrefetcher::spawn(&h, "/p/f", offs.clone()).unwrap();
+        assert_eq!(p.next_frame().unwrap(), Some((offs[0], b"alpha".to_vec())));
+        assert_eq!(p.next_frame().unwrap(), Some((offs[1], b"bee".to_vec())));
+        assert_eq!(p.next_frame().unwrap(), Some((offs[2], b"c".to_vec())));
+        assert_eq!(p.next_frame().unwrap(), None);
+        assert_eq!(p.next_frame().unwrap(), None);
+    }
+
+    #[test]
+    fn skipped_offsets_are_never_fetched() {
+        let (_t, h) = cluster();
+        let offs = write_frames(&h, "/p/f", &[b"aaaaaaaaaa", b"bbbbbbbbbb", b"cccccccccc"]);
+        let before = h.stats().bytes_read.get();
+        let mut p = FramePrefetcher::spawn(&h, "/p/f", vec![offs[1]]).unwrap();
+        assert_eq!(p.next_frame().unwrap(), Some((offs[1], b"bbbbbbbbbb".to_vec())));
+        assert_eq!(p.next_frame().unwrap(), None);
+        drop(p);
+        let read = h.stats().bytes_read.get() - before;
+        assert_eq!(read, 14, "exactly one frame (4-byte prefix + 10 bytes)");
+    }
+
+    #[test]
+    fn drop_midway_joins_cleanly() {
+        let (_t, h) = cluster();
+        let offs = write_frames(&h, "/p/f", &[b"one", b"two", b"three", b"four", b"five"]);
+        let mut p = FramePrefetcher::spawn(&h, "/p/f", offs).unwrap();
+        let _ = p.next_frame().unwrap();
+        drop(p); // must not hang or panic with frames still queued
+    }
+
+    #[test]
+    fn corrupt_frame_surfaces_as_error() {
+        let (_t, h) = cluster();
+        let mut w = h.create("/p/bad").unwrap();
+        w.write_all(&1000u32.to_le_bytes()).unwrap(); // length overruns file
+        w.write_all(b"short").unwrap();
+        w.close().unwrap();
+        let mut p = FramePrefetcher::spawn(&h, "/p/bad", vec![0]).unwrap();
+        assert!(p.next_frame().is_err());
+    }
+
+    #[test]
+    fn wait_stats_count_blocking() {
+        let (_t, h) = cluster();
+        let offs = write_frames(&h, "/p/f", &[b"x"]);
+        let mut p = FramePrefetcher::spawn(&h, "/p/f", offs).unwrap();
+        while p.next_frame().unwrap().is_some() {}
+        let (waits, time) = p.wait_stats();
+        // Whether the consumer blocked is timing-dependent; the invariant
+        // is just that the accounting is self-consistent.
+        assert!(waits > 0 || time == Duration::ZERO);
+    }
+}

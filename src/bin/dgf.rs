@@ -412,6 +412,23 @@ fn dispatch(args: &[String]) -> Result<()> {
                 return Ok(());
             }
             print_result(&run);
+            let scan = &run.stats.scan;
+            if scan.batches > 0 || scan.rowwise_rows > 0 {
+                eprintln!(
+                    "\n== columnar scan ==\n\
+                     {} batches, {} rows decoded, {} rows selected; \
+                     decode {:.3} ms, kernels {:.3} ms; \
+                     {} prefetch waits ({:.3} ms); {} row-wise rows",
+                    scan.batches,
+                    scan.rows_decoded,
+                    scan.rows_selected,
+                    scan.decode_us as f64 / 1000.0,
+                    scan.kernel_us as f64 / 1000.0,
+                    scan.prefetch_waits,
+                    scan.prefetch_wait_us as f64 / 1000.0,
+                    scan.rowwise_rows,
+                );
+            }
             // Stages recorded outside the query itself (index open,
             // crash recovery) accumulate in the root profiler.
             let open_profile = profiler.take_profile();

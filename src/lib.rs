@@ -84,7 +84,8 @@ pub mod prelude {
     pub use dgf_format::FileFormat;
     pub use dgf_hive::{
         AggregateIndex, AggregateIndexEngine, BitmapEngine, BitmapIndex, CompactEngine,
-        CompactIndex, HiveContext, PartitionEngine, PartitionedTable, ScanEngine, TableRef,
+        CompactIndex, HiveContext, PartitionEngine, PartitionedTable, ScanEngine, ScanOptions,
+        TableRef,
     };
     pub use dgf_ingest::{IngestConfig, StreamIngestor};
     pub use dgf_kvstore::{ChaosKv, KvStore, LatencyKv, LatencyModel, LogKvStore, MemKvStore};

@@ -179,6 +179,115 @@ fn profile_totals_reconcile_with_legacy_stats_blocks() {
 }
 
 #[test]
+fn columnar_scan_counters_reconcile_with_batches() {
+    // An RCFile table drives the columnar path (DESIGN.md §12): the
+    // scan.decode/scan.kernel spans must appear under query.scan and
+    // their metrics must reconcile with group geometry, the records-read
+    // I/O counter and the query's own answer.
+    let tmp = TempDir::new("profile-col").unwrap();
+    let hdfs = SimHdfs::new(
+        tmp.path(),
+        HdfsConfig {
+            block_size: 64 * 1024,
+            replication: 1,
+        },
+    )
+    .unwrap();
+    let ctx = HiveContext::new(hdfs.clone(), MrEngine::new(3));
+    let schema = Arc::new(Schema::from_pairs(&[
+        ("user_id", ValueType::Int),
+        ("day", ValueType::Int),
+        ("power", ValueType::Float),
+    ]));
+    let created = ctx
+        .create_table("meter_rc", schema, FileFormat::RcFile)
+        .unwrap();
+    let mut desc = (*created).clone();
+    desc.rows_per_group = 256;
+    let rows: Vec<Row> = (0..4_000)
+        .map(|i| {
+            let i = i as i64;
+            vec![
+                Value::Int((i * 7) % 120),
+                Value::Int((i * 13) % 30),
+                Value::Float((i % 97) as f64 / 3.0),
+            ]
+        })
+        .collect();
+    ctx.load_rows(&desc, &rows, 3).unwrap();
+    let table: TableRef = Arc::new(desc);
+
+    // Ground truth for the batch count: the groups actually written.
+    let total_groups: u64 = hdfs
+        .list_files(&table.location)
+        .iter()
+        .map(|(path, _)| {
+            dgfindex::format::read_group_offsets(&hdfs, path).unwrap().len() as u64
+        })
+        .sum();
+    assert!(total_groups > 3);
+
+    let io_before = hdfs.stats().snapshot();
+    let run = ScanEngine::new(Arc::clone(&ctx), Arc::clone(&table))
+        .with_profiler(Profiler::enabled())
+        .run(&boundary_heavy_query())
+        .unwrap();
+    let io_delta = hdfs.stats().snapshot().since(&io_before);
+    let profile = &run.stats.profile;
+    assert!(profile.check_nesting().is_empty());
+
+    // The kernel spans hang off the scan stage.
+    let scan_span = profile.find("query.scan").expect("query.scan span");
+    assert!(scan_span.find("scan.decode").is_some());
+    assert!(scan_span.find("scan.kernel").is_some());
+
+    // Batches ≡ row groups; decoded rows ≡ records read (full scan, no
+    // row filter); selected rows ≡ the COUNT(*) the query returned; the
+    // whole run stayed on the columnar path.
+    let scan = &run.stats.scan;
+    assert_eq!(scan.batches, total_groups);
+    assert_eq!(profile.metric_total(names::SCAN_BATCHES), scan.batches);
+    assert_eq!(scan.rows_decoded, io_delta.records_read);
+    assert_eq!(scan.rows_decoded, run.stats.data_records_read);
+    assert_eq!(
+        profile.metric_total(names::SCAN_ROWS_DECODED),
+        scan.rows_decoded
+    );
+    let count = run.result.clone().into_scalars()[0].as_i64().unwrap() as u64;
+    assert_eq!(scan.rows_selected, count);
+    assert_eq!(
+        profile.metric_total(names::SCAN_ROWS_SELECTED),
+        scan.rows_selected
+    );
+    assert_eq!(scan.rowwise_rows, 0);
+    assert_eq!(
+        profile.metric_total(names::SCAN_PREFETCH_WAITS),
+        scan.prefetch_waits
+    );
+
+    // The RunStats registry projection carries the scan counters too.
+    let reg = dgfindex::common::MetricsRegistry::new();
+    run.stats.record_into(&reg);
+    assert_eq!(reg.get(names::SCAN_BATCHES), scan.batches);
+    assert_eq!(reg.get(names::SCAN_ROWS_SELECTED), scan.rows_selected);
+
+    // Forcing the row-wise oracle moves every record to rowwise_rows and
+    // decodes no batches.
+    ctx.set_scan_options(ScanOptions {
+        columnar: false,
+        prefetch: false,
+    });
+    let before = ctx.scan_stats.snapshot();
+    let rerun = ScanEngine::new(Arc::clone(&ctx), table)
+        .run(&boundary_heavy_query())
+        .unwrap();
+    let delta = ctx.scan_stats.snapshot().since(&before);
+    assert_eq!(delta.batches, 0);
+    assert_eq!(delta.rowwise_rows, rows.len() as u64);
+    assert_eq!(rerun.result, run.result, "paths disagree");
+}
+
+#[test]
 fn chaos_retries_surface_in_the_profile() {
     let plan = Arc::new(FaultPlan::new(FaultConfig::transient(4242, 0.4)));
     let w = build_world(Profiler::enabled(), Some(Arc::clone(&plan)));

@@ -1,0 +1,116 @@
+//! The row-wise fallback hot loop must not allocate per row.
+//!
+//! `RcReader::next_row_into` refills one caller-owned scratch `Row` from
+//! the decoded batch, so draining a numeric table allocates per *group*
+//! (typed column vectors, payload buffers), not per row. The boxing path
+//! `next_row` allocates at least one `Vec` per row. A counting global
+//! allocator measures both; this file holds a single test so no parallel
+//! test pollutes the counters.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use dgfindex::format::{RcReader, RcWriter, RecordReader};
+use dgfindex::prelude::*;
+use dgfindex::storage::FileSplit;
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn row_wise_drain_allocates_per_group_not_per_row() {
+    const N: i64 = 20_000;
+    const ROWS_PER_GROUP: usize = 1_000;
+
+    let tmp = TempDir::new("scanalloc").unwrap();
+    let hdfs = SimHdfs::new(
+        tmp.path(),
+        HdfsConfig {
+            block_size: 1 << 20,
+            replication: 1,
+        },
+    )
+    .unwrap();
+    // Numeric-only schema: scratch-row refills never touch the heap.
+    let schema = Arc::new(Schema::from_pairs(&[
+        ("id", ValueType::Int),
+        ("v", ValueType::Float),
+    ]));
+    let mut w = RcWriter::create(&hdfs, "/t/f", schema.clone(), ROWS_PER_GROUP).unwrap();
+    for i in 0..N {
+        w.write_row(&vec![Value::Int(i), Value::Float(i as f64 * 0.5)])
+            .unwrap();
+    }
+    w.close().unwrap();
+    let split = FileSplit::new("/t/f", 0, hdfs.file_len("/t/f").unwrap());
+
+    // Scratch-row path: the satellite claim under test.
+    let mut reader = RcReader::open(&hdfs, schema.clone(), &split).unwrap();
+    let mut scratch = Row::new();
+    let mut n = 0i64;
+    let mut sum = 0i64;
+    let before = allocs();
+    while reader.next_row_into(&mut scratch).unwrap() {
+        n += 1;
+        sum += scratch[0].as_i64().unwrap();
+    }
+    let scratch_allocs = allocs() - before;
+    assert_eq!(n, N);
+    assert_eq!(sum, N * (N - 1) / 2);
+
+    // Boxing path: one fresh Row per record, at least.
+    let mut reader = RcReader::open(&hdfs, schema.clone(), &split).unwrap();
+    let mut n = 0i64;
+    let before = allocs();
+    while let Some(row) = reader.next_row().unwrap() {
+        n += 1;
+        std::hint::black_box(&row);
+    }
+    let boxing_allocs = allocs() - before;
+    assert_eq!(n, N);
+
+    // Per-group overhead only: decode buffers scale with groups (20), not
+    // rows (20k). The bound is generous — the claim is the *order*.
+    assert!(
+        scratch_allocs < (N / 10) as u64,
+        "scratch drain allocated {scratch_allocs} times for {N} rows"
+    );
+    assert!(
+        boxing_allocs >= N as u64,
+        "boxing drain allocated only {boxing_allocs} times for {N} rows"
+    );
+    assert!(
+        scratch_allocs * 10 < boxing_allocs,
+        "scratch path ({scratch_allocs}) not clearly below boxing path ({boxing_allocs})"
+    );
+}
