@@ -26,6 +26,7 @@ pub mod meter_lab;
 pub mod readpath;
 pub mod report;
 pub mod scale;
+pub mod serving;
 pub mod tpch_lab;
 
 pub use meter_lab::{IntervalSize, MeterLab};

@@ -175,6 +175,29 @@ pub mod names {
     pub const HADOOPDB_ROWS_READ: &str = "hadoopdb.rows_read";
     /// Bytes read by the hadoopdb chunk reader (`ChunkStats::bytes_read`).
     pub const HADOOPDB_BYTES_READ: &str = "hadoopdb.bytes_read";
+
+    /// Queries admitted by the serving frontend (`ServeStats::admitted`).
+    pub const SERVE_ADMITTED: &str = "serve.admitted";
+    /// Queries rejected with backpressure (`ServeStats::rejected`).
+    pub const SERVE_REJECTED: &str = "serve.rejected";
+    /// Queries that ran to completion (`ServeStats::completed`).
+    pub const SERVE_COMPLETED: &str = "serve.completed";
+    /// Queries that errored after admission (`ServeStats::failed`).
+    pub const SERVE_FAILED: &str = "serve.failed";
+    /// Microseconds admitted queries waited for a scheduler slot.
+    pub const SERVE_QUEUE_WAIT_US: &str = "serve.queue_wait_us";
+    /// Cross-shard fan-outs issued by the shard router
+    /// (`FanoutStats::cross_shard_multi_gets + cross_shard_scans`).
+    pub const SERVE_SCATTERS: &str = "serve.scatters";
+    /// Per-shard sub-operations those fan-outs issued
+    /// (`FanoutStats::shard_subops`).
+    pub const SERVE_SHARD_SUBOPS: &str = "serve.shard_subops";
+    /// Shared header-fetch batches flushed to the store
+    /// (`BatchStats::flushes`).
+    pub const SERVE_BATCH_FLUSHES: &str = "serve.batch_flushes";
+    /// Point reads that joined another query's in-flight batch
+    /// (`BatchStats::joins`).
+    pub const SERVE_BATCH_JOINS: &str = "serve.batch_joins";
 }
 
 /// Category filter parsed from a `DGF_TRACE`-style string.

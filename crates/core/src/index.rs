@@ -106,6 +106,12 @@ pub struct IndexOptions {
     /// no-op when it is unset; pass [`Profiler::enabled`] to collect a
     /// [`QueryProfile`](dgf_common::obs::QueryProfile) unconditionally.
     pub profiler: Profiler,
+    /// Worker threads the prefix-scan planner may use to fetch key runs
+    /// concurrently (the serving tier's scatter). `1` — the default —
+    /// keeps the historical strictly sequential fetch; any value is
+    /// answer-preserving because runs are always *absorbed* in odometer
+    /// order regardless of fetch completion order (DESIGN.md §13).
+    pub fetch_parallelism: usize,
 }
 
 impl Default for IndexOptions {
@@ -115,6 +121,7 @@ impl Default for IndexOptions {
             retry: RetryPolicy::standard(),
             fault: None,
             profiler: Profiler::from_env(),
+            fetch_parallelism: 1,
         }
     }
 }
@@ -152,6 +159,7 @@ pub struct DgfIndex {
     generation: AtomicU64,
     header_cache: GfuHeaderCache,
     fresh_source: Mutex<Option<Arc<dyn FreshSource>>>,
+    fetch_parallelism: usize,
 }
 
 impl DgfIndex {
@@ -255,6 +263,7 @@ impl DgfIndex {
             generation: AtomicU64::new(0),
             header_cache: GfuHeaderCache::new(DEFAULT_HEADER_CACHE_CAPACITY),
             fresh_source: Mutex::new(None),
+            fetch_parallelism: options.fetch_parallelism.max(1),
         };
         let watch = Stopwatch::start();
         let span = index.profiler.span("build");
@@ -379,6 +388,7 @@ impl DgfIndex {
             generation: AtomicU64::new(max_gen),
             header_cache: GfuHeaderCache::new(DEFAULT_HEADER_CACHE_CAPACITY),
             fresh_source: Mutex::new(None),
+            fetch_parallelism: options.fetch_parallelism.max(1),
         })
     }
 
@@ -701,6 +711,12 @@ impl DgfIndex {
     /// run's profile is independent.
     pub fn profiler(&self) -> &Profiler {
         &self.profiler
+    }
+
+    /// Worker threads the prefix-scan planner uses to fetch key runs
+    /// (see [`IndexOptions::fetch_parallelism`]); `1` means sequential.
+    pub fn fetch_parallelism(&self) -> usize {
+        self.fetch_parallelism
     }
 
     /// Replace the index's span collector after the fact — e.g. to force

@@ -133,6 +133,21 @@ struct HeaderMerge {
     acc: Vec<AggState>,
 }
 
+/// One key run's fetch result, decoupled from collector absorption so
+/// the serving tier can fetch runs concurrently and still absorb them
+/// sequentially in odometer order.
+struct RunFetch {
+    /// Expected cells of the run in key order: `(key, covered, probe)`.
+    cells: Vec<(Vec<u8>, bool, Option<CachedGfu>)>,
+    /// Scan results when an authoritative `scan_range` ran; `None` when
+    /// every cache probe hit and the run cost zero key-value operations.
+    pairs: Option<Vec<(Vec<u8>, Vec<u8>)>>,
+    /// Cache probes that hit.
+    hits: u64,
+    /// Cache probes that missed.
+    misses: u64,
+}
+
 impl Collector {
     fn absorb(&mut self, covered: bool, value: &GfuValue) -> Result<()> {
         if covered {
@@ -590,9 +605,10 @@ impl DgfIndex {
         let scan_from = suffix_full_start.saturating_sub(1);
 
         // Odometer over the prefix dimensions; each setting is one run.
+        let mut prefixes: Vec<Vec<i64>> = Vec::new();
         let mut prefix: Vec<i64> = spans[..scan_from].iter().map(|s| s.lo).collect();
         loop {
-            self.process_run(view, &prefix, spans, scan_from, headers_usable, collector)?;
+            prefixes.push(prefix.clone());
             let mut advanced = false;
             for d in (0..scan_from).rev() {
                 if prefix[d] < spans[d].hi {
@@ -605,25 +621,82 @@ impl DgfIndex {
                 }
             }
             if !advanced {
-                return Ok(());
+                break;
             }
         }
+
+        let workers = self.fetch_parallelism().min(prefixes.len());
+        if workers <= 1 {
+            // The historical strictly sequential path: fetch then absorb
+            // one run at a time, in odometer order.
+            for p in &prefixes {
+                let fetched = self.fetch_run(view, p, spans, scan_from, headers_usable)?;
+                self.absorb_run(collector, fetched)?;
+            }
+            return Ok(());
+        }
+
+        // The serving tier's scatter: runs are *fetched* concurrently on
+        // a worker pool (round-robin assignment, so the schedule is a
+        // pure function of the run list), then *absorbed* strictly in
+        // odometer order on this thread. The Collector's fold sequence —
+        // and with it every Neumaier compensation step — is therefore
+        // byte-identical to the sequential path, whatever order the
+        // fetches complete in. Sync points let the interleaving harness
+        // pause the coordinator mid-scatter by seed.
+        self.sync_point("serve.scatter");
+        let fetches: Vec<Result<RunFetch>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let prefixes = &prefixes;
+                    scope.spawn(move || {
+                        let mut out: Vec<(usize, Result<RunFetch>)> = Vec::new();
+                        let mut i = w;
+                        while i < prefixes.len() {
+                            self.sync_point("serve.fetch");
+                            out.push((
+                                i,
+                                self.fetch_run(view, &prefixes[i], spans, scan_from, headers_usable),
+                            ));
+                            i += workers;
+                        }
+                        out
+                    })
+                })
+                .collect();
+            let mut slots: Vec<Option<Result<RunFetch>>> =
+                prefixes.iter().map(|_| None).collect();
+            for h in handles {
+                for (i, r) in h.join().expect("run-fetch worker panicked") {
+                    slots[i] = Some(r);
+                }
+            }
+            slots
+                .into_iter()
+                .map(|s| s.expect("every run is assigned to exactly one worker"))
+                .collect()
+        });
+        self.sync_point("serve.merge");
+        for fetched in fetches {
+            self.absorb_run(collector, fetched?)?;
+        }
+        Ok(())
     }
 
-    /// Serve one key run: probe the header cache for every expected cell;
-    /// if all probes hit (negative entries included) the run costs zero
-    /// key-value operations, otherwise one `scan_range` re-reads the whole
-    /// run and queues cache fills (negative entries for cells the scan
-    /// proved absent) that the caller publishes once the view validates.
-    fn process_run(
+    /// Fetch one key run without touching the collector: probe the header
+    /// cache for every expected cell; if all probes hit (negative entries
+    /// included) the run costs zero key-value operations, otherwise one
+    /// `scan_range` re-reads the whole run. Read-only against the pinned
+    /// view, so runs may be fetched concurrently; all merging happens in
+    /// [`absorb_run`](Self::absorb_run), on one thread, in run order.
+    fn fetch_run(
         &self,
         view: &ReadView,
         prefix: &[i64],
         spans: &[DimSpan],
         scan_from: usize,
         headers_usable: bool,
-        collector: &mut Collector,
-    ) -> Result<()> {
+    ) -> Result<RunFetch> {
         let arity = spans.len();
         let generation = view.generation;
         let cache = self.header_cache();
@@ -639,6 +712,8 @@ impl DgfIndex {
 
         // Expected cells of the run, in key (= odometer) order.
         let mut cells: Vec<(Vec<u8>, bool, Option<CachedGfu>)> = Vec::new();
+        let mut hits = 0u64;
+        let mut misses = 0u64;
         let mut all_hit = true;
         let mut suffix: Vec<i64> = spans[scan_from..].iter().map(|s| s.lo).collect();
         let mut done = false;
@@ -654,9 +729,9 @@ impl DgfIndex {
             }
             let probe = cache.get(generation, &key);
             match &probe {
-                Some(_) => collector.cache_hits += 1,
+                Some(_) => hits += 1,
                 None => {
-                    collector.cache_misses += 1;
+                    misses += 1;
                     all_hit = false;
                 }
             }
@@ -675,12 +750,12 @@ impl DgfIndex {
         }
 
         if all_hit {
-            for (_, covered, probe) in &cells {
-                if let Some(Some(value)) = probe {
-                    collector.absorb(*covered, value)?;
-                }
-            }
-            return Ok(());
+            return Ok(RunFetch {
+                cells,
+                pairs: None,
+                hits,
+                misses,
+            });
         }
 
         // Authoritative scan of the whole run. The run's keys are exactly
@@ -698,14 +773,34 @@ impl DgfIndex {
         // scan include the run's maximum key.
         end.push(0x00);
         let pairs = self.kv_scan_range_pinned(view, &start, &end)?;
+        Ok(RunFetch {
+            cells,
+            pairs: Some(pairs),
+            hits,
+            misses,
+        })
+    }
 
-        // Merge-walk the expected cells (sorted) against the scan results
-        // (sorted): found cells are absorbed and queued for caching,
-        // expected-but-absent cells queue a negative entry. Fills are
-        // deferred to the caller so a fetch that fails view validation
-        // never publishes possibly-torn values.
+    /// Merge one fetched run into the collector, in the caller's run
+    /// order. A fully cached run absorbs its probe hits; a scanned run
+    /// merge-walks the expected cells (sorted) against the scan results
+    /// (sorted): found cells are absorbed and queued for caching,
+    /// expected-but-absent cells queue a negative entry. Fills are
+    /// deferred to the planning loop so a fetch that fails view
+    /// validation never publishes possibly-torn values.
+    fn absorb_run(&self, collector: &mut Collector, fetched: RunFetch) -> Result<()> {
+        collector.cache_hits += fetched.hits;
+        collector.cache_misses += fetched.misses;
+        let Some(pairs) = fetched.pairs else {
+            for (_, covered, probe) in &fetched.cells {
+                if let Some(Some(value)) = probe {
+                    collector.absorb(*covered, value)?;
+                }
+            }
+            return Ok(());
+        };
         let mut next_pair = 0usize;
-        for (key, covered, _) in &cells {
+        for (key, covered, _) in &fetched.cells {
             if next_pair < pairs.len() && pairs[next_pair].0 == *key {
                 let value = Arc::new(GfuValue::decode(&pairs[next_pair].1)?);
                 collector

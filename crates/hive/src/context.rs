@@ -39,6 +39,39 @@ impl Default for ScanOptions {
     }
 }
 
+/// Knobs for the concurrent serving frontend (DESIGN.md §13).
+///
+/// Declared beside [`ScanOptions`] because it is the same kind of
+/// engine-facing tuning surface; the serving tier itself lives in
+/// `dgf-serve` and consumes this struct.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeOptions {
+    /// Queries the scheduler lets run concurrently; further admitted
+    /// queries wait for a slot.
+    pub workers: usize,
+    /// Admission-control budget: total estimated bytes of in-flight
+    /// query state before new arrivals are rejected with backpressure
+    /// (the ingest byte-reservation pattern applied to reads).
+    pub max_inflight_bytes: u64,
+    /// Estimated cost one query reserves against the budget.
+    pub query_cost_bytes: u64,
+    /// How long a leader read waits to let concurrent queries join its
+    /// shared header-fetch batch, in microseconds. `0` disables
+    /// batching (every read goes straight through).
+    pub batch_window_us: u64,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            workers: 4,
+            max_inflight_bytes: 64 << 20,
+            query_cost_bytes: 1 << 20,
+            batch_window_us: 0,
+        }
+    }
+}
+
 /// Descriptor of one table.
 #[derive(Debug, Clone)]
 pub struct TableDesc {
@@ -64,7 +97,9 @@ pub struct HiveContext {
     /// The MapReduce engine queries and index builds run on.
     pub engine: MrEngine,
     /// Lifetime-global columnar scan accounting. Engines snapshot before
-    /// a run and diff after, exactly like [`HdfsRef::stats`] I/O counters.
+    /// a run and diff after, exactly like [`SimHdfs::stats`] I/O counters.
+    ///
+    /// [`SimHdfs::stats`]: dgf_storage::SimHdfs::stats
     pub scan_stats: ScanStatsRef,
     scan_options: RwLock<ScanOptions>,
     tables: RwLock<HashMap<String, TableRef>>,

@@ -34,7 +34,7 @@ pub mod scan;
 pub use aggidx::{AggregateIndex, AggregateIndexEngine};
 pub use bitmapidx::{BitmapEngine, BitmapIndex};
 pub use compact::{CompactEngine, CompactIndex, CompactPlan};
-pub use context::{HiveContext, ScanOptions, TableDesc, TableRef};
+pub use context::{HiveContext, ScanOptions, ServeOptions, TableDesc, TableRef};
 pub use catalog::{IndexEntry, CATALOG_PATH};
 pub use index_common::BuildReport;
 pub use partition::{PartitionEngine, PartitionedTable};

@@ -66,9 +66,20 @@ impl<S: KvStore> LatencyKv<S> {
     }
 }
 
-/// Busy-wait for sub-millisecond precision; `thread::sleep` has ~1 ms
-/// granularity on most kernels, which would swamp a 200 µs RPC model.
+/// Wait out a simulated latency charge. RPC latency is I/O wait, not
+/// CPU burn: RPC-sized charges block in the kernel so concurrent
+/// waiters overlap — on any core count — exactly like real in-flight
+/// RPCs (the serving tier's scatter-gather speedup depends on this).
+/// Kernel timer slack pads a sleep by some tens of microseconds, which
+/// would swamp the ~1 µs per-entry transfer charges, so sub-floor
+/// charges busy-wait instead: precise, and too short to matter for
+/// scheduling.
 fn spin_wait(d: Duration) {
+    const SLEEP_FLOOR: Duration = Duration::from_micros(50);
+    if d >= SLEEP_FLOOR {
+        std::thread::sleep(d);
+        return;
+    }
     let start = std::time::Instant::now();
     while start.elapsed() < d {
         std::hint::spin_loop();

@@ -12,6 +12,9 @@
 //! * [`ChaosKv`] — a decorator injecting deterministic faults from a
 //!   seeded [`FaultPlan`](dgf_common::fault::FaultPlan), for the chaos
 //!   test suite.
+//! * [`ShardedKv`] — a range-partitioned router spreading the keyspace
+//!   across N inner shards, the in-process stand-in for a fleet of
+//!   region servers (serving tier, DESIGN.md §13).
 
 #![warn(missing_docs)]
 
@@ -19,12 +22,14 @@ pub mod chaos;
 pub mod latency;
 pub mod log;
 pub mod mem;
+pub mod shard;
 pub mod traits;
 
 pub use chaos::ChaosKv;
 pub use latency::{LatencyKv, LatencyModel};
 pub use log::{LogKvConfig, LogKvStore};
 pub use mem::MemKvStore;
+pub use shard::{FanoutStats, ShardedKv};
 pub use traits::{prefix_upper_bound, KvPair, KvRef, KvStats, KvStatsSnapshot, KvStore};
 
 #[cfg(test)]
@@ -94,6 +99,17 @@ mod proptests {
         #[test]
         fn mem_store_matches_btreemap(ops in prop::collection::vec(arb_op(), 0..64)) {
             check_against_model(&MemKvStore::new(), &ops);
+        }
+
+        #[test]
+        fn sharded_store_matches_btreemap(ops in prop::collection::vec(arb_op(), 0..64)) {
+            // 3-way router split inside the generated key domain: the
+            // router must be observationally identical to one store.
+            let shards: Vec<std::sync::Arc<dyn KvStore>> = (0..3)
+                .map(|_| std::sync::Arc::new(MemKvStore::new()) as std::sync::Arc<dyn KvStore>)
+                .collect();
+            let kv = ShardedKv::new(shards, vec![vec![2], vec![5]]).unwrap();
+            check_against_model(&kv, &ops);
         }
 
         #[test]

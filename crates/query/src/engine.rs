@@ -61,6 +61,24 @@ impl RunStats {
         self.index_time + self.data_time
     }
 
+    /// Fold another run's counters into this one. The serving frontend
+    /// accumulates every completed query's stats into one report this
+    /// way; times add (total busy time across queries, not wall time)
+    /// and the profile/scan snapshot of `other` is summed field-wise
+    /// where additive.
+    pub fn accumulate(&mut self, other: &RunStats) {
+        self.index_time += other.index_time;
+        self.data_time += other.data_time;
+        self.index_records_read += other.index_records_read;
+        self.data_records_read += other.data_records_read;
+        self.data_bytes_read += other.data_bytes_read;
+        self.splits_total += other.splits_total;
+        self.splits_read += other.splits_read;
+        self.index_cache_hits += other.index_cache_hits;
+        self.index_cache_misses += other.index_cache_misses;
+        self.retries_absorbed += other.retries_absorbed;
+    }
+
     /// Project this run's aggregate counters into a [`MetricsRegistry`]
     /// under the stable names, so engine totals reconcile with the
     /// kv/hdfs-level counters collected elsewhere.

@@ -1,0 +1,37 @@
+//! The sharded scatter-gather serving tier (DESIGN.md §13).
+//!
+//! Three pieces turn the single-node engine into a serving stack:
+//!
+//! * [`shardmap`] — where to split the GFU keyspace: odometer-rank
+//!   boundaries that keep prefix-scan runs contiguous per shard and
+//!   route all metadata (everything above the `g:` prefix) to the last
+//!   shard, preserving the commit protocol's single-shard atomicity.
+//! * [`batcher`] — [`BatchingKv`] coalesces concurrent point reads
+//!   (view pins, header probes) from many in-flight queries into shared
+//!   `multi_get` flushes.
+//! * [`frontend`] — [`ServeFrontend`] adds admission control (the
+//!   ingest byte-reservation pattern) and a bounded worker pool over a
+//!   [`DgfEngine`](dgf_core::DgfEngine), multiplexing many concurrent
+//!   MDRQs without ever changing an answer byte.
+//!
+//! The scatter itself lives below this crate: the
+//! [`ShardedKv`](dgf_kvstore::ShardedKv) router fans batched reads out
+//! per shard, and the planner's parallel run fetch
+//! ([`IndexOptions::fetch_parallelism`](dgf_core::IndexOptions)) issues
+//! per-run sub-plans concurrently while absorbing results strictly in
+//! odometer order — which is why every answer is bit-identical to the
+//! single-node engine at any shard count (`tests/serving_equivalence.rs`
+//! proves it for 1, 2, 4 and 7 shards).
+
+#![warn(missing_docs)]
+
+pub mod batcher;
+pub mod frontend;
+pub mod shardmap;
+
+pub use batcher::{BatchStats, BatchingKv};
+pub use frontend::{
+    record_batch_into, record_fanout_into, ServeFrontend, ServeReport, ServeStats,
+    ServeStatsSnapshot, ServedQuery,
+};
+pub use shardmap::{mirror_kv, shard_boundaries, sharded_mem};

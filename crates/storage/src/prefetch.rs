@@ -91,7 +91,7 @@ impl FramePrefetcher {
         }
     }
 
-    /// How often and for how long [`Self::next`] blocked on the thread.
+    /// How often and for how long [`Self::next_frame`] blocked on the thread.
     pub fn wait_stats(&self) -> (u64, Duration) {
         (self.waits, self.wait_time)
     }

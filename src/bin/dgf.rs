@@ -19,6 +19,7 @@
 //! dgf ingest <dir> <index> <file> [--batch N] [--flush]
 //! dgf query <dir> <table> "SELECT sum(power_consumed) WHERE ..." [--index <name>] [--explain]
 //! dgf profile <dir> <table> "SELECT ..." [--index <name>] [--json]
+//! dgf serve <dir> <index> "SELECT ..." [--shards N] [--clients C] [--queries Q]
 //! dgf advise <dir> <table> --dims "user_id,ts" --history "u>1 AND ...; ts='2012-12-05'"
 //! ```
 //!
@@ -34,6 +35,13 @@
 //! invocations — `query --index` and `profile --index` replay it on open,
 //! so freshness survives restarts; `--flush` converts everything into
 //! real Slices before exiting.
+//!
+//! `serve` stands up the scatter-gather serving tier (DESIGN.md §13)
+//! over an existing index: the durable GFU log is mirrored into an
+//! N-shard range-partitioned router, the query is fanned out from C
+//! concurrent clients through admission control, and the answer plus a
+//! QPS / p50 / p99 / scatter summary is printed. `--batch-window US`
+//! turns on shared header-fetch batching across the concurrent clients.
 
 use std::io::BufRead;
 use std::path::{Path, PathBuf};
@@ -69,6 +77,7 @@ const USAGE: &str = "usage:
   dgf ingest <dir> <index> <file> [--batch N] [--flush]
   dgf query <dir> <table> \"SELECT ... [WHERE ...] [GROUP BY col]\" [--index <name>] [--explain]
   dgf profile <dir> <table> \"SELECT ... [WHERE ...]\" [--index <name>] [--json]
+  dgf serve <dir> <index> \"SELECT ...\" [--shards N] [--clients C] [--queries Q] [--batch-window US]
   dgf advise <dir> <table> --dims \"a,b\" --history \"pred; pred; ...\"";
 
 /// A reopened warehouse: cluster + catalog.
@@ -141,6 +150,18 @@ impl Warehouse {
     }
 
     fn open_index_with_options(&self, name: &str, options: IndexOptions) -> Result<DgfIndex> {
+        let kv: Arc<dyn KvStore> = Arc::new(LogKvStore::open(self.kv_path(name))?);
+        self.open_index_on(name, kv, options)
+    }
+
+    /// Open the named index over an explicit store (the serving tier
+    /// opens over a shard router instead of the durable log).
+    fn open_index_on(
+        &self,
+        name: &str,
+        kv: Arc<dyn KvStore>,
+        options: IndexOptions,
+    ) -> Result<DgfIndex> {
         let entry = self
             .indexes
             .iter()
@@ -152,7 +173,6 @@ impl Warehouse {
         } else {
             parse_aggs(&entry.aggs_text, &base.schema)?
         };
-        let kv: Arc<dyn KvStore> = Arc::new(LogKvStore::open(self.kv_path(name))?);
         DgfIndex::open_with_options(Arc::clone(&self.ctx), base, kv, name, aggs, options)
     }
 }
@@ -442,6 +462,91 @@ fn dispatch(args: &[String]) -> Result<()> {
             eprint!("{}", registry.render());
             Ok(())
         }
+        "serve" => {
+            let w = Warehouse::open(args.get(1).ok_or_else(bad_usage)?)?;
+            let index_name = args.get(2).ok_or_else(bad_usage)?;
+            let sql = args.get(3).ok_or_else(bad_usage)?;
+            let parse_num = |name: &str, default: &str| -> Result<usize> {
+                flag(args, name)
+                    .unwrap_or(default)
+                    .parse()
+                    .map_err(|e| DgfError::Query(format!("bad {name}: {e}")))
+            };
+            let shards = parse_num("--shards", "4")?;
+            let clients = parse_num("--clients", "4")?;
+            let repeat = parse_num("--queries", "16")?;
+            let window = parse_num("--batch-window", "0")? as u64;
+            if shards == 0 || clients == 0 || repeat == 0 {
+                return Err(DgfError::Query(
+                    "--shards, --clients, and --queries must be positive".into(),
+                ));
+            }
+
+            // Stand the serving tier up beside the durable log: mirror
+            // the GFU store into an N-shard router split on the
+            // odometer keyspace, then open a scatter-gather reader.
+            let durable: Arc<dyn KvStore> = Arc::new(LogKvStore::open(w.kv_path(index_name))?);
+            let extents = w
+                .open_index_on(index_name, Arc::clone(&durable), IndexOptions::default())?
+                .extents()?;
+            let router = Arc::new(sharded_mem(&extents, shards)?);
+            let pairs = mirror_kv(durable.as_ref(), router.as_ref())?;
+            drop(durable);
+            let store: Arc<dyn KvStore> = if window > 0 {
+                // Shared header-fetch batching: concurrent queries join
+                // one leader's batched multi_get within the window.
+                Arc::new(BatchingKv::new(
+                    Arc::clone(&router) as Arc<dyn KvStore>,
+                    std::time::Duration::from_micros(window),
+                ))
+            } else {
+                Arc::clone(&router) as Arc<dyn KvStore>
+            };
+            let index = Arc::new(w.open_index_on(
+                index_name,
+                store,
+                IndexOptions {
+                    fetch_parallelism: shards,
+                    ..IndexOptions::default()
+                },
+            )?);
+            let _fresh = w.attach_fresh(&index, index_name)?;
+
+            let query = parse_query(sql, &index.base.schema)?;
+            let front = ServeFrontend::new(
+                DgfEngine::new(Arc::clone(&index)),
+                ServeOptions {
+                    workers: clients,
+                    batch_window_us: window,
+                    ..ServeOptions::default()
+                },
+            );
+            let queries: Vec<Query> = vec![query; repeat];
+            let report = front.run_concurrent(&queries, clients);
+
+            if let Some(result) = report.served.iter().find_map(|s| s.result.as_ref()) {
+                print_query_result(result);
+            }
+            let snap = front.stats().snapshot();
+            let (multi_gets, scans, subops) = router.fanout().snapshot();
+            eprintln!(
+                "-- served {} queries over {shards} shards ({pairs} GFU pairs, {clients} clients): \
+                 {:.1} qps | p50 {}us | p99 {}us",
+                snap.completed,
+                report.qps(),
+                report.latency_us_at(0.5),
+                report.latency_us_at(0.99),
+            );
+            eprintln!(
+                "-- admitted {} | rejected {} | failed {} | cross-shard scatters {} | shard subops {}",
+                snap.admitted,
+                snap.rejected,
+                snap.failed,
+                multi_gets + scans,
+                subops,
+            );
+            Ok(())
+        }
         "advise" => {
             let w = Warehouse::open(args.get(1).ok_or_else(bad_usage)?)?;
             let table = w.ctx.table(args.get(2).ok_or_else(bad_usage)?)?;
@@ -542,7 +647,12 @@ fn parse_dims_spec(text: &str, schema: &Schema) -> Result<SplittingPolicy> {
 }
 
 fn print_result(run: &EngineRun) {
-    match &run.result {
+    print_query_result(&run.result);
+    eprintln!("-- {}", run.stats);
+}
+
+fn print_query_result(result: &QueryResult) {
+    match result {
         QueryResult::Scalars(vals) => {
             println!(
                 "{}",
@@ -569,5 +679,4 @@ fn print_result(run: &EngineRun) {
             }
         }
     }
-    eprintln!("-- {}", run.stats);
 }

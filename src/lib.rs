@@ -68,6 +68,7 @@ pub use dgf_kvstore as kvstore;
 pub use dgf_mapreduce as mapreduce;
 pub use dgf_query as query;
 pub use dgf_rdbms as rdbms;
+pub use dgf_serve as serve;
 pub use dgf_storage as storage;
 pub use dgf_workload as workload;
 
@@ -88,8 +89,14 @@ pub mod prelude {
         TableRef,
     };
     pub use dgf_ingest::{IngestConfig, StreamIngestor};
-    pub use dgf_kvstore::{ChaosKv, KvStore, LatencyKv, LatencyModel, LogKvStore, MemKvStore};
+    pub use dgf_hive::ServeOptions;
+    pub use dgf_kvstore::{
+        ChaosKv, FanoutStats, KvStore, LatencyKv, LatencyModel, LogKvStore, MemKvStore, ShardedKv,
+    };
     pub use dgf_mapreduce::MrEngine;
+    pub use dgf_serve::{
+        mirror_kv, shard_boundaries, sharded_mem, BatchingKv, ServeFrontend, ServeReport,
+    };
     pub use dgf_query::{
         AggFunc, ColumnRange, Engine, EngineRun, Predicate, Query, QueryResult, RunStats,
     };

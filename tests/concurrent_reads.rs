@@ -678,3 +678,69 @@ proptest! {
     }
 }
 
+/// Satellite (serving tier): the append race replayed on the *sharded*
+/// path. The reader opens over a 4-way [`ShardedKv`] router with
+/// `fetch_parallelism: 2`, so the seeded schedule now pauses inside the
+/// coordinator's scatter/fetch/merge (`serve.*`) and the router's own
+/// fan-out (`serve.router.*`) sync points too — a torn cross-shard read
+/// (shard A fetched pre-commit, shard B post-commit) is reproducible by
+/// seed exactly like the single-store tears above. The deeper sweep
+/// lives in `serving_equivalence.rs`; this case keeps the sharded race
+/// inside the same harness that found the original single-store tears.
+#[test]
+fn queries_during_append_on_the_sharded_path_see_pre_or_post_only() {
+    for seed in stress_seeds().into_iter().take(3) {
+        let w = world(&format!("shard{seed}"));
+        let cfg = meter_cfg();
+        let (_, rest) = seed_index(&w);
+
+        // Mirror the built store into a router split on the seeded
+        // extents; router and reader share one seeded schedule.
+        let extents = {
+            let probe = open_with(&w, Arc::clone(&w.inner), &interleave(0));
+            probe.extents().unwrap()
+        };
+        let plan = interleave(seed ^ 0x0D1F);
+        let router = Arc::new(
+            sharded_mem(&extents, 4)
+                .unwrap()
+                .with_fault(Arc::clone(&plan)),
+        );
+        mirror_kv(w.inner.as_ref(), router.as_ref()).unwrap();
+        let index = Arc::new(
+            DgfIndex::open_with_options(
+                Arc::clone(&w.ctx),
+                Arc::clone(&w.base),
+                Arc::clone(&router) as Arc<dyn KvStore>,
+                INDEX,
+                aggs(),
+                IndexOptions {
+                    retry: retry(),
+                    fault: Some(Arc::clone(&plan)),
+                    fetch_parallelism: 2,
+                    ..IndexOptions::default()
+                },
+            )
+            .unwrap(),
+        );
+
+        let pre = answers(&index, &cfg);
+        let seen = observe_during(&index, &cfg, 3, || {
+            index.append(&rest).unwrap();
+        });
+        let post = answers(&index, &cfg);
+
+        assert!(
+            !matches(&post, &pre),
+            "seed {seed}: sharded append changed nothing — harness is vacuous"
+        );
+        assert!(!seen.is_empty(), "seed {seed}: readers never ran");
+        for (i, obs) in seen.iter().enumerate() {
+            assert!(
+                obs_ok(obs, &pre, &post),
+                "seed {seed}: sharded observation {i} is a torn cross-shard read:\n  got  {obs:?}\n  pre  {pre:?}\n  post {post:?}"
+            );
+        }
+    }
+}
+

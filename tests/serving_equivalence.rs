@@ -1,0 +1,723 @@
+//! Shard-equivalence harness: the sharded serving tier must be
+//! *indistinguishable by answers* from the single-node engine.
+//!
+//! The serving tier (DESIGN.md §13) range-partitions the GFU keyspace
+//! across N shards and scatters the planner's prefix-scan runs over a
+//! worker pool, but absorption stays single-threaded in odometer order:
+//! the Collector sees cells in exactly the sequence a sequential fetch
+//! would produce, so the Neumaier fold order — and therefore every
+//! float bit — is preserved. This file holds that claim to the
+//! strictest standard available:
+//!
+//! * every query answer over shard counts {1, 2, 4, 7} is **bit**-equal
+//!   to the single-node oracle (not approx-equal — `f64::to_bits`),
+//!   under fixed and proptest-random grids, null patterns, and mixed
+//!   ingest;
+//! * the router's *logical* KvStats for a plan equal the single-node
+//!   counters exactly (the LatencyKv double-charge regression);
+//! * concurrent frontend clients racing an append observe pre- or
+//!   post-commit snapshots only, never a torn cross-shard blend, under
+//!   the seeded interleaving schedules of `concurrent_reads.rs`
+//!   (`DGF_STRESS_SEEDS` widens the sweep in CI);
+//! * a shard crashing mid-scatter yields a clean error or a
+//!   committed-view answer — never a partial merge.
+
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use dgfindex::common::DgfError;
+use dgfindex::ingest::IngestConfig;
+use dgfindex::kvstore::{KvPair, KvStats};
+use dgfindex::prelude::*;
+use dgfindex::workload::{generate_meter_data, meter_schema, MeterConfig};
+use proptest::prelude::*;
+
+const INDEX: &str = "dgf_shard";
+
+/// The shard-count sweep: 1 (the degenerate router), powers of two, and
+/// a prime that never divides the cell count evenly.
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 7];
+
+fn retry() -> RetryPolicy {
+    RetryPolicy::fast(40)
+}
+
+fn aggs() -> Vec<AggFunc> {
+    vec![AggFunc::Sum("power_consumed".into()), AggFunc::Count]
+}
+
+fn meter_cfg() -> MeterConfig {
+    MeterConfig {
+        users: 8,
+        days: 4,
+        ..MeterConfig::default()
+    }
+}
+
+fn grid(cfg: &MeterConfig) -> SplittingPolicy {
+    SplittingPolicy::new(vec![
+        DimPolicy::int("user_id", 0, 4),
+        DimPolicy::date("ts", cfg.start_day, 1),
+    ])
+    .unwrap()
+}
+
+/// The query mix (same shape as `concurrent_reads.rs`): a full COUNT, a
+/// misaligned range aggregate that mixes boundary Slices with inner
+/// headers, and a GROUP BY. Between them they exercise every fetch the
+/// coordinator can scatter.
+fn queries(cfg: &MeterConfig) -> Vec<Query> {
+    let range = Predicate::all()
+        .and(
+            "user_id",
+            ColumnRange::half_open(Value::Int(1), Value::Int(7)),
+        )
+        .and(
+            "ts",
+            ColumnRange::half_open(
+                Value::Date(cfg.start_day + 1),
+                Value::Date(cfg.start_day + 3),
+            ),
+        );
+    vec![
+        Query::Aggregate {
+            aggs: vec![AggFunc::Count],
+            predicate: Predicate::all(),
+        },
+        Query::Aggregate {
+            aggs: aggs(),
+            predicate: range.clone(),
+        },
+        Query::GroupBy {
+            key: "user_id".into(),
+            aggs: aggs(),
+            predicate: range,
+        },
+    ]
+}
+
+struct World {
+    tmp: TempDir,
+    ctx: Arc<HiveContext>,
+    base: TableRef,
+}
+
+fn world(tag: &str) -> World {
+    let tmp = TempDir::new(&format!("shard-{tag}")).unwrap();
+    let hdfs = SimHdfs::open(tmp.path()).unwrap();
+    let ctx = HiveContext::new(hdfs, MrEngine::new(1));
+    let base = ctx
+        .create_table("meter", meter_schema(), FileFormat::Text)
+        .unwrap();
+    World { tmp, ctx, base }
+}
+
+/// Load `seeded` and build the index over `kv`. Builds are
+/// deterministic, so identically seeded worlds produce byte-identical
+/// GFU content whatever store they build through — including a
+/// [`ShardedKv`] router, which is how a sharded serving world is stood
+/// up from scratch.
+fn build_over(w: &World, kv: Arc<dyn KvStore>, seeded: &[Row], policy: SplittingPolicy) -> Arc<DgfIndex> {
+    w.ctx.load_rows(&w.base, seeded, 2).unwrap();
+    let (index, _) = DgfIndex::build(
+        Arc::clone(&w.ctx),
+        Arc::clone(&w.base),
+        policy,
+        aggs(),
+        kv,
+        INDEX,
+    )
+    .unwrap();
+    Arc::new(index)
+}
+
+/// Open a serving reader over `kv` with a scatter width and an optional
+/// scheduling plan.
+fn open_reader(
+    w: &World,
+    kv: Arc<dyn KvStore>,
+    parallelism: usize,
+    fault: Option<Arc<FaultPlan>>,
+) -> dgfindex::common::Result<Arc<DgfIndex>> {
+    Ok(Arc::new(DgfIndex::open_with_options(
+        Arc::clone(&w.ctx),
+        Arc::clone(&w.base),
+        kv,
+        INDEX,
+        aggs(),
+        IndexOptions {
+            retry: retry(),
+            fault,
+            fetch_parallelism: parallelism,
+            ..IndexOptions::default()
+        },
+    )?))
+}
+
+/// One observation of the whole query mix.
+fn answers(index: &Arc<DgfIndex>, cfg: &MeterConfig) -> Vec<QueryResult> {
+    let engine = DgfEngine::new(Arc::clone(index));
+    queries(cfg)
+        .iter()
+        .map(|q| engine.run(q).unwrap().result)
+        .collect()
+}
+
+fn matches(a: &[QueryResult], b: &[QueryResult]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.approx_eq(y, 1e-9))
+}
+
+/// Exact-bits equality: `Float`s must agree in raw bit pattern. The
+/// serving tier's merge claims *bit* identity, so a tolerance would
+/// hide exactly the fold-order bugs this file exists to catch.
+fn bits_eq(a: &[QueryResult], b: &[QueryResult]) -> bool {
+    fn val(a: &Value, b: &Value) -> bool {
+        match (a, b) {
+            (Value::Float(x), Value::Float(y)) => x.to_bits() == y.to_bits(),
+            _ => a == b,
+        }
+    }
+    fn one(a: &QueryResult, b: &QueryResult) -> bool {
+        match (a, b) {
+            (QueryResult::Scalars(x), QueryResult::Scalars(y)) => {
+                x.len() == y.len() && x.iter().zip(y).all(|(p, q)| val(p, q))
+            }
+            (QueryResult::Groups(x), QueryResult::Groups(y)) => {
+                x.len() == y.len()
+                    && x.iter().zip(y).all(|((ka, va), (kb, vb))| {
+                        val(ka, kb)
+                            && va.len() == vb.len()
+                            && va.iter().zip(vb).all(|(p, q)| val(p, q))
+                    })
+            }
+            _ => a == b,
+        }
+    }
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| one(x, y))
+}
+
+/// Seeds to sweep (CI widens via `DGF_STRESS_SEEDS`, same contract as
+/// `concurrent_reads.rs`).
+fn stress_seeds() -> Vec<u64> {
+    match std::env::var("DGF_STRESS_SEEDS") {
+        Ok(s) => s
+            .split(',')
+            .map(|t| t.trim())
+            .filter(|t| !t.is_empty())
+            .map(|t| t.parse().expect("DGF_STRESS_SEEDS entries must be u64"))
+            .collect(),
+        Err(_) => (1..=6).collect(),
+    }
+}
+
+fn interleave(seed: u64) -> Arc<FaultPlan> {
+    Arc::new(FaultPlan::new(FaultConfig::interleave(
+        seed,
+        1.0,
+        Duration::from_micros(500),
+    )))
+}
+
+/// The seeded meter world every deterministic test shares: first two
+/// days indexed, plus an append batch that revisits the seeded days
+/// *and* opens new ones (half its rows overwrite live cells — the racy
+/// path — half extend the extents past the shard boundaries computed
+/// from the seeded grid).
+fn seeded_and_batch(cfg: &MeterConfig) -> (Vec<Row>, Vec<Row>) {
+    let rows = generate_meter_data(cfg);
+    let per_day = rows.len() / cfg.days as usize;
+    let (seeded, rest) = rows.split_at(2 * per_day);
+    let mut batch = seeded.to_vec();
+    batch.extend(rest.iter().cloned());
+    (seeded.to_vec(), batch)
+}
+
+/// Tentpole: build through the router, append through the router, and
+/// answer through the router at every shard count — every float bit
+/// must equal the single-node engine's. Shard count 7 on a 4-cell
+/// seeded grid also covers the empty-tail-shard topology, and the
+/// append pushes keys past every boundary computed from the seeded
+/// extents.
+#[test]
+fn every_shard_count_answers_bit_identically_to_single_node() {
+    let cfg = meter_cfg();
+    let (seeded, batch) = seeded_and_batch(&cfg);
+
+    let (oracle, extents) = {
+        let w = world("oracle");
+        let index = build_over(&w, Arc::new(MemKvStore::new()), &seeded, grid(&cfg));
+        let extents = index.extents().unwrap();
+        index.append(&batch).unwrap();
+        (answers(&index, &cfg), extents)
+    };
+
+    for shards in SHARD_COUNTS {
+        let w = world(&format!("s{shards}"));
+        let router = Arc::new(sharded_mem(&extents, shards).unwrap());
+        build_over(
+            &w,
+            Arc::clone(&router) as Arc<dyn KvStore>,
+            &seeded,
+            grid(&cfg),
+        );
+        let reader = open_reader(
+            &w,
+            Arc::clone(&router) as Arc<dyn KvStore>,
+            shards.max(2),
+            None,
+        )
+        .unwrap();
+        reader.append(&batch).unwrap();
+        let got = answers(&reader, &cfg);
+        assert!(
+            bits_eq(&got, &oracle),
+            "{shards}-shard answers differ from single-node in float bits:\n{got:?}\nvs\n{oracle:?}"
+        );
+        if shards >= 2 {
+            let occupied = router.shards().iter().filter(|s| !s.is_empty()).count();
+            assert!(
+                occupied >= 2,
+                "{shards}-shard world kept all keys on one shard — the split never engaged"
+            );
+        }
+    }
+}
+
+/// Satellite: the router's *logical* KvStats for a plan must equal a
+/// single-node store's, byte for byte — one `multi_get` however many
+/// shards it straddles, one scan per logical range. (Physical per-shard
+/// sub-ops land in each shard's own stats; before the fix, a fanned-out
+/// batch was recounted per underlying shard op, so cost models read the
+/// sharded tier as N× more expensive than the identical plan.)
+#[test]
+fn sharded_plan_counters_match_single_node_exactly() {
+    let cfg = meter_cfg();
+    let rows = generate_meter_data(&cfg);
+    let w = world("stats");
+    let built: Arc<dyn KvStore> = Arc::new(MemKvStore::new());
+    let index = build_over(&w, Arc::clone(&built), &rows, grid(&cfg));
+    let extents = index.extents().unwrap();
+    drop(index);
+
+    // Mirror the built store into a fresh single-node copy and a 4-way
+    // router: identical bytes, independent counters.
+    let single = Arc::new(MemKvStore::new());
+    let router = Arc::new(sharded_mem(&extents, 4).unwrap());
+    let copied = mirror_kv(built.as_ref(), single.as_ref()).unwrap();
+    assert_eq!(copied, mirror_kv(built.as_ref(), router.as_ref()).unwrap());
+
+    let a = open_reader(&w, Arc::clone(&single) as Arc<dyn KvStore>, 1, None).unwrap();
+    let b = open_reader(&w, Arc::clone(&router) as Arc<dyn KvStore>, 1, None).unwrap();
+    let before_single = single.stats().snapshot();
+    let before_router = router.stats().snapshot();
+
+    let ea = DgfEngine::new(a);
+    let eb = DgfEngine::new(b);
+    for q in &queries(&cfg) {
+        let ra = ea.run(q).unwrap().result;
+        let rb = eb.run(q).unwrap().result;
+        assert!(ra.approx_eq(&rb, 0.0));
+    }
+
+    let da = single.stats().snapshot().since(&before_single);
+    let db = router.stats().snapshot().since(&before_router);
+    assert_eq!(
+        da, db,
+        "router logical counters diverged from single-node for the same plan"
+    );
+}
+
+/// Satellite: concurrent frontend clients racing a staged-commit append
+/// on the sharded path. The seeded schedules stretch the commit wide
+/// open at the coordinator's scatter/fetch/merge sites and the router's
+/// own sync points; every served answer must wholly equal the
+/// pre-append or post-append snapshot — a cross-shard blend (some cells
+/// old, some new) fails here.
+#[test]
+fn concurrent_clients_vs_append_never_see_torn_cross_shard_state() {
+    let cfg = meter_cfg();
+    let (seeded, batch) = seeded_and_batch(&cfg);
+    let extents = {
+        let w = world("conc-extents");
+        build_over(&w, Arc::new(MemKvStore::new()), &seeded, grid(&cfg))
+            .extents()
+            .unwrap()
+    };
+
+    for seed in stress_seeds().into_iter().take(3) {
+        let w = world(&format!("conc{seed}"));
+        let plan = interleave(seed);
+        let router = Arc::new(
+            sharded_mem(&extents, 4)
+                .unwrap()
+                .with_fault(Arc::clone(&plan)),
+        );
+        build_over(
+            &w,
+            Arc::clone(&router) as Arc<dyn KvStore>,
+            &seeded,
+            grid(&cfg),
+        );
+        let index = open_reader(
+            &w,
+            Arc::clone(&router) as Arc<dyn KvStore>,
+            2,
+            Some(Arc::clone(&plan)),
+        )
+        .unwrap();
+
+        let mix = queries(&cfg);
+        let pre = answers(&index, &cfg);
+        let qs: Vec<Query> = (0..8).flat_map(|_| mix.iter().cloned()).collect();
+        let front = ServeFrontend::new(
+            DgfEngine::new(Arc::clone(&index)),
+            ServeOptions {
+                workers: 2,
+                ..ServeOptions::default()
+            },
+        );
+        let report = std::thread::scope(|s| {
+            let writer = s.spawn(|| index.append(&batch).unwrap());
+            let report = front.run_concurrent(&qs, 3);
+            writer.join().unwrap();
+            report
+        });
+        let post = answers(&index, &cfg);
+
+        assert!(
+            !matches(&post, &pre),
+            "seed {seed}: append changed nothing — harness is vacuous"
+        );
+        assert_eq!(front.stats().snapshot().failed, 0, "seed {seed}: queries failed");
+        for served in &report.served {
+            let got = served.result.as_ref().expect("query dropped");
+            let j = served.query_index % mix.len();
+            assert!(
+                got.approx_eq(&pre[j], 1e-9) || got.approx_eq(&post[j], 1e-9),
+                "seed {seed}: served query {} is a torn cross-shard read:\n  got  {got:?}\n  pre  {:?}\n  post {:?}",
+                served.query_index,
+                pre[j],
+                post[j]
+            );
+        }
+    }
+}
+
+/// Satellite: same race, writer = streaming flush. A flush moves
+/// acked-but-already-visible rows from the memtable into the index, so
+/// on the sharded path too there is only ONE legal answer the whole
+/// time.
+#[test]
+fn concurrent_clients_vs_flush_hold_one_answer_on_the_sharded_path() {
+    let cfg = meter_cfg();
+    let rows = generate_meter_data(&cfg);
+    let per_day = rows.len() / cfg.days as usize;
+    let (seeded, rest) = rows.split_at(2 * per_day);
+    let extents = {
+        let w = world("flush-extents");
+        build_over(&w, Arc::new(MemKvStore::new()), seeded, grid(&cfg))
+            .extents()
+            .unwrap()
+    };
+
+    for seed in stress_seeds().into_iter().take(2) {
+        let w = world(&format!("flush{seed}"));
+        let plan = interleave(seed ^ 0x5A4D);
+        let router = Arc::new(
+            sharded_mem(&extents, 4)
+                .unwrap()
+                .with_fault(Arc::clone(&plan)),
+        );
+        build_over(
+            &w,
+            Arc::clone(&router) as Arc<dyn KvStore>,
+            seeded,
+            grid(&cfg),
+        );
+        let index = open_reader(
+            &w,
+            Arc::clone(&router) as Arc<dyn KvStore>,
+            2,
+            Some(Arc::clone(&plan)),
+        )
+        .unwrap();
+        let ingestor = StreamIngestor::open(
+            Arc::clone(&index),
+            w.tmp.path().join("ingest.wal"),
+            IngestConfig {
+                flush_rows: u64::MAX,
+                auto_flush_interval: None,
+                fault: Some(Arc::clone(&plan)),
+                ..IngestConfig::default()
+            },
+        )
+        .unwrap();
+        ingestor.ingest(rest).unwrap();
+
+        let mix = queries(&cfg);
+        let pre = answers(&index, &cfg);
+        let qs: Vec<Query> = (0..6).flat_map(|_| mix.iter().cloned()).collect();
+        let front = ServeFrontend::new(
+            DgfEngine::new(Arc::clone(&index)),
+            ServeOptions {
+                workers: 2,
+                ..ServeOptions::default()
+            },
+        );
+        let report = std::thread::scope(|s| {
+            let flusher = s.spawn(|| ingestor.flush().unwrap());
+            let report = front.run_concurrent(&qs, 3);
+            flusher.join().unwrap();
+            report
+        });
+        let post = answers(&index, &cfg);
+
+        assert!(
+            matches(&post, &pre),
+            "seed {seed}: flush changed answers on the sharded path"
+        );
+        for served in &report.served {
+            let got = served.result.as_ref().expect("query dropped");
+            let j = served.query_index % mix.len();
+            assert!(
+                got.approx_eq(&pre[j], 1e-9),
+                "seed {seed}: served query {} wavered during flush:\n  got  {got:?}\n  want {:?}",
+                served.query_index,
+                pre[j]
+            );
+        }
+    }
+}
+
+/// A shard that dies mid-read-path: after `countdown` read operations
+/// it fails every subsequent operation permanently (sticky, like a dead
+/// region server). [`ChaosKv`]'s crash triggers are write-anchored
+/// (`crash_after_writes` / commit-protocol crash points), so the
+/// read-path crash-site sweep needs this read-anchored shim with the
+/// same sticky semantics.
+struct DeadShard {
+    inner: Arc<dyn KvStore>,
+    countdown: AtomicI64,
+}
+
+impl DeadShard {
+    fn tick(&self) -> dgfindex::common::Result<()> {
+        if self.countdown.fetch_sub(1, Ordering::SeqCst) <= 0 {
+            return Err(DgfError::KvStore("injected shard crash".into()));
+        }
+        Ok(())
+    }
+}
+
+impl KvStore for DeadShard {
+    fn put(&self, key: &[u8], value: &[u8]) -> dgfindex::common::Result<()> {
+        self.tick()?;
+        self.inner.put(key, value)
+    }
+    fn get(&self, key: &[u8]) -> dgfindex::common::Result<Option<Vec<u8>>> {
+        self.tick()?;
+        self.inner.get(key)
+    }
+    fn delete(&self, key: &[u8]) -> dgfindex::common::Result<bool> {
+        self.tick()?;
+        self.inner.delete(key)
+    }
+    fn scan_range(&self, start: &[u8], end: &[u8]) -> dgfindex::common::Result<Vec<KvPair>> {
+        self.tick()?;
+        self.inner.scan_range(start, end)
+    }
+    fn update(
+        &self,
+        key: &[u8],
+        f: &mut dyn FnMut(Option<&[u8]>) -> Vec<u8>,
+    ) -> dgfindex::common::Result<()> {
+        self.tick()?;
+        self.inner.update(key, f)
+    }
+    fn multi_get(&self, keys: &[Vec<u8>]) -> dgfindex::common::Result<Vec<Option<Vec<u8>>>> {
+        self.tick()?;
+        self.inner.multi_get(keys)
+    }
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+    fn logical_size_bytes(&self) -> u64 {
+        self.inner.logical_size_bytes()
+    }
+    fn flush(&self) -> dgfindex::common::Result<()> {
+        self.inner.flush()
+    }
+    fn stats(&self) -> &KvStats {
+        self.inner.stats()
+    }
+}
+
+/// Satellite (chaos): one shard dies mid-scatter. Each query must
+/// either error cleanly or answer with the committed view — never a
+/// partial merge of the surviving shards' headers with the dead shard's
+/// absence. The crash-site sweep walks the read-op space (shard dead on
+/// arrival through dead-after-the-whole-mix), so both outcomes are
+/// exercised — asserted at the bottom, an all-error or all-clean sweep
+/// would be vacuous. A second pass storms the same shard with
+/// [`ChaosKv`] transient faults past retry exhaustion: same invariant.
+#[test]
+fn shard_crash_mid_scatter_is_clean_error_or_committed_answer() {
+    let cfg = meter_cfg();
+    let (seeded, batch) = seeded_and_batch(&cfg);
+    let w = world("chaos");
+    let extents = {
+        let probe = world("chaos-extents");
+        build_over(&probe, Arc::new(MemKvStore::new()), &seeded, grid(&cfg))
+            .extents()
+            .unwrap()
+    };
+    let router = Arc::new(sharded_mem(&extents, 4).unwrap());
+    let built = build_over(
+        &w,
+        Arc::clone(&router) as Arc<dyn KvStore>,
+        &seeded,
+        grid(&cfg),
+    );
+    built.append(&batch).unwrap();
+    drop(built);
+
+    // The committed-view oracle, through the healthy router.
+    let healthy = open_reader(&w, Arc::clone(&router) as Arc<dyn KvStore>, 2, None).unwrap();
+    let oracle = answers(&healthy, &cfg);
+
+    // Kill a GFU-bearing shard below the metadata (last) shard, so the
+    // view pin itself survives and the crash lands inside the scatter.
+    let target = router
+        .shards()
+        .iter()
+        .take(router.shards().len() - 1)
+        .position(|s| !s.is_empty())
+        .expect("a data shard below the metadata shard");
+
+    // A router identical to `router` except shard `target` is wrapped.
+    let wrap = |wrapped: Arc<dyn KvStore>| -> Arc<ShardedKv> {
+        let shards: Vec<Arc<dyn KvStore>> = router
+            .shards()
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                if i == target {
+                    Arc::clone(&wrapped)
+                } else {
+                    Arc::clone(s)
+                }
+            })
+            .collect();
+        Arc::new(ShardedKv::new(shards, router.boundaries().to_vec()).unwrap())
+    };
+
+    let mix = queries(&cfg);
+    let (mut crashed, mut clean) = (0u32, 0u32);
+    for site in 0..16i64 {
+        let dead = wrap(Arc::new(DeadShard {
+            inner: Arc::clone(&router.shards()[target]),
+            countdown: AtomicI64::new(site),
+        }));
+        let reader = match open_reader(&w, dead as Arc<dyn KvStore>, 2, None) {
+            Ok(reader) => reader,
+            Err(_) => {
+                // Crash fired during open: a clean refusal, no answer.
+                crashed += 1;
+                continue;
+            }
+        };
+        let engine = DgfEngine::new(reader);
+        for (j, q) in mix.iter().enumerate() {
+            match engine.run(q) {
+                Ok(run) => {
+                    clean += 1;
+                    assert!(
+                        run.result.approx_eq(&oracle[j], 0.0),
+                        "site {site}: a crashed shard leaked a partial merge:\n  got  {:?}\n  want {:?}",
+                        run.result,
+                        oracle[j]
+                    );
+                }
+                Err(_) => crashed += 1,
+            }
+        }
+    }
+    assert!(crashed > 0, "no crash site ever fired — the sweep is vacuous");
+    assert!(clean > 0, "every site crashed — committed answers never exercised");
+
+    // ChaosKv transient storm: every read on the target shard fails
+    // with a retryable error until the reader's RetryPolicy gives up.
+    let storm_plan = Arc::new(FaultPlan::new(FaultConfig::transient(7, 1.0)));
+    let stormy = wrap(Arc::new(ChaosKv::new(
+        Arc::clone(&router.shards()[target]),
+        storm_plan,
+    )));
+    let mut stormed = 0u32;
+    if let Ok(reader) = open_reader(&w, stormy as Arc<dyn KvStore>, 2, None) {
+        let engine = DgfEngine::new(reader);
+        for (j, q) in mix.iter().enumerate() {
+            match engine.run(q) {
+                Ok(run) => assert!(
+                    run.result.approx_eq(&oracle[j], 0.0),
+                    "storm: a partial merge leaked past retry exhaustion"
+                ),
+                Err(_) => stormed += 1,
+            }
+        }
+    } else {
+        stormed += 1;
+    }
+    assert!(stormed > 0, "a full transient storm never surfaced an error");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Tentpole (randomized): proptest-chosen grid spans, data shapes,
+    /// null patterns in the aggregated measure, and a mixed-ingest
+    /// split. Whatever the grid, the sharded answers must match the
+    /// single-node engine bit for bit.
+    #[test]
+    fn random_grids_nulls_and_ingest_serve_bit_identically(
+        users in 4u64..12,
+        days in 2u64..5,
+        user_span in 1i64..5,
+        day_span in 1i64..3,
+        null_mask in any::<u64>(),
+        seed in any::<u64>(),
+        shard_pick in 0usize..3,
+    ) {
+        let shards = [2usize, 4, 7][shard_pick];
+        let cfg = MeterConfig { users, days, seed, ..MeterConfig::default() };
+        let mut rows = generate_meter_data(&cfg);
+        let power = meter_schema().index_of("power_consumed").unwrap();
+        for (i, row) in rows.iter_mut().enumerate() {
+            if (null_mask >> (i % 64)) & 1 == 1 {
+                row[power] = Value::Null;
+            }
+        }
+        let (seeded, rest) = rows.split_at((rows.len() / 2).max(1));
+        let policy = || SplittingPolicy::new(vec![
+            DimPolicy::int("user_id", 0, user_span),
+            DimPolicy::date("ts", cfg.start_day, day_span),
+        ]).unwrap();
+
+        let wo = world("prop-oracle");
+        let oracle_index = build_over(&wo, Arc::new(MemKvStore::new()), seeded, policy());
+        let extents = oracle_index.extents().unwrap();
+        oracle_index.append(rest).unwrap();
+        let oracle = answers(&oracle_index, &cfg);
+
+        let ws = world(&format!("prop-s{shards}"));
+        let router = Arc::new(sharded_mem(&extents, shards).unwrap());
+        build_over(&ws, Arc::clone(&router) as Arc<dyn KvStore>, seeded, policy());
+        let reader = open_reader(&ws, Arc::clone(&router) as Arc<dyn KvStore>, shards, None).unwrap();
+        reader.append(rest).unwrap();
+        let got = answers(&reader, &cfg);
+        prop_assert!(
+            bits_eq(&got, &oracle),
+            "{shards}-shard answers differ from single-node under grid ({user_span}, {day_span}), {users} users x {days} days:\n{got:?}\nvs\n{oracle:?}"
+        );
+    }
+}
