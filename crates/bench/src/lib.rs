@@ -23,6 +23,7 @@
 pub mod columnar;
 pub mod experiments;
 pub mod meter_lab;
+pub mod pyramid;
 pub mod readpath;
 pub mod report;
 pub mod scale;

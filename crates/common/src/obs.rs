@@ -119,6 +119,12 @@ pub mod names {
     pub const PLAN_FRESH_GFUS: &str = "plan.fresh_gfus";
     /// Buffered records those cells hold (`DgfPlan::fresh_records`).
     pub const PLAN_FRESH_RECORDS: &str = "plan.fresh_records";
+    /// Pyramid nodes (level ≥ 1) merged in place of leaf headers
+    /// (`DgfPlan::pyramid_nodes`).
+    pub const PLAN_PYRAMID_NODES: &str = "plan.pyramid.nodes";
+    /// Leaf cells those pyramid nodes summarized — header reads the
+    /// decomposition avoided (`DgfPlan::pyramid_cells`).
+    pub const PLAN_PYRAMID_CELLS: &str = "plan.pyramid.cells";
 
     /// Streaming ingest batches acknowledged (`IngestStats::batches`).
     pub const INGEST_BATCHES: &str = "ingest.batches";

@@ -31,6 +31,11 @@ pub const META_FILES_KEY: &[u8] = b"m:files";
 /// manifest's precomputed meta puts), so WAL replay after a crash knows
 /// exactly which batches are already indexed.
 pub const META_INGEST_KEY: &[u8] = b"m:ingest";
+/// Key of the persisted aggregate-pyramid height (absent on stores
+/// built without a pyramid — legacy stores stay legacy, because absent
+/// ancestor nodes would silently read as "no data"). One byte: the
+/// number of levels above the `g:` leaves (see [`crate::pyramid`]).
+pub const META_PYRAMID_KEY: &[u8] = b"m:pyramid";
 /// Key of the persisted [`ReadView`](crate::view::ReadView): the
 /// committed snapshot (generation, extents, split list, watermark) that
 /// query planning pins with a single `get`. Published inside the commit

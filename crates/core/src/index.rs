@@ -25,7 +25,7 @@ use dgf_format::{FileFormat, RcReader, TextReader, TextWriter};
 use dgf_hive::{BuildReport, HiveContext, TableRef};
 use dgf_kvstore::KvStore;
 use dgf_mapreduce::JobReport;
-use dgf_query::{AggFunc, AggSet};
+use dgf_query::{AggFunc, AggSet, AggState};
 use dgf_storage::{FileSplit, HdfsRef};
 
 use parking_lot::Mutex;
@@ -34,9 +34,10 @@ use crate::cache::{GfuHeaderCache, DEFAULT_HEADER_CACHE_CAPACITY};
 use crate::fresh::FreshSource;
 use crate::gfu::{
     Extents, GfuKey, GfuValue, GFU_PREFIX, META_AGGS_KEY, META_EXTENT_KEY, META_FILES_KEY,
-    META_INGEST_KEY, META_PLACEMENT_KEY, META_POLICY_KEY, META_VIEW_KEY,
+    META_INGEST_KEY, META_PLACEMENT_KEY, META_POLICY_KEY, META_PYRAMID_KEY, META_VIEW_KEY,
 };
 use crate::policy::SplittingPolicy;
+use crate::pyramid;
 use crate::txn::{
     live_key, stage_key, stage_prefix, TxnManifest, TxnState, STAGE_PREFIX, TXN_MANIFEST_KEY,
 };
@@ -112,6 +113,14 @@ pub struct IndexOptions {
     /// answer-preserving because runs are always *absorbed* in odometer
     /// order regardless of fetch completion order (DESIGN.md §13).
     pub fetch_parallelism: usize,
+    /// Whether *new builds* maintain the hierarchical aggregate pyramid
+    /// (see [`crate::pyramid`]). Ignored on [`open`](DgfIndex::open):
+    /// an existing store's `m:pyramid` metadata decides, because a
+    /// pyramid-bearing store must keep its nodes maintained on every
+    /// append regardless of who opens it (a stale node would silently
+    /// under-count), and a legacy store can never grow one in place
+    /// (its absent ancestors would read as empty).
+    pub pyramid: bool,
 }
 
 impl Default for IndexOptions {
@@ -122,6 +131,7 @@ impl Default for IndexOptions {
             fault: None,
             profiler: Profiler::from_env(),
             fetch_parallelism: 1,
+            pyramid: true,
         }
     }
 }
@@ -160,6 +170,9 @@ pub struct DgfIndex {
     header_cache: GfuHeaderCache,
     fresh_source: Mutex<Option<Arc<dyn FreshSource>>>,
     fetch_parallelism: usize,
+    /// Pyramid height when this store maintains one (`m:pyramid`);
+    /// `None` disables both maintenance and the `Pyramid` plan strategy.
+    pyramid: Option<u8>,
 }
 
 impl DgfIndex {
@@ -249,6 +262,12 @@ impl DgfIndex {
                 )));
             }
         }
+        // The pyramid only pays off when headers exist to summarize, and
+        // very wide grids would fan out 2^d children per node.
+        let pyramid = (options.pyramid
+            && !aggs.is_empty()
+            && policy.arity() <= pyramid::MAX_PYRAMID_ARITY)
+            .then_some(pyramid::DEFAULT_PYRAMID_LEVELS);
         let index = DgfIndex {
             ctx,
             base,
@@ -264,6 +283,7 @@ impl DgfIndex {
             header_cache: GfuHeaderCache::new(DEFAULT_HEADER_CACHE_CAPACITY),
             fresh_source: Mutex::new(None),
             fetch_parallelism: options.fetch_parallelism.max(1),
+            pyramid,
         };
         let watch = Stopwatch::start();
         let span = index.profiler.span("build");
@@ -371,6 +391,12 @@ impl DgfIndex {
         let placement = kv_retry(options.retry, kv.as_ref(), || kv.get(META_PLACEMENT_KEY))?
             .map(|b| SlicePlacement::decode(&b))
             .unwrap_or(SlicePlacement::KeyHash);
+        // The stored metadata decides, not `options.pyramid`: see
+        // [`IndexOptions::pyramid`].
+        let stored_pyramid = kv_retry(options.retry, kv.as_ref(), || kv.get(META_PYRAMID_KEY))?
+            .as_deref()
+            .map(pyramid::decode_meta)
+            .transpose()?;
         kv.stats().snapshot().since(&meta_before).attach_to_span(&meta_span);
         meta_span.finish();
         span.finish();
@@ -389,6 +415,7 @@ impl DgfIndex {
             header_cache: GfuHeaderCache::new(DEFAULT_HEADER_CACHE_CAPACITY),
             fresh_source: Mutex::new(None),
             fetch_parallelism: options.fetch_parallelism.max(1),
+            pyramid: stored_pyramid,
         })
     }
 
@@ -719,6 +746,13 @@ impl DgfIndex {
         self.fetch_parallelism
     }
 
+    /// Height of the maintained aggregate pyramid, or `None` when this
+    /// store carries no pyramid (legacy stores, empty pre-compute
+    /// lists, very wide grids). See [`crate::pyramid`].
+    pub fn pyramid_levels(&self) -> Option<u8> {
+        self.pyramid
+    }
+
     /// Replace the index's span collector after the fact — e.g. to force
     /// collection for one profiled run regardless of `DGF_TRACE`, as the
     /// bench harness does when emitting `BENCH_*.json`.
@@ -884,6 +918,15 @@ impl DgfIndex {
             extents.merge(e);
             staged_keys.extend(keys.iter().cloned());
         }
+        // Stage the pyramid delta in the SAME transaction: recompute
+        // every node whose subtree holds a cell this job touched, from
+        // the final post-commit child values. The staged nodes publish
+        // through the same apply phase as the cells — visibility flips
+        // with the one `m:view` put, so readers never see cells and
+        // ancestors from different epochs.
+        if let Some(levels) = self.pyramid {
+            self.stage_pyramid_updates(gen, levels, &mut staged_keys)?;
+        }
         // The post-commit split list: every data file already live plus
         // this transaction's rename destinations (sized from the staged
         // files — slice files are immutable once renamed, so the pinned
@@ -942,6 +985,95 @@ impl DgfIndex {
         Ok(job.report)
     }
 
+    /// Recompute and stage the pyramid nodes dirtied by transaction
+    /// `gen`'s staged cells. Every dirty level-`k` parent is folded
+    /// from its 2^d children in canonical odometer order
+    /// ([`pyramid::fold_node`]): touched children come from this
+    /// transaction's staged values (their *final* post-commit state),
+    /// untouched siblings from the live store. The nodes are staged
+    /// under the same `s:` prefix and appended to `staged_keys`, so
+    /// the generic apply/rollback/recovery machinery publishes or
+    /// discards them with the cells — no pyramid-specific crash
+    /// handling exists or is needed.
+    fn stage_pyramid_updates(
+        &self,
+        gen: u64,
+        levels: u8,
+        staged_keys: &mut Vec<Vec<u8>>,
+    ) -> Result<()> {
+        use std::collections::HashMap;
+        let agg_set = AggSet::bind(&self.aggs, &self.base.schema)?;
+        let arity = self.policy.arity();
+        // Final post-commit values of everything staged so far — all
+        // the `g:` cells this job wrote.
+        let staged = kv_retry(self.retry, self.kv.as_ref(), || {
+            self.kv.scan_prefix(&stage_prefix(gen))
+        })?;
+        let mut current: HashMap<Vec<u8>, GfuValue> = HashMap::new();
+        let mut dirty: Vec<Vec<i64>> = Vec::new();
+        for (skey, v) in &staged {
+            let live = live_key(skey);
+            if !live.starts_with(GFU_PREFIX) {
+                continue;
+            }
+            let key = GfuKey::decode(live, arity)?;
+            dirty.push(key.cells);
+            current.insert(live.to_vec(), GfuValue::decode(v)?);
+        }
+        for level in 1..=levels {
+            // Parent coords are not monotone in child order: sort+dedup.
+            let mut parents: Vec<Vec<i64>> =
+                dirty.iter().map(|c| pyramid::parent_coords(c)).collect();
+            parents.sort();
+            parents.dedup();
+            // One scheduling point per LEVEL, not per parent: the
+            // interleaving harness can still pause mid-pyramid-staging,
+            // but the flush's in-progress window stays short enough for
+            // the planner's bounded validation retries (readers spin
+            // while a flush is mid-epoch, so every pause here extends
+            // their worst case directly).
+            self.sync_point("reorg.stage-pyramid");
+            for parent in &parents {
+                let child_value = |coords: &[i64]| -> Result<Option<(Vec<AggState>, u64)>> {
+                    let ckey = pyramid::level_key(level - 1, coords);
+                    let value = match current.get(&ckey) {
+                        Some(v) => Some(v.clone()),
+                        None => self
+                            .kv_get(&ckey)?
+                            .as_deref()
+                            .map(GfuValue::decode)
+                            .transpose()?,
+                    };
+                    match value {
+                        None => Ok(None),
+                        Some(v) => Ok(Some((agg_set.decode_states(&v.header)?, v.record_count))),
+                    }
+                };
+                let folded = pyramid::fold_node(
+                    &agg_set,
+                    pyramid::child_coords(parent).iter().map(|c| child_value(c)),
+                )?;
+                // A dirty parent always has at least one present child
+                // (the staged cell that dirtied it), but stay defensive.
+                let Some((states, count)) = folded else { continue };
+                let node = GfuValue {
+                    header: AggSet::encode_states(&states),
+                    slices: Vec::new(),
+                    record_count: count,
+                };
+                let nkey = pyramid::pyramid_key(level, parent);
+                let skey = stage_key(gen, &nkey);
+                let enc = node.encode();
+                kv_retry(self.retry, self.kv.as_ref(), || self.kv.put(&skey, &enc))?;
+                staged_keys.push(skey);
+                current.insert(nkey, node);
+            }
+            dirty = parents;
+        }
+        self.crash_point("reorg.pyramid-staged")?;
+        Ok(())
+    }
+
     /// The precomputed post-commit metadata puts. Plain overwrites (the
     /// extents are merged at prepare time, not at apply time, and the
     /// caller resolves the ingest watermark to its final monotone value)
@@ -956,14 +1088,18 @@ impl DgfIndex {
             .collect::<Vec<_>>()
             .join("\n")
             .into_bytes();
-        vec![
+        let mut puts = vec![
             (META_POLICY_KEY.to_vec(), self.policy.encode()),
             (META_PLACEMENT_KEY.to_vec(), self.placement.encode()),
             (META_FILES_KEY.to_vec(), files.to_le_bytes().to_vec()),
             (META_AGGS_KEY.to_vec(), agg_keys),
             (META_EXTENT_KEY.to_vec(), extents.encode()),
             (META_INGEST_KEY.to_vec(), watermark.to_le_bytes().to_vec()),
-        ]
+        ];
+        if let Some(levels) = self.pyramid {
+            puts.push((META_PYRAMID_KEY.to_vec(), pyramid::encode_meta(levels)));
+        }
+        puts
     }
 
     /// The non-transactional metadata path, used only when a build or
@@ -1086,6 +1222,44 @@ impl DgfIndex {
             }
         }
         self.kv_get(key)
+    }
+
+    /// A batched `multi_get` as seen from `view`: while the view's
+    /// transaction is still publishing, one batch over the staged twins
+    /// runs *first* and a second batch over the live keys fills the
+    /// staged misses — the same per-key staged-before-live ordering
+    /// argument as [`kv_get_pinned`](Self::kv_get_pinned), paid as two
+    /// snapshot-atomic round trips instead of one per key.
+    pub(crate) fn kv_multi_get_pinned(
+        &self,
+        view: &ReadView,
+        keys: &[Vec<u8>],
+    ) -> Result<Vec<Option<Vec<u8>>>> {
+        if !(view.versioned && view.pending) {
+            return kv_retry(self.retry, self.kv.as_ref(), || self.kv.multi_get(keys));
+        }
+        let staged_keys: Vec<Vec<u8>> = keys
+            .iter()
+            .map(|k| stage_key(view.generation, k))
+            .collect();
+        let mut out = kv_retry(self.retry, self.kv.as_ref(), || {
+            self.kv.multi_get(&staged_keys)
+        })?;
+        let miss_idx: Vec<usize> = out
+            .iter()
+            .enumerate()
+            .filter_map(|(i, v)| v.is_none().then_some(i))
+            .collect();
+        if !miss_idx.is_empty() {
+            let miss_keys: Vec<Vec<u8>> = miss_idx.iter().map(|i| keys[*i].clone()).collect();
+            let live = kv_retry(self.retry, self.kv.as_ref(), || {
+                self.kv.multi_get(&miss_keys)
+            })?;
+            for (i, v) in miss_idx.into_iter().zip(live) {
+                out[i] = v;
+            }
+        }
+        Ok(out)
     }
 
     /// A range scan as seen from `view`: staged keys are scanned before

@@ -15,6 +15,10 @@
 //!   scans rather than per-cell round trips (see [`plan::PlanStrategy`]).
 //! * [`cache`] — the epoch-tagged GFU header cache that lets repeated
 //!   queries plan without touching the key-value store.
+//! * [`pyramid`] — the hierarchical aggregate pyramid: coarser-level
+//!   headers above the grid so a fully-inner region is answered from
+//!   O(polylog) canonical nodes instead of per-cell header reads
+//!   (see [`plan::PlanStrategy::Pyramid`]).
 //! * [`engine`] — the [`DgfEngine`] implementing the common
 //!   [`dgf_query::Engine`] interface.
 //!
@@ -60,6 +64,7 @@ pub mod gfu;
 pub mod index;
 pub mod plan;
 pub mod policy;
+pub mod pyramid;
 pub mod txn;
 pub mod view;
 
@@ -70,6 +75,7 @@ pub use fresh::{FreshCell, FreshSource};
 pub use gfu::{Extents, GfuKey, GfuValue, SliceLoc};
 pub use index::{all_gfus, default_precompute, DgfIndex, IndexOptions, SlicePlacement};
 pub use plan::{DgfPlan, PlanStrategy};
+pub use pyramid::{NodeRef, DEFAULT_PYRAMID_LEVELS, PYRAMID_PREFIX};
 pub use txn::{TxnManifest, TxnState};
 pub use view::ReadView;
 pub use policy::{DimPolicy, DimScale, DimSpan, SplittingPolicy};

@@ -24,7 +24,7 @@
 //! query touches the store not at all. [`PlanStrategy::PointGets`] keeps
 //! the historical cell-at-a-time behaviour for comparison.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Duration;
@@ -54,6 +54,16 @@ pub enum PlanStrategy {
     /// cache. A fully cached run costs zero key-value operations.
     #[default]
     PrefixScan,
+    /// Decompose the fully-inner region into maximal canonical pyramid
+    /// nodes (see [`crate::pyramid`]) and read one pre-computed `p:`
+    /// header per node, descending to `g:` leaf headers only at the
+    /// fringe; boundary cells ride one batched `multi_get`. On a store
+    /// without a pyramid (or when headers are unusable, or when the
+    /// query has no fully-inner cell) this falls back to
+    /// [`PrefixScan`](Self::PrefixScan) wholesale. Answers are
+    /// bit-identical to the flat strategies because all three fold the
+    /// inner region through the same canonical merge tree.
+    Pyramid,
 }
 
 /// The plan for one DGFIndex query.
@@ -73,6 +83,12 @@ pub struct DgfPlan {
     pub boundary_gfus: u64,
     /// Records sitting in the inner region (answered without reading).
     pub inner_records: u64,
+    /// Pyramid nodes (level ≥ 1) merged in place of leaf headers; only
+    /// non-zero under [`PlanStrategy::Pyramid`].
+    pub pyramid_nodes: u64,
+    /// Leaf cells those pyramid nodes summarized — the header reads the
+    /// decomposition avoided.
+    pub pyramid_cells: u64,
     /// All splits of the reorganized table.
     pub splits_total: u64,
     /// Splits with at least one query-related Slice.
@@ -109,13 +125,28 @@ pub struct DgfPlan {
 
 /// Accumulates the per-cell work of a plan: header merging for covered
 /// cells, slice collection for boundary cells, and the cache tallies.
-/// Both strategies feed cells through [`Collector::absorb`] in odometer
-/// order, which is what makes their plans bit-identical.
+///
+/// Covered persisted cells are not merged on arrival: their picked
+/// states are **buffered** and [`Collector::finalize_inner`] folds them
+/// through the canonical merge tree of [`crate::pyramid`]. That makes
+/// every strategy's inner aggregate bit-identical — the flat strategies
+/// re-play client-side exactly the fold whose pre-computed results the
+/// [`PlanStrategy::Pyramid`] path reads from `p:` nodes (which merge
+/// via [`Collector::merge_covered`] and leave the buffer empty).
 struct Collector {
     header_merge: Option<HeaderMerge>,
+    /// Grid arity, for decoding buffered cell coordinates from keys.
+    arity: usize,
+    /// Picked (query-order) states of covered persisted cells, keyed by
+    /// coordinates, awaiting the canonical fold.
+    inner_buffer: BTreeMap<Vec<i64>, Vec<AggState>>,
     inner_gfus: u64,
     inner_records: u64,
     boundary_gfus: u64,
+    /// Pyramid nodes (level ≥ 1) merged in place of leaf headers.
+    pyramid_nodes: u64,
+    /// Leaf cells those nodes summarized.
+    pyramid_cells: u64,
     per_file: HashMap<String, Vec<ByteRange>>,
     cache_hits: u64,
     cache_misses: u64,
@@ -149,7 +180,10 @@ struct RunFetch {
 }
 
 impl Collector {
-    fn absorb(&mut self, covered: bool, value: &GfuValue) -> Result<()> {
+    /// Absorb one persisted cell fetched under `key`: covered cells
+    /// buffer their picked states for the canonical fold, boundary
+    /// cells contribute their Slice byte ranges.
+    fn absorb(&mut self, covered: bool, key: &[u8], value: &GfuValue) -> Result<()> {
         if covered {
             let hm = self.header_merge.as_mut().ok_or_else(|| {
                 DgfError::Index("covered cell absorbed without usable headers".into())
@@ -158,7 +192,8 @@ impl Collector {
             self.inner_records += value.record_count;
             let states = hm.index_set.decode_states(&value.header)?;
             let picked: Vec<AggState> = hm.positions.iter().map(|p| states[*p].clone()).collect();
-            hm.query_set.merge(&mut hm.acc, &picked)?;
+            let coords = GfuKey::decode(key, self.arity)?.cells;
+            self.inner_buffer.insert(coords, picked);
         } else {
             self.boundary_gfus += 1;
             for s in &value.slices {
@@ -172,6 +207,89 @@ impl Collector {
         }
         Ok(())
     }
+
+    /// Merge a covered value straight into the accumulator, bypassing
+    /// the buffer: pyramid nodes (whose stored states *are* canonical
+    /// subtree folds) and fresh memtable cells (which sit outside the
+    /// persisted tree and merge after [`finalize_inner`]
+    /// (Self::finalize_inner), in both strategies alike).
+    fn merge_covered(&mut self, value: &GfuValue) -> Result<()> {
+        let hm = self.header_merge.as_mut().ok_or_else(|| {
+            DgfError::Index("covered cell absorbed without usable headers".into())
+        })?;
+        self.inner_gfus += 1;
+        self.inner_records += value.record_count;
+        let states = hm.index_set.decode_states(&value.header)?;
+        let picked: Vec<AggState> = hm.positions.iter().map(|p| states[*p].clone()).collect();
+        hm.query_set.merge(&mut hm.acc, &picked)?;
+        Ok(())
+    }
+
+    /// Fold the buffered covered cells through the canonical merge tree
+    /// and merge the resulting node states into the accumulator in
+    /// canonical item order — the exact sequence the Pyramid strategy
+    /// gets by reading pre-computed `p:` nodes. No-op when nothing was
+    /// buffered (Pyramid's direct path, non-header plans, empty inner
+    /// regions).
+    fn finalize_inner(&mut self, spans: &[DimSpan], top: u8) -> Result<()> {
+        if self.inner_buffer.is_empty() {
+            return Ok(());
+        }
+        let hm = self.header_merge.as_mut().ok_or_else(|| {
+            DgfError::Index("buffered covered cells without usable headers".into())
+        })?;
+        let inner = inner_box(spans).ok_or_else(|| {
+            DgfError::Index("covered cells buffered for an empty inner box".into())
+        })?;
+        let buffer = std::mem::take(&mut self.inner_buffer);
+        let levels = crate::pyramid::fold_levels(buffer, top, &hm.query_set)?;
+        for item in crate::pyramid::decompose(&inner, top) {
+            if let Some(states) = levels[item.level as usize].get(&item.coords) {
+                hm.query_set.merge(&mut hm.acc, states)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Push every coordinate vector of an inclusive box, in odometer (= key)
+/// order. An empty box (inverted on any dimension) pushes nothing.
+fn enumerate_box(bounds: &[(i64, i64)], out: &mut Vec<Vec<i64>>) {
+    if bounds.iter().any(|(lo, hi)| lo > hi) {
+        return;
+    }
+    let mut coord: Vec<i64> = bounds.iter().map(|(lo, _)| *lo).collect();
+    loop {
+        out.push(coord.clone());
+        let mut advanced = false;
+        for d in (0..bounds.len()).rev() {
+            if coord[d] < bounds[d].1 {
+                coord[d] += 1;
+                for (c, (lo, _)) in coord[d + 1..].iter_mut().zip(&bounds[d + 1..]) {
+                    *c = *lo;
+                }
+                advanced = true;
+                break;
+            }
+        }
+        if !advanced {
+            return;
+        }
+    }
+}
+
+/// The fully-inner cell box of a span list: each side's uncovered rim
+/// is one cell wide. `None` when a rim arithmetic would overflow `i64`
+/// (no cell can be covered on that dimension then).
+fn inner_box(spans: &[DimSpan]) -> Option<Vec<(i64, i64)>> {
+    spans
+        .iter()
+        .map(|s| {
+            let lo = if s.lo_covered { Some(s.lo) } else { s.lo.checked_add(1) };
+            let hi = if s.hi_covered { Some(s.hi) } else { s.hi.checked_sub(1) };
+            Some((lo?, hi?))
+        })
+        .collect()
 }
 
 impl DgfIndex {
@@ -219,6 +337,8 @@ impl DgfIndex {
             inner_gfus: 0,
             boundary_gfus: 0,
             inner_records: 0,
+            pyramid_nodes: 0,
+            pyramid_cells: 0,
             splits_total: 0,
             splits_read: 0,
             cache_hits: 0,
@@ -339,9 +459,13 @@ impl DgfIndex {
             let fetch_before = fetch_span.is_recording().then(|| self.kv.stats().snapshot());
             let mut collector = Collector {
                 header_merge: make_header_merge()?,
+                arity,
+                inner_buffer: BTreeMap::new(),
                 inner_gfus: 0,
                 inner_records: 0,
                 boundary_gfus: 0,
+                pyramid_nodes: 0,
+                pyramid_cells: 0,
                 per_file: HashMap::new(),
                 cache_hits: 0,
                 cache_misses: 0,
@@ -359,7 +483,42 @@ impl DgfIndex {
                     headers_usable,
                     &mut collector,
                 )?,
+                PlanStrategy::Pyramid => {
+                    // A dedicated child span: pyramid node/cell tallies
+                    // live here (and only here — the `kv.*` deltas stay
+                    // on `plan.fetch`, so profile invariants still hold).
+                    let pyramid_span = fetch_span.child("plan.pyramid");
+                    let r = self.fetch_pyramid(
+                        &view,
+                        &spans,
+                        &extents.dims,
+                        headers_usable,
+                        &mut collector,
+                    );
+                    if pyramid_span.is_recording() {
+                        for (name, v) in [
+                            (names::PLAN_PYRAMID_NODES, collector.pyramid_nodes),
+                            (names::PLAN_PYRAMID_CELLS, collector.pyramid_cells),
+                        ] {
+                            if v > 0 {
+                                pyramid_span.add(name, v);
+                            }
+                        }
+                    }
+                    pyramid_span.finish();
+                    r?
+                }
             }
+            // Fold the buffered covered cells through the canonical merge
+            // tree. The Pyramid direct path buffered nothing (its node
+            // states *are* that fold, read pre-computed), so this is a
+            // no-op there; the flat strategies replay the fold here,
+            // which is what makes the three strategies bit-identical.
+            collector.finalize_inner(
+                &spans,
+                self.pyramid_levels()
+                    .unwrap_or(crate::pyramid::DEFAULT_PYRAMID_LEVELS),
+            )?;
 
             // Merge the memtable snapshot: a fully covered fresh cell
             // contributes its partial aggregate states through the same
@@ -386,7 +545,7 @@ impl DgfIndex {
                         slices: Vec::new(),
                         record_count: cell.record_count,
                     };
-                    collector.absorb(true, &value)?;
+                    collector.merge_covered(&value)?;
                 } else {
                     fresh_rows.extend(cell.rows.iter().cloned());
                 }
@@ -425,7 +584,12 @@ impl DgfIndex {
                 break (view, collector, fresh_gfus, fresh_records, fresh_rows);
             }
             attempts += 1;
-            if attempts > 8 {
+            // A reader cannot validate while a flush is mid-epoch, so
+            // the budget must comfortably exceed the longest commit
+            // window (which grew with pyramid staging: one staged node
+            // per dirty ancestor, and under seeded interleaving
+            // schedules a pause per level).
+            if attempts > 32 {
                 return Err(DgfError::Transient(
                     "concurrent index commits kept racing query planning".into(),
                 ));
@@ -504,6 +668,8 @@ impl DgfIndex {
             inner_gfus: collector.inner_gfus,
             boundary_gfus: collector.boundary_gfus,
             inner_records: collector.inner_records,
+            pyramid_nodes: collector.pyramid_nodes,
+            pyramid_cells: collector.pyramid_cells,
             splits_total,
             splits_read,
             cache_hits: collector.cache_hits,
@@ -558,13 +724,13 @@ impl DgfIndex {
         for key in &inner_keys {
             if let Some(got) = self.kv_get_pinned(view, key)? {
                 let value = GfuValue::decode(&got)?;
-                collector.absorb(true, &value)?;
+                collector.absorb(true, key, &value)?;
             }
         }
         for key in &boundary_keys {
             if let Some(got) = self.kv_get_pinned(view, key)? {
                 let value = GfuValue::decode(&got)?;
-                collector.absorb(false, &value)?;
+                collector.absorb(false, key, &value)?;
             }
         }
         Ok(())
@@ -792,9 +958,9 @@ impl DgfIndex {
         collector.cache_hits += fetched.hits;
         collector.cache_misses += fetched.misses;
         let Some(pairs) = fetched.pairs else {
-            for (_, covered, probe) in &fetched.cells {
+            for (key, covered, probe) in &fetched.cells {
                 if let Some(Some(value)) = probe {
-                    collector.absorb(*covered, value)?;
+                    collector.absorb(*covered, key, value)?;
                 }
             }
             return Ok(());
@@ -806,7 +972,7 @@ impl DgfIndex {
                 collector
                     .pending_fills
                     .push((key.clone(), Some(value.clone())));
-                collector.absorb(*covered, &value)?;
+                collector.absorb(*covered, key, &value)?;
                 next_pair += 1;
             } else {
                 collector.pending_fills.push((key.clone(), None));
@@ -817,6 +983,136 @@ impl DgfIndex {
             pairs.len(),
             "scan returned a key outside the run's cell set"
         );
+        Ok(())
+    }
+
+    /// Pyramid fetch: decompose the fully-inner box into maximal
+    /// canonical pyramid nodes and read one pre-computed header per
+    /// node; the uncovered rim and the pyramid items ride a single
+    /// batched `multi_get`. Falls back wholesale to
+    /// [`fetch_prefix_scans`](Self::fetch_prefix_scans) when the store
+    /// carries no pyramid, headers are unusable, or the query has no
+    /// fully-inner cell — a partial pyramid would complicate the
+    /// canonical-fold argument for no read savings.
+    fn fetch_pyramid(
+        &self,
+        view: &ReadView,
+        spans: &[DimSpan],
+        extents: &[(i64, i64)],
+        headers_usable: bool,
+        collector: &mut Collector,
+    ) -> Result<()> {
+        let top = match self.pyramid_levels() {
+            Some(t) if headers_usable => t,
+            _ => {
+                return self.fetch_prefix_scans(view, spans, extents, headers_usable, collector)
+            }
+        };
+        let inner = match inner_box(spans) {
+            Some(b) if b.iter().all(|(lo, hi)| lo <= hi) => b,
+            _ => {
+                return self.fetch_prefix_scans(view, spans, extents, headers_usable, collector)
+            }
+        };
+
+        // Boundary cells: peel the uncovered rim into at most 2·arity
+        // disjoint slabs, keyed by the first dimension that escapes the
+        // inner box — dimensions before it stay inside the inner range,
+        // the escaping dimension is pinned at an uncovered rim cell,
+        // and dimensions after it sweep their full span. A single-cell
+        // span that is uncovered on both sides pins the same cell
+        // twice, hence the `contains` dedup.
+        let arity = spans.len();
+        let mut boundary: Vec<Vec<i64>> = Vec::new();
+        for d in 0..arity {
+            let s = &spans[d];
+            let mut pins: Vec<i64> = Vec::new();
+            if !s.lo_covered {
+                pins.push(s.lo);
+            }
+            if !s.hi_covered && !pins.contains(&s.hi) {
+                pins.push(s.hi);
+            }
+            for pin in pins {
+                let slab: Vec<(i64, i64)> = (0..arity)
+                    .map(|j| match j.cmp(&d) {
+                        std::cmp::Ordering::Less => inner[j],
+                        std::cmp::Ordering::Equal => (pin, pin),
+                        std::cmp::Ordering::Greater => (spans[j].lo, spans[j].hi),
+                    })
+                    .collect();
+                enumerate_box(&slab, &mut boundary);
+            }
+        }
+        // Lexicographic coordinate order is encoded-key order, so the
+        // boundary absorbs in the same sequence a scan would deliver.
+        boundary.sort();
+
+        let items = crate::pyramid::decompose(&inner, top);
+        let boundary_keys: Vec<Vec<u8>> = boundary
+            .into_iter()
+            .map(|c| GfuKey::new(c).encode())
+            .collect();
+        let item_keys: Vec<Vec<u8>> = items.iter().map(|n| n.store_key()).collect();
+
+        // Probe the epoch-tagged header cache (shared with PrefixScan;
+        // `p:` node values cache under the same generation tag), then
+        // fetch every miss in one batched, snapshot-atomic multi_get.
+        let generation = view.generation;
+        let cache = self.header_cache();
+        let all_keys: Vec<&Vec<u8>> = boundary_keys.iter().chain(item_keys.iter()).collect();
+        let mut resolved: Vec<CachedGfu> = Vec::with_capacity(all_keys.len());
+        let mut miss_keys: Vec<Vec<u8>> = Vec::new();
+        let mut miss_idx: Vec<usize> = Vec::new();
+        for (i, key) in all_keys.iter().enumerate() {
+            match cache.get(generation, key) {
+                Some(cached) => {
+                    collector.cache_hits += 1;
+                    resolved.push(cached);
+                }
+                None => {
+                    collector.cache_misses += 1;
+                    miss_keys.push((*key).clone());
+                    miss_idx.push(i);
+                    resolved.push(None);
+                }
+            }
+        }
+        if !miss_keys.is_empty() {
+            let fetched = self.kv_multi_get_pinned(view, &miss_keys)?;
+            for ((i, key), got) in miss_idx.into_iter().zip(miss_keys).zip(fetched) {
+                let value = match got {
+                    Some(bytes) => Some(Arc::new(GfuValue::decode(&bytes)?)),
+                    None => None,
+                };
+                // Fills (positive and negative) stay deferred until the
+                // pinned view validates, like every other strategy.
+                collector.pending_fills.push((key, value.clone()));
+                resolved[i] = value;
+            }
+        }
+
+        let (boundary_res, item_res) = resolved.split_at(boundary_keys.len());
+        for (value, key) in boundary_res.iter().zip(&boundary_keys) {
+            if let Some(v) = value {
+                collector.absorb(false, key, v)?;
+            }
+        }
+        // Items merge in decomposition (DFS) order — the exact sequence
+        // `finalize_inner` replays for the flat strategies. An absent
+        // node means no data anywhere under it (the maintenance
+        // invariant), so skipping it is the empty merge.
+        for (value, item) in item_res.iter().zip(&items) {
+            if let Some(v) = value {
+                collector.merge_covered(v)?;
+                if item.level >= 1 {
+                    collector.pyramid_nodes += 1;
+                    collector.pyramid_cells = collector
+                        .pyramid_cells
+                        .saturating_add(u64::try_from(item.cell_count()).unwrap_or(u64::MAX));
+                }
+            }
+        }
         Ok(())
     }
 

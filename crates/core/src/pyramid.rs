@@ -1,0 +1,487 @@
+//! Hierarchical aggregate pyramid over the grid (k²-treap-style).
+//!
+//! Inner-region aggregation over a fine grid is O(cells in region) when
+//! every inner GFU header is read individually — fatal on the 10⁶–10⁸
+//! cell grids a million-user space needs. Following "Aggregated 2D Range
+//! Queries on Clustered Points" (Brisaboa et al.), the store keeps a
+//! **pyramid** of coarser aggregate headers above the `g:` leaves: the
+//! level-`k` node at coordinates `c` summarizes the axis-aligned box of
+//! cells `[c·2ᵏ, (c+1)·2ᵏ − 1]` per dimension, i.e. the 2^d level-`k−1`
+//! children obtained by halving each coordinate. A fully-inner query
+//! region then [`decompose`]s into O(surface × levels) maximal canonical
+//! nodes instead of per-cell reads, and the planner descends to `g:`
+//! headers only at the fringe.
+//!
+//! ## Key layout
+//!
+//! A node lives under [`PYRAMID_PREFIX`]: `p:` + one level byte + the
+//! order-preserving coordinate encoding (the same
+//! [`codec::encode_key_i64`] the `g:` keys use). `p:` (0x70) sorts
+//! between `m:` (0x6D) and `s:` (0x73), so on a
+//! [`ShardedKv`](../../dgf_kvstore/struct.ShardedKv.html) whose
+//! boundaries partition the `g:` space every pyramid key routes to the
+//! *last* shard together with `m:view`, staged `s:` keys, and the
+//! transaction manifest — the single-shard commit-point atomicity of
+//! DESIGN.md §13 is preserved with no router change. Level 0 is not
+//! stored separately: [`NodeRef::store_key`] maps a level-0 node to its
+//! `g:` leaf key.
+//!
+//! ## The canonical merge tree
+//!
+//! Neumaier-compensated merges are *not* bitwise-associative, so a
+//! decomposed answer can only be bit-identical to flat enumeration if
+//! both paths fold through the **same merge tree**. That tree is defined
+//! once, here: the state of node `(k, c)` is the fold of its *present*
+//! children's states, in odometer order ([`child_coords`]), starting
+//! from `AggSet::new_states()`; the state of a leaf is its decoded
+//! header. Maintenance ([`DgfIndex`](crate::DgfIndex) staging,
+//! [`rebuild_all`]) materializes exactly this recursion, and the flat
+//! planner strategies re-play it client-side (`fold_levels`) before
+//! touching the query accumulator — so reading a pre-computed `p:` node
+//! yields the same bits as folding its leaves on the fly, by
+//! construction rather than by numerical accident.
+//!
+//! ```
+//! use dgf_core::pyramid::{decompose, NodeRef};
+//!
+//! // A 2-d inner box of 8×8 cells aligned to the level-2 grid of a
+//! // two-level pyramid decomposes into four level-2 nodes — not 64
+//! // leaf reads. (A taller pyramid would cover it with one node.)
+//! let items = decompose(&[(0, 7), (8, 15)], 2);
+//! assert_eq!(items.len(), 4);
+//! assert!(items.iter().all(|n| n.level == 2));
+//! assert_eq!(items[0], NodeRef { level: 2, coords: vec![0, 2] });
+//! // A misaligned box keeps coarse nodes in its interior and descends
+//! // to finer levels (ultimately `g:` leaves) only at the fringe.
+//! let fringe = decompose(&[(1, 8), (1, 8)], 4);
+//! assert!(fringe.iter().any(|n| n.level == 2));
+//! assert!(fringe.iter().any(|n| n.level == 0));
+//! assert_eq!(
+//!     fringe.iter().map(|n| n.cell_count()).sum::<u128>(),
+//!     64
+//! );
+//! ```
+
+use std::collections::BTreeMap;
+
+use dgf_common::codec;
+use dgf_common::{DgfError, Result};
+use dgf_kvstore::KvStore;
+use dgf_query::{AggSet, AggState};
+
+use crate::gfu::{GfuKey, GfuValue, GFU_PREFIX};
+
+/// Key prefix for pyramid node entries in the key-value store. Sorts
+/// above every `g:` leaf and below the staged `s:` keys, so range
+/// partitions built over the leaf space route all pyramid traffic to
+/// the metadata shard.
+pub const PYRAMID_PREFIX: &[u8] = b"p:";
+
+/// Default pyramid height above the leaves. Each level halves every
+/// coordinate, so 12 levels summarize up to 4096 cells per dimension
+/// under one root-level node — enough for the 10⁶–10⁸ cell grids the
+/// ROADMAP targets while keeping maintenance's dirty-parent chains
+/// short.
+pub const DEFAULT_PYRAMID_LEVELS: u8 = 12;
+
+/// Dimensionalities above this would fan out `2^d` children per node;
+/// the pyramid is disabled (never built, never consulted) for wider
+/// grids.
+pub const MAX_PYRAMID_ARITY: usize = 16;
+
+/// Store key of the level-`level` pyramid node at `coords`:
+/// `p:` + level byte + order-preserving coordinate encoding. Callers
+/// use [`NodeRef::store_key`] for level 0, which lives at the `g:`
+/// leaf key instead.
+pub fn pyramid_key(level: u8, coords: &[i64]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(PYRAMID_PREFIX.len() + 1 + 8 * coords.len());
+    buf.extend_from_slice(PYRAMID_PREFIX);
+    buf.push(level);
+    for c in coords {
+        codec::encode_key_i64(&mut buf, *c);
+    }
+    buf
+}
+
+/// Store key of the node at (`level`, `coords`): the `g:` leaf key for
+/// level 0, the `p:` node key otherwise.
+pub fn level_key(level: u8, coords: &[i64]) -> Vec<u8> {
+    if level == 0 {
+        GfuKey::new(coords.to_vec()).encode()
+    } else {
+        pyramid_key(level, coords)
+    }
+}
+
+/// Level-`(k+1)` coordinates of the node containing a level-`k` node at
+/// `coords`: floor-halve every coordinate (`div_euclid`, so negative
+/// grids nest correctly).
+pub fn parent_coords(coords: &[i64]) -> Vec<i64> {
+    coords.iter().map(|c| c.div_euclid(2)).collect()
+}
+
+/// The 2^d level-`(k-1)` children of a level-`k` node at `coords`, in
+/// **odometer order**: ascending offset bitmask with dimension 0 most
+/// significant. This is the canonical fold order of the merge tree —
+/// maintenance and the planner's client-side fold must both use it.
+pub fn child_coords(coords: &[i64]) -> Vec<Vec<i64>> {
+    let d = coords.len();
+    (0..1usize << d)
+        .map(|mask| {
+            coords
+                .iter()
+                .enumerate()
+                .map(|(j, c)| 2 * c + ((mask >> (d - 1 - j)) & 1) as i64)
+                .collect()
+        })
+        .collect()
+}
+
+/// One node of the decomposition: a level and its coordinates. Level 0
+/// is a single grid cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeRef {
+    /// Pyramid level; 0 is the `g:` leaf layer.
+    pub level: u8,
+    /// Node coordinates at that level.
+    pub coords: Vec<i64>,
+}
+
+impl NodeRef {
+    /// The store key this node is read from (`g:` leaf for level 0,
+    /// `p:` node otherwise).
+    pub fn store_key(&self) -> Vec<u8> {
+        level_key(self.level, &self.coords)
+    }
+
+    /// Number of leaf cells this node summarizes: `2^(level·d)`.
+    pub fn cell_count(&self) -> u128 {
+        1u128 << (self.level as u32 * self.coords.len() as u32)
+    }
+}
+
+/// Inclusive per-dimension leaf-cell box of the node at (`level`, `c`),
+/// in i128 to dodge overflow at the top levels.
+fn node_box(level: u8, c: i64) -> (i128, i128) {
+    let w = 1i128 << level;
+    let lo = c as i128 * w;
+    (lo, lo + w - 1)
+}
+
+/// Decompose an inclusive inner box (`(lo, hi)` leaf cells per
+/// dimension) into maximal canonical nodes of a pyramid `top` levels
+/// high. The result partitions the box exactly: every cell is under
+/// exactly one returned node. Nodes are emitted in depth-first odometer
+/// order — the **canonical item order** both planner paths merge in.
+/// An empty box (any `lo > hi`) decomposes to nothing.
+pub fn decompose(inner: &[(i64, i64)], top: u8) -> Vec<NodeRef> {
+    if inner.iter().any(|(lo, hi)| lo > hi) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    // Odometer over the top-level nodes overlapping the box.
+    let w = 1i64 << top;
+    let lo: Vec<i64> = inner.iter().map(|(l, _)| l.div_euclid(w)).collect();
+    let hi: Vec<i64> = inner.iter().map(|(_, h)| h.div_euclid(w)).collect();
+    let mut coord = lo.clone();
+    loop {
+        visit(&mut out, inner, top, &coord);
+        let mut advanced = false;
+        for d in (0..coord.len()).rev() {
+            if coord[d] < hi[d] {
+                coord[d] += 1;
+                for (c, l) in coord[d + 1..].iter_mut().zip(&lo[d + 1..]) {
+                    *c = *l;
+                }
+                advanced = true;
+                break;
+            }
+        }
+        if !advanced {
+            break;
+        }
+    }
+    out
+}
+
+fn visit(out: &mut Vec<NodeRef>, inner: &[(i64, i64)], level: u8, coords: &[i64]) {
+    let mut contained = true;
+    for (d, c) in coords.iter().enumerate() {
+        let (lo, hi) = node_box(level, *c);
+        let (ql, qh) = (inner[d].0 as i128, inner[d].1 as i128);
+        if hi < ql || lo > qh {
+            return; // disjoint
+        }
+        if lo < ql || hi > qh {
+            contained = false;
+        }
+    }
+    if contained {
+        out.push(NodeRef {
+            level,
+            coords: coords.to_vec(),
+        });
+        return;
+    }
+    // A level-0 node is one cell: always contained or disjoint, so the
+    // recursion bottoms out before reaching here with level == 0.
+    debug_assert!(level > 0, "partial overlap on a single cell");
+    for child in child_coords(coords) {
+        visit(out, inner, level - 1, &child);
+    }
+}
+
+/// Re-play the canonical merge tree client-side: given the present
+/// leaves of an inner box (coordinates → aggregate states, e.g. the
+/// query-order picked states the planner buffers), fold each level
+/// bottom-up and return all `top + 1` level tables.
+///
+/// Iterating level `k−1` in `BTreeMap` (lexicographic) order and
+/// grouping by parent is order-exact: lexicographic order restricted to
+/// one parent's children *is* their odometer order, and grouping is
+/// insensitive to the interleaving of different parents' children. The
+/// first child folds into a fresh `new_states()` accumulator — the same
+/// identity-start fold maintenance uses — so `levels[k][c]` is bitwise
+/// the stored state of node `(k, c)` whenever all leaves under it are
+/// present in `leaves`.
+pub(crate) fn fold_levels(
+    leaves: BTreeMap<Vec<i64>, Vec<AggState>>,
+    top: u8,
+    set: &AggSet,
+) -> Result<Vec<BTreeMap<Vec<i64>, Vec<AggState>>>> {
+    let mut levels = Vec::with_capacity(top as usize + 1);
+    levels.push(leaves);
+    for k in 1..=top as usize {
+        let mut up: BTreeMap<Vec<i64>, Vec<AggState>> = BTreeMap::new();
+        for (coord, states) in &levels[k - 1] {
+            let p = parent_coords(coord);
+            match up.get_mut(&p) {
+                Some(acc) => set.merge(acc, states)?,
+                None => {
+                    let mut acc = set.new_states();
+                    set.merge(&mut acc, states)?;
+                    up.insert(p, acc);
+                }
+            }
+        }
+        levels.push(up);
+    }
+    Ok(levels)
+}
+
+/// Fold one node's children (in the caller-supplied canonical order)
+/// into a fresh accumulator. `children` yields `Ok(None)` for absent
+/// children, which are skipped; a node with no present children does
+/// not exist (`Ok(None)`). This is the single definition of a stored
+/// node's value — incremental staging and [`rebuild_all`] both call it.
+pub fn fold_node(
+    set: &AggSet,
+    children: impl IntoIterator<Item = Result<Option<(Vec<AggState>, u64)>>>,
+) -> Result<Option<(Vec<AggState>, u64)>> {
+    let mut states = set.new_states();
+    let mut count = 0u64;
+    let mut present = false;
+    for child in children {
+        if let Some((cs, cc)) = child? {
+            set.merge(&mut states, &cs)?;
+            count += cc;
+            present = true;
+        }
+    }
+    Ok(present.then_some((states, count)))
+}
+
+/// Encoded `m:pyramid` metadata value: the pyramid height.
+pub fn encode_meta(levels: u8) -> Vec<u8> {
+    vec![levels]
+}
+
+/// Decode the `m:pyramid` metadata value.
+pub fn decode_meta(bytes: &[u8]) -> Result<u8> {
+    bytes
+        .first()
+        .copied()
+        .ok_or_else(|| DgfError::Corrupt("empty m:pyramid value".into()))
+}
+
+/// Build every pyramid node from the `g:` leaves currently in `kv`,
+/// bottom-up, writing `p:` keys directly (no staging). This is the
+/// offline backfill/bootstrap path — benches and migrations of
+/// pre-pyramid stores use it; live maintenance goes through the staged
+/// commit in `DgfIndex` instead. Returns the number of nodes written.
+///
+/// The folds are exactly the canonical merge tree ([`fold_node`] per
+/// node, children in [`child_coords`] order), so a store backfilled
+/// here is bit-identical to one maintained incrementally.
+pub fn rebuild_all(kv: &dyn KvStore, arity: usize, levels: u8, set: &AggSet) -> Result<u64> {
+    let pairs = kv.scan_prefix(GFU_PREFIX)?;
+    let mut table: BTreeMap<Vec<i64>, (Vec<AggState>, u64)> = BTreeMap::new();
+    for (k, v) in &pairs {
+        let key = GfuKey::decode(k, arity)?;
+        let value = GfuValue::decode(v)?;
+        let states = set.decode_states(&value.header)?;
+        table.insert(key.cells, (states, value.record_count));
+    }
+    let mut written = 0u64;
+    for level in 1..=levels {
+        let mut up: BTreeMap<Vec<i64>, (Vec<AggState>, u64)> = BTreeMap::new();
+        // Parent coordinates are not monotone in child lexicographic
+        // order, so sort before deduplicating.
+        let mut parents: Vec<Vec<i64>> = table.keys().map(|c| parent_coords(c)).collect();
+        parents.sort();
+        parents.dedup();
+        for parent in parents {
+            let folded = fold_node(
+                set,
+                child_coords(&parent)
+                    .iter()
+                    .map(|c| Ok(table.get(c).cloned())),
+            )?;
+            if let Some((states, count)) = folded {
+                let node = GfuValue {
+                    header: AggSet::encode_states(&states),
+                    slices: Vec::new(),
+                    record_count: count,
+                };
+                kv.put(&pyramid_key(level, &parent), &node.encode())?;
+                written += 1;
+                up.insert(parent, (states, count));
+            }
+        }
+        table = up;
+    }
+    Ok(written)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgf_common::Value;
+
+    #[test]
+    fn pyramid_keys_sort_between_meta_and_staged() {
+        let p = pyramid_key(3, &[1, 2]);
+        assert!(p.as_slice() > &b"m:view"[..]);
+        assert!(p.as_slice() < &b"s:"[..]);
+        assert!(p.as_slice() > GfuKey::new(vec![i64::MAX, i64::MAX]).encode().as_slice());
+    }
+
+    #[test]
+    fn level_zero_key_is_the_leaf_key() {
+        assert_eq!(level_key(0, &[7, 13]), GfuKey::new(vec![7, 13]).encode());
+        assert_ne!(level_key(1, &[7, 13]), GfuKey::new(vec![7, 13]).encode());
+    }
+
+    #[test]
+    fn children_are_odometer_ordered_and_invert_parent() {
+        let kids = child_coords(&[1, -2]);
+        assert_eq!(kids.len(), 4);
+        assert_eq!(kids[0], vec![2, -4]);
+        assert_eq!(kids[1], vec![2, -3]);
+        assert_eq!(kids[2], vec![3, -4]);
+        assert_eq!(kids[3], vec![3, -3]);
+        for k in &kids {
+            assert_eq!(parent_coords(k), vec![1, -2]);
+        }
+        // Odometer order == lexicographic order of the child coords.
+        let mut sorted = kids.clone();
+        sorted.sort();
+        assert_eq!(sorted, kids);
+    }
+
+    #[test]
+    fn negative_coordinates_nest_with_floor_division() {
+        assert_eq!(parent_coords(&[-1]), vec![-1]);
+        assert_eq!(parent_coords(&[-2]), vec![-1]);
+        assert!(child_coords(&[-1]).contains(&vec![-1]));
+        assert!(child_coords(&[-1]).contains(&vec![-2]));
+    }
+
+    #[test]
+    fn decompose_partitions_the_box_exactly() {
+        // Sweep misaligned boxes; every cell must be covered exactly once.
+        for (lo0, hi0, lo1, hi1) in [(0, 15, 0, 15), (1, 14, 3, 9), (-5, 6, -8, -1), (2, 2, 5, 5)] {
+            let inner = [(lo0, hi0), (lo1, hi1)];
+            let items = decompose(&inner, 3);
+            let mut seen = std::collections::HashSet::new();
+            for n in &items {
+                let boxes: Vec<(i128, i128)> =
+                    n.coords.iter().map(|c| node_box(n.level, *c)).collect();
+                for x in boxes[0].0..=boxes[0].1 {
+                    for y in boxes[1].0..=boxes[1].1 {
+                        assert!(
+                            x >= lo0 as i128 && x <= hi0 as i128,
+                            "node leaks outside the box"
+                        );
+                        assert!(y >= lo1 as i128 && y <= hi1 as i128);
+                        assert!(seen.insert((x, y)), "cell covered twice");
+                    }
+                }
+            }
+            let want = (hi0 - lo0 + 1) as usize * (hi1 - lo1 + 1) as usize;
+            assert_eq!(seen.len(), want, "box {inner:?} not fully covered");
+        }
+    }
+
+    #[test]
+    fn decompose_is_polylog_on_aligned_boxes() {
+        // 4096 cells decompose into 1 node when perfectly aligned...
+        assert_eq!(decompose(&[(0, 63), (0, 63)], 6).len(), 1);
+        // ...and into O(surface · levels) nodes when shifted by one.
+        let shifted = decompose(&[(1, 64), (1, 64)], 6);
+        assert!(shifted.len() < 400, "got {}", shifted.len());
+        assert_eq!(shifted.iter().map(|n| n.cell_count()).sum::<u128>(), 4096);
+    }
+
+    #[test]
+    fn decompose_empty_box_is_empty() {
+        assert!(decompose(&[(3, 2)], 4).is_empty());
+        assert!(decompose(&[(0, 5), (7, 1)], 4).is_empty());
+    }
+
+    #[test]
+    fn meta_round_trips() {
+        assert_eq!(decode_meta(&encode_meta(12)).unwrap(), 12);
+        assert!(decode_meta(&[]).is_err());
+    }
+
+    #[test]
+    fn fold_levels_matches_fold_node_per_parent() {
+        // Two present leaves under one parent, one absent: the folded
+        // level-1 state must be bitwise the fold_node of the same kids.
+        let set = AggSet::bind(
+            &[dgf_query::AggFunc::Sum("v".into())],
+            &std::sync::Arc::new(dgf_common::Schema::from_pairs(&[(
+                "v",
+                dgf_common::ValueType::Float,
+            )])),
+        )
+        .unwrap();
+        let leaf = |x: f64| {
+            let mut s = set.new_states();
+            set.update(
+                &mut s,
+                &vec![Value::Float(x)],
+                &std::sync::Arc::new(dgf_common::Schema::from_pairs(&[(
+                    "v",
+                    dgf_common::ValueType::Float,
+                )])),
+            )
+            .unwrap();
+            s
+        };
+        let mut leaves = BTreeMap::new();
+        leaves.insert(vec![0i64], leaf(0.1));
+        leaves.insert(vec![1i64], leaf(0.2));
+        let levels = fold_levels(leaves.clone(), 1, &set).unwrap();
+        let via_node = fold_node(
+            &set,
+            child_coords(&[0]).iter().map(|c| {
+                Ok(leaves.get(c).map(|s| (s.clone(), 1u64)))
+            }),
+        )
+        .unwrap()
+        .unwrap();
+        assert_eq!(levels[1].get(&vec![0i64]).unwrap(), &via_node.0);
+    }
+}

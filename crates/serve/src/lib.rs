@@ -4,8 +4,9 @@
 //!
 //! * [`shardmap`] — where to split the GFU keyspace: odometer-rank
 //!   boundaries that keep prefix-scan runs contiguous per shard and
-//!   route all metadata (everything above the `g:` prefix) to the last
-//!   shard, preserving the commit protocol's single-shard atomicity.
+//!   route all metadata (everything above the `g:` prefix, including
+//!   the aggregate pyramid's `p:` nodes) to the last shard, preserving
+//!   the commit protocol's single-shard atomicity.
 //! * [`batcher`] — [`BatchingKv`] coalesces concurrent point reads
 //!   (view pins, header probes) from many in-flight queries into shared
 //!   `multi_get` flushes.

@@ -6,10 +6,13 @@
 //! cutting the rank space into `N` near-equal stretches yields
 //! boundaries that keep every run of consecutive cells contiguous
 //! within a shard — a cross-shard run splits into at most one sub-range
-//! per shard. Metadata keys (`m:*`), staged keys (`s:*`), and the
-//! transaction manifest (`t:*`) all sort *above* the `g:` GFU prefix,
-//! so the whole commit protocol lands on the last shard: the `m:view`
-//! visibility switch stays a single-key, single-shard atomic put.
+//! per shard. Metadata keys (`m:*`), pyramid nodes (`p:*`, see
+//! [`dgf_core::pyramid`]), staged keys (`s:*`), and the transaction
+//! manifest (`t:*`) all sort *above* the `g:` GFU prefix, so the whole
+//! commit protocol — and every aggregate-pyramid read — lands on the
+//! last shard: the `m:view` visibility switch stays a single-key,
+//! single-shard atomic put, and the pyramid delta publishes atomically
+//! with it at no router change.
 
 use std::sync::Arc;
 
@@ -71,6 +74,21 @@ pub fn shard_boundaries(extents: &Extents, shards: usize) -> Vec<Vec<u8>> {
 }
 
 /// A router over `shards` fresh in-memory stores split for `extents`.
+///
+/// ```
+/// use dgf_core::{Extents, GfuKey};
+/// use dgf_serve::sharded_mem;
+///
+/// let extents = Extents { dims: vec![(0, 9)] };
+/// let router = sharded_mem(&extents, 4).unwrap();
+/// // GFU keys spread across the shards; everything above the `g:`
+/// // prefix — metadata, pyramid nodes, staged keys, the manifest —
+/// // routes to the last shard, so the commit protocol and the
+/// // aggregate pyramid stay single-shard atomic.
+/// assert_eq!(router.shard_of(&GfuKey::new(vec![0]).encode()), 0);
+/// assert_eq!(router.shard_of(b"m:view"), 3);
+/// assert_eq!(router.shard_of(&dgf_core::pyramid::pyramid_key(2, &[1])), 3);
+/// ```
 pub fn sharded_mem(extents: &Extents, shards: usize) -> Result<ShardedKv> {
     let stores: Vec<Arc<dyn KvStore>> = (0..shards)
         .map(|_| Arc::new(MemKvStore::new()) as Arc<dyn KvStore>)
@@ -145,8 +163,17 @@ mod tests {
     fn metadata_lands_on_the_last_shard() {
         let e = extents(&[(0, 9)]);
         let kv = sharded_mem(&e, 4).unwrap();
-        for key in [&b"m:view"[..], b"m:policy", b"s:0001", b"t:manifest"] {
+        for key in [&b"m:view"[..], b"m:pyramid", b"s:0001", b"t:manifest"] {
             assert_eq!(kv.shard_of(key), 3, "{}", String::from_utf8_lossy(key));
+        }
+        // Pyramid nodes route with the metadata, at every level and
+        // coordinate — the whole `p:` prefix sorts above every `g:` key.
+        for node in [
+            dgf_core::pyramid::pyramid_key(1, &[0]),
+            dgf_core::pyramid::pyramid_key(3, &[1]),
+            dgf_core::pyramid::pyramid_key(12, &[-5]),
+        ] {
+            assert_eq!(kv.shard_of(&node), 3, "{}", String::from_utf8_lossy(&node));
         }
         // GFU keys spread below the metadata.
         assert_eq!(kv.shard_of(&GfuKey::new(vec![0]).encode()), 0);

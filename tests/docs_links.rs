@@ -1,0 +1,236 @@
+//! Docs lint: the prose must not rot.
+//!
+//! Validates, for the repo's top-level documents:
+//!
+//! * every relative markdown link `[text](path)` points at a file that
+//!   exists (external `http(s)://` links are skipped — CI has no
+//!   network);
+//! * every in-document anchor `[text](#slug)` (and cross-document
+//!   `[text](FILE.md#slug)`) resolves to a heading whose GitHub slug
+//!   matches;
+//! * every `§N` section reference inside DESIGN.md resolves to an
+//!   actual `## N.` heading — stale cross-references after a renumber
+//!   fail here, not in a reader's head;
+//! * every repo source path mentioned in backticks (`crates/...`,
+//!   `tests/...`) exists on disk. Committed `BENCH_*.json` artifacts
+//!   are covered by the link check via README's Benchmarks index
+//!   (bare backticked `BENCH_*` names also name bench *outputs* under
+//!   `target/`, which CI builds fresh).
+//!
+//! CI runs this as the docs-lint step (`cargo test --test docs_links`).
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+const DOCS: &[&str] = &[
+    "README.md",
+    "DESIGN.md",
+    "EXPERIMENTS.md",
+    "EXPERIMENTS_RESULTS.md",
+    "ROADMAP.md",
+];
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn read_doc(name: &str) -> String {
+    let path = repo_root().join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()))
+}
+
+/// GitHub's heading-to-anchor slug: lowercase, spaces to hyphens,
+/// punctuation (except hyphens/underscores) dropped.
+fn slug(heading: &str) -> String {
+    let mut out = String::new();
+    for ch in heading.trim().chars() {
+        let ch = ch.to_ascii_lowercase();
+        match ch {
+            'a'..='z' | '0'..='9' | '_' | '-' => out.push(ch),
+            ' ' => out.push('-'),
+            _ => {}
+        }
+    }
+    out
+}
+
+/// All heading slugs of a document, with GitHub's `-1`, `-2` suffixes
+/// for duplicates.
+fn heading_slugs(text: &str) -> BTreeSet<String> {
+    let mut seen: Vec<String> = Vec::new();
+    let mut out = BTreeSet::new();
+    let mut in_code = false;
+    for line in text.lines() {
+        if line.trim_start().starts_with("```") {
+            in_code = !in_code;
+            continue;
+        }
+        if in_code || !line.starts_with('#') {
+            continue;
+        }
+        let heading = line.trim_start_matches('#');
+        if heading.trim().is_empty() {
+            continue;
+        }
+        let base = slug(heading.trim_matches('`'));
+        let dup = seen.iter().filter(|s| **s == base).count();
+        seen.push(base.clone());
+        if dup == 0 {
+            out.insert(base);
+        } else {
+            out.insert(format!("{base}-{dup}"));
+        }
+    }
+    out
+}
+
+/// Extract `[text](target)` links, skipping fenced code blocks and
+/// inline code spans.
+fn links(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut in_code = false;
+    for line in text.lines() {
+        if line.trim_start().starts_with("```") {
+            in_code = !in_code;
+            continue;
+        }
+        if in_code {
+            continue;
+        }
+        let bytes = line.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            if bytes[i] == b'[' {
+                if let Some(close) = line[i..].find("](").map(|p| i + p) {
+                    if let Some(end) = line[close + 2..].find(')').map(|p| close + 2 + p) {
+                        out.push(line[close + 2..end].to_owned());
+                        i = end + 1;
+                        continue;
+                    }
+                }
+            }
+            i += 1;
+        }
+    }
+    out
+}
+
+#[test]
+fn relative_links_and_anchors_resolve() {
+    let root = repo_root();
+    let mut broken = Vec::new();
+    for doc in DOCS {
+        let text = read_doc(doc);
+        for link in links(&text) {
+            if link.starts_with("http://") || link.starts_with("https://") {
+                continue;
+            }
+            let (path_part, anchor) = match link.split_once('#') {
+                Some((p, a)) => (p, Some(a.to_owned())),
+                None => (link.as_str(), None),
+            };
+            // Resolve the file the link points at (empty path = self).
+            let target_doc: Option<String> = if path_part.is_empty() {
+                Some((*doc).to_owned())
+            } else {
+                let target = root.join(path_part);
+                if !target.exists() {
+                    broken.push(format!("{doc}: [{link}] -> missing file {path_part}"));
+                    continue;
+                }
+                path_part.ends_with(".md").then(|| path_part.to_owned())
+            };
+            if let (Some(anchor), Some(target_doc)) = (anchor, target_doc) {
+                let target_text =
+                    if target_doc == *doc { text.clone() } else { read_doc(&target_doc) };
+                if !heading_slugs(&target_text).contains(&anchor) {
+                    broken.push(format!(
+                        "{doc}: [{link}] -> no heading with slug #{anchor} in {target_doc}"
+                    ));
+                }
+            }
+        }
+    }
+    assert!(broken.is_empty(), "broken markdown links:\n  {}", broken.join("\n  "));
+}
+
+#[test]
+fn design_section_references_resolve() {
+    let text = read_doc("DESIGN.md");
+    // Sections actually present: "## 7. Failure model ..." etc.
+    let mut sections = BTreeSet::new();
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("## ") {
+            if let Some(num) = rest.split('.').next() {
+                if let Ok(n) = num.trim().parse::<u32>() {
+                    sections.insert(n);
+                }
+            }
+        }
+    }
+    assert!(!sections.is_empty(), "DESIGN.md has no numbered `## N.` sections");
+
+    // Every §N reference anywhere in the repo's docs must name one.
+    let mut broken = Vec::new();
+    for doc in DOCS {
+        let doc_text = read_doc(doc);
+        for (idx, line) in doc_text.lines().enumerate() {
+            let mut rest = line;
+            while let Some(pos) = rest.find('§') {
+                rest = &rest['§'.len_utf8() + pos..];
+                let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+                if digits.is_empty() {
+                    continue;
+                }
+                let n: u32 = digits.parse().unwrap();
+                // §N refs that cite the *paper* ("paper §5.3", "the
+                // paper's §8") are out of scope; only DESIGN.md's own
+                // architecture sections are checked, and those never
+                // use a dotted sub-number.
+                let dotted = rest[digits.len()..].starts_with('.');
+                if *doc == "DESIGN.md" && !dotted && !paperish(line) && !sections.contains(&n) {
+                    broken.push(format!("DESIGN.md:{}: §{n} has no `## {n}.` section", idx + 1));
+                }
+            }
+        }
+    }
+    assert!(broken.is_empty(), "stale section references:\n  {}", broken.join("\n  "));
+}
+
+/// Lines citing the source paper's numbering rather than DESIGN.md's.
+fn paperish(line: &str) -> bool {
+    let l = line.to_ascii_lowercase();
+    l.contains("paper") || l.contains("algorithm") || l.contains("listing")
+}
+
+#[test]
+fn backticked_repo_paths_exist() {
+    let root = repo_root();
+    let mut broken = Vec::new();
+    for doc in DOCS {
+        let text = read_doc(doc);
+        let mut in_code = false;
+        for (idx, line) in text.lines().enumerate() {
+            if line.trim_start().starts_with("```") {
+                in_code = !in_code;
+                continue;
+            }
+            if in_code {
+                continue;
+            }
+            for span in line.split('`').skip(1).step_by(2) {
+                let candidate = span.trim();
+                let looks_like_path = (candidate.starts_with("crates/")
+                    || candidate.starts_with("tests/"))
+                    && candidate
+                        .chars()
+                        .all(|c| c.is_ascii_alphanumeric() || "/._-".contains(c));
+                if looks_like_path && !root.join(candidate).exists() {
+                    broken.push(format!("{doc}:{}: `{candidate}` does not exist", idx + 1));
+                }
+            }
+        }
+    }
+    assert!(broken.is_empty(), "docs cite missing paths:\n  {}", broken.join("\n  "));
+}

@@ -1,0 +1,509 @@
+//! Pyramid-equivalence harness: the aggregate pyramid must be
+//! *indistinguishable by answers* from flat inner-cell enumeration.
+//!
+//! The pyramid (DESIGN.md §14) replaces per-cell inner header reads with
+//! O(surface × levels) pre-computed `p:` node reads. Because every
+//! strategy folds the inner region through the same canonical merge tree
+//! ([`dgfindex::core::pyramid`]), decomposed answers are claimed to be
+//! **bit**-identical — `f64::to_bits`, not approx-equal — to both flat
+//! strategies, and this file holds that claim under:
+//!
+//! * fixed and proptest-random grids, null patterns in the aggregated
+//!   measure, staged-commit appends, and unflushed ingest overlays
+//!   (fresh memtable cells sit outside the persisted tree and merge
+//!   after the canonical fold, identically in every strategy);
+//! * shard counts {1, 2, 4} — `p:` keys route to the metadata shard, so
+//!   the scatter path must serve them like any other plan;
+//! * a crash-site sweep over the whole append protocol, including the
+//!   pyramid staging sites and mid-publish of the staged nodes:
+//!   recovery via the staged-commit manifest must leave cells and
+//!   ancestors consistent (pyramid answers still bit-equal flat ones).
+
+use std::sync::Arc;
+
+use dgfindex::core::txn::{STAGE_PREFIX, TXN_MANIFEST_KEY};
+use dgfindex::ingest::IngestConfig;
+use dgfindex::prelude::*;
+use dgfindex::workload::{generate_meter_data, meter_schema, MeterConfig};
+use proptest::prelude::*;
+
+const INDEX: &str = "dgf_pyr";
+
+fn retry() -> RetryPolicy {
+    RetryPolicy::fast(40)
+}
+
+fn aggs() -> Vec<AggFunc> {
+    vec![AggFunc::Sum("power_consumed".into()), AggFunc::Count]
+}
+
+/// A finer grid than the serving tests use (cell width 1 on both
+/// dimensions): wide queries then cover enough inner cells for the
+/// decomposition to emit level ≥ 1 nodes, so pyramid reads actually
+/// engage instead of degenerating to leaf lookups.
+fn fine_grid(cfg: &MeterConfig) -> SplittingPolicy {
+    SplittingPolicy::new(vec![
+        DimPolicy::int("user_id", 0, 1),
+        DimPolicy::date("ts", cfg.start_day, 1),
+    ])
+    .unwrap()
+}
+
+/// The query mix: a full COUNT, a wide range aggregate whose inner
+/// region dwarfs its boundary, a misaligned narrow range, and a GROUP
+/// BY (headers unusable — exercises the wholesale fallback).
+fn queries(cfg: &MeterConfig) -> Vec<Query> {
+    let wide = Predicate::all()
+        .and(
+            "user_id",
+            ColumnRange::half_open(Value::Int(1), Value::Int(cfg.users as i64 - 1)),
+        )
+        .and(
+            "ts",
+            ColumnRange::half_open(
+                Value::Date(cfg.start_day),
+                Value::Date(cfg.start_day + cfg.days as i64 - 1),
+            ),
+        );
+    let narrow = Predicate::all()
+        .and(
+            "user_id",
+            ColumnRange::half_open(Value::Int(1), Value::Int(3)),
+        )
+        .and(
+            "ts",
+            ColumnRange::half_open(
+                Value::Date(cfg.start_day + 1),
+                Value::Date(cfg.start_day + 2),
+            ),
+        );
+    vec![
+        Query::Aggregate {
+            aggs: vec![AggFunc::Count],
+            predicate: Predicate::all(),
+        },
+        Query::Aggregate {
+            aggs: aggs(),
+            predicate: wide.clone(),
+        },
+        Query::Aggregate {
+            aggs: aggs(),
+            predicate: narrow,
+        },
+        Query::GroupBy {
+            key: "user_id".into(),
+            aggs: aggs(),
+            predicate: wide,
+        },
+    ]
+}
+
+struct World {
+    tmp: TempDir,
+    ctx: Arc<HiveContext>,
+    base: TableRef,
+}
+
+fn world(tag: &str) -> World {
+    let tmp = TempDir::new(&format!("pyr-{tag}")).unwrap();
+    let hdfs = SimHdfs::open(tmp.path()).unwrap();
+    let ctx = HiveContext::new(hdfs, MrEngine::new(1));
+    let base = ctx
+        .create_table("meter", meter_schema(), FileFormat::Text)
+        .unwrap();
+    World { tmp, ctx, base }
+}
+
+fn build_over(
+    w: &World,
+    kv: Arc<dyn KvStore>,
+    seeded: &[Row],
+    policy: SplittingPolicy,
+) -> Arc<DgfIndex> {
+    w.ctx.load_rows(&w.base, seeded, 2).unwrap();
+    let (index, _) = DgfIndex::build(
+        Arc::clone(&w.ctx),
+        Arc::clone(&w.base),
+        policy,
+        aggs(),
+        kv,
+        INDEX,
+    )
+    .unwrap();
+    Arc::new(index)
+}
+
+fn open_reader(w: &World, kv: Arc<dyn KvStore>, parallelism: usize) -> Arc<DgfIndex> {
+    Arc::new(
+        DgfIndex::open_with_options(
+            Arc::clone(&w.ctx),
+            Arc::clone(&w.base),
+            kv,
+            INDEX,
+            aggs(),
+            IndexOptions {
+                retry: retry(),
+                fetch_parallelism: parallelism,
+                ..IndexOptions::default()
+            },
+        )
+        .unwrap(),
+    )
+}
+
+/// One observation of the whole query mix under a fetch strategy.
+fn answers_with(
+    index: &Arc<DgfIndex>,
+    cfg: &MeterConfig,
+    strategy: PlanStrategy,
+) -> Vec<QueryResult> {
+    let engine = DgfEngine::new(Arc::clone(index)).with_strategy(strategy);
+    queries(cfg)
+        .iter()
+        .map(|q| engine.run(q).unwrap().result)
+        .collect()
+}
+
+/// Exact-bits equality: `Float`s must agree in raw bit pattern. The
+/// canonical merge tree claims *bit* identity; a tolerance would hide
+/// exactly the fold-order bugs this file exists to catch.
+fn bits_eq(a: &[QueryResult], b: &[QueryResult]) -> bool {
+    fn val(a: &Value, b: &Value) -> bool {
+        match (a, b) {
+            (Value::Float(x), Value::Float(y)) => x.to_bits() == y.to_bits(),
+            _ => a == b,
+        }
+    }
+    fn one(a: &QueryResult, b: &QueryResult) -> bool {
+        match (a, b) {
+            (QueryResult::Scalars(x), QueryResult::Scalars(y)) => {
+                x.len() == y.len() && x.iter().zip(y).all(|(p, q)| val(p, q))
+            }
+            (QueryResult::Groups(x), QueryResult::Groups(y)) => {
+                x.len() == y.len()
+                    && x.iter().zip(y).all(|((ka, va), (kb, vb))| {
+                        val(ka, kb)
+                            && va.len() == vb.len()
+                            && va.iter().zip(vb).all(|(p, q)| val(p, q))
+                    })
+            }
+            _ => a == b,
+        }
+    }
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| one(x, y))
+}
+
+/// Tentpole (fixed): on a 24×8-cell grid grown by a staged-commit
+/// append, all three strategies answer bit-identically, the wide query
+/// actually engages level ≥ 1 pyramid nodes, and the decomposition
+/// reads strictly fewer headers than it summarizes cells.
+#[test]
+fn all_three_strategies_answer_bit_identically_and_pyramid_engages() {
+    let cfg = MeterConfig {
+        users: 24,
+        days: 8,
+        ..MeterConfig::default()
+    };
+    let rows = generate_meter_data(&cfg);
+    let per_day = rows.len() / cfg.days as usize;
+    let (seeded, rest) = rows.split_at(4 * per_day);
+    let w = world("fixed");
+    let index = build_over(&w, Arc::new(MemKvStore::new()), seeded, fine_grid(&cfg));
+    // The append dirties existing subtrees AND extends the extents, so
+    // the staged pyramid delta (not just the build) is under test.
+    index.append(rest).unwrap();
+    assert!(index.pyramid_levels().is_some(), "build skipped the pyramid");
+
+    let flat = answers_with(&index, &cfg, PlanStrategy::PrefixScan);
+    let point = answers_with(&index, &cfg, PlanStrategy::PointGets);
+    let pyramid = answers_with(&index, &cfg, PlanStrategy::Pyramid);
+    assert!(
+        bits_eq(&flat, &point),
+        "PrefixScan vs PointGets differ in float bits:\n{flat:?}\nvs\n{point:?}"
+    );
+    assert!(
+        bits_eq(&flat, &pyramid),
+        "flat vs pyramid answers differ in float bits:\n{flat:?}\nvs\n{pyramid:?}"
+    );
+
+    // The wide aggregate must have decomposed into coarse nodes — an
+    // all-leaf decomposition would make the bit-identity claim vacuous.
+    let wide = &queries(&cfg)[1];
+    let plan = index
+        .plan_with_strategy(wide, true, PlanStrategy::Pyramid)
+        .unwrap();
+    assert!(plan.pyramid_nodes > 0, "wide query never read a pyramid node");
+    assert!(
+        plan.pyramid_cells > plan.pyramid_nodes,
+        "pyramid nodes summarized no more cells than reads spent"
+    );
+    let flat_plan = index
+        .plan_with_strategy(wide, true, PlanStrategy::PrefixScan)
+        .unwrap();
+    assert_eq!(
+        plan.inner_records, flat_plan.inner_records,
+        "pyramid plan accounts different inner records than flat"
+    );
+}
+
+/// Satellite: a store built with the pyramid disabled stores no
+/// `m:pyramid` meta and no `p:` keys; the Pyramid strategy then falls
+/// back wholesale and still answers bit-identically to flat.
+#[test]
+fn pyramid_strategy_falls_back_cleanly_on_a_legacy_store() {
+    let cfg = MeterConfig {
+        users: 12,
+        days: 4,
+        ..MeterConfig::default()
+    };
+    let rows = generate_meter_data(&cfg);
+    let w = world("legacy");
+    let kv: Arc<dyn KvStore> = Arc::new(MemKvStore::new());
+    w.ctx.load_rows(&w.base, &rows, 2).unwrap();
+    let (index, _) = DgfIndex::build_with_options(
+        Arc::clone(&w.ctx),
+        Arc::clone(&w.base),
+        fine_grid(&cfg),
+        aggs(),
+        Arc::clone(&kv),
+        INDEX,
+        IndexOptions {
+            retry: retry(),
+            pyramid: false,
+            ..IndexOptions::default()
+        },
+    )
+    .unwrap();
+    let index = Arc::new(index);
+    assert!(index.pyramid_levels().is_none());
+    assert!(
+        kv.scan_prefix(dgfindex::core::PYRAMID_PREFIX)
+            .unwrap()
+            .is_empty(),
+        "pyramid-disabled build wrote p: keys"
+    );
+
+    let flat = answers_with(&index, &cfg, PlanStrategy::PrefixScan);
+    let pyramid = answers_with(&index, &cfg, PlanStrategy::Pyramid);
+    assert!(bits_eq(&flat, &pyramid));
+    let plan = index
+        .plan_with_strategy(&queries(&cfg)[1], true, PlanStrategy::Pyramid)
+        .unwrap();
+    assert_eq!(plan.pyramid_nodes, 0, "fallback plan claimed pyramid reads");
+}
+
+/// Drive one crashing append over chaos handles; the durable store
+/// survives. Returns whether the plan's scheduled crash fired.
+fn crash_append(w: &World, inner: &Arc<dyn KvStore>, rest: &[Row], plan: &Arc<FaultPlan>) -> bool {
+    w.ctx.hdfs.enable_faults(Arc::clone(plan), retry());
+    let kv: Arc<dyn KvStore> = Arc::new(ChaosKv::new(Arc::clone(inner), Arc::clone(plan)));
+    let outcome = (|| -> dgfindex::common::Result<()> {
+        let writer = DgfIndex::open_with_options(
+            Arc::clone(&w.ctx),
+            Arc::clone(&w.base),
+            kv,
+            INDEX,
+            aggs(),
+            IndexOptions {
+                retry: retry(),
+                fault: Some(Arc::clone(plan)),
+                ..IndexOptions::default()
+            },
+        )?;
+        writer.append(rest)?;
+        Ok(())
+    })();
+    w.ctx.hdfs.disable_faults();
+    if plan.crashed() {
+        assert!(outcome.is_err(), "crash fired but the append succeeded");
+    }
+    plan.crashed()
+}
+
+/// Tentpole (chaos): crash an append at every instrumented protocol
+/// site — which now includes the pyramid staging site and the apply
+/// phase that publishes staged `p:` nodes — then recover via the
+/// staged-commit manifest. After recovery: no staged residue, no
+/// manifest, and the pyramid answers bit-equal the flat answers (a
+/// half-published pyramid would break here: ancestors from one epoch
+/// over cells from another).
+#[test]
+fn crash_anywhere_in_append_recovers_a_consistent_pyramid() {
+    let cfg = MeterConfig {
+        users: 12,
+        days: 4,
+        ..MeterConfig::default()
+    };
+    let rows = generate_meter_data(&cfg);
+    let per_day = rows.len() / cfg.days as usize;
+    let (seeded, rest) = rows.split_at(2 * per_day);
+
+    // Record the crash-site space with a quiet plan.
+    let sites = {
+        let w = world("rec-record");
+        let inner: Arc<dyn KvStore> = Arc::new(MemKvStore::new());
+        build_over(&w, Arc::clone(&inner), seeded, fine_grid(&cfg));
+        let quiet = Arc::new(FaultPlan::new(FaultConfig::quiet(0)));
+        assert!(!crash_append(&w, &inner, rest, &quiet));
+        let n = quiet.points_hit();
+        assert!(n >= 8, "expected a rich crash-site space, got {n}");
+        n
+    };
+
+    for site in 0..sites {
+        let w = world(&format!("rec{site}"));
+        let inner: Arc<dyn KvStore> = Arc::new(MemKvStore::new());
+        build_over(&w, Arc::clone(&inner), seeded, fine_grid(&cfg));
+        let crash = Arc::new(FaultPlan::new(FaultConfig::crash_at(site, site)));
+        assert!(
+            crash_append(&w, &inner, rest, &crash),
+            "site {site}: scheduled crash did not fire"
+        );
+        DgfIndex::recover(&w.ctx.hdfs, &inner, retry()).unwrap();
+        assert!(inner.scan_prefix(STAGE_PREFIX).unwrap().is_empty());
+        assert!(inner.get(TXN_MANIFEST_KEY).unwrap().is_none());
+
+        let index = open_reader(&w, Arc::clone(&inner), 1);
+        let flat = answers_with(&index, &cfg, PlanStrategy::PrefixScan);
+        let pyramid = answers_with(&index, &cfg, PlanStrategy::Pyramid);
+        assert!(
+            bits_eq(&flat, &pyramid),
+            "site {site}: recovered pyramid disagrees with flat enumeration:\n{pyramid:?}\nvs\n{flat:?}"
+        );
+        // Ground truth over whatever base-table state survived.
+        let scan = ScanEngine::new(Arc::clone(&w.ctx), Arc::clone(&w.base));
+        let engine = DgfEngine::new(Arc::clone(&index)).with_strategy(PlanStrategy::Pyramid);
+        for q in &queries(&cfg) {
+            let truth = scan.run(q).unwrap().result;
+            let got = engine.run(q).unwrap().result;
+            assert!(
+                got.approx_eq(&truth, 1e-9),
+                "site {site}: recovered pyramid answers disagree with a scan"
+            );
+        }
+    }
+}
+
+/// Tentpole (chaos, mid-publish): crash after the n-th KV *write*
+/// instead of at a protocol site, sweeping the apply phase so the crash
+/// lands between individual staged-key publishes — cells visible,
+/// ancestors half-published, view not yet flipped. Recovery re-applies
+/// from the Committed manifest and the pyramid must come out whole.
+#[test]
+fn crash_between_individual_publish_writes_recovers_a_consistent_pyramid() {
+    let cfg = MeterConfig {
+        users: 12,
+        days: 4,
+        ..MeterConfig::default()
+    };
+    let rows = generate_meter_data(&cfg);
+    let per_day = rows.len() / cfg.days as usize;
+    let (seeded, rest) = rows.split_at(2 * per_day);
+
+    // Count the append's total KV writes with a quiet recording plan.
+    let writes = {
+        let w = world("wr-record");
+        let inner: Arc<dyn KvStore> = Arc::new(MemKvStore::new());
+        build_over(&w, Arc::clone(&inner), seeded, fine_grid(&cfg));
+        let before = inner.stats().puts.load(std::sync::atomic::Ordering::Relaxed);
+        let quiet = Arc::new(FaultPlan::new(FaultConfig::quiet(0)));
+        assert!(!crash_append(&w, &inner, rest, &quiet));
+        inner.stats().puts.load(std::sync::atomic::Ordering::Relaxed) - before
+    };
+    assert!(writes >= 16, "append issued too few writes to sweep: {writes}");
+
+    // Sweep the back half of the write sequence — the publish tail
+    // (staged keys land first; apply re-puts them under live keys).
+    let picks = [writes / 2, 2 * writes / 3, 3 * writes / 4, writes - 2];
+    for &n in &picks {
+        let w = world(&format!("wr{n}"));
+        let inner: Arc<dyn KvStore> = Arc::new(MemKvStore::new());
+        build_over(&w, Arc::clone(&inner), seeded, fine_grid(&cfg));
+        let crash = Arc::new(FaultPlan::new(FaultConfig::crash_after_writes(n, n)));
+        if !crash_append(&w, &inner, rest, &crash) {
+            continue; // timing shifted the write count; other picks cover it
+        }
+        DgfIndex::recover(&w.ctx.hdfs, &inner, retry()).unwrap();
+        assert!(inner.scan_prefix(STAGE_PREFIX).unwrap().is_empty());
+        assert!(inner.get(TXN_MANIFEST_KEY).unwrap().is_none());
+
+        let index = open_reader(&w, Arc::clone(&inner), 1);
+        let flat = answers_with(&index, &cfg, PlanStrategy::PrefixScan);
+        let pyramid = answers_with(&index, &cfg, PlanStrategy::Pyramid);
+        assert!(
+            bits_eq(&flat, &pyramid),
+            "write {n}: recovered pyramid disagrees with flat enumeration"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Tentpole (randomized): proptest-chosen grid spans, null patterns,
+    /// a staged-commit append, an *unflushed* ingest overlay, and shard
+    /// counts {1, 2, 4}. The Pyramid strategy on the sharded store must
+    /// answer bit-identically to flat enumeration on a single node —
+    /// fresh overlay cells included, since they merge after the
+    /// canonical fold in every strategy alike.
+    #[test]
+    fn random_grids_nulls_ingest_and_shards_answer_bit_identically(
+        users in 4u64..12,
+        days in 2u64..5,
+        user_span in 1i64..3,
+        day_span in 1i64..3,
+        null_mask in any::<u64>(),
+        seed in any::<u64>(),
+        shard_pick in 0usize..3,
+    ) {
+        let shards = [1usize, 2, 4][shard_pick];
+        let cfg = MeterConfig { users, days, seed, ..MeterConfig::default() };
+        let mut rows = generate_meter_data(&cfg);
+        let power = meter_schema().index_of("power_consumed").unwrap();
+        for (i, row) in rows.iter_mut().enumerate() {
+            if (null_mask >> (i % 64)) & 1 == 1 {
+                row[power] = Value::Null;
+            }
+        }
+        let third = (rows.len() / 3).max(1);
+        let (seeded, rest) = rows.split_at(third);
+        let (appended, fresh) = rest.split_at(rest.len() / 2);
+        let policy = || SplittingPolicy::new(vec![
+            DimPolicy::int("user_id", 0, user_span),
+            DimPolicy::date("ts", cfg.start_day, day_span),
+        ]).unwrap();
+
+        // Single-node oracle: flat enumeration, fresh rows overlaid.
+        let wo = world("prop-oracle");
+        let oracle_index = build_over(&wo, Arc::new(MemKvStore::new()), seeded, policy());
+        let extents = oracle_index.extents().unwrap();
+        oracle_index.append(appended).unwrap();
+        let oracle_ing = StreamIngestor::open(
+            Arc::clone(&oracle_index),
+            wo.tmp.path().join("ingest.wal"),
+            IngestConfig { flush_rows: u64::MAX, auto_flush_interval: None, ..IngestConfig::default() },
+        ).unwrap();
+        oracle_ing.ingest(fresh).unwrap();
+        let oracle = answers_with(&oracle_index, &cfg, PlanStrategy::PrefixScan);
+        let oracle_points = answers_with(&oracle_index, &cfg, PlanStrategy::PointGets);
+        prop_assert!(bits_eq(&oracle, &oracle_points), "flat strategies disagree");
+
+        // Sharded pyramid reader over an identically grown store.
+        let ws = world(&format!("prop-s{shards}"));
+        let router = Arc::new(sharded_mem(&extents, shards).unwrap());
+        build_over(&ws, Arc::clone(&router) as Arc<dyn KvStore>, seeded, policy());
+        let reader = open_reader(&ws, Arc::clone(&router) as Arc<dyn KvStore>, shards.max(2));
+        reader.append(appended).unwrap();
+        let reader_ing = StreamIngestor::open(
+            Arc::clone(&reader),
+            ws.tmp.path().join("ingest.wal"),
+            IngestConfig { flush_rows: u64::MAX, auto_flush_interval: None, ..IngestConfig::default() },
+        ).unwrap();
+        reader_ing.ingest(fresh).unwrap();
+        let got = answers_with(&reader, &cfg, PlanStrategy::Pyramid);
+        prop_assert!(
+            bits_eq(&got, &oracle),
+            "{shards}-shard pyramid answers differ from flat single-node under grid ({user_span}, {day_span}), {users} users x {days} days:\n{got:?}\nvs\n{oracle:?}"
+        );
+    }
+}
