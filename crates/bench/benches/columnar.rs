@@ -24,6 +24,7 @@ fn bench(c: &mut Criterion) {
             ScanOptions {
                 columnar: false,
                 prefetch: false,
+                sidecar: true,
             },
             reps,
         )
@@ -33,6 +34,7 @@ fn bench(c: &mut Criterion) {
             ScanOptions {
                 columnar: true,
                 prefetch: false,
+                sidecar: true,
             },
             reps,
         )

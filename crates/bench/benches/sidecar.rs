@@ -1,0 +1,67 @@
+//! Sub-slice skipping bench: sidecar zone-map + bitmap pruning vs. the
+//! unpruned boundary scan on an RCFile meter table (DESIGN.md §15).
+//! Asserts the PR's ≤ 25%-of-slice-bytes acceptance bar on selective
+//! boundary / non-grid-dimension queries and writes `BENCH_sidecar.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dgf_bench::sidecar::{sidecar_json, SidecarLab};
+
+fn bench(c: &mut Criterion) {
+    // 200k rows, 512-row groups over a 16-cell grid: each slice holds
+    // enough groups that sub-slice skipping has real room to work.
+    let lab = SidecarLab::build(200_000, 512).unwrap();
+    let reps = 5;
+
+    let passes: Vec<_> = lab
+        .queries()
+        .into_iter()
+        .map(|(name, q)| lab.pass(name, &q, reps).unwrap())
+        .collect();
+    for p in &passes {
+        println!(
+            "sidecar {}: pruned {:.3?} ({} bytes) | unpruned {:.3?} ({} bytes) | \
+             ratio {:.1}% | {} groups pruned, {} hits",
+            p.name,
+            p.pruned_time,
+            p.pruned_bytes,
+            p.unpruned_time,
+            p.unpruned_bytes,
+            p.bytes_ratio() * 100.0,
+            p.scan.sidecar_groups_pruned,
+            p.scan.sidecar_hits,
+        );
+        // The PR's acceptance bar: selective queries read ≤ 25% of the
+        // slice bytes the unpruned scan reads, bit-identically.
+        assert!(
+            p.bytes_ratio() <= 0.25,
+            "{}: read {:.1}% of unpruned slice bytes (need <= 25%)",
+            p.name,
+            p.bytes_ratio() * 100.0
+        );
+        assert_eq!(
+            p.pruned_bytes + p.scan.sidecar_bytes_skipped,
+            p.unpruned_bytes,
+            "{}: bytes-skipped ledger does not reconcile",
+            p.name
+        );
+    }
+
+    let json = sidecar_json("meter_scx 200k rows, groups 512, 4 files", lab.rows, &passes);
+    let path = std::env::var("DGF_BENCH_JSON").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/BENCH_sidecar.json").to_owned()
+    });
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("sidecar: wrote pruning report JSON to {path}"),
+        Err(e) => eprintln!("sidecar: could not write {path}: {e}"),
+    }
+
+    // One criterion-timed sample for regression tracking: the most
+    // selective pruned pass.
+    let (name, q) = lab.queries().remove(0);
+    c.bench_function("sidecar_pruned_boundary_scan", |b| {
+        b.iter(|| lab.pass(name, &q, 1).unwrap())
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

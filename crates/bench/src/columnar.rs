@@ -289,6 +289,7 @@ mod tests {
                 ScanOptions {
                     columnar: false,
                     prefetch: false,
+                    sidecar: true,
                 },
                 1,
             )
@@ -298,6 +299,7 @@ mod tests {
                 ScanOptions {
                     columnar: true,
                     prefetch: false,
+                    sidecar: true,
                 },
                 1,
             )

@@ -28,6 +28,7 @@ pub mod readpath;
 pub mod report;
 pub mod scale;
 pub mod serving;
+pub mod sidecar;
 pub mod tpch_lab;
 
 pub use meter_lab::{IntervalSize, MeterLab};

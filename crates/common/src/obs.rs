@@ -174,6 +174,20 @@ pub mod names {
     /// Rows pushed through the row-at-a-time fallback path
     /// (`ScanStats::rowwise_rows`).
     pub const SCAN_ROWWISE_ROWS: &str = "scan.rowwise_rows";
+    /// Sidecars loaded and verified for pruning (`ScanStats::sidecar_hits`).
+    pub const SCAN_SIDECAR_HITS: &str = "scan.sidecar.hits";
+    /// Slice files with no sidecar (`ScanStats::sidecar_misses`).
+    pub const SCAN_SIDECAR_MISSES: &str = "scan.sidecar.misses";
+    /// Sidecars rejected as corrupt or stale (`ScanStats::sidecar_corrupt`).
+    pub const SCAN_SIDECAR_CORRUPT: &str = "scan.sidecar.corrupt";
+    /// Sidecar file bytes read by the planner (`ScanStats::sidecar_bytes`).
+    pub const SCAN_SIDECAR_BYTES: &str = "scan.sidecar.bytes";
+    /// Row groups pruned by sidecar indexes
+    /// (`ScanStats::sidecar_groups_pruned`).
+    pub const SCAN_SIDECAR_GROUPS_PRUNED: &str = "scan.sidecar.groups_pruned";
+    /// Slice bytes skipped by sidecar pruning
+    /// (`ScanStats::sidecar_bytes_skipped`).
+    pub const SCAN_SIDECAR_BYTES_SKIPPED: &str = "scan.sidecar.bytes_skipped";
 
     /// Pages read by the hadoopdb chunk reader (`ChunkStats::pages_read`).
     pub const HADOOPDB_PAGES_READ: &str = "hadoopdb.pages_read";

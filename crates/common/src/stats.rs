@@ -159,6 +159,19 @@ pub struct ScanStats {
     pub prefetch_wait_us: Counter,
     /// Rows pushed through the row-at-a-time fallback path.
     pub rowwise_rows: Counter,
+    /// Sidecars loaded and verified for pruning (DESIGN.md §15).
+    pub sidecar_hits: Counter,
+    /// Slice files whose sidecar was absent (pruning degraded).
+    pub sidecar_misses: Counter,
+    /// Sidecars rejected as corrupt or stale (pruning degraded).
+    pub sidecar_corrupt: Counter,
+    /// Sidecar file bytes read by the planner.
+    pub sidecar_bytes: Counter,
+    /// Row groups pruned outright by zone maps / hierarchical bitmaps.
+    pub sidecar_groups_pruned: Counter,
+    /// Slice data bytes those pruned groups would have read — the
+    /// bytes-skipped ledger the sidecar bench asserts against.
+    pub sidecar_bytes_skipped: Counter,
 }
 
 /// Shared handle to [`ScanStats`].
@@ -181,6 +194,12 @@ impl ScanStats {
             prefetch_waits: self.prefetch_waits.get(),
             prefetch_wait_us: self.prefetch_wait_us.get(),
             rowwise_rows: self.rowwise_rows.get(),
+            sidecar_hits: self.sidecar_hits.get(),
+            sidecar_misses: self.sidecar_misses.get(),
+            sidecar_corrupt: self.sidecar_corrupt.get(),
+            sidecar_bytes: self.sidecar_bytes.get(),
+            sidecar_groups_pruned: self.sidecar_groups_pruned.get(),
+            sidecar_bytes_skipped: self.sidecar_bytes_skipped.get(),
         }
     }
 }
@@ -204,6 +223,18 @@ pub struct ScanSnapshot {
     pub prefetch_wait_us: u64,
     /// Rows pushed through the row-at-a-time fallback path.
     pub rowwise_rows: u64,
+    /// Sidecars loaded and verified for pruning.
+    pub sidecar_hits: u64,
+    /// Slice files whose sidecar was absent.
+    pub sidecar_misses: u64,
+    /// Sidecars rejected as corrupt or stale.
+    pub sidecar_corrupt: u64,
+    /// Sidecar file bytes read by the planner.
+    pub sidecar_bytes: u64,
+    /// Row groups pruned outright.
+    pub sidecar_groups_pruned: u64,
+    /// Slice data bytes the pruned groups would have read.
+    pub sidecar_bytes_skipped: u64,
 }
 
 impl ScanSnapshot {
@@ -218,6 +249,16 @@ impl ScanSnapshot {
             prefetch_waits: self.prefetch_waits.saturating_sub(earlier.prefetch_waits),
             prefetch_wait_us: self.prefetch_wait_us.saturating_sub(earlier.prefetch_wait_us),
             rowwise_rows: self.rowwise_rows.saturating_sub(earlier.rowwise_rows),
+            sidecar_hits: self.sidecar_hits.saturating_sub(earlier.sidecar_hits),
+            sidecar_misses: self.sidecar_misses.saturating_sub(earlier.sidecar_misses),
+            sidecar_corrupt: self.sidecar_corrupt.saturating_sub(earlier.sidecar_corrupt),
+            sidecar_bytes: self.sidecar_bytes.saturating_sub(earlier.sidecar_bytes),
+            sidecar_groups_pruned: self
+                .sidecar_groups_pruned
+                .saturating_sub(earlier.sidecar_groups_pruned),
+            sidecar_bytes_skipped: self
+                .sidecar_bytes_skipped
+                .saturating_sub(earlier.sidecar_bytes_skipped),
         }
     }
 
@@ -232,6 +273,12 @@ impl ScanSnapshot {
         reg.add(names::SCAN_PREFETCH_WAITS, self.prefetch_waits);
         reg.add(names::SCAN_PREFETCH_WAIT_US, self.prefetch_wait_us);
         reg.add(names::SCAN_ROWWISE_ROWS, self.rowwise_rows);
+        reg.add(names::SCAN_SIDECAR_HITS, self.sidecar_hits);
+        reg.add(names::SCAN_SIDECAR_MISSES, self.sidecar_misses);
+        reg.add(names::SCAN_SIDECAR_CORRUPT, self.sidecar_corrupt);
+        reg.add(names::SCAN_SIDECAR_BYTES, self.sidecar_bytes);
+        reg.add(names::SCAN_SIDECAR_GROUPS_PRUNED, self.sidecar_groups_pruned);
+        reg.add(names::SCAN_SIDECAR_BYTES_SKIPPED, self.sidecar_bytes_skipped);
     }
 }
 

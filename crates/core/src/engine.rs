@@ -92,6 +92,13 @@ impl Engine for DgfEngine {
         // no-op.
         let prof = self.index.profiler().fork();
         let root = prof.span("query");
+        let ctx = &self.index.ctx;
+        // Snapshot scan accounting BEFORE planning: the planner's sidecar
+        // consultation charges `scan.sidecar.*` counters (DESIGN.md §15)
+        // that belong to this run's ledger. Data I/O still snapshots after
+        // planning — sidecar reads are index I/O, not data I/O, and the
+        // planner attributes them to its own `plan.sidecar` span.
+        let scan_before = ctx.scan_stats.snapshot();
         let plan_span = root.child("query.plan");
         let mut plan = self
             .index
@@ -103,9 +110,7 @@ impl Engine for DgfEngine {
                 .map(dgf_hive::ScanInput::FullSplit)
                 .collect();
         }
-        let ctx = &self.index.ctx;
         let before = ctx.hdfs.stats().snapshot();
-        let scan_before = ctx.scan_stats.snapshot();
         let watch = Stopwatch::start();
 
         // Boundary region: scan the query-related Slices only. The full

@@ -21,7 +21,9 @@ use std::sync::Arc;
 use dgf_common::fault::{FaultPlan, RetryPolicy};
 use dgf_common::obs::{names, MetricsRegistry, Profiler};
 use dgf_common::{format_row, parse_row, DgfError, Result, Row, Stopwatch, Value};
-use dgf_format::{FileFormat, RcReader, TextReader, TextWriter};
+use dgf_format::{
+    is_sidecar_path, sidecar_path, FileFormat, RcReader, SidecarBuilder, TextReader, TextWriter,
+};
 use dgf_hive::{BuildReport, HiveContext, TableRef};
 use dgf_kvstore::KvStore;
 use dgf_mapreduce::JobReport;
@@ -934,11 +936,21 @@ impl DgfIndex {
         // never mixes one epoch's headers with another's split list.
         let staged_files = self.ctx.hdfs.list_files(&staging_dir);
         let mut renames: Vec<(String, String)> = Vec::with_capacity(staged_files.len());
-        let mut data_files: Vec<(String, u64)> = self.ctx.hdfs.list_files(&self.data.location);
+        // Sidecars ride the renames with their slice files but are never
+        // data: keep them out of the split list (here and from prior gens).
+        let mut data_files: Vec<(String, u64)> = self
+            .ctx
+            .hdfs
+            .list_files(&self.data.location)
+            .into_iter()
+            .filter(|(p, _)| !is_sidecar_path(p))
+            .collect();
         for (p, len) in staged_files {
             let name = p.rsplit('/').next().unwrap_or(&p).to_owned();
             let dest = format!("{data_loc}/{name}");
-            data_files.push((dest.clone(), len));
+            if !is_sidecar_path(&dest) {
+                data_files.push((dest.clone(), len));
+            }
             renames.push((p, dest));
         }
         data_files.sort();
@@ -1118,7 +1130,13 @@ impl DgfIndex {
         for (k, v) in self.meta_puts(&extents, files, watermark) {
             self.kv_put(&k, &v)?;
         }
-        let mut data_files: Vec<(String, u64)> = self.ctx.hdfs.list_files(&self.data.location);
+        let mut data_files: Vec<(String, u64)> = self
+            .ctx
+            .hdfs
+            .list_files(&self.data.location)
+            .into_iter()
+            .filter(|(p, _)| !is_sidecar_path(p))
+            .collect();
         data_files.sort();
         data_files.dedup();
         let view = ReadView {
@@ -1395,9 +1413,21 @@ fn le_u64(bytes: &[u8]) -> u64 {
 }
 
 /// Format-dispatched writer of slice-aligned reorganized data.
+///
+/// The RCFile variant additionally streams every row through a
+/// [`SidecarBuilder`] and, at close, writes the zone-map + hierarchical
+/// bitmap sidecar beside the data file (`<path>.scx`, DESIGN.md §15).
+/// Written into the staging directory, the sidecar rides the same
+/// staged-commit renames as its slice file, so it is never visible
+/// without the data it describes.
 enum SliceWriter {
     Text(TextWriter),
-    Rc(dgf_format::RcWriter),
+    Rc {
+        writer: Box<dgf_format::RcWriter>,
+        hdfs: dgf_storage::HdfsRef,
+        path: String,
+        sidecar: SidecarBuilder,
+    },
 }
 
 impl SliceWriter {
@@ -1409,12 +1439,19 @@ impl SliceWriter {
     ) -> Result<SliceWriter> {
         Ok(match format {
             FileFormat::Text => SliceWriter::Text(TextWriter::create(hdfs, path)?),
-            FileFormat::RcFile => SliceWriter::Rc(dgf_format::RcWriter::create(
-                hdfs,
-                path,
-                base.schema.clone(),
-                base.rows_per_group,
-            )?),
+            FileFormat::RcFile => SliceWriter::Rc {
+                writer: Box::new(dgf_format::RcWriter::create(
+                    hdfs,
+                    path,
+                    base.schema.clone(),
+                    base.rows_per_group,
+                )?),
+                hdfs: hdfs.clone(),
+                path: path.to_owned(),
+                sidecar: SidecarBuilder::new(
+                    base.schema.fields().iter().map(|f| f.name.clone()).collect(),
+                ),
+            },
         })
     }
 
@@ -1422,7 +1459,7 @@ impl SliceWriter {
     fn offset(&self) -> u64 {
         match self {
             SliceWriter::Text(w) => w.offset(),
-            SliceWriter::Rc(w) => w.group_offset(),
+            SliceWriter::Rc { writer, .. } => writer.group_offset(),
         }
     }
 
@@ -1432,8 +1469,18 @@ impl SliceWriter {
             SliceWriter::Text(w) => {
                 w.write_line(line)?;
             }
-            SliceWriter::Rc(w) => {
-                w.write_row(&row)?;
+            SliceWriter::Rc {
+                writer, sidecar, ..
+            } => {
+                // `write_row` returns the row's group start; if the group
+                // auto-flushed on this row, `group_offset()` has moved past
+                // it and the group (start..end) is sealed for the sidecar.
+                let start = writer.write_row(&row)?;
+                sidecar.observe(&row);
+                let after = writer.group_offset();
+                if after != start {
+                    sidecar.finish_group(start, after - start);
+                }
             }
         }
         Ok(())
@@ -1444,9 +1491,16 @@ impl SliceWriter {
     fn end_slice(&mut self) -> Result<u64> {
         match self {
             SliceWriter::Text(w) => Ok(w.offset()),
-            SliceWriter::Rc(w) => {
-                w.finish_group()?;
-                Ok(w.group_offset())
+            SliceWriter::Rc {
+                writer, sidecar, ..
+            } => {
+                let start = writer.group_offset();
+                writer.finish_group()?;
+                let end = writer.group_offset();
+                if end != start {
+                    sidecar.finish_group(start, end - start);
+                }
+                Ok(end)
             }
         }
     }
@@ -1454,7 +1508,29 @@ impl SliceWriter {
     fn close(self) -> Result<u64> {
         match self {
             SliceWriter::Text(w) => w.close(),
-            SliceWriter::Rc(w) => w.close(),
+            SliceWriter::Rc {
+                mut writer,
+                hdfs,
+                path,
+                mut sidecar,
+            } => {
+                // Seal any group still open (the reducer normally ends every
+                // slice first, making this a no-op) so the builder and the
+                // file agree on group boundaries before the footer is written.
+                let start = writer.group_offset();
+                writer.finish_group()?;
+                let end = writer.group_offset();
+                if end != start {
+                    sidecar.finish_group(start, end - start);
+                }
+                let data_len = writer.close()?;
+                let bytes = sidecar.finish(data_len).encode();
+                let mut w = hdfs.create(&sidecar_path(&path))?;
+                use std::io::Write as _;
+                w.write_all(&bytes)?;
+                w.close()?;
+                Ok(data_len)
+            }
         }
     }
 }

@@ -19,6 +19,9 @@
 //!   headers above the grid so a fully-inner region is answered from
 //!   O(polylog) canonical nodes instead of per-cell header reads
 //!   (see [`plan::PlanStrategy::Pyramid`]).
+//! * [`sidecar`] — sub-slice pruning from per-slice sidecar indexes
+//!   (zone maps + hierarchical bitmaps), feeding row-group admission
+//!   sets and residual row bitmaps into the boundary scan.
 //! * [`engine`] — the [`DgfEngine`] implementing the common
 //!   [`dgf_query::Engine`] interface.
 //!
@@ -65,6 +68,7 @@ pub mod index;
 pub mod plan;
 pub mod policy;
 pub mod pyramid;
+pub mod sidecar;
 pub mod txn;
 pub mod view;
 
@@ -76,6 +80,7 @@ pub use gfu::{Extents, GfuKey, GfuValue, SliceLoc};
 pub use index::{all_gfus, default_precompute, DgfIndex, IndexOptions, SlicePlacement};
 pub use plan::{DgfPlan, PlanStrategy};
 pub use pyramid::{NodeRef, DEFAULT_PYRAMID_LEVELS, PYRAMID_PREFIX};
+pub use sidecar::PruneOutcome;
 pub use txn::{TxnManifest, TxnState};
 pub use view::ReadView;
 pub use policy::{DimPolicy, DimScale, DimSpan, SplittingPolicy};

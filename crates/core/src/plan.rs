@@ -31,7 +31,7 @@ use std::time::Duration;
 
 use dgf_common::obs::{names, QueryProfile};
 use dgf_common::{DgfError, Result, Row, Stopwatch};
-use dgf_format::{coalesce_ranges, ByteRange};
+use dgf_format::{coalesce_ranges, ByteRange, SliceSidecar};
 use dgf_hive::ScanInput;
 use dgf_query::{AggSet, AggState, Query};
 
@@ -616,14 +616,21 @@ impl DgfIndex {
         // Slice files are immutable once renamed, so the pinned list is
         // always readable. Legacy non-versioned views fall back to the
         // live listing, as before.
-        let all_splits = match &view.data_files {
+        let all_splits: Vec<dgf_storage::FileSplit> = match &view.data_files {
             Some(files) => files
                 .iter()
                 .flat_map(|(path, len)| {
                     dgf_storage::splits_for_file(path, *len, self.ctx.hdfs.block_size())
                 })
                 .collect(),
-            None => self.ctx.table_splits(&self.data),
+            // Legacy non-versioned views list the directory live, which
+            // may now hold sidecar files: they are index, not data.
+            None => self
+                .ctx
+                .table_splits(&self.data)
+                .into_iter()
+                .filter(|s| !dgf_format::is_sidecar_path(&s.path))
+                .collect(),
         };
         let splits_total = all_splits.len() as u64;
         let mut inputs = Vec::new();
@@ -659,6 +666,16 @@ impl DgfIndex {
             splits_span.add(names::PLAN_SPLITS_READ, splits_read);
         }
         splits_span.finish();
+        // Sub-slice pruning (DESIGN.md §15): consult each boundary
+        // slice's sidecar to drop row groups no matching row can live in
+        // and to attach residual row bitmaps. Strictly an accelerator —
+        // a missing/stale/corrupt sidecar leaves the input unpruned.
+        if self.data.format == dgf_format::FileFormat::RcFile
+            && self.ctx.scan_options().sidecar
+            && !predicate.is_trivial()
+        {
+            self.prune_inputs_with_sidecars(&mut inputs, predicate, &span)?;
+        }
         span.finish();
 
         Ok(DgfPlan {
@@ -681,6 +698,85 @@ impl DgfIndex {
             index_time: watch.elapsed(),
             profile: prof.take_profile(),
         })
+    }
+
+    /// Rewrite `RcRanges` inputs as `RcPruned` wherever a slice's sidecar
+    /// proves row groups (or rows) cannot match `predicate`. Each distinct
+    /// file's sidecar is loaded and verified once; every degradation
+    /// (missing file, stale `data_len`, failed checksum) is counted on
+    /// [`ScanStats`](dgf_common::ScanStats) and leaves that input as-is.
+    fn prune_inputs_with_sidecars(
+        &self,
+        inputs: &mut [ScanInput],
+        predicate: &dgf_query::Predicate,
+        span: &dgf_common::obs::SpanGuard,
+    ) -> Result<()> {
+        let sidecar_span = span.child("plan.sidecar");
+        let io_before = sidecar_span
+            .is_recording()
+            .then(|| self.ctx.hdfs.stats().snapshot());
+        let scan_before = self.ctx.scan_stats.snapshot();
+        let stats = &self.ctx.scan_stats;
+        let mut cache: HashMap<String, Option<SliceSidecar>> = HashMap::new();
+        for input in inputs.iter_mut() {
+            let ScanInput::RcRanges { path, ranges } = input else {
+                continue;
+            };
+            let sidecar = cache.entry(path.clone()).or_insert_with(|| {
+                let scx = dgf_format::sidecar_path(path);
+                if !self.ctx.hdfs.file_exists(&scx) {
+                    stats.sidecar_misses.inc();
+                    return None;
+                }
+                let Ok(bytes) = self.ctx.hdfs.read_file(&scx) else {
+                    stats.sidecar_misses.inc();
+                    return None;
+                };
+                stats.sidecar_bytes.add(bytes.len() as u64);
+                let Ok(sc) = SliceSidecar::decode(&bytes) else {
+                    stats.sidecar_corrupt.inc();
+                    return None;
+                };
+                // Stale: the slice file changed size since the sidecar
+                // was written (should be impossible for immutable slice
+                // files, but degrade rather than trust).
+                if self.ctx.hdfs.file_len(path).ok() != Some(sc.data_len) {
+                    stats.sidecar_corrupt.inc();
+                    return None;
+                }
+                stats.sidecar_hits.inc();
+                Some(sc)
+            });
+            let Some(sidecar) = sidecar else { continue };
+            let outcome = crate::sidecar::prune(sidecar, ranges, predicate)?;
+            stats.sidecar_groups_pruned.add(outcome.groups_pruned);
+            stats.sidecar_bytes_skipped.add(outcome.bytes_skipped);
+            if outcome.restricted {
+                *input = ScanInput::RcPruned {
+                    path: std::mem::take(path),
+                    ranges: std::mem::take(ranges),
+                    row_filter: outcome.row_filter,
+                };
+            }
+        }
+        if let Some(before) = &io_before {
+            self.ctx.hdfs.attach_io_to_span(&sidecar_span, before);
+            let delta = self.ctx.scan_stats.snapshot().since(&scan_before);
+            for (name, v) in [
+                (names::SCAN_SIDECAR_HITS, delta.sidecar_hits),
+                (names::SCAN_SIDECAR_MISSES, delta.sidecar_misses),
+                (names::SCAN_SIDECAR_CORRUPT, delta.sidecar_corrupt),
+                (names::SCAN_SIDECAR_BYTES, delta.sidecar_bytes),
+                (names::SCAN_SIDECAR_GROUPS_PRUNED, delta.sidecar_groups_pruned),
+                (names::SCAN_SIDECAR_BYTES_SKIPPED, delta.sidecar_bytes_skipped),
+            ] {
+                if v > 0 {
+                    sidecar_span.add(name, v);
+                }
+            }
+        }
+        sidecar_span.finish();
+        Ok(())
     }
 
     /// Baseline fetch: enumerate every cell of the query hyper-rectangle

@@ -64,6 +64,27 @@ impl Bitmap {
         }
     }
 
+    /// Number of set bits strictly below index `i` (the classic
+    /// succinct-structure `rank` operation). Pruned scans use it to map
+    /// a row's position inside a compacted batch back to its original
+    /// group-relative index without materializing an index vector.
+    pub fn rank(&self, i: usize) -> usize {
+        let w = i / 64;
+        let full: usize = self
+            .words
+            .iter()
+            .take(w)
+            .map(|x| x.count_ones() as usize)
+            .sum();
+        let partial = match self.words.get(w) {
+            Some(word) if !i.is_multiple_of(64) => {
+                (word & ((1u64 << (i % 64)) - 1)).count_ones() as usize
+            }
+            _ => 0,
+        };
+        full + partial
+    }
+
     /// Iterate over set bit indexes in ascending order.
     pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
         self.words.iter().enumerate().flat_map(|(wi, w)| {
@@ -153,6 +174,25 @@ mod tests {
         let b: Bitmap = [0usize, 7, 200].into_iter().collect();
         let r = Bitmap::from_bytes(&b.to_bytes());
         assert_eq!(b, r);
+    }
+
+    #[test]
+    fn rank_counts_bits_below() {
+        let b: Bitmap = [0usize, 3, 63, 64, 130].into_iter().collect();
+        assert_eq!(b.rank(0), 0);
+        assert_eq!(b.rank(1), 1);
+        assert_eq!(b.rank(3), 1);
+        assert_eq!(b.rank(4), 2);
+        assert_eq!(b.rank(63), 2);
+        assert_eq!(b.rank(64), 3);
+        assert_eq!(b.rank(65), 4);
+        assert_eq!(b.rank(130), 4);
+        assert_eq!(b.rank(131), 5);
+        assert_eq!(b.rank(10_000), 5); // past the end: total count
+        // rank agrees with iter() on every prefix.
+        for i in 0..200 {
+            assert_eq!(b.rank(i), b.iter().filter(|&x| x < i).count());
+        }
     }
 
     #[test]

@@ -8,6 +8,8 @@
 //!   directory, column projection, and per-group row-bitmap filtering for
 //!   the Bitmap Index.
 //! * [`bitmap`] — the row bitmap itself.
+//! * [`sidecar`] — the per-slice sidecar index: zone maps plus
+//!   hierarchical compressed bitmaps for sub-slice skipping.
 //! * [`reader`] — the [`RecordReader`] trait, [`ByteRange`], and range
 //!   coalescing.
 //!
@@ -19,11 +21,15 @@
 pub mod bitmap;
 pub mod rcfile;
 pub mod reader;
+pub mod sidecar;
 pub mod text;
 
 pub use bitmap::Bitmap;
 pub use rcfile::{read_group_offsets, RcReader, RcWriter, DEFAULT_ROWS_PER_GROUP};
 pub use reader::{coalesce_ranges, collect_rows, ByteRange, RecordReader};
+pub use sidecar::{
+    is_sidecar_path, sidecar_path, CompressedBitmap, SidecarBuilder, SliceSidecar,
+};
 pub use text::{SkippingTextReader, TextReader, TextWriter};
 
 /// The on-disk layout of a table.

@@ -347,7 +347,11 @@ impl RcReader {
                 Some(b) => (0..n_rows as u32).filter(|i| b.get(*i as usize)).collect(),
                 None => Vec::new(),
             };
-            batch = batch.take(&keep);
+            // An all-ones bitmap (sidecar admitted the whole group) keeps
+            // the decoded batch as-is rather than copying every column.
+            if keep.len() < n_rows {
+                batch = batch.take(&keep);
+            }
         }
         if let Some(scan) = &self.scan_stats {
             scan.batches.inc();

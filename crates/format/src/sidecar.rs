@@ -1,0 +1,630 @@
+//! Per-slice sidecar index: zone maps + hierarchical bitmaps for
+//! sub-slice skipping (DESIGN.md §15).
+//!
+//! A sidecar is a small checksummed file written next to each
+//! RCFile-format slice file (`<slice>.scx`). It records, per row group,
+//! a **zone map** for every column — min/max of the non-null values plus
+//! a null count — and, for low-cardinality columns, a two-level
+//! **hierarchical bitmap**: level 1 marks which groups contain each
+//! distinct value at all, level 0 stores the exact row positions inside
+//! each such group. Both levels use word-aligned run compression over
+//! the plain [`Bitmap`].
+//!
+//! The planner uses sidecars to skip row groups of boundary slices that
+//! provably hold no matching row (zone maps work for *any* column, not
+//! just grid dimensions) and to hand residual per-group row bitmaps to
+//! the scan. A sidecar is strictly an accelerator: when it is missing,
+//! stale (recorded data length no longer matches the file) or fails its
+//! checksum, readers fall back to the full group scan and the answer is
+//! unchanged.
+
+use std::collections::BTreeMap;
+
+use dgf_common::codec::{self, Decoder};
+use dgf_common::{DgfError, Result, Row, Value};
+
+use crate::bitmap::Bitmap;
+
+/// File-name suffix of sidecar files, appended to the slice file path.
+pub const SIDECAR_SUFFIX: &str = ".scx";
+
+/// Distinct values per column above which hierarchical bitmaps are
+/// dropped for that column (zone maps are always kept). Matches the
+/// paper-era bitmap-index sweet spot: region/status-style columns.
+pub const DEFAULT_BITMAP_CARDINALITY_CAP: usize = 24;
+
+const MAGIC: &[u8; 4] = b"DGSC";
+const VERSION: u32 = 1;
+
+/// The sidecar path of a slice data file.
+pub fn sidecar_path(data_path: &str) -> String {
+    format!("{data_path}{SIDECAR_SUFFIX}")
+}
+
+/// Whether `path` names a sidecar file (used to keep sidecars out of
+/// data-file split enumeration).
+pub fn is_sidecar_path(path: &str) -> bool {
+    path.ends_with(SIDECAR_SUFFIX)
+}
+
+/// A word-aligned run-compressed bitmap (WAH-style): maximal runs of
+/// all-zero or all-one 64-bit words collapse to a counted fill token,
+/// everything else is stored as literal words.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CompressedBitmap {
+    tokens: Vec<u8>,
+}
+
+const TOKEN_ZERO_RUN: u8 = 0;
+const TOKEN_ONE_RUN: u8 = 1;
+const TOKEN_LITERALS: u8 = 2;
+
+impl CompressedBitmap {
+    /// Compress `bitmap`. Trailing all-zero words are dropped first, so
+    /// logically equal bitmaps compress identically.
+    pub fn compress(bitmap: &Bitmap) -> CompressedBitmap {
+        let mut words: Vec<u64> = bitmap
+            .to_bytes()
+            .chunks(8)
+            .map(|c| {
+                let mut w = [0u8; 8];
+                w[..c.len()].copy_from_slice(c);
+                u64::from_le_bytes(w)
+            })
+            .collect();
+        while words.last() == Some(&0) {
+            words.pop();
+        }
+        let mut tokens = Vec::new();
+        let mut i = 0;
+        while i < words.len() {
+            let w = words[i];
+            if w == 0 || w == u64::MAX {
+                let mut n = 1u32;
+                while i + (n as usize) < words.len() && words[i + n as usize] == w {
+                    n += 1;
+                }
+                tokens.push(if w == 0 { TOKEN_ZERO_RUN } else { TOKEN_ONE_RUN });
+                codec::put_u32(&mut tokens, n);
+                i += n as usize;
+            } else {
+                let start = i;
+                while i < words.len() && words[i] != 0 && words[i] != u64::MAX {
+                    i += 1;
+                }
+                tokens.push(TOKEN_LITERALS);
+                codec::put_u32(&mut tokens, (i - start) as u32);
+                for lw in &words[start..i] {
+                    tokens.extend_from_slice(&lw.to_le_bytes());
+                }
+            }
+        }
+        CompressedBitmap { tokens }
+    }
+
+    /// Expand back into a plain [`Bitmap`].
+    pub fn decompress(&self) -> Result<Bitmap> {
+        let mut dec = Decoder::new(&self.tokens);
+        let mut bytes: Vec<u8> = Vec::new();
+        while dec.remaining() > 0 {
+            let tag = dec.u8()?;
+            let n = dec.u32()? as usize;
+            match tag {
+                TOKEN_ZERO_RUN => bytes.extend(std::iter::repeat_n(0u8, n * 8)),
+                TOKEN_ONE_RUN => bytes.extend(std::iter::repeat_n(0xffu8, n * 8)),
+                TOKEN_LITERALS => {
+                    for _ in 0..n {
+                        bytes.extend_from_slice(&dec.u64()?.to_le_bytes());
+                    }
+                }
+                other => {
+                    return Err(DgfError::Corrupt(format!(
+                        "sidecar bitmap: unknown run token {other}"
+                    )))
+                }
+            }
+        }
+        Ok(Bitmap::from_bytes(&bytes))
+    }
+
+    /// Compressed size in bytes.
+    pub fn compressed_len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    fn encode_into(&self, buf: &mut Vec<u8>) {
+        codec::put_bytes(buf, &self.tokens);
+    }
+
+    fn decode_from(dec: &mut Decoder<'_>) -> Result<CompressedBitmap> {
+        Ok(CompressedBitmap {
+            tokens: dec.bytes()?.to_vec(),
+        })
+    }
+}
+
+/// Zone map of one column over one row group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnZone {
+    /// Min and max of the group's non-null values; `None` when every
+    /// value is null.
+    pub min_max: Option<(Value, Value)>,
+    /// Number of null values in the group.
+    pub null_count: u64,
+}
+
+impl ColumnZone {
+    fn empty() -> ColumnZone {
+        ColumnZone {
+            min_max: None,
+            null_count: 0,
+        }
+    }
+
+    fn observe(&mut self, v: &Value) {
+        if v.is_null() {
+            self.null_count += 1;
+            return;
+        }
+        match &mut self.min_max {
+            None => self.min_max = Some((v.clone(), v.clone())),
+            Some((min, max)) => {
+                if v < min {
+                    *min = v.clone();
+                }
+                if v > max {
+                    *max = v.clone();
+                }
+            }
+        }
+    }
+}
+
+/// Zone maps and shape of one row group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupZones {
+    /// Start offset of the group frame in the data file.
+    pub offset: u64,
+    /// Byte length of the group frame (length prefix + payload).
+    pub bytes: u64,
+    /// Rows in the group.
+    pub rows: u32,
+    /// One zone per column, in schema order.
+    pub zones: Vec<ColumnZone>,
+}
+
+/// Hierarchical bitmap of one distinct value of one column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValueBitmap {
+    /// The value.
+    pub value: Value,
+    /// Level 1: ordinals (not offsets) of groups containing the value.
+    pub groups: CompressedBitmap,
+    /// Level 0: `(group ordinal, rows holding the value)`.
+    pub rows: Vec<(u32, CompressedBitmap)>,
+}
+
+/// All hierarchical bitmaps of one low-cardinality column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BitmapColumn {
+    /// Column index in the sidecar's `columns` list (schema order).
+    pub column: u32,
+    /// One entry per distinct non-null value, in value order.
+    pub values: Vec<ValueBitmap>,
+}
+
+/// The decoded sidecar of one slice data file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SliceSidecar {
+    /// Byte length of the data file the sidecar describes; a mismatch
+    /// with the live file marks the sidecar stale.
+    pub data_len: u64,
+    /// Column names, in schema order.
+    pub columns: Vec<String>,
+    /// Per-group zone maps, in file order.
+    pub groups: Vec<GroupZones>,
+    /// Hierarchical bitmaps of the low-cardinality columns.
+    pub bitmap_columns: Vec<BitmapColumn>,
+}
+
+impl SliceSidecar {
+    /// Serialize with magic, version and an FNV-1a checksum trailer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        codec::put_u32(&mut buf, VERSION);
+        codec::put_u64(&mut buf, self.data_len);
+        codec::put_u32(&mut buf, self.columns.len() as u32);
+        for c in &self.columns {
+            codec::put_str(&mut buf, c);
+        }
+        codec::put_u32(&mut buf, self.groups.len() as u32);
+        for g in &self.groups {
+            codec::put_u64(&mut buf, g.offset);
+            codec::put_u64(&mut buf, g.bytes);
+            codec::put_u32(&mut buf, g.rows);
+            for z in &g.zones {
+                match &z.min_max {
+                    None => buf.push(0),
+                    Some((min, max)) => {
+                        buf.push(1);
+                        codec::put_value(&mut buf, min);
+                        codec::put_value(&mut buf, max);
+                    }
+                }
+                codec::put_u64(&mut buf, z.null_count);
+            }
+        }
+        codec::put_u32(&mut buf, self.bitmap_columns.len() as u32);
+        for bc in &self.bitmap_columns {
+            codec::put_u32(&mut buf, bc.column);
+            codec::put_u32(&mut buf, bc.values.len() as u32);
+            for vb in &bc.values {
+                codec::put_value(&mut buf, &vb.value);
+                vb.groups.encode_into(&mut buf);
+                codec::put_u32(&mut buf, vb.rows.len() as u32);
+                for (ordinal, rows) in &vb.rows {
+                    codec::put_u32(&mut buf, *ordinal);
+                    rows.encode_into(&mut buf);
+                }
+            }
+        }
+        let checksum = codec::fnv1a(&buf);
+        codec::put_u64(&mut buf, checksum);
+        buf
+    }
+
+    /// Decode and verify; any mismatch (magic, version, checksum,
+    /// truncation) is [`DgfError::Corrupt`] so callers degrade to the
+    /// unpruned scan.
+    pub fn decode(bytes: &[u8]) -> Result<SliceSidecar> {
+        if bytes.len() < MAGIC.len() + 12 || &bytes[..4] != MAGIC {
+            return Err(DgfError::Corrupt("sidecar: bad magic".into()));
+        }
+        let (body, trailer) = bytes.split_at(bytes.len() - 8);
+        let stored = u64::from_le_bytes(trailer.try_into().expect("8-byte trailer"));
+        if codec::fnv1a(body) != stored {
+            return Err(DgfError::Corrupt("sidecar: checksum mismatch".into()));
+        }
+        let mut dec = Decoder::new(&body[4..]);
+        let version = dec.u32()?;
+        if version != VERSION {
+            return Err(DgfError::Corrupt(format!(
+                "sidecar: unsupported version {version}"
+            )));
+        }
+        let data_len = dec.u64()?;
+        let n_cols = dec.u32()? as usize;
+        let mut columns = Vec::with_capacity(n_cols);
+        for _ in 0..n_cols {
+            columns.push(dec.str()?.to_owned());
+        }
+        let n_groups = dec.u32()? as usize;
+        let mut groups = Vec::with_capacity(n_groups);
+        for _ in 0..n_groups {
+            let offset = dec.u64()?;
+            let bytes = dec.u64()?;
+            let rows = dec.u32()?;
+            let mut zones = Vec::with_capacity(n_cols);
+            for _ in 0..n_cols {
+                let min_max = match dec.u8()? {
+                    0 => None,
+                    _ => Some((codec::get_value(&mut dec)?, codec::get_value(&mut dec)?)),
+                };
+                zones.push(ColumnZone {
+                    min_max,
+                    null_count: dec.u64()?,
+                });
+            }
+            groups.push(GroupZones {
+                offset,
+                bytes,
+                rows,
+                zones,
+            });
+        }
+        let n_bitmap_cols = dec.u32()? as usize;
+        let mut bitmap_columns = Vec::with_capacity(n_bitmap_cols);
+        for _ in 0..n_bitmap_cols {
+            let column = dec.u32()?;
+            let n_values = dec.u32()? as usize;
+            let mut values = Vec::with_capacity(n_values);
+            for _ in 0..n_values {
+                let value = codec::get_value(&mut dec)?;
+                let group_bits = CompressedBitmap::decode_from(&mut dec)?;
+                let n_rows = dec.u32()? as usize;
+                let mut rows = Vec::with_capacity(n_rows);
+                for _ in 0..n_rows {
+                    let ordinal = dec.u32()?;
+                    rows.push((ordinal, CompressedBitmap::decode_from(&mut dec)?));
+                }
+                values.push(ValueBitmap {
+                    value,
+                    groups: group_bits,
+                    rows,
+                });
+            }
+            bitmap_columns.push(BitmapColumn { column, values });
+        }
+        Ok(SliceSidecar {
+            data_len,
+            columns,
+            groups,
+            bitmap_columns,
+        })
+    }
+
+    /// Find the hierarchical bitmaps of a column, by sidecar ordinal.
+    pub fn bitmap_column(&self, column: usize) -> Option<&BitmapColumn> {
+        self.bitmap_columns
+            .iter()
+            .find(|bc| bc.column as usize == column)
+    }
+}
+
+/// Streaming sidecar accumulator used at slice-write time.
+///
+/// Call [`observe`](Self::observe) for every row,
+/// [`finish_group`](Self::finish_group) whenever the slice writer
+/// flushes a row group (with the group's start offset and byte length),
+/// and [`finish`](Self::finish) once the data file is closed.
+#[derive(Debug)]
+pub struct SidecarBuilder {
+    columns: Vec<String>,
+    cap: usize,
+    groups: Vec<GroupZones>,
+    cur_zones: Vec<ColumnZone>,
+    cur_rows: u32,
+    /// Per column: distinct value → rows of the *current* group.
+    cur_values: Vec<BTreeMap<Value, Bitmap>>,
+    /// Per column: distinct value → finished `(ordinal, rows)` bitmaps.
+    file_values: Vec<BTreeMap<Value, Vec<(u32, Bitmap)>>>,
+    /// Bitmap tracking still on (cardinality under the cap) per column.
+    enabled: Vec<bool>,
+}
+
+impl SidecarBuilder {
+    /// A builder over the given schema column names, with the default
+    /// cardinality cap.
+    pub fn new(columns: Vec<String>) -> SidecarBuilder {
+        SidecarBuilder::with_cardinality_cap(columns, DEFAULT_BITMAP_CARDINALITY_CAP)
+    }
+
+    /// A builder with an explicit cardinality cap for bitmap columns.
+    pub fn with_cardinality_cap(columns: Vec<String>, cap: usize) -> SidecarBuilder {
+        let n = columns.len();
+        SidecarBuilder {
+            columns,
+            cap,
+            groups: Vec::new(),
+            cur_zones: vec![ColumnZone::empty(); n],
+            cur_rows: 0,
+            cur_values: vec![BTreeMap::new(); n],
+            file_values: vec![BTreeMap::new(); n],
+            enabled: vec![true; n],
+        }
+    }
+
+    /// Fold one row into the current group's zones and bitmaps.
+    pub fn observe(&mut self, row: &Row) {
+        let r = self.cur_rows as usize;
+        for c in 0..self.cur_zones.len() {
+            let Some(v) = row.get(c) else { continue };
+            self.cur_zones[c].observe(v);
+            if self.enabled[c] && !v.is_null() {
+                self.cur_values[c].entry(v.clone()).or_default().set(r);
+                // Distinct count is checked against the *union* of the
+                // file map and this group's new keys at group close; the
+                // in-group check just bounds memory while the group fills.
+                if self.cur_values[c].len() > self.cap {
+                    self.disable_column(c);
+                }
+            }
+        }
+        self.cur_rows += 1;
+    }
+
+    fn disable_column(&mut self, c: usize) {
+        self.enabled[c] = false;
+        self.cur_values[c].clear();
+        self.file_values[c].clear();
+    }
+
+    /// Close the current group: the slice writer flushed a row group
+    /// starting at `offset` spanning `bytes` bytes. No-op when no rows
+    /// were observed since the last group.
+    pub fn finish_group(&mut self, offset: u64, bytes: u64) {
+        if self.cur_rows == 0 {
+            return;
+        }
+        let ordinal = self.groups.len() as u32;
+        self.groups.push(GroupZones {
+            offset,
+            bytes,
+            rows: self.cur_rows,
+            zones: std::mem::replace(
+                &mut self.cur_zones,
+                vec![ColumnZone::empty(); self.columns.len()],
+            ),
+        });
+        for c in 0..self.columns.len() {
+            if !self.enabled[c] {
+                continue;
+            }
+            for (v, bits) in std::mem::take(&mut self.cur_values[c]) {
+                self.file_values[c].entry(v).or_default().push((ordinal, bits));
+            }
+            if self.file_values[c].len() > self.cap {
+                self.disable_column(c);
+            }
+        }
+        self.cur_rows = 0;
+    }
+
+    /// Build the sidecar. `data_len` is the closed data file's length.
+    pub fn finish(mut self, data_len: u64) -> SliceSidecar {
+        let mut bitmap_columns = Vec::new();
+        for c in 0..self.columns.len() {
+            if !self.enabled[c] || self.file_values[c].is_empty() {
+                continue;
+            }
+            let mut values = Vec::with_capacity(self.file_values[c].len());
+            for (value, groups) in std::mem::take(&mut self.file_values[c]) {
+                let level1: Bitmap = groups.iter().map(|(o, _)| *o as usize).collect();
+                values.push(ValueBitmap {
+                    value,
+                    groups: CompressedBitmap::compress(&level1),
+                    rows: groups
+                        .into_iter()
+                        .map(|(o, b)| (o, CompressedBitmap::compress(&b)))
+                        .collect(),
+                });
+            }
+            bitmap_columns.push(BitmapColumn {
+                column: c as u32,
+                values,
+            });
+        }
+        SliceSidecar {
+            data_len,
+            columns: self.columns,
+            groups: self.groups,
+            bitmap_columns,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bm(bits: &[usize]) -> Bitmap {
+        bits.iter().copied().collect()
+    }
+
+    #[test]
+    fn compressed_bitmap_round_trip() {
+        for bits in [
+            vec![],
+            vec![0usize],
+            vec![63, 64, 65],
+            (0..640).collect::<Vec<_>>(),           // ten all-one words
+            (0..640).step_by(3).collect::<Vec<_>>(), // literal words
+            vec![5, 1000],                           // zero-run in the middle
+        ] {
+            let b = bm(&bits);
+            let c = CompressedBitmap::compress(&b);
+            assert_eq!(c.decompress().unwrap(), b, "bits {bits:?}");
+        }
+    }
+
+    #[test]
+    fn compression_collapses_runs() {
+        let dense: Bitmap = (0..64 * 100).collect();
+        let c = CompressedBitmap::compress(&dense);
+        assert!(
+            c.compressed_len() < 16,
+            "100 all-one words should compress to one fill token, got {}",
+            c.compressed_len()
+        );
+        let sparse = bm(&[64 * 99]);
+        let c = CompressedBitmap::compress(&sparse);
+        assert!(c.compressed_len() < 32);
+    }
+
+    fn sample_sidecar() -> SliceSidecar {
+        let mut b = SidecarBuilder::with_cardinality_cap(
+            vec!["id".into(), "region".into(), "power".into()],
+            4,
+        );
+        for i in 0..10i64 {
+            b.observe(&vec![
+                Value::Int(i),
+                Value::Int(i % 3),
+                if i == 4 { Value::Null } else { Value::Float(i as f64) },
+            ]);
+            if i == 4 {
+                b.finish_group(0, 100);
+            }
+        }
+        b.finish_group(100, 120);
+        b.finish(220)
+    }
+
+    #[test]
+    fn builder_zones_and_bitmaps() {
+        let sc = sample_sidecar();
+        assert_eq!(sc.groups.len(), 2);
+        assert_eq!(sc.groups[0].rows, 5);
+        assert_eq!(sc.groups[1].offset, 100);
+        assert_eq!(
+            sc.groups[0].zones[0].min_max,
+            Some((Value::Int(0), Value::Int(4)))
+        );
+        assert_eq!(sc.groups[0].zones[2].null_count, 1);
+        assert_eq!(
+            sc.groups[0].zones[2].min_max,
+            Some((Value::Float(0.0), Value::Float(3.0)))
+        );
+        // `id` has 10 distinct values over cap 4 → dropped; `region` has 3.
+        let region = sc.bitmap_column(1).expect("region bitmaps kept");
+        assert!(sc.bitmap_column(0).is_none());
+        assert_eq!(region.values.len(), 3);
+        let v1 = region
+            .values
+            .iter()
+            .find(|v| v.value == Value::Int(1))
+            .unwrap();
+        // Value 1 at rows 1,4 of group 0 and rows 2(=7),0(=5)... rows are
+        // group-relative: group 1 holds ids 5..10, so region 1 at ids 7 → row 2.
+        assert_eq!(v1.groups.decompress().unwrap(), bm(&[0, 1]));
+        assert_eq!(v1.rows[0].1.decompress().unwrap(), bm(&[1, 4]));
+        assert_eq!(v1.rows[1].1.decompress().unwrap(), bm(&[2]));
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let sc = sample_sidecar();
+        let bytes = sc.encode();
+        let back = SliceSidecar::decode(&bytes).unwrap();
+        assert_eq!(back, sc);
+        assert_eq!(back.data_len, 220);
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let sc = sample_sidecar();
+        let mut bytes = sc.encode();
+        // Flip one payload byte: checksum must catch it.
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        assert!(SliceSidecar::decode(&bytes).is_err());
+        // Truncation.
+        let bytes = sc.encode();
+        assert!(SliceSidecar::decode(&bytes[..bytes.len() - 3]).is_err());
+        // Bad magic.
+        let mut bytes = sc.encode();
+        bytes[0] = b'X';
+        assert!(SliceSidecar::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn all_null_column_zone() {
+        let mut b = SidecarBuilder::new(vec!["v".into()]);
+        b.observe(&vec![Value::Null]);
+        b.observe(&vec![Value::Null]);
+        b.finish_group(0, 10);
+        let sc = b.finish(10);
+        assert_eq!(sc.groups[0].zones[0].min_max, None);
+        assert_eq!(sc.groups[0].zones[0].null_count, 2);
+        // Null is never bitmap-indexed.
+        assert!(sc.bitmap_columns.is_empty());
+    }
+
+    #[test]
+    fn sidecar_path_helpers() {
+        assert_eq!(sidecar_path("/d/part-r-0"), "/d/part-r-0.scx");
+        assert!(is_sidecar_path("/d/part-r-0.scx"));
+        assert!(!is_sidecar_path("/d/part-r-0"));
+    }
+}

@@ -18,7 +18,7 @@ use dgf_storage::{FileSplit, HdfsRef};
 
 /// Execution knobs for the scan path (DESIGN.md §12).
 ///
-/// Both default to on; tests and benchmarks flip them to compare the
+/// All default to on; tests and benchmarks flip them to compare the
 /// vectorized path against the row-at-a-time oracle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ScanOptions {
@@ -28,6 +28,11 @@ pub struct ScanOptions {
     /// Fetch row groups through a background double-buffer thread so
     /// decoding group *N* overlaps reading group *N+1*.
     pub prefetch: bool,
+    /// Consult per-slice sidecar indexes (zone maps + hierarchical
+    /// bitmaps, DESIGN.md §15) to skip row groups inside boundary
+    /// slices. Missing or corrupt sidecars silently degrade to the
+    /// unpruned scan.
+    pub sidecar: bool,
 }
 
 impl Default for ScanOptions {
@@ -35,6 +40,7 @@ impl Default for ScanOptions {
         ScanOptions {
             columnar: true,
             prefetch: true,
+            sidecar: true,
         }
     }
 }

@@ -48,6 +48,19 @@ pub enum ScanInput {
         /// Coalesced, sorted group-aligned ranges.
         ranges: Vec<ByteRange>,
     },
+    /// [`RcRanges`](Self::RcRanges) further narrowed by a per-slice
+    /// sidecar index (DESIGN.md §15): within the Slice byte ranges, only
+    /// the row groups present in `row_filter` are read, and each is
+    /// compacted to the rows its bitmap admits.
+    RcPruned {
+        /// The file.
+        path: String,
+        /// Coalesced, sorted group-aligned ranges (the unpruned Slices).
+        ranges: Vec<ByteRange>,
+        /// Group offset → rows that may match. Groups inside `ranges`
+        /// but absent here were pruned by zone maps or bitmaps.
+        row_filter: HashMap<u64, Bitmap>,
+    },
 }
 
 /// Open the record reader for one input.
@@ -85,6 +98,19 @@ pub fn open_input(
             Ok(Box::new(
                 RcReader::open(&ctx.hdfs, table.schema.clone(), &whole)?
                     .with_group_ranges(ranges),
+            ))
+        }
+        ScanInput::RcPruned {
+            path,
+            ranges,
+            row_filter,
+        } => {
+            let len = ctx.hdfs.file_len(path)?;
+            let whole = FileSplit::new(path.clone(), 0, len);
+            Ok(Box::new(
+                RcReader::open(&ctx.hdfs, table.schema.clone(), &whole)?
+                    .with_group_ranges(ranges)
+                    .with_row_filter(row_filter.clone()),
             ))
         }
     }
@@ -266,6 +292,17 @@ fn open_rc_batched(
             let len = ctx.hdfs.file_len(path)?;
             let whole = FileSplit::new(path.clone(), 0, len);
             RcReader::open(&ctx.hdfs, table.schema.clone(), &whole)?.with_group_ranges(ranges)
+        }
+        ScanInput::RcPruned {
+            path,
+            ranges,
+            row_filter,
+        } => {
+            let len = ctx.hdfs.file_len(path)?;
+            let whole = FileSplit::new(path.clone(), 0, len);
+            RcReader::open(&ctx.hdfs, table.schema.clone(), &whole)?
+                .with_group_ranges(ranges)
+                .with_row_filter(row_filter.clone())
         }
     };
     let mut reader = reader.with_scan_stats(ctx.scan_stats.clone());

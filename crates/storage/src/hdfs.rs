@@ -296,6 +296,17 @@ impl SimHdfs {
         })
     }
 
+    /// Read a whole (small) file into memory, charging its bytes to
+    /// [`IoStats`] like any other read. Used for
+    /// slice sidecar indexes, whose planner-side consumers want the full
+    /// checksummed payload in one call.
+    pub fn read_file(&self, path: &str) -> Result<Vec<u8>> {
+        let mut r = self.open_reader(path)?;
+        let mut buf = Vec::new();
+        io::Read::read_to_end(&mut r, &mut buf)?;
+        Ok(buf)
+    }
+
     /// Atomically move a file to a new path. Fails if `from` is missing
     /// or `to` already exists; parents of `to` are created. This is the
     /// publish step of the staging→commit protocol (HDFS renames are

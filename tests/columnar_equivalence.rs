@@ -208,6 +208,7 @@ fn assert_equivalent(w: &World, query: &Query, label: &str) {
         ScanOptions {
             columnar: false,
             prefetch: false,
+            sidecar: true,
         },
         1,
     );
@@ -216,7 +217,7 @@ fn assert_equivalent(w: &World, query: &Query, label: &str) {
             let got = run_with(
                 w,
                 query,
-                ScanOptions { columnar, prefetch },
+                ScanOptions { columnar, prefetch, sidecar: true },
                 workers,
             );
             assert_eq!(
@@ -314,7 +315,7 @@ fn row_filter_with_empty_bitmap_group_matches_rowwise() {
     let mut results = Vec::new();
     for (columnar, prefetch) in [(false, false), (true, false), (true, true)] {
         let ctx = HiveContext::new(w.hdfs.clone(), MrEngine::new(2));
-        ctx.set_scan_options(ScanOptions { columnar, prefetch });
+        ctx.set_scan_options(ScanOptions { columnar, prefetch, sidecar: true });
         let r = execute(&ctx, &w.table, &query, None, vec![input.clone()]).unwrap();
         results.push(r);
     }

@@ -276,6 +276,7 @@ fn columnar_scan_counters_reconcile_with_batches() {
     ctx.set_scan_options(ScanOptions {
         columnar: false,
         prefetch: false,
+        sidecar: true,
     });
     let before = ctx.scan_stats.snapshot();
     let rerun = ScanEngine::new(Arc::clone(&ctx), table)
@@ -285,6 +286,139 @@ fn columnar_scan_counters_reconcile_with_batches() {
     assert_eq!(delta.batches, 0);
     assert_eq!(delta.rowwise_rows, rows.len() as u64);
     assert_eq!(rerun.result, run.result, "paths disagree");
+}
+
+#[test]
+fn sidecar_reads_reconcile_with_io_and_the_ledger() {
+    // Sidecar consultation (DESIGN.md §15) is planner-side index I/O:
+    // it must show up in the IoStats delta and the profile's
+    // `plan.sidecar` span, stay out of `data_bytes_read`, and the
+    // bytes-skipped ledger must account exactly for the slice bytes the
+    // unpruned plan would have read.
+    let tmp = TempDir::new("profile-scx").unwrap();
+    let hdfs = SimHdfs::new(
+        tmp.path(),
+        HdfsConfig {
+            block_size: 64 * 1024,
+            replication: 1,
+        },
+    )
+    .unwrap();
+    let ctx = HiveContext::new(hdfs.clone(), MrEngine::new(3));
+    let schema = Arc::new(Schema::from_pairs(&[
+        ("user_id", ValueType::Int),
+        ("day", ValueType::Int),
+        ("seq", ValueType::Int),
+        ("power", ValueType::Float),
+    ]));
+    let created = ctx
+        .create_table("meter_rc", schema, FileFormat::RcFile)
+        .unwrap();
+    let mut desc = (*created).clone();
+    desc.rows_per_group = 64;
+    let rows: Vec<Row> = (0..4_000)
+        .map(|i| {
+            let i = i as i64;
+            vec![
+                Value::Int((i * 7) % 120),
+                Value::Int((i * 13) % 30),
+                Value::Int(i),
+                Value::Float((i % 97) as f64 / 3.0),
+            ]
+        })
+        .collect();
+    ctx.load_rows(&desc, &rows, 3).unwrap();
+    let table: TableRef = Arc::new(desc);
+    let policy = SplittingPolicy::new(vec![
+        DimPolicy::int("user_id", 0, 8),
+        DimPolicy::int("day", 0, 4),
+    ])
+    .unwrap();
+    let (idx, _) = DgfIndex::build_with_options(
+        Arc::clone(&ctx),
+        table,
+        policy,
+        vec![AggFunc::Count, AggFunc::Sum("power".into())],
+        Arc::new(MemKvStore::new()),
+        "dgf_scx_profile",
+        IndexOptions {
+            profiler: Profiler::enabled(),
+            ..IndexOptions::default()
+        },
+    )
+    .unwrap();
+    let idx = Arc::new(idx);
+
+    // `seq` is clustered and not a grid dimension: only the sidecar's
+    // zone maps can narrow it, so pruning provably engages.
+    let q = Query::Aggregate {
+        aggs: vec![AggFunc::Count, AggFunc::Sum("power".into())],
+        predicate: Predicate::all().and(
+            "seq",
+            ColumnRange::half_open(Value::Int(500), Value::Int(900)),
+        ),
+    };
+    let io_before = hdfs.stats().snapshot();
+    let run = DgfEngine::new(Arc::clone(&idx)).run(&q).unwrap();
+    let io_delta = hdfs.stats().snapshot().since(&io_before);
+    let scan = &run.stats.scan;
+    assert!(scan.sidecar_hits > 0, "no sidecar was consulted");
+    assert!(scan.sidecar_bytes > 0, "sidecar reads charged no bytes");
+    assert!(scan.sidecar_groups_pruned > 0, "clustered range pruned nothing");
+    assert_eq!(scan.sidecar_misses + scan.sidecar_corrupt, 0);
+
+    // Every byte of the run is accounted for exactly once: data bytes
+    // to the scan, sidecar bytes to the planner.
+    assert_eq!(
+        io_delta.bytes_read,
+        run.stats.data_bytes_read + scan.sidecar_bytes
+    );
+    // The profile agrees: the sidecar span exists under planning, holds
+    // the sidecar counters, and HDFS totals cover both I/O kinds.
+    let profile = &run.stats.profile;
+    assert!(profile.check_nesting().is_empty());
+    let plan_span = profile.find("query.plan").expect("query.plan span");
+    assert!(plan_span.find("plan.sidecar").is_some());
+    assert_eq!(
+        profile.metric_total(names::HDFS_BYTES_READ),
+        io_delta.bytes_read
+    );
+    assert_eq!(
+        profile.metric_total(names::SCAN_SIDECAR_BYTES),
+        scan.sidecar_bytes
+    );
+    assert_eq!(
+        profile.metric_total(names::SCAN_SIDECAR_GROUPS_PRUNED),
+        scan.sidecar_groups_pruned
+    );
+
+    // The registry projection (the `dgf profile` table) carries the
+    // sidecar counters.
+    let reg = dgfindex::common::MetricsRegistry::new();
+    run.stats.record_into(&reg);
+    assert_eq!(reg.get(names::SCAN_SIDECAR_HITS), scan.sidecar_hits);
+    assert_eq!(reg.get(names::SCAN_SIDECAR_BYTES), scan.sidecar_bytes);
+    assert_eq!(
+        reg.get(names::SCAN_SIDECAR_BYTES_SKIPPED),
+        scan.sidecar_bytes_skipped
+    );
+
+    // Ledger reconciliation: the pruned run's data bytes plus the bytes
+    // it skipped equal the unpruned run's data bytes exactly — skipping
+    // is the only difference between the two plans.
+    ctx.set_scan_options(ScanOptions {
+        columnar: true,
+        prefetch: true,
+        sidecar: false,
+    });
+    let unpruned = DgfEngine::new(Arc::clone(&idx)).run(&q).unwrap();
+    assert_eq!(unpruned.result, run.result, "pruning changed the answer");
+    assert_eq!(unpruned.stats.scan.sidecar_bytes, 0);
+    assert_eq!(
+        run.stats.data_bytes_read + scan.sidecar_bytes_skipped,
+        unpruned.stats.data_bytes_read,
+        "bytes-skipped ledger does not reconcile with the unpruned scan"
+    );
 }
 
 #[test]
