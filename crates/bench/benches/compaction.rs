@@ -1,0 +1,99 @@
+//! Delta-compaction bench: a sustained streaming workload followed by
+//! one maintenance pass (DESIGN.md §16). Measures the live delta-file
+//! count and the boundary-scan bytes on flushed data before and after
+//! maintenance, asserts the file budget and the ≤ 25%-of-slice-bytes
+//! sidecar bar on the compacted layout, and writes
+//! `BENCH_compaction.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dgf_bench::compaction::{compaction_json, CompactionLab};
+use dgf_bench::sidecar::SidecarPass;
+
+fn bench(c: &mut Criterion) {
+    // 200k rows, half bulk-built, half streamed through 16 flushes of
+    // ~6k rows each: every flush lands one delta file, so maintenance
+    // starts ~20 files over a 4-file budget.
+    let lab = CompactionLab::build(200_000, 512, 16).unwrap();
+    let budget = 4;
+    let reps = 5;
+
+    let files_before = lab.delta_files();
+    assert!(
+        files_before > budget,
+        "streaming produced only {files_before} files"
+    );
+    let before: Vec<SidecarPass> = lab
+        .queries()
+        .into_iter()
+        .map(|(name, q)| lab.pass(name, &q, reps).unwrap())
+        .collect();
+
+    let (r1, r2) = lab.maintain(budget).unwrap();
+    let files_after = lab.delta_files();
+    println!(
+        "compaction: {files_before} files -> {files_after} (budget {budget}); \
+         pass 1 compacted {} files / {} GFUs, pass 2 reclaimed {}",
+        r1.compacted_files, r1.compacted_gfus, r2.reclaimed_files
+    );
+    assert!(r1.compacted_files > 0, "nothing compacted: {r1:?}");
+    assert!(
+        files_after <= budget,
+        "maintenance left {files_after} live files over a budget of {budget}"
+    );
+
+    let after: Vec<SidecarPass> = lab
+        .queries()
+        .into_iter()
+        .map(|(name, q)| lab.pass(name, &q, reps).unwrap())
+        .collect();
+    for (b, a) in before.iter().zip(&after) {
+        println!(
+            "compaction {}: before {:.3?} ({} bytes, ratio {:.1}%) | \
+             after {:.3?} ({} bytes, ratio {:.1}%)",
+            a.name,
+            b.pruned_time,
+            b.pruned_bytes,
+            b.bytes_ratio() * 100.0,
+            a.pruned_time,
+            a.pruned_bytes,
+            a.bytes_ratio() * 100.0,
+        );
+        // Compaction is pure data movement: answers must not move a bit.
+        assert_eq!(a.result, b.result, "{}: compaction changed the answer", a.name);
+        // The acceptance bar: boundary scans over the flushed (now
+        // compacted) rows read ≤ 25% of the unpruned slice bytes.
+        assert!(
+            a.bytes_ratio() <= 0.25,
+            "{}: read {:.1}% of unpruned slice bytes after maintenance",
+            a.name,
+            a.bytes_ratio() * 100.0
+        );
+    }
+
+    let json = compaction_json(
+        "meter_cpt 200k rows, groups 512, 16 flushes, budget 4",
+        lab.rows,
+        budget,
+        files_before,
+        files_after,
+        &before,
+        &after,
+    );
+    let path = std::env::var("DGF_BENCH_JSON").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../target/BENCH_compaction.json").to_owned()
+    });
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("compaction: wrote maintenance report JSON to {path}"),
+        Err(e) => eprintln!("compaction: could not write {path}: {e}"),
+    }
+
+    // One criterion-timed sample for regression tracking: the most
+    // selective pruned pass on the compacted layout.
+    let (name, q) = lab.queries().remove(0);
+    c.bench_function("compaction_pruned_boundary_scan", |b| {
+        b.iter(|| lab.pass(name, &q, 1).unwrap())
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 
 pub mod columnar;
+pub mod compaction;
 pub mod experiments;
 pub mod meter_lab;
 pub mod pyramid;

@@ -200,6 +200,7 @@ impl PyramidLab {
             files: None,
             extents: extents.clone(),
             data_files: Some(Vec::new()),
+            policy: Some(policy.encode()),
             versioned: true,
         };
         kv.put(META_POLICY_KEY, &policy.encode())?;

@@ -168,39 +168,49 @@ impl SidecarLab {
     /// Run one query with pruning on and off, best-of-`reps` each, and
     /// check the answers agree in float bits.
     pub fn pass(&self, name: &'static str, q: &Query, reps: usize) -> Result<SidecarPass> {
-        let run = |sidecar: bool| -> Result<(Duration, u64, ScanSnapshot, QueryResult)> {
-            self.ctx.set_scan_options(ScanOptions {
-                columnar: true,
-                prefetch: true,
-                sidecar,
-            });
-            let mut best: Option<(Duration, u64, ScanSnapshot, QueryResult)> = None;
-            for _ in 0..reps.max(1) {
-                let watch = Stopwatch::start();
-                let r = DgfEngine::new(Arc::clone(&self.idx)).run(q)?;
-                let t = watch.elapsed();
-                if best.as_ref().is_none_or(|b| t < b.0) {
-                    best = Some((t, r.stats.data_bytes_read, r.stats.scan, r.result));
-                }
-            }
-            Ok(best.expect("reps >= 1"))
-        };
-        let (pruned_time, pruned_bytes, scan, result) = run(true)?;
-        let (unpruned_time, unpruned_bytes, _, baseline) = run(false)?;
-        assert_eq!(
-            result, baseline,
-            "{name}: pruning changed the answer"
-        );
-        Ok(SidecarPass {
-            name,
-            pruned_time,
-            unpruned_time,
-            pruned_bytes,
-            unpruned_bytes,
-            scan,
-            result,
-        })
+        measure_pass(&self.ctx, &self.idx, name, q, reps)
     }
+}
+
+/// Run one query over `idx` with pruning on and off, best-of-`reps`
+/// each, and check the answers agree. Shared by the sidecar and
+/// compaction labs so both reports measure the same way.
+pub fn measure_pass(
+    ctx: &Arc<HiveContext>,
+    idx: &Arc<DgfIndex>,
+    name: &'static str,
+    q: &Query,
+    reps: usize,
+) -> Result<SidecarPass> {
+    let run = |sidecar: bool| -> Result<(Duration, u64, ScanSnapshot, QueryResult)> {
+        ctx.set_scan_options(ScanOptions {
+            columnar: true,
+            prefetch: true,
+            sidecar,
+        });
+        let mut best: Option<(Duration, u64, ScanSnapshot, QueryResult)> = None;
+        for _ in 0..reps.max(1) {
+            let watch = Stopwatch::start();
+            let r = DgfEngine::new(Arc::clone(idx)).run(q)?;
+            let t = watch.elapsed();
+            if best.as_ref().is_none_or(|b| t < b.0) {
+                best = Some((t, r.stats.data_bytes_read, r.stats.scan, r.result));
+            }
+        }
+        Ok(best.expect("reps >= 1"))
+    };
+    let (pruned_time, pruned_bytes, scan, result) = run(true)?;
+    let (unpruned_time, unpruned_bytes, _, baseline) = run(false)?;
+    assert_eq!(result, baseline, "{name}: pruning changed the answer");
+    Ok(SidecarPass {
+        name,
+        pruned_time,
+        unpruned_time,
+        pruned_bytes,
+        unpruned_bytes,
+        scan,
+        result,
+    })
 }
 
 fn pass_json(p: &SidecarPass) -> String {

@@ -105,6 +105,10 @@ pub struct GfuHeaderCache {
     per_shard_capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Highest generation floor passed to [`retire_below`]
+    /// (Self::retire_below): lets repeated calls at the same floor skip
+    /// the shard sweep entirely.
+    floor: AtomicU64,
 }
 
 impl GfuHeaderCache {
@@ -115,6 +119,7 @@ impl GfuHeaderCache {
             per_shard_capacity: capacity.div_ceil(SHARDS).max(1),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            floor: AtomicU64::new(0),
         }
     }
 
@@ -146,7 +151,13 @@ impl GfuHeaderCache {
 
     /// Store `value` for `key` at `generation`, evicting the coldest
     /// entry of the shard when full. Does not count as a hit or miss.
+    /// Fills below the [`retire_below`](Self::retire_below) floor are
+    /// dropped — a plan pinned to a superseded view racing a retirement
+    /// must not resurrect dead generations.
     pub fn insert(&self, generation: u64, key: Vec<u8>, value: CachedGfu) {
+        if generation < self.floor.load(Ordering::Acquire) {
+            return;
+        }
         let mut shard = self.shard(&key).lock();
         let tagged = tag(generation, &key);
         shard.stamp += 1;
@@ -161,6 +172,58 @@ impl GfuHeaderCache {
         }
         shard.lru.insert(stamp, tagged.clone());
         shard.entries.insert(tagged, (value, stamp));
+    }
+
+    /// Drop every entry whose generation is below `generation`.
+    ///
+    /// Called when the planner observes a committed view: all entries of
+    /// superseded generations are dead weight (no future plan will pin a
+    /// view that old), and on a long-running server they would otherwise
+    /// crowd out live entries until LRU pressure happened to evict them.
+    /// Entries *at* `generation` (and pending ones above it) survive.
+    /// Idempotent and monotonic: a floor at or below a previous call is
+    /// a no-op.
+    pub fn retire_below(&self, generation: u64) {
+        let prev = self.floor.fetch_max(generation, Ordering::AcqRel);
+        if prev >= generation {
+            return;
+        }
+        for shard in &self.shards {
+            let mut shard = shard.lock();
+            let dead: Vec<(Vec<u8>, u64)> = shard
+                .entries
+                .iter()
+                .filter(|(tagged, _)| {
+                    tagged
+                        .first_chunk::<8>()
+                        .is_some_and(|g| u64::from_be_bytes(*g) < generation)
+                })
+                .map(|(tagged, (_, stamp))| (tagged.clone(), *stamp))
+                .collect();
+            for (tagged, stamp) in dead {
+                shard.entries.remove(&tagged);
+                shard.lru.remove(&stamp);
+            }
+        }
+    }
+
+    /// The distinct generations with at least one live entry, sorted.
+    /// Test/diagnostic helper for cache-occupancy assertions.
+    pub fn live_generations(&self) -> Vec<u64> {
+        let mut gens: Vec<u64> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.lock()
+                    .entries
+                    .keys()
+                    .filter_map(|tagged| tagged.first_chunk::<8>().map(|g| u64::from_be_bytes(*g)))
+                    .collect::<Vec<u64>>()
+            })
+            .collect();
+        gens.sort_unstable();
+        gens.dedup();
+        gens
     }
 
     /// Cumulative probe counters.
@@ -288,6 +351,25 @@ mod tests {
         cache.insert(2, b"k".to_vec(), value(2));
         assert!(cache.get(1, b"k").is_none(), "old generation evicted");
         assert_eq!(cache.get(2, b"k").unwrap().unwrap().record_count, 2);
+    }
+
+    #[test]
+    fn retire_below_drops_only_dead_generations() {
+        let cache = GfuHeaderCache::new(64);
+        for generation in 1..=4u64 {
+            for k in 0..5u32 {
+                cache.insert(generation, k.to_be_bytes().to_vec(), value(generation));
+            }
+        }
+        assert_eq!(cache.live_generations(), vec![1, 2, 3, 4]);
+        cache.retire_below(3);
+        assert_eq!(cache.live_generations(), vec![3, 4]);
+        // Survivors still hit; retired generations are true misses.
+        assert!(cache.get(3, &0u32.to_be_bytes()).is_some());
+        assert!(cache.get(2, &0u32.to_be_bytes()).is_none());
+        // Monotonic: a lower floor is a no-op.
+        cache.retire_below(1);
+        assert_eq!(cache.live_generations(), vec![3, 4]);
     }
 
     #[test]

@@ -36,6 +36,13 @@ pub const META_INGEST_KEY: &[u8] = b"m:ingest";
 /// ancestor nodes would silently read as "no data"). One byte: the
 /// number of levels above the `g:` leaves (see [`crate::pyramid`]).
 pub const META_PYRAMID_KEY: &[u8] = b"m:pyramid";
+/// Key of the deferred file-reclamation list: data files retired by a
+/// maintenance compaction that are no longer referenced by the current
+/// [`ReadView`](crate::view::ReadView) but may still be pinned by
+/// in-flight readers holding the previous view. The maintenance daemon
+/// deletes them at the *start of its next run* (one full round of
+/// grace), so a reader never loses a file out from under a pinned view.
+pub const META_GC_KEY: &[u8] = b"m:gc";
 /// Key of the persisted [`ReadView`](crate::view::ReadView): the
 /// committed snapshot (generation, extents, split list, watermark) that
 /// query planning pins with a single `get`. Published inside the commit

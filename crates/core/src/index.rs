@@ -30,14 +30,16 @@ use dgf_mapreduce::JobReport;
 use dgf_query::{AggFunc, AggSet, AggState};
 use dgf_storage::{FileSplit, HdfsRef};
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
 use crate::cache::{GfuHeaderCache, DEFAULT_HEADER_CACHE_CAPACITY};
 use crate::fresh::FreshSource;
 use crate::gfu::{
     Extents, GfuKey, GfuValue, GFU_PREFIX, META_AGGS_KEY, META_EXTENT_KEY, META_FILES_KEY,
-    META_INGEST_KEY, META_PLACEMENT_KEY, META_POLICY_KEY, META_PYRAMID_KEY, META_VIEW_KEY,
+    META_GC_KEY, META_INGEST_KEY, META_PLACEMENT_KEY, META_POLICY_KEY, META_PYRAMID_KEY,
+    META_VIEW_KEY,
 };
+use crate::maintain::CellHeat;
 use crate::policy::SplittingPolicy;
 use crate::pyramid;
 use crate::txn::{
@@ -156,8 +158,11 @@ pub struct DgfIndex {
     /// The reorganized, slice-aligned data table (TextFile — the only
     /// format DGFIndex supports in the paper).
     pub data: TableRef,
-    /// The grid policy.
-    pub policy: SplittingPolicy,
+    /// The grid policy. Behind a lock because online grid adaptation
+    /// ([`crate::maintain`]) swaps it after a committed regrid; readers
+    /// use the policy riding their pinned [`ReadView`] instead, so this
+    /// is only the fallback for legacy views and the seed for writes.
+    policy: RwLock<Arc<SplittingPolicy>>,
     /// Pre-computed aggregate list (may be empty).
     pub aggs: Vec<AggFunc>,
     /// The GFU key-value store (HBase in the paper).
@@ -175,6 +180,9 @@ pub struct DgfIndex {
     /// Pyramid height when this store maintains one (`m:pyramid`);
     /// `None` disables both maintenance and the `Pyramid` plan strategy.
     pyramid: Option<u8>,
+    /// Planner-fed per-dimension boundary-heat counters consumed by the
+    /// maintenance daemon's grid adaptation (see [`crate::maintain`]).
+    heat: CellHeat,
 }
 
 impl DgfIndex {
@@ -250,11 +258,15 @@ impl DgfIndex {
         // The reorganized data keeps the base table's format — the paper
         // implements TextFile and notes other formats are a straightforward
         // extension; RCFile slices are aligned to whole row groups.
-        let data = ctx.create_table_at(
+        // Inherit the base table's row-group size: slices (and their
+        // sidecars) written on build, append, flush, and compaction keep
+        // the pruning granularity the base table was tuned for.
+        let data = ctx.create_table_grouped(
             &format!("{index_name}_data"),
             base.schema.clone(),
             base.format,
             &format!("/warehouse/{index_name}/data"),
+            base.rows_per_group,
         )?;
         if let SlicePlacement::PrefixLocality { prefix_dims } = placement {
             if prefix_dims == 0 || prefix_dims >= policy.arity() {
@@ -270,11 +282,12 @@ impl DgfIndex {
             && !aggs.is_empty()
             && policy.arity() <= pyramid::MAX_PYRAMID_ARITY)
             .then_some(pyramid::DEFAULT_PYRAMID_LEVELS);
+        let heat = CellHeat::new(policy.arity());
         let index = DgfIndex {
             ctx,
             base,
             data,
-            policy,
+            policy: RwLock::new(Arc::new(policy)),
             aggs,
             kv,
             placement,
@@ -286,6 +299,7 @@ impl DgfIndex {
             fresh_source: Mutex::new(None),
             fetch_parallelism: options.fetch_parallelism.max(1),
             pyramid,
+            heat,
         };
         let watch = Stopwatch::start();
         let span = index.profiler.span("build");
@@ -298,7 +312,7 @@ impl DgfIndex {
         index.crash_point("build.intent")?;
         let job = {
             let reorg = span.child("build.reorganize");
-            let job = index.reorganize(splits, index.base.format, None)?;
+            let job = index.reorganize(splits, index.base.format, None, None)?;
             job.attach_to_span(&reorg);
             job
         };
@@ -402,11 +416,12 @@ impl DgfIndex {
         kv.stats().snapshot().since(&meta_before).attach_to_span(&meta_span);
         meta_span.finish();
         span.finish();
+        let heat = CellHeat::new(policy.arity());
         Ok(DgfIndex {
             ctx,
             base,
             data,
-            policy,
+            policy: RwLock::new(Arc::new(policy)),
             aggs,
             kv,
             placement,
@@ -418,6 +433,7 @@ impl DgfIndex {
             fresh_source: Mutex::new(None),
             fetch_parallelism: options.fetch_parallelism.max(1),
             pyramid: stored_pyramid,
+            heat,
         })
     }
 
@@ -490,7 +506,7 @@ impl DgfIndex {
     /// the new view at validation time and retry; a reader pinned to the
     /// pending view reconstructs the complete new state by overlaying
     /// this transaction's staged keys.
-    fn apply_committed(
+    pub(crate) fn apply_committed(
         hdfs: &HdfsRef,
         kv: &dyn KvStore,
         retry: RetryPolicy,
@@ -528,6 +544,19 @@ impl DgfIndex {
         for (k, v) in &manifest.meta_puts {
             kv_retry(retry, kv, || kv.put(k, v))?;
         }
+        // Retire keys the transaction re-gridded away. Runs after the
+        // staged publishes: a pending-view reader masks these keys with
+        // the staged tombstone twins until they are gone, so at no point
+        // can it see both grid epochs. Deleting an already-deleted key
+        // is a no-op, keeping re-apply idempotent.
+        for k in &manifest.deletes {
+            kv_retry(retry, kv, || kv.delete(k).map(|_| ()))?;
+        }
+        if let Some(plan) = fault {
+            if !manifest.deletes.is_empty() {
+                plan.crash_point("apply.retired")?;
+            }
+        }
         Ok(())
     }
 
@@ -537,7 +566,7 @@ impl DgfIndex {
     /// always falls back to the already-published live value); the
     /// manifest goes last: if a crash interrupts cleanup, recovery
     /// re-applies and re-cleans.
-    fn cleanup_txn(
+    pub(crate) fn cleanup_txn(
         hdfs: &HdfsRef,
         kv: &dyn KvStore,
         retry: RetryPolicy,
@@ -561,7 +590,7 @@ impl DgfIndex {
     /// Undo a transaction that never reached its commit point. The
     /// staged-key sweep uses the prefix (not the manifest's list) because
     /// an Intent-state manifest predates the list.
-    fn rollback_txn(
+    pub(crate) fn rollback_txn(
         hdfs: &HdfsRef,
         kv: &dyn KvStore,
         retry: RetryPolicy,
@@ -621,7 +650,7 @@ impl DgfIndex {
             let len = self.ctx.hdfs.file_len(&path)?;
             let splits = dgf_storage::splits_for_file(&path, len, self.ctx.hdfs.block_size());
             let reorg_span = span.child("append.reorganize");
-            let reorganized = self.reorganize(splits, self.base.format, watermark);
+            let reorganized = self.reorganize(splits, self.base.format, watermark, None);
             // Retire the header-cache epoch only after the new GFU values
             // are in the store (or the write failed partway through): a
             // plan racing this append may have cached pre-append values
@@ -690,15 +719,62 @@ impl DgfIndex {
         self.generation.load(Ordering::Acquire)
     }
 
+    /// The current grid policy. A cheap clone of a shared handle; hold
+    /// it for the duration of one operation rather than re-reading, and
+    /// prefer the policy riding a pinned [`ReadView`] for anything that
+    /// must agree with that view's cell geometry (a committed regrid
+    /// swaps this handle).
+    pub fn policy(&self) -> Arc<SplittingPolicy> {
+        self.policy.read().clone()
+    }
+
+    /// Swap the in-memory policy handle after a committed regrid.
+    pub(crate) fn install_policy(&self, policy: Arc<SplittingPolicy>) {
+        *self.policy.write() = policy;
+    }
+
+    /// Planner-fed boundary-heat counters (see [`crate::maintain`]).
+    pub fn heat(&self) -> &CellHeat {
+        &self.heat
+    }
+
+    /// Allocate the next transaction generation (pre-commit).
+    pub(crate) fn next_generation(&self) -> u64 {
+        self.generation.fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    /// Retire the header-cache epoch after a committed (or failed)
+    /// maintenance transaction, mirroring the bump in
+    /// [`append_with_watermark`](Self::append_with_watermark).
+    pub(crate) fn bump_generation(&self) {
+        self.generation.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// The persisted deferred file-reclamation list (`m:gc`): data files
+    /// retired by a maintenance transaction, awaiting one full round of
+    /// grace before deletion. See [`crate::maintain`].
+    pub fn gc_list(&self) -> Result<Vec<String>> {
+        let Some(bytes) = self.kv_get(META_GC_KEY)? else {
+            return Ok(Vec::new());
+        };
+        decode_gc_list(&bytes)
+    }
+
+    /// Persist the deferred-reclamation list (plain put: the maintenance
+    /// daemon is the only writer and resolves the final value itself).
+    pub(crate) fn put_gc_list(&self, paths: &[String]) -> Result<()> {
+        self.kv_put(META_GC_KEY, &encode_gc_list(paths))
+    }
+
     /// Staging directory of transaction `txn` — a *sibling* of the data
     /// directory, so half-written Slice files never appear in the data
     /// table's split enumeration.
-    fn staging_dir(&self, txn: u64) -> String {
+    pub(crate) fn staging_dir(&self, txn: u64) -> String {
         format!("{}_staging/txn-{txn:05}", self.data.location)
     }
 
     /// Consult the fault plan's crash point `site` (no-op without a plan).
-    fn crash_point(&self, site: &str) -> Result<()> {
+    pub(crate) fn crash_point(&self, site: &str) -> Result<()> {
         match &self.fault {
             Some(plan) => plan.crash_point(site),
             None => Ok(()),
@@ -721,11 +797,20 @@ impl DgfIndex {
         kv_retry(self.retry, self.kv.as_ref(), || self.kv.scan_range(start, end))
     }
 
-    fn kv_put(&self, key: &[u8], value: &[u8]) -> Result<()> {
+    pub(crate) fn kv_scan_prefix(&self, prefix: &[u8]) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+        kv_retry(self.retry, self.kv.as_ref(), || self.kv.scan_prefix(prefix))
+    }
+
+    /// The fault plan threaded through the commit protocol, if any.
+    pub(crate) fn fault_plan(&self) -> Option<&Arc<FaultPlan>> {
+        self.fault.as_ref()
+    }
+
+    pub(crate) fn kv_put(&self, key: &[u8], value: &[u8]) -> Result<()> {
         kv_retry(self.retry, self.kv.as_ref(), || self.kv.put(key, value))
     }
 
-    fn kv_delete(&self, key: &[u8]) -> Result<bool> {
+    pub(crate) fn kv_delete(&self, key: &[u8]) -> Result<bool> {
         kv_retry(self.retry, self.kv.as_ref(), || self.kv.delete(key))
     }
 
@@ -785,22 +870,34 @@ impl DgfIndex {
     /// the idempotent apply phase publishes everything. The caller must
     /// already have written an Intent-state manifest. `ingest_watermark`,
     /// when set, becomes the persisted ingest watermark at commit.
-    fn reorganize(
+    ///
+    /// With a [`RegridSpec`], the job is a **full rewrite** instead of
+    /// an extension: the splits cover the index's own live data files,
+    /// every record is re-celled under the spec's *new* policy, staged
+    /// values replace (never merge with) live ones, extents are rebuilt
+    /// from scratch, identity-valued tombstones are staged over every
+    /// old-granularity key so pending-view readers never see two grid
+    /// epochs, and the manifest's `deletes` retire those keys at apply.
+    pub(crate) fn reorganize(
         &self,
         splits: Vec<FileSplit>,
         format: FileFormat,
         ingest_watermark: Option<u64>,
+        regrid: Option<&RegridSpec>,
     ) -> Result<JobReport> {
         let gen = self.generation.load(Ordering::Acquire);
+        let policy = match regrid {
+            Some(spec) => Arc::clone(&spec.policy),
+            None => self.policy(),
+        };
         if splits.is_empty() {
             // Nothing to index; still persist metadata so queries work,
             // then retire the (empty) transaction.
-            self.persist_meta(&Extents::empty(self.policy.arity()), ingest_watermark)?;
+            self.persist_meta(&Extents::empty(policy.arity()), ingest_watermark)?;
             self.kv_delete(TXN_MANIFEST_KEY)?;
             return Ok(JobReport::default());
         }
-        let dim_idx: Vec<usize> = self
-            .policy
+        let dim_idx: Vec<usize> = policy
             .dims()
             .iter()
             .map(|d| self.base.schema.index_of(&d.name))
@@ -809,13 +906,14 @@ impl DgfIndex {
         let num_reducers = self.ctx.engine.threads().min(splits.len()).max(1);
         let ctx = &self.ctx;
         let base = &self.base;
-        let policy = &self.policy;
+        let policy = policy.as_ref();
         let data_loc = self.data.location.clone();
         let staging_dir = self.staging_dir(gen);
         let kv = &self.kv;
         let retry = self.retry;
-        let arity = self.policy.arity();
+        let arity = policy.arity();
         let fault = self.fault.clone();
+        let rewrite = regrid.is_some();
 
         // Slice placement: which encoded-key prefix defines the reducer.
         let prefix_len = match self.placement {
@@ -897,7 +995,15 @@ impl DgfIndex {
                     if let Some(plan) = &fault {
                         plan.sync_point("reorg.stage-cell");
                     }
-                    let old = kv_retry(retry, kv.as_ref(), || kv.get(&key_bytes))?;
+                    // A regrid rewrite replaces the keyspace wholesale:
+                    // new cell coordinates may collide with a live
+                    // old-granularity key, and merging with it would
+                    // double-count every record it ever held.
+                    let old = if rewrite {
+                        None
+                    } else {
+                        kv_retry(retry, kv.as_ref(), || kv.get(&key_bytes))?
+                    };
                     let merged = merge_gfu(old.as_deref(), &header, &slice, count, &agg_set)?;
                     let skey = stage_key(gen, &key_bytes);
                     let enc = merged.encode();
@@ -911,9 +1017,15 @@ impl DgfIndex {
 
         // Prepare: complete the manifest with the full apply recipe —
         // renames, staged keys, and precomputed (merge-free) metadata.
-        let mut extents = match self.kv_get(META_EXTENT_KEY)? {
-            Some(bytes) => Extents::decode(&bytes)?,
-            None => Extents::empty(arity),
+        // A rewrite's extents are rebuilt from its own outputs alone: the
+        // stored extents describe the old granularity.
+        let mut extents = if rewrite {
+            Extents::empty(arity)
+        } else {
+            match self.kv_get(META_EXTENT_KEY)? {
+                Some(bytes) => Extents::decode(&bytes)?,
+                None => Extents::empty(arity),
+            }
         };
         let mut staged_keys: Vec<Vec<u8>> = Vec::new();
         for (e, keys) in &job.outputs {
@@ -927,24 +1039,73 @@ impl DgfIndex {
         // with the one `m:view` put, so readers never see cells and
         // ancestors from different epochs.
         if let Some(levels) = self.pyramid {
-            self.stage_pyramid_updates(gen, levels, &mut staged_keys)?;
+            self.stage_pyramid_updates(gen, levels, &mut staged_keys, rewrite)?;
+        }
+        // A rewrite retires every old-granularity key its job did not
+        // re-stage: an identity-valued tombstone is staged over each one
+        // (so a pending-view reader's staged-over-live overlay masks the
+        // old grid completely — new cell coordinates share the old key
+        // space, so un-masked old keys would land inside the new view's
+        // scan runs), and the manifest's `deletes` removes them at apply.
+        let mut deletes: Vec<Vec<u8>> = Vec::new();
+        if rewrite {
+            use std::collections::HashSet;
+            let staged_live: HashSet<Vec<u8>> = staged_keys
+                .iter()
+                .map(|s| live_key(s).to_vec())
+                .collect();
+            let tombstone = GfuValue {
+                header: AggSet::encode_states(&agg_set.new_states()),
+                slices: Vec::new(),
+                record_count: 0,
+            }
+            .encode();
+            let mut old_keys: Vec<Vec<u8>> = kv_retry(retry, kv.as_ref(), || {
+                kv.scan_prefix(GFU_PREFIX)
+            })?
+            .into_iter()
+            .map(|(k, _)| k)
+            .collect();
+            old_keys.extend(
+                kv_retry(retry, kv.as_ref(), || {
+                    kv.scan_prefix(pyramid::PYRAMID_PREFIX)
+                })?
+                .into_iter()
+                .map(|(k, _)| k),
+            );
+            for k in old_keys {
+                if staged_live.contains(&k) {
+                    continue;
+                }
+                let skey = stage_key(gen, &k);
+                kv_retry(retry, kv.as_ref(), || kv.put(&skey, &tombstone))?;
+                staged_keys.push(skey);
+                deletes.push(k);
+            }
         }
         // The post-commit split list: every data file already live plus
         // this transaction's rename destinations (sized from the staged
         // files — slice files are immutable once renamed, so the pinned
         // lengths stay exact). Recorded in the view so a pinned reader
         // never mixes one epoch's headers with another's split list.
+        // A rewrite's view lists only its own outputs: the old files are
+        // retired wholesale. Either way, files already awaiting deferred
+        // reclamation (`m:gc`) must never re-enter a view.
         let staged_files = self.ctx.hdfs.list_files(&staging_dir);
         let mut renames: Vec<(String, String)> = Vec::with_capacity(staged_files.len());
         // Sidecars ride the renames with their slice files but are never
         // data: keep them out of the split list (here and from prior gens).
-        let mut data_files: Vec<(String, u64)> = self
-            .ctx
-            .hdfs
-            .list_files(&self.data.location)
-            .into_iter()
-            .filter(|(p, _)| !is_sidecar_path(p))
-            .collect();
+        let gc: std::collections::HashSet<String> = self.gc_list()?.into_iter().collect();
+        let mut data_files: Vec<(String, u64)> = if rewrite {
+            Vec::new()
+        } else {
+            self.ctx
+                .hdfs
+                .list_files(&self.data.location)
+                .into_iter()
+                .filter(|(p, _)| !is_sidecar_path(p) && !gc.contains(p))
+                .collect()
+        };
         for (p, len) in staged_files {
             let name = p.rsplit('/').next().unwrap_or(&p).to_owned();
             let dest = format!("{data_loc}/{name}");
@@ -965,7 +1126,20 @@ impl DgfIndex {
         manifest.state = TxnState::Prepared;
         manifest.renames = renames;
         manifest.staged_keys = staged_keys;
-        manifest.meta_puts = self.meta_puts(&extents, files, watermark);
+        manifest.deletes = deletes;
+        manifest.meta_puts = self.meta_puts(policy, &extents, files, watermark);
+        if let Some(spec) = regrid {
+            // The replaced files join the deferred-reclamation list (one
+            // maintenance round of grace for readers pinned to the old
+            // view) rather than being deleted at apply.
+            let mut retired: Vec<String> = gc.iter().cloned().collect();
+            retired.extend(spec.retire.iter().map(|(p, _)| p.clone()));
+            retired.sort();
+            retired.dedup();
+            manifest
+                .meta_puts
+                .push((META_GC_KEY.to_vec(), encode_gc_list(&retired)));
+        }
         manifest.view = ReadView {
             generation: gen,
             pending: true,
@@ -973,6 +1147,7 @@ impl DgfIndex {
             files: Some(files),
             extents: extents.clone(),
             data_files: Some(data_files),
+            policy: Some(policy.encode()),
             versioned: true,
         }
         .encode();
@@ -1007,15 +1182,20 @@ impl DgfIndex {
     /// the generic apply/rollback/recovery machinery publishes or
     /// discards them with the cells — no pyramid-specific crash
     /// handling exists or is needed.
-    fn stage_pyramid_updates(
+    /// `rewrite` (regrid) folds strictly from this transaction's staged
+    /// cells: the live store holds old-granularity values whose
+    /// coordinates may collide with new ones, so falling back to it
+    /// would fold stale children into the new pyramid.
+    pub(crate) fn stage_pyramid_updates(
         &self,
         gen: u64,
         levels: u8,
         staged_keys: &mut Vec<Vec<u8>>,
+        rewrite: bool,
     ) -> Result<()> {
         use std::collections::HashMap;
         let agg_set = AggSet::bind(&self.aggs, &self.base.schema)?;
-        let arity = self.policy.arity();
+        let arity = self.policy().arity();
         // Final post-commit values of everything staged so far — all
         // the `g:` cells this job wrote.
         let staged = kv_retry(self.retry, self.kv.as_ref(), || {
@@ -1050,6 +1230,7 @@ impl DgfIndex {
                     let ckey = pyramid::level_key(level - 1, coords);
                     let value = match current.get(&ckey) {
                         Some(v) => Some(v.clone()),
+                        None if rewrite => None,
                         None => self
                             .kv_get(&ckey)?
                             .as_deref()
@@ -1092,7 +1273,13 @@ impl DgfIndex {
     /// so re-applying after a crash never double-merges. The watermark
     /// never regresses: a flush carries the sequence of its own batches,
     /// a plain build/append re-persists the stored one.
-    fn meta_puts(&self, extents: &Extents, files: u64, watermark: u64) -> Vec<(Vec<u8>, Vec<u8>)> {
+    pub(crate) fn meta_puts(
+        &self,
+        policy: &SplittingPolicy,
+        extents: &Extents,
+        files: u64,
+        watermark: u64,
+    ) -> Vec<(Vec<u8>, Vec<u8>)> {
         let agg_keys: Vec<u8> = self
             .aggs
             .iter()
@@ -1101,7 +1288,7 @@ impl DgfIndex {
             .join("\n")
             .into_bytes();
         let mut puts = vec![
-            (META_POLICY_KEY.to_vec(), self.policy.encode()),
+            (META_POLICY_KEY.to_vec(), policy.encode()),
             (META_PLACEMENT_KEY.to_vec(), self.placement.encode()),
             (META_FILES_KEY.to_vec(), files.to_le_bytes().to_vec()),
             (META_AGGS_KEY.to_vec(), agg_keys),
@@ -1119,23 +1306,26 @@ impl DgfIndex {
     /// changes, so plain puts suffice. A fresh non-pending view goes last
     /// so even this path bumps the pinned-reader generation.
     fn persist_meta(&self, new_extents: &Extents, ingest_watermark: Option<u64>) -> Result<()> {
+        let policy = self.policy();
         let mut extents = match self.kv_get(META_EXTENT_KEY)? {
-            Some(bytes) => Extents::decode(&bytes)
-                .unwrap_or_else(|_| Extents::empty(self.policy.arity())),
-            None => Extents::empty(self.policy.arity()),
+            Some(bytes) => {
+                Extents::decode(&bytes).unwrap_or_else(|_| Extents::empty(policy.arity()))
+            }
+            None => Extents::empty(policy.arity()),
         };
         extents.merge(new_extents);
         let files = self.ctx.hdfs.list_files(&self.base.location).len() as u64;
         let watermark = self.ingest_watermark()?.max(ingest_watermark.unwrap_or(0));
-        for (k, v) in self.meta_puts(&extents, files, watermark) {
+        for (k, v) in self.meta_puts(&policy, &extents, files, watermark) {
             self.kv_put(&k, &v)?;
         }
+        let gc: std::collections::HashSet<String> = self.gc_list()?.into_iter().collect();
         let mut data_files: Vec<(String, u64)> = self
             .ctx
             .hdfs
             .list_files(&self.data.location)
             .into_iter()
-            .filter(|(p, _)| !is_sidecar_path(p))
+            .filter(|(p, _)| !is_sidecar_path(p) && !gc.contains(p))
             .collect();
         data_files.sort();
         data_files.dedup();
@@ -1146,6 +1336,7 @@ impl DgfIndex {
             files: Some(files),
             extents,
             data_files: Some(data_files),
+            policy: Some(policy.encode()),
             versioned: true,
         };
         self.kv_put(META_VIEW_KEY, &view.encode())?;
@@ -1201,7 +1392,7 @@ impl DgfIndex {
         let files = metas[0].as_deref().map(le_u64);
         let extents = match metas[1].as_deref() {
             Some(b) => Extents::decode(b)?,
-            None => Extents::empty(self.policy.arity()),
+            None => Extents::empty(self.policy().arity()),
         };
         let watermark = metas[2].as_deref().map(le_u64).unwrap_or(0);
         Ok(ReadView {
@@ -1211,6 +1402,7 @@ impl DgfIndex {
             files,
             extents,
             data_files: None,
+            policy: None,
             versioned: false,
         })
     }
@@ -1384,7 +1576,7 @@ impl DgfIndex {
     pub fn extents(&self) -> Result<Extents> {
         match self.kv_get(META_EXTENT_KEY)? {
             Some(bytes) => Extents::decode(&bytes),
-            None => Ok(Extents::empty(self.policy.arity())),
+            None => Ok(Extents::empty(self.policy().arity())),
         }
     }
 
@@ -1412,6 +1604,39 @@ fn le_u64(bytes: &[u8]) -> u64 {
     u64::from_le_bytes(b)
 }
 
+/// Instructions turning [`DgfIndex::reorganize`] into a full grid
+/// rewrite: re-cell every record under `policy` and, at apply, move the
+/// `retire` files onto the deferred-reclamation list (`m:gc`).
+pub(crate) struct RegridSpec {
+    /// The adapted policy the rewrite cells records under.
+    pub policy: Arc<SplittingPolicy>,
+    /// Data files `(path, len)` superseded by the rewrite. They are not
+    /// deleted at apply — a pinned reader may still hold the old view —
+    /// but queued on `m:gc` for the next maintenance run.
+    pub retire: Vec<(String, u64)>,
+}
+
+/// Encode the `m:gc` deferred-reclamation list (count + paths).
+pub(crate) fn encode_gc_list(paths: &[String]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    dgf_common::codec::put_u32(&mut buf, paths.len() as u32);
+    for p in paths {
+        dgf_common::codec::put_str(&mut buf, p);
+    }
+    buf
+}
+
+/// Decode the `m:gc` deferred-reclamation list.
+pub(crate) fn decode_gc_list(bytes: &[u8]) -> Result<Vec<String>> {
+    let mut d = dgf_common::codec::Decoder::new(bytes);
+    let n = d.u32()? as usize;
+    let mut paths = Vec::with_capacity(n);
+    for _ in 0..n {
+        paths.push(d.str()?.to_owned());
+    }
+    Ok(paths)
+}
+
 /// Format-dispatched writer of slice-aligned reorganized data.
 ///
 /// The RCFile variant additionally streams every row through a
@@ -1420,7 +1645,7 @@ fn le_u64(bytes: &[u8]) -> u64 {
 /// Written into the staging directory, the sidecar rides the same
 /// staged-commit renames as its slice file, so it is never visible
 /// without the data it describes.
-enum SliceWriter {
+pub(crate) enum SliceWriter {
     Text(TextWriter),
     Rc {
         writer: Box<dgf_format::RcWriter>,
@@ -1431,7 +1656,7 @@ enum SliceWriter {
 }
 
 impl SliceWriter {
-    fn create(
+    pub(crate) fn create(
         hdfs: &dgf_storage::HdfsRef,
         path: &str,
         base: &TableRef,
@@ -1456,7 +1681,7 @@ impl SliceWriter {
     }
 
     /// Offset where the next slice will begin.
-    fn offset(&self) -> u64 {
+    pub(crate) fn offset(&self) -> u64 {
         match self {
             SliceWriter::Text(w) => w.offset(),
             SliceWriter::Rc { writer, .. } => writer.group_offset(),
@@ -1464,7 +1689,7 @@ impl SliceWriter {
     }
 
     /// Append one record (`line` is its text form, `row` its parsed form).
-    fn write(&mut self, line: &str, row: Row) -> Result<()> {
+    pub(crate) fn write(&mut self, line: &str, row: Row) -> Result<()> {
         match self {
             SliceWriter::Text(w) => {
                 w.write_line(line)?;
@@ -1488,7 +1713,7 @@ impl SliceWriter {
 
     /// Close the current slice at a record/group boundary; returns its
     /// exclusive end offset.
-    fn end_slice(&mut self) -> Result<u64> {
+    pub(crate) fn end_slice(&mut self) -> Result<u64> {
         match self {
             SliceWriter::Text(w) => Ok(w.offset()),
             SliceWriter::Rc {
@@ -1505,7 +1730,7 @@ impl SliceWriter {
         }
     }
 
-    fn close(self) -> Result<u64> {
+    pub(crate) fn close(self) -> Result<u64> {
         match self {
             SliceWriter::Text(w) => w.close(),
             SliceWriter::Rc {
@@ -1536,7 +1761,7 @@ impl SliceWriter {
 }
 
 /// Merge a freshly built slice into an existing GFU value (or create one).
-fn merge_gfu(
+pub(crate) fn merge_gfu(
     old: Option<&[u8]>,
     header: &[u8],
     slice: &crate::gfu::SliceLoc,

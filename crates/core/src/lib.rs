@@ -65,6 +65,7 @@ pub mod engine;
 pub mod fresh;
 pub mod gfu;
 pub mod index;
+pub mod maintain;
 pub mod plan;
 pub mod policy;
 pub mod pyramid;
@@ -78,6 +79,7 @@ pub use engine::DgfEngine;
 pub use fresh::{FreshCell, FreshSource};
 pub use gfu::{Extents, GfuKey, GfuValue, SliceLoc};
 pub use index::{all_gfus, default_precompute, DgfIndex, IndexOptions, SlicePlacement};
+pub use maintain::{CellHeat, MaintenanceConfig, MaintenanceReport, Maintainer};
 pub use plan::{DgfPlan, PlanStrategy};
 pub use pyramid::{NodeRef, DEFAULT_PYRAMID_LEVELS, PYRAMID_PREFIX};
 pub use sidecar::PruneOutcome;
@@ -607,7 +609,12 @@ mod tests {
         let idx = Arc::new(idx);
 
         // Slices are group-aligned: every slice boundary is a group offset.
+        // The data directory also holds `.scx` sidecars, which are index
+        // (not RCFile data) and have no group structure to check.
         for (path, _) in ctx.hdfs.list_files(&idx.data.location) {
+            if dgf_format::is_sidecar_path(&path) {
+                continue;
+            }
             let offsets = dgf_format::read_group_offsets(&ctx.hdfs, &path).unwrap();
             let gfus = all_gfus(idx.kv.as_ref(), 2).unwrap();
             for (_, v) in &gfus {

@@ -1,0 +1,645 @@
+//! Background maintenance: delta compaction, deferred file reclamation,
+//! key-value log compaction, and online grid adaptation (DESIGN.md §16).
+//!
+//! Streaming ingest extends the grid one small delta file per flush, so a
+//! long-running index accumulates slices scattered across many files:
+//! boundary scans lose locality, the `(generation, gfu)` header cache
+//! fills with dead epochs, and the append-only KV log never reclaims
+//! overwritten values unless someone calls `flush()`. The [`Maintainer`]
+//! runs all four counter-measures behind the same staged-commit protocol
+//! the build and append paths use ([`crate::txn`]), so every
+//! reorganization publishes through one `m:view` put — readers never
+//! block, and answers stay bit-identical under any maintenance schedule.
+//!
+//! **Compaction** is pure data movement: the slices of every GFU touched
+//! by the smallest delta files are rewritten contiguously into one fresh
+//! file (per-GFU row order preserved), and the GFU value's header and
+//! record count are copied **verbatim** — re-folding the aggregates
+//! would change the float summation order and thus the low bits of
+//! boundary sums, which the equivalence harness would catch. Replaced
+//! files are not deleted at commit: they join the `m:gc` deferred list
+//! and are reclaimed at the *start of the next run*, giving readers
+//! pinned to the previous view one full round of grace.
+//!
+//! **Adaptation** consumes the planner's [`CellHeat`] boundary counters:
+//! a grid whose cells are too coarse (records per cell above
+//! [`MaintenanceConfig::split_records_per_cell`]) halves the interval of
+//! the *hottest* boundary dimension; one too fine (below
+//! [`MaintenanceConfig::merge_records_per_cell`]) doubles the coldest.
+//! The rewrite re-cells every record under the new policy in a single
+//! transaction whose manifest also *retires* the old-granularity keys
+//! (see [`crate::txn::TxnManifest::deletes`]), and the new policy rides
+//! the published [`ReadView`](crate::view::ReadView) so a pinned reader
+//! can never pair one epoch's extents with another's cell geometry.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use dgf_common::{format_row, DgfError, Result};
+use dgf_format::{coalesce_ranges, is_sidecar_path, sidecar_path, ByteRange, FileFormat};
+use dgf_hive::{open_input, ScanInput};
+
+use crate::gfu::{GfuValue, GFU_PREFIX, META_EXTENT_KEY, META_GC_KEY};
+use crate::index::{encode_gc_list, DgfIndex, RegridSpec, SliceWriter};
+use crate::policy::{DimPolicy, DimScale, SplittingPolicy};
+use crate::txn::{stage_key, TxnManifest, TxnState, TXN_MANIFEST_KEY};
+use crate::view::ReadView;
+use crate::Extents;
+
+/// Planner-fed per-dimension boundary-heat counters.
+///
+/// Every time plan assembly classifies a span edge on dimension `d` as
+/// *uncovered* (a boundary cell whose records must be scanned and
+/// re-filtered), it calls [`record`](Self::record). The counters are the
+/// maintenance daemon's signal for which dimension's granularity is
+/// mispriced: the hottest dimension produces the most boundary scans and
+/// benefits most from finer cells.
+#[derive(Debug)]
+pub struct CellHeat {
+    dims: Vec<AtomicU64>,
+}
+
+impl CellHeat {
+    /// Zeroed counters for an `arity`-dimensional grid.
+    pub(crate) fn new(arity: usize) -> CellHeat {
+        CellHeat {
+            dims: (0..arity).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Count one boundary-cell scan attributed to dimension `dim`.
+    /// Out-of-range dimensions are ignored (a pinned view may carry a
+    /// policy of different arity than the live grid mid-regrid).
+    pub fn record(&self, dim: usize) {
+        if let Some(c) = self.dims.get(dim) {
+            c.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Current per-dimension counts, in policy order.
+    pub fn snapshot(&self) -> Vec<u64> {
+        self.dims.iter().map(|c| c.load(Ordering::Relaxed)).collect()
+    }
+
+    /// Read and reset the counters (the maintainer consumes each epoch
+    /// of heat exactly once).
+    pub fn take(&self) -> Vec<u64> {
+        self.dims.iter().map(|c| c.swap(0, Ordering::Relaxed)).collect()
+    }
+}
+
+/// Tuning knobs for one [`Maintainer`].
+pub struct MaintenanceConfig {
+    /// Maximum number of live data files before compaction triggers.
+    /// When the count exceeds the budget, the smallest files (and every
+    /// GFU referencing them) are compacted so the post-commit count is
+    /// back within it.
+    pub delta_file_budget: usize,
+    /// Called (when set) before compaction to drain any buffered ingest
+    /// state into slices — returns the number of batches flushed. A hook
+    /// rather than a direct dependency so `dgf-core` stays below
+    /// `dgf-ingest` in the crate graph.
+    #[allow(clippy::type_complexity)]
+    pub flush_hook: Option<Box<dyn Fn() -> Result<u64> + Send + Sync>>,
+    /// Whether grid adaptation (re-split/merge + full rewrite) may run.
+    pub adapt: bool,
+    /// Mean records per occupied cell above which the hottest boundary
+    /// dimension's interval is halved.
+    pub split_records_per_cell: u64,
+    /// Mean records per occupied cell below which the coldest boundary
+    /// dimension's interval is doubled. `0` disables merging.
+    pub merge_records_per_cell: u64,
+}
+
+impl Default for MaintenanceConfig {
+    fn default() -> Self {
+        MaintenanceConfig {
+            delta_file_budget: 8,
+            flush_hook: None,
+            adapt: false,
+            split_records_per_cell: 4096,
+            merge_records_per_cell: 0,
+        }
+    }
+}
+
+/// What one [`Maintainer::run_once`] pass did.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct MaintenanceReport {
+    /// Files (plus their sidecars) reclaimed from the deferred list.
+    pub reclaimed_files: usize,
+    /// Ingest batches drained by the flush hook.
+    pub flushed_batches: u64,
+    /// Delta files fed into this pass's compaction (0 = under budget).
+    pub compacted_files: usize,
+    /// GFUs whose slices were rewritten contiguously.
+    pub compacted_gfus: usize,
+    /// Bytes reclaimed by key-value store log compaction.
+    pub kv_reclaimed_bytes: u64,
+    /// Dimension whose interval the adaptation pass changed, with the
+    /// new interval's description (`None` = grid left alone).
+    pub adapted: Option<String>,
+}
+
+/// The background maintenance daemon (one pass at a time; the index is a
+/// single-writer structure, so the caller must not run maintenance
+/// concurrently with builds, appends, or ingest flushes).
+pub struct Maintainer {
+    index: Arc<DgfIndex>,
+    config: MaintenanceConfig,
+}
+
+impl Maintainer {
+    /// Wrap `index` with the given tuning.
+    pub fn new(index: Arc<DgfIndex>, config: MaintenanceConfig) -> Maintainer {
+        Maintainer { index, config }
+    }
+
+    /// The wrapped index.
+    pub fn index(&self) -> &Arc<DgfIndex> {
+        &self.index
+    }
+
+    /// One full maintenance pass: reclaim the previous round's retired
+    /// files, drain ingest, compact deltas back within budget, compact
+    /// the key-value log, and (when enabled) adapt the grid.
+    pub fn run_once(&self) -> Result<MaintenanceReport> {
+        let mut report = MaintenanceReport {
+            reclaimed_files: self.reclaim()?,
+            ..Default::default()
+        };
+        if let Some(hook) = &self.config.flush_hook {
+            report.flushed_batches = hook()?;
+        }
+        if self.index.kv_get(TXN_MANIFEST_KEY)?.is_some() {
+            return Err(DgfError::Index(
+                "maintenance requires a clean store: an in-flight transaction manifest \
+                 exists (run recovery first)"
+                    .into(),
+            ));
+        }
+        let (files, gfus) = self.compact()?;
+        report.compacted_files = files;
+        report.compacted_gfus = gfus;
+        report.kv_reclaimed_bytes = self.index.kv.maintain()?;
+        if self.config.adapt {
+            report.adapted = self.adapt()?;
+        }
+        Ok(report)
+    }
+
+    /// Delete every file on the deferred-reclamation list (`m:gc`) along
+    /// with its sidecar twin, then clear the list. The files were
+    /// retired by a *previous* maintenance transaction, so any reader
+    /// still pinned to the view that referenced them has had one full
+    /// maintenance interval to finish. Idempotent under crashes: a file
+    /// already gone is skipped, and the list is only cleared after every
+    /// deletion succeeded.
+    fn reclaim(&self) -> Result<usize> {
+        let gc = self.index.gc_list()?;
+        if gc.is_empty() {
+            return Ok(0);
+        }
+        let hdfs = &self.index.ctx.hdfs;
+        for path in &gc {
+            if hdfs.file_exists(path) {
+                hdfs.delete_file(path)?;
+            }
+            let sc = sidecar_path(path);
+            if hdfs.file_exists(&sc) {
+                hdfs.delete_file(&sc)?;
+            }
+        }
+        self.index.crash_point("maint.gc-swept")?;
+        self.index.put_gc_list(&[])?;
+        Ok(gc.len())
+    }
+
+    /// The live (non-sidecar, non-retired) data files of the index.
+    fn live_data_files(&self) -> Result<Vec<(String, u64)>> {
+        let gc: HashSet<String> = self.index.gc_list()?.into_iter().collect();
+        let mut files: Vec<(String, u64)> = self
+            .index
+            .ctx
+            .hdfs
+            .list_files(&self.index.data.location)
+            .into_iter()
+            .filter(|(p, _)| !is_sidecar_path(p) && !gc.contains(p))
+            .collect();
+        files.sort();
+        files.dedup();
+        Ok(files)
+    }
+
+    /// Delta compaction: when the live data-file count exceeds the
+    /// budget, rewrite the slices of every GFU referencing the smallest
+    /// files into one fresh contiguous file. Pure data movement — see
+    /// the module docs for why headers are copied verbatim — published
+    /// through the standard staged-commit transaction.
+    fn compact(&self) -> Result<(usize, usize)> {
+        let index = &*self.index;
+        let files = self.live_data_files()?;
+        let budget = self.config.delta_file_budget.max(1);
+        if files.len() <= budget {
+            return Ok((0, 0));
+        }
+        // Pick the k smallest files so the post-commit count (n - k + 1,
+        // or lower if other files are fully absorbed) is within budget.
+        let k = files.len() - budget + 1;
+        let mut by_size = files.clone();
+        by_size.sort_by(|a, b| a.1.cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+        let selected: HashSet<String> = by_size.iter().take(k).map(|(p, _)| p.clone()).collect();
+
+        // Affected = every GFU with at least one slice in a selected
+        // file. The KV prefix scan is key-ordered, so the rewrite lays
+        // affected cells out in grid order.
+        let pairs = index.kv_scan_prefix(GFU_PREFIX)?;
+        let mut affected: Vec<(Vec<u8>, GfuValue)> = Vec::new();
+        let mut refs: HashMap<String, Vec<usize>> = HashMap::new();
+        let mut affected_idx: HashSet<usize> = HashSet::new();
+        let mut decoded: Vec<(Vec<u8>, GfuValue)> = Vec::with_capacity(pairs.len());
+        for (k, v) in pairs {
+            decoded.push((k, GfuValue::decode(&v)?));
+        }
+        for (i, (_, v)) in decoded.iter().enumerate() {
+            for s in &v.slices {
+                refs.entry(s.file.clone()).or_default().push(i);
+                if selected.contains(&s.file) {
+                    affected_idx.insert(i);
+                }
+            }
+        }
+        if affected_idx.is_empty() {
+            return Ok((0, 0));
+        }
+        for (i, kv) in decoded.into_iter().enumerate() {
+            if affected_idx.contains(&i) {
+                affected.push(kv);
+            }
+        }
+        // A file is retired when every GFU referencing it is being
+        // rewritten (its remaining bytes serve no live slice). Selected
+        // files are always retired; others may be absorbed for free.
+        let retired: Vec<(String, u64)> = files
+            .iter()
+            .filter(|(p, _)| match refs.get(p) {
+                Some(rs) => rs.iter().all(|i| affected_idx.contains(i)),
+                None => false,
+            })
+            .cloned()
+            .collect();
+
+        let gen = index.next_generation();
+        let staging_dir = index.staging_dir(gen);
+        let manifest = TxnManifest::intent(gen, staging_dir.clone(), None);
+        index.kv_put(TXN_MANIFEST_KEY, &manifest.encode())?;
+        index.crash_point("maint.intent")?;
+
+        // Rewrite ALL slices of each affected GFU, in stored slice order,
+        // into one staged file: each GFU ends up with a single contiguous
+        // slice holding exactly its old rows in their old order.
+        let format = index.data.format;
+        let path = format!("{staging_dir}/part-r-{gen:05}-00000");
+        let final_path = format!("{}/part-r-{gen:05}-00000", index.data.location);
+        let mut w = SliceWriter::create(&index.ctx.hdfs, &path, &index.data, format)?;
+        let mut staged_keys: Vec<Vec<u8>> = Vec::new();
+        for (key, value) in &affected {
+            let start = w.offset();
+            for slice in &value.slices {
+                if slice.is_empty() {
+                    continue;
+                }
+                let range = ByteRange::new(slice.start, slice.end);
+                let input = match format {
+                    FileFormat::Text => ScanInput::TextRanges {
+                        path: slice.file.clone(),
+                        ranges: vec![range],
+                    },
+                    FileFormat::RcFile => ScanInput::RcRanges {
+                        path: slice.file.clone(),
+                        ranges: vec![range],
+                    },
+                };
+                let mut r = open_input(&index.ctx, &index.data, &input)?;
+                while let Some(row) = r.next_row()? {
+                    let line = format_row(&row);
+                    w.write(&line, row)?;
+                }
+            }
+            let end = w.end_slice()?;
+            index.sync_point("maint.stage-cell");
+            // Header and record count copied verbatim: compaction moves
+            // bytes, it never re-aggregates.
+            let compacted = GfuValue {
+                header: value.header.clone(),
+                slices: vec![crate::gfu::SliceLoc::new(final_path.clone(), start, end)],
+                record_count: value.record_count,
+            };
+            let skey = stage_key(gen, key);
+            index.kv_put(&skey, &compacted.encode())?;
+            staged_keys.push(skey);
+        }
+        w.close()?;
+        index.crash_point("maint.staged")?;
+
+        // Post-commit state: same extents, same watermark, same grid —
+        // only the file list and the affected GFU values change.
+        let extents = match index.kv_get(META_EXTENT_KEY)? {
+            Some(bytes) => Extents::decode(&bytes)?,
+            None => Extents::empty(index.policy().arity()),
+        };
+        let retired_set: HashSet<&String> = retired.iter().map(|(p, _)| p).collect();
+        let staged_files = index.ctx.hdfs.list_files(&staging_dir);
+        let mut renames: Vec<(String, String)> = Vec::with_capacity(staged_files.len());
+        let mut data_files: Vec<(String, u64)> = files
+            .iter()
+            .filter(|(p, _)| !retired_set.contains(p))
+            .cloned()
+            .collect();
+        for (p, len) in staged_files {
+            let name = p.rsplit('/').next().unwrap_or(&p).to_owned();
+            let dest = format!("{}/{name}", index.data.location);
+            if !is_sidecar_path(&dest) {
+                data_files.push((dest.clone(), len));
+            }
+            renames.push((p, dest));
+        }
+        data_files.sort();
+        data_files.dedup();
+        let base_files = index.ctx.hdfs.list_files(&index.base.location).len() as u64;
+        let watermark = index.ingest_watermark()?;
+        let mut gc_after: Vec<String> = self.index.gc_list()?;
+        gc_after.extend(retired.iter().map(|(p, _)| p.clone()));
+        gc_after.sort();
+        gc_after.dedup();
+
+        let mut manifest = manifest;
+        manifest.state = TxnState::Prepared;
+        manifest.renames = renames;
+        manifest.staged_keys = staged_keys;
+        manifest.meta_puts = vec![(META_GC_KEY.to_vec(), encode_gc_list(&gc_after))];
+        manifest.view = ReadView {
+            generation: gen,
+            pending: true,
+            watermark,
+            files: Some(base_files),
+            extents,
+            data_files: Some(data_files),
+            policy: Some(index.policy().encode()),
+            versioned: true,
+        }
+        .encode();
+        index.kv_put(TXN_MANIFEST_KEY, &manifest.encode())?;
+        index.crash_point("maint.prepared")?;
+
+        // COMMIT POINT.
+        manifest.state = TxnState::Committed;
+        index.kv_put(TXN_MANIFEST_KEY, &manifest.encode())?;
+        index.crash_point("maint.committed")?;
+
+        DgfIndex::apply_committed(
+            &index.ctx.hdfs,
+            index.kv.as_ref(),
+            index.retry,
+            &manifest,
+            index.fault_plan(),
+        )?;
+        index.crash_point("maint.applied")?;
+        DgfIndex::cleanup_txn(&index.ctx.hdfs, index.kv.as_ref(), index.retry, &manifest)?;
+        // Orphan any header-cache entries a racing plan stamped with this
+        // generation before the commit (mirrors the append path's bump).
+        index.bump_generation();
+        Ok((retired.len(), affected.len()))
+    }
+
+    /// Decide and apply one grid adaptation, if warranted. Returns a
+    /// human-readable description of the change, or `None`.
+    fn adapt(&self) -> Result<Option<String>> {
+        let index = &*self.index;
+        let pairs = index.kv_scan_prefix(GFU_PREFIX)?;
+        if pairs.is_empty() {
+            return Ok(None);
+        }
+        let mut records: u64 = 0;
+        for (_, v) in &pairs {
+            records += GfuValue::decode(v)?.record_count;
+        }
+        let cells = pairs.len() as u64;
+        let avg = records / cells.max(1);
+        let heat = index.heat().take();
+        let old = index.policy();
+        let (dim, halve) = if avg > self.config.split_records_per_cell {
+            // Hottest boundary dimension benefits most from finer cells.
+            let dim = argmax(&heat);
+            (dim, true)
+        } else if self.config.merge_records_per_cell > 0
+            && avg < self.config.merge_records_per_cell
+            && cells > 1
+        {
+            let dim = argmin(&heat);
+            (dim, false)
+        } else {
+            return Ok(None);
+        };
+        let Some(adapted) = adapt_dim(&old.dims()[dim], halve) else {
+            return Ok(None);
+        };
+        let desc = format!(
+            "{} {} → {}",
+            adapted.name,
+            scale_desc(&old.dims()[dim].scale),
+            scale_desc(&adapted.scale)
+        );
+        let mut dims = old.dims().to_vec();
+        dims[dim] = adapted;
+        let policy = SplittingPolicy::new(dims)?;
+        self.regrid_to(policy)?;
+        Ok(Some(desc))
+    }
+
+    /// Rewrite the whole index under `policy` (interval-only adaptation:
+    /// same dimensions, same types — only cell widths change). Exposed
+    /// for tests and the CLI; [`run_once`](Self::run_once) reaches it
+    /// through the heat-driven decision.
+    pub fn regrid_to(&self, policy: SplittingPolicy) -> Result<()> {
+        let index = &*self.index;
+        let old = index.policy();
+        if old.dim_names() != policy.dim_names() {
+            return Err(DgfError::Index(
+                "grid adaptation may only change intervals, not dimensions".into(),
+            ));
+        }
+        if *old == policy {
+            return Ok(());
+        }
+        let files = self.live_data_files()?;
+        let policy = Arc::new(policy);
+        let gen = index.next_generation();
+        let manifest = TxnManifest::intent(gen, index.staging_dir(gen), None);
+        index.kv_put(TXN_MANIFEST_KEY, &manifest.encode())?;
+        index.crash_point("maint.regrid-intent")?;
+        if files.is_empty() {
+            // Nothing to rewrite: install the policy, then let the
+            // empty-splits reorganize path persist it and retire the
+            // transaction.
+            index.install_policy(Arc::clone(&policy));
+            index.reorganize(Vec::new(), index.data.format, None, None)?;
+            index.bump_generation();
+            return Ok(());
+        }
+        let splits = self.live_slice_splits()?;
+        if splits.is_empty() {
+            // Files on disk but no live slices: an empty grid. Same as
+            // the no-files path; the dead files stay until a compaction
+            // pass claims them.
+            index.install_policy(Arc::clone(&policy));
+            index.reorganize(Vec::new(), index.data.format, None, None)?;
+            index.bump_generation();
+            return Ok(());
+        }
+        let spec = RegridSpec {
+            policy: Arc::clone(&policy),
+            retire: files,
+        };
+        index.reorganize(splits, index.data.format, None, Some(&spec))?;
+        index.install_policy(policy);
+        index.bump_generation();
+        Ok(())
+    }
+}
+
+impl Maintainer {
+    /// The live byte ranges of every data file, as one `FileSplit` per
+    /// coalesced slice run of the committed GFU values.
+    ///
+    /// Whole-file splits would be wrong here: a file retained through a
+    /// compaction (because an untouched GFU still references part of it)
+    /// may hold *dead* byte ranges whose rows were already rewritten
+    /// into the compacted file, and re-reading them would double-count
+    /// those rows in the regridded index. Slice boundaries are line- and
+    /// group-aligned, so slice-exact splits read exactly the live rows
+    /// under the readers' Hadoop boundary rules.
+    fn live_slice_splits(&self) -> Result<Vec<dgf_storage::FileSplit>> {
+        let mut per_file: HashMap<String, Vec<ByteRange>> = HashMap::new();
+        for (_, bytes) in self.index.kv_scan_prefix(GFU_PREFIX)? {
+            let value = GfuValue::decode(&bytes)?;
+            for s in &value.slices {
+                per_file
+                    .entry(s.file.clone())
+                    .or_default()
+                    .push(ByteRange::new(s.start, s.end));
+            }
+        }
+        let mut paths: Vec<String> = per_file.keys().cloned().collect();
+        paths.sort();
+        let mut out = Vec::new();
+        for path in paths {
+            let ranges = per_file.remove(&path).unwrap_or_default();
+            for r in coalesce_ranges(ranges) {
+                out.push(dgf_storage::FileSplit::new(&path, r.start, r.end - r.start));
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Halve (`true`) or double (`false`) a dimension's interval; `None`
+/// when the interval cannot move further in that direction.
+fn adapt_dim(d: &DimPolicy, halve: bool) -> Option<DimPolicy> {
+    let mut out = d.clone();
+    out.scale = match &d.scale {
+        DimScale::Int { min, interval } => {
+            let interval = if halve {
+                if *interval <= 1 {
+                    return None;
+                }
+                (*interval / 2).max(1)
+            } else {
+                interval.checked_mul(2)?
+            };
+            DimScale::Int {
+                min: *min,
+                interval,
+            }
+        }
+        DimScale::Float { min, interval } => {
+            let interval = if halve { interval / 2.0 } else { interval * 2.0 };
+            if !interval.is_finite() || interval <= 0.0 {
+                return None;
+            }
+            DimScale::Float {
+                min: *min,
+                interval,
+            }
+        }
+    };
+    Some(out)
+}
+
+fn scale_desc(s: &DimScale) -> String {
+    match s {
+        DimScale::Int { interval, .. } => format!("interval {interval}"),
+        DimScale::Float { interval, .. } => format!("interval {interval}"),
+    }
+}
+
+fn argmax(xs: &[u64]) -> usize {
+    let mut best = 0;
+    for (i, x) in xs.iter().enumerate() {
+        if *x > xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+fn argmin(xs: &[u64]) -> usize {
+    let mut best = 0;
+    for (i, x) in xs.iter().enumerate() {
+        if *x < xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heat_records_and_resets() {
+        let h = CellHeat::new(3);
+        h.record(0);
+        h.record(2);
+        h.record(2);
+        h.record(7); // out of range: ignored
+        assert_eq!(h.snapshot(), vec![1, 0, 2]);
+        assert_eq!(h.take(), vec![1, 0, 2]);
+        assert_eq!(h.snapshot(), vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn adapt_dim_halves_and_doubles() {
+        let d = DimPolicy::int("a", 0, 8);
+        let halved = adapt_dim(&d, true).unwrap();
+        assert_eq!(halved.scale, DimScale::Int { min: 0, interval: 4 });
+        let doubled = adapt_dim(&d, false).unwrap();
+        assert_eq!(doubled.scale, DimScale::Int { min: 0, interval: 16 });
+        // A unit interval cannot get finer.
+        assert!(adapt_dim(&DimPolicy::int("a", 0, 1), true).is_none());
+        let f = DimPolicy::float("f", 0.0, 1.0);
+        assert_eq!(
+            adapt_dim(&f, true).unwrap().scale,
+            DimScale::Float { min: 0.0, interval: 0.5 }
+        );
+    }
+
+    #[test]
+    fn argmax_argmin_prefer_first_on_ties() {
+        assert_eq!(argmax(&[3, 5, 5]), 1);
+        assert_eq!(argmin(&[2, 1, 1]), 1);
+        assert_eq!(argmax(&[0]), 0);
+    }
+}

@@ -39,7 +39,7 @@ use crate::cache::CachedGfu;
 use crate::fresh::FreshCell;
 use crate::gfu::{GfuKey, GfuValue, GFU_PREFIX};
 use crate::index::DgfIndex;
-use crate::policy::DimSpan;
+use crate::policy::{DimSpan, SplittingPolicy};
 use crate::view::ReadView;
 
 /// How the planner fetches GFU values from the key-value store.
@@ -328,7 +328,13 @@ impl DgfIndex {
         // beyond what any flush has recorded, and the spans must admit
         // them or fresh rows would silently fall out of the query.
         let fresh_src = self.fresh_source().filter(|s| s.has_fresh());
-        let arity = self.policy.arity();
+        // The live policy decides *whether* headers apply (dimension
+        // names are invariant under online adaptation — `regrid_to`
+        // rejects anything else); each attempt's *cell geometry* comes
+        // from the policy its pinned view carries, so a plan racing a
+        // regrid never mixes one epoch's intervals with another's keys.
+        let live_policy = self.policy();
+        let arity = live_policy.arity();
 
         let empty_plan = |watch: Stopwatch| DgfPlan {
             inputs: Vec::new(),
@@ -360,7 +366,7 @@ impl DgfIndex {
             && header_positions.is_some()
             && predicate
                 .columns()
-                .all(|c| self.policy.dims().iter().any(|d| d.name == c));
+                .all(|c| live_policy.dims().iter().any(|d| d.name == c));
 
         let make_header_merge = || -> Result<Option<HeaderMerge>> {
             if !headers_usable {
@@ -438,13 +444,27 @@ impl DgfIndex {
             // predicate falls back to the view's extents
             // (partially-specified queries, paper §5.3.4). Recomputed per
             // attempt because a re-pinned view may carry wider extents.
+            let view_policy = match &view.policy {
+                Some(bytes) => Arc::new(SplittingPolicy::decode(bytes)?),
+                None => Arc::clone(&live_policy),
+            };
             let mut spans: Vec<DimSpan> = Vec::with_capacity(arity);
             let mut dead_dim = false;
-            for (d, dim) in self.policy.dims().iter().enumerate() {
+            for (d, dim) in view_policy.dims().iter().enumerate() {
                 let dim_span = dim.cell_span(predicate.range_of(&dim.name), extents.dims[d])?;
                 if dim_span.is_empty() {
                     dead_dim = true;
                     break;
+                }
+                // Boundary heat: each partially-covered edge cell is a
+                // row-level filtering pass this dimension's interval is
+                // too coarse to avoid. The maintenance daemon reads these
+                // counters to decide which dimension to re-split.
+                if !dim_span.lo_covered {
+                    self.heat().record(d);
+                }
+                if !dim_span.hi_covered && dim_span.hi > dim_span.lo {
+                    self.heat().record(d);
                 }
                 spans.push(dim_span);
             }
@@ -598,7 +618,11 @@ impl DgfIndex {
         };
         // The attempt survived validation: its header-cache fills are
         // known-consistent for the pinned generation and safe to publish.
+        // The validated view is the committed one, so every generation
+        // below it is permanently unreachable — retire those entries now
+        // instead of waiting for LRU pressure to find them.
         let cache = self.header_cache();
+        cache.retire_below(view.generation);
         for (key, value) in collector.pending_fills.drain(..) {
             cache.insert(view.generation, key, value);
         }

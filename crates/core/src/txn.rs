@@ -125,6 +125,13 @@ pub struct TxnManifest {
     /// visibility pivot for live readers, and a pending view tells them
     /// to overlay this transaction's staged keys. Empty = none (legacy).
     pub view: Vec<u8>,
+    /// Live keys this transaction retires after publishing its staged
+    /// state (cell re-split/merge drops the old granularity's `g:`/`p:`
+    /// keys). Deletes run *after* the view put and staged publishes, so
+    /// pending-view readers have already switched to the new cells;
+    /// re-deleting on recovery is a no-op. Encoded as an optional tail
+    /// so pre-maintenance manifests decode unchanged.
+    pub deletes: Vec<Vec<u8>>,
 }
 
 impl TxnManifest {
@@ -139,6 +146,7 @@ impl TxnManifest {
             staged_keys: Vec::new(),
             meta_puts: Vec::new(),
             view: Vec::new(),
+            deletes: Vec::new(),
         }
     }
 
@@ -164,6 +172,15 @@ impl TxnManifest {
             codec::put_bytes(&mut buf, v);
         }
         codec::put_bytes(&mut buf, &self.view);
+        // Optional tail: only present when the transaction retires live
+        // keys, so manifests without deletes stay byte-identical to the
+        // pre-maintenance encoding.
+        if !self.deletes.is_empty() {
+            codec::put_u32(&mut buf, self.deletes.len() as u32);
+            for k in &self.deletes {
+                codec::put_bytes(&mut buf, k);
+            }
+        }
         buf
     }
 
@@ -194,8 +211,14 @@ impl TxnManifest {
             meta_puts.push((k, v));
         }
         let view = d.bytes()?.to_vec();
+        let mut deletes = Vec::new();
         if d.remaining() != 0 {
-            return Err(DgfError::Corrupt("txn manifest has trailing bytes".into()));
+            for _ in 0..d.u32()? {
+                deletes.push(d.bytes()?.to_vec());
+            }
+            if d.remaining() != 0 {
+                return Err(DgfError::Corrupt("txn manifest has trailing bytes".into()));
+            }
         }
         Ok(TxnManifest {
             state,
@@ -206,6 +229,7 @@ impl TxnManifest {
             staged_keys,
             meta_puts,
             view,
+            deletes,
         })
     }
 }
@@ -230,6 +254,15 @@ mod tests {
 
         m.state = TxnState::Committed;
         assert_eq!(TxnManifest::decode(&m.encode()).unwrap().state, TxnState::Committed);
+
+        // The optional deletes tail round-trips, and a manifest without
+        // deletes stays byte-identical to the legacy encoding.
+        let legacy = m.encode();
+        m.deletes = vec![b"g:old1".to_vec(), b"p:old2".to_vec()];
+        let back = TxnManifest::decode(&m.encode()).unwrap();
+        assert_eq!(back, m);
+        m.deletes.clear();
+        assert_eq!(m.encode(), legacy);
     }
 
     #[test]

@@ -37,6 +37,14 @@ pub struct ReadView {
     /// Slice files are immutable once renamed into place, so the pinned
     /// list stays valid even while a later transaction adds files.
     pub data_files: Option<Vec<(String, u64)>>,
+    /// The encoded [`SplittingPolicy`](crate::policy::SplittingPolicy)
+    /// this view's cells were produced under. `None` on views published
+    /// before online grid adaptation existed (the live policy applies).
+    /// Riding the view — rather than a side-channel revision counter —
+    /// is what keeps a pinned reader's extents and cell geometry from
+    /// ever coming from two different grid epochs: a regrid publishes
+    /// both through the same single `m:view` put.
+    pub policy: Option<Vec<u8>>,
     /// Whether this view was decoded from a persisted `m:view` record
     /// (`true`) or synthesized from legacy meta keys for an index built
     /// before views existed (`false`). Not serialized.
@@ -69,6 +77,12 @@ impl ReadView {
             }
             None => codec::put_u32(&mut buf, 0),
         }
+        // Optional tail: only present when a policy rides the view, so
+        // views published before grid adaptation stay byte-identical.
+        if let Some(policy) = &self.policy {
+            codec::put_u32(&mut buf, 1);
+            codec::put_bytes(&mut buf, policy);
+        }
         buf
     }
 
@@ -100,6 +114,14 @@ impl ReadView {
                 Some(files)
             }
         };
+        let policy = if d.remaining() == 0 {
+            None
+        } else {
+            match d.u32()? {
+                0 => None,
+                _ => Some(d.bytes()?.to_vec()),
+            }
+        };
         if d.remaining() != 0 {
             return Err(DgfError::Corrupt("read view has trailing bytes".into()));
         }
@@ -110,6 +132,7 @@ impl ReadView {
             files,
             extents,
             data_files,
+            policy,
             versioned: true,
         })
     }
@@ -134,9 +157,18 @@ mod tests {
                 ("/warehouse/idx/data/part-r-00000-00000".into(), 512),
                 ("/warehouse/idx/data/part-r-00009-00001".into(), 90),
             ]),
+            policy: None,
             versioned: true,
         };
         assert_eq!(ReadView::decode(&v.encode()).unwrap(), v);
+
+        // The policy tail round-trips, and its absence keeps the
+        // encoding byte-identical to the pre-adaptation layout.
+        let legacy = v.encode();
+        let mut with_policy = v.clone();
+        with_policy.policy = Some(vec![0xC0, 0xFF, 0xEE]);
+        assert_eq!(ReadView::decode(&with_policy.encode()).unwrap(), with_policy);
+        assert_eq!(v.encode(), legacy);
 
         let bare = ReadView {
             generation: 0,
@@ -145,6 +177,7 @@ mod tests {
             files: None,
             extents: Extents::empty(1),
             data_files: None,
+            policy: None,
             versioned: true,
         };
         assert_eq!(ReadView::decode(&bare.encode()).unwrap(), bare);
@@ -160,6 +193,7 @@ mod tests {
             files: None,
             extents: Extents::empty(1),
             data_files: None,
+            policy: None,
             versioned: true,
         };
         let mut enc = v.encode();

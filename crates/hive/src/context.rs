@@ -151,6 +151,28 @@ impl HiveContext {
         format: FileFormat,
         location: &str,
     ) -> Result<TableRef> {
+        self.create_table_grouped(
+            name,
+            schema,
+            format,
+            location,
+            dgf_format::DEFAULT_ROWS_PER_GROUP,
+        )
+    }
+
+    /// Register a new table at an explicit location with an explicit
+    /// RCFile row-group size (Text tables carry but ignore it). Derived
+    /// tables — an index's reorganized data table — pass their parent's
+    /// group size through here so rewritten slices keep the granularity
+    /// the operator tuned, instead of silently reverting to the default.
+    pub fn create_table_grouped(
+        &self,
+        name: &str,
+        schema: SchemaRef,
+        format: FileFormat,
+        location: &str,
+        rows_per_group: usize,
+    ) -> Result<TableRef> {
         let mut tables = self.tables.write();
         if tables.contains_key(name) {
             return Err(DgfError::Schema(format!("table {name:?} already exists")));
@@ -161,7 +183,7 @@ impl HiveContext {
             schema,
             format,
             location: location.to_owned(),
-            rows_per_group: dgf_format::DEFAULT_ROWS_PER_GROUP,
+            rows_per_group,
         });
         tables.insert(name.to_owned(), Arc::clone(&desc));
         Ok(desc)

@@ -281,7 +281,11 @@ impl Core {
     /// line. Pure validation — no side effects, so a bad row rejects the
     /// whole batch before the WAL sees it.
     fn route(&self, rows: &[Row]) -> Result<Vec<(Vec<i64>, String)>> {
-        let dims = self.index.policy.dims();
+        // Re-read the policy per batch: online adaptation may install a
+        // finer or coarser grid between batches, and rows must be routed
+        // by the policy the next flush will publish under.
+        let policy = self.index.policy();
+        let dims = policy.dims();
         rows.iter()
             .map(|row| {
                 let mut cells = Vec::with_capacity(self.dim_idx.len());
@@ -481,8 +485,8 @@ impl StreamIngestor {
         config: IngestConfig,
     ) -> Result<StreamIngestor> {
         let agg_set = AggSet::bind(&index.aggs, &index.base.schema)?;
-        let dim_idx: Vec<usize> = index
-            .policy
+        let policy = index.policy();
+        let dim_idx: Vec<usize> = policy
             .dims()
             .iter()
             .map(|d| index.base.schema.index_of(&d.name))
@@ -500,7 +504,7 @@ impl StreamIngestor {
                 for line in &batch.lines {
                     let row = parse_row(line, &index.base.schema)?;
                     let mut cells = Vec::with_capacity(dim_idx.len());
-                    for (i, d) in dim_idx.iter().zip(index.policy.dims()) {
+                    for (i, d) in dim_idx.iter().zip(policy.dims()) {
                         cells.push(d.cell_of(&row[*i])?);
                     }
                     mem.active.insert(

@@ -98,6 +98,11 @@ impl KvStore for ChaosKv {
         self.inner.flush()
     }
 
+    fn maintain(&self) -> Result<u64> {
+        self.plan.before_write("kv.maintain")?;
+        self.inner.maintain()
+    }
+
     fn stats(&self) -> &KvStats {
         self.inner.stats()
     }

@@ -149,6 +149,10 @@ impl<S: KvStore> KvStore for LatencyKv<S> {
         self.inner.flush()
     }
 
+    fn maintain(&self) -> Result<u64> {
+        self.inner.maintain()
+    }
+
     fn stats(&self) -> &KvStats {
         self.inner.stats()
     }

@@ -342,6 +342,26 @@ impl KvStore for LogKvStore {
         self.maybe_auto_compact(&mut inner)
     }
 
+    /// Threshold-gated compaction for the maintenance daemon. Serving
+    /// paths never call `flush()` — its opportunistic compaction would
+    /// otherwise be the log's only bound, and a store under sustained
+    /// appends would leak dead bytes forever. Runs regardless of
+    /// `auto_compact` (that flag only governs the flush-time trigger),
+    /// but still respects the size floor and dead-ratio threshold so an
+    /// idle store is not rewritten for nothing.
+    fn maintain(&self) -> Result<u64> {
+        let mut inner = self.inner.lock();
+        inner.writer.flush().map_err(DgfError::from)?;
+        if inner.log_len < self.config.compact_min_bytes || inner.dead_bytes == 0 {
+            return Ok(0);
+        }
+        let dead_frac = inner.dead_bytes as f64 / inner.log_len as f64;
+        if dead_frac <= self.config.compact_dead_ratio {
+            return Ok(0);
+        }
+        self.compact_locked(&mut inner)
+    }
+
     fn stats(&self) -> &KvStats {
         &self.stats
     }

@@ -332,6 +332,14 @@ impl KvStore for ShardedKv {
         Ok(())
     }
 
+    fn maintain(&self) -> Result<u64> {
+        let mut reclaimed = 0;
+        for s in &self.shards {
+            reclaimed += s.maintain()?;
+        }
+        Ok(reclaimed)
+    }
+
     fn stats(&self) -> &KvStats {
         &self.stats
     }

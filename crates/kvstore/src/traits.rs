@@ -242,6 +242,17 @@ pub trait KvStore: Send + Sync {
         keys.iter().map(|k| self.get(k)).collect()
     }
 
+    /// Run the store's background maintenance (log compaction, garbage
+    /// reclamation), returning the number of bytes reclaimed. Unlike
+    /// [`flush`](Self::flush) — which serving paths may never call —
+    /// this is invoked explicitly by the index maintenance daemon, so a
+    /// store whose opportunistic compaction only piggybacks on other
+    /// operations still gets bounded under sustained appends. The
+    /// default is a no-op: purely in-memory stores hold no dead bytes.
+    fn maintain(&self) -> Result<u64> {
+        Ok(0)
+    }
+
     /// All pairs whose key starts with `prefix`, in key order.
     fn scan_prefix(&self, prefix: &[u8]) -> Result<Vec<KvPair>> {
         match prefix_upper_bound(prefix) {

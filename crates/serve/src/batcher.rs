@@ -197,6 +197,10 @@ impl KvStore for BatchingKv {
         self.inner.flush()
     }
 
+    fn maintain(&self) -> Result<u64> {
+        self.inner.maintain()
+    }
+
     fn stats(&self) -> &KvStats {
         self.inner.stats()
     }

@@ -26,7 +26,7 @@ use std::time::{Duration, Instant};
 
 use dgf_common::obs::{names, MetricsRegistry};
 use dgf_common::{DgfError, Result};
-use dgf_core::DgfEngine;
+use dgf_core::{DgfEngine, MaintenanceReport, Maintainer};
 use dgf_hive::ServeOptions;
 use dgf_kvstore::FanoutStats;
 use dgf_query::{Engine, EngineRun, Query, QueryResult, RunStats};
@@ -48,6 +48,9 @@ pub struct ServeStats {
     /// Total microseconds admitted queries spent waiting for a worker
     /// slot.
     pub queue_wait_us: AtomicU64,
+    /// Maintenance passes that ran to completion through
+    /// [`ServeFrontend::run_maintenance`].
+    pub maintenance_runs: AtomicU64,
 }
 
 /// A point-in-time copy of [`ServeStats`].
@@ -63,6 +66,8 @@ pub struct ServeStatsSnapshot {
     pub failed: u64,
     /// Total slot-wait microseconds.
     pub queue_wait_us: u64,
+    /// Completed maintenance passes.
+    pub maintenance_runs: u64,
 }
 
 impl ServeStats {
@@ -74,6 +79,7 @@ impl ServeStats {
             completed: self.completed.load(Ordering::Relaxed),
             failed: self.failed.load(Ordering::Relaxed),
             queue_wait_us: self.queue_wait_us.load(Ordering::Relaxed),
+            maintenance_runs: self.maintenance_runs.load(Ordering::Relaxed),
         }
     }
 
@@ -194,13 +200,16 @@ impl ServeFrontend {
         self.totals.lock().expect("totals poisoned").clone()
     }
 
-    /// Serve one query: admit (or bounce with backpressure), wait for a
-    /// worker slot, execute, release. Answers are byte-identical to
-    /// running the wrapped engine directly.
-    pub fn run(&self, query: &Query) -> Result<EngineRun> {
+    /// The shared admission + scheduling protocol: reserve `cost` bytes
+    /// against the in-flight budget (or bounce with
+    /// [`DgfError::Backpressure`]), wait for one of the `workers`
+    /// execution slots, run `work`, release both. Queries and
+    /// maintenance passes go through this same gate, so a maintenance
+    /// pass can never oversubscribe a tier that is already at its
+    /// serving budget — it waits or bounces exactly like a query.
+    fn run_admitted<T>(&self, cost: u64, work: impl FnOnce() -> T) -> Result<T> {
         // Admission: optimistic reservation, rolled back on overshoot —
         // the same protocol the ingest buffer uses for append bytes.
-        let cost = self.opts.query_cost_bytes;
         let already = self.inflight_bytes.fetch_add(cost, Ordering::SeqCst);
         if already + cost > self.opts.max_inflight_bytes {
             self.inflight_bytes.fetch_sub(cost, Ordering::SeqCst);
@@ -225,7 +234,7 @@ impl ServeFrontend {
             .queue_wait_us
             .fetch_add(waited.elapsed().as_micros() as u64, Ordering::Relaxed);
 
-        let outcome = self.engine.run(query);
+        let outcome = work();
 
         {
             let mut free = self.free_slots.lock().expect("slots poisoned");
@@ -233,7 +242,14 @@ impl ServeFrontend {
         }
         self.slot_freed.notify_one();
         self.inflight_bytes.fetch_sub(cost, Ordering::SeqCst);
+        Ok(outcome)
+    }
 
+    /// Serve one query: admit (or bounce with backpressure), wait for a
+    /// worker slot, execute, release. Answers are byte-identical to
+    /// running the wrapped engine directly.
+    pub fn run(&self, query: &Query) -> Result<EngineRun> {
+        let outcome = self.run_admitted(self.opts.query_cost_bytes, || self.engine.run(query))?;
         match &outcome {
             Ok(run) => {
                 self.stats.completed.fetch_add(1, Ordering::Relaxed);
@@ -241,6 +257,30 @@ impl ServeFrontend {
                     .lock()
                     .expect("totals poisoned")
                     .accumulate(&run.stats);
+            }
+            Err(_) => {
+                self.stats.failed.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        outcome
+    }
+
+    /// Run one maintenance pass through the frontend's admission gate.
+    ///
+    /// The pass is charged like a query (one `query_cost_bytes`
+    /// reservation, one worker slot), so on a saturated tier it bounces
+    /// with backpressure instead of stealing capacity from readers; the
+    /// caller's daemon loop simply retries later. Readers never block on
+    /// it either way — the pass publishes through the staged-commit
+    /// protocol, and in-flight queries keep answering from their pinned
+    /// views. `maintainer` should wrap the same index this frontend
+    /// serves; running someone else's maintenance here only burns budget.
+    pub fn run_maintenance(&self, maintainer: &Maintainer) -> Result<MaintenanceReport> {
+        let outcome = self.run_admitted(self.opts.query_cost_bytes, || maintainer.run_once())?;
+        match &outcome {
+            Ok(_) => {
+                self.stats.maintenance_runs.fetch_add(1, Ordering::Relaxed);
+                self.stats.completed.fetch_add(1, Ordering::Relaxed);
             }
             Err(_) => {
                 self.stats.failed.fetch_add(1, Ordering::Relaxed);
@@ -428,6 +468,47 @@ mod tests {
         let snap = front.stats().snapshot();
         assert_eq!(snap.completed, 6);
         assert_eq!(snap.failed, 0);
+    }
+
+    #[test]
+    fn maintenance_runs_behind_the_admission_gate() {
+        use dgf_core::MaintenanceConfig;
+        let (_tmp, front) = meter_frontend(ServeOptions::default());
+        let maintainer = Maintainer::new(
+            Arc::clone(front.engine().index()),
+            MaintenanceConfig::default(),
+        );
+        let query = range_query("city", 0, 4);
+        let before = front.run(&query).unwrap();
+        let report = front.run_maintenance(&maintainer).unwrap();
+        assert_eq!(report.reclaimed_files, 0, "nothing deferred yet");
+        let after = front.run(&query).unwrap();
+        assert!(after.result.approx_eq(&before.result, 0.0));
+        let snap = front.stats().snapshot();
+        assert_eq!(snap.maintenance_runs, 1);
+        assert_eq!(snap.completed, 3, "maintenance counts as completed work");
+        assert_eq!(snap.failed, 0);
+    }
+
+    #[test]
+    fn maintenance_bounces_when_the_budget_is_full() {
+        use dgf_core::MaintenanceConfig;
+        let (_tmp, front) = meter_frontend(ServeOptions {
+            max_inflight_bytes: 10,
+            query_cost_bytes: 16,
+            ..ServeOptions::default()
+        });
+        let maintainer = Maintainer::new(
+            Arc::clone(front.engine().index()),
+            MaintenanceConfig::default(),
+        );
+        match front.run_maintenance(&maintainer) {
+            Err(DgfError::Backpressure(_)) => {}
+            other => panic!("expected backpressure, got {other:?}"),
+        }
+        let snap = front.stats().snapshot();
+        assert_eq!(snap.maintenance_runs, 0);
+        assert_eq!(snap.rejected, 1);
     }
 
     #[test]

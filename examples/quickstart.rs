@@ -51,8 +51,9 @@ fn main() -> dgfindex::common::Result<()> {
     gfus.sort_by(|a, b| a.0.cmp(&b.0));
     for (key, value) in &gfus {
         // Convert cell coordinates back to the paper's lower-left values.
-        let a = index.policy.dims()[0].cell_low(key.cells[0]);
-        let b = index.policy.dims()[1].cell_low(key.cells[1]);
+        let policy = index.policy();
+        let a = policy.dims()[0].cell_low(key.cells[0]);
+        let b = policy.dims()[1].cell_low(key.cells[1]);
         println!(
             "  cells {:?} = key {a}_{b}: {} record(s), {} slice(s)",
             key.cells,

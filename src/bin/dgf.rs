@@ -78,6 +78,7 @@ const USAGE: &str = "usage:
   dgf query <dir> <table> \"SELECT ... [WHERE ...] [GROUP BY col]\" [--index <name>] [--explain]
   dgf profile <dir> <table> \"SELECT ... [WHERE ...]\" [--index <name>] [--json]
   dgf serve <dir> <index> \"SELECT ...\" [--shards N] [--clients C] [--queries Q] [--batch-window US]
+  dgf maintain <dir> <index> [--budget N] [--adapt] [--split-above N] [--merge-below N]
   dgf advise <dir> <table> --dims \"a,b\" --history \"pred; pred; ...\"";
 
 /// A reopened warehouse: cluster + catalog.
@@ -545,6 +546,60 @@ fn dispatch(args: &[String]) -> Result<()> {
                 multi_gets + scans,
                 subops,
             );
+            Ok(())
+        }
+        "maintain" => {
+            use dgfindex::core::{MaintenanceConfig, Maintainer};
+            let w = Warehouse::open(args.get(1).ok_or_else(bad_usage)?)?;
+            let index_name = args.get(2).ok_or_else(bad_usage)?;
+            let index = Arc::new(w.open_index(index_name)?);
+            let mut config = MaintenanceConfig::default();
+            if let Some(budget) = flag(args, "--budget") {
+                config.delta_file_budget = budget
+                    .parse()
+                    .map_err(|e| DgfError::Query(format!("bad --budget: {e}")))?;
+            }
+            config.adapt = args.iter().any(|a| a == "--adapt");
+            if let Some(n) = flag(args, "--split-above") {
+                config.split_records_per_cell = n
+                    .parse()
+                    .map_err(|e| DgfError::Query(format!("bad --split-above: {e}")))?;
+            }
+            if let Some(n) = flag(args, "--merge-below") {
+                config.merge_records_per_cell = n
+                    .parse()
+                    .map_err(|e| DgfError::Query(format!("bad --merge-below: {e}")))?;
+            }
+            // If the index has a streaming WAL, drain it first so every
+            // acknowledged row is a Slice the compactor can fold in.
+            let wal = w.wal_path(index_name);
+            if wal.is_file() {
+                let ingestor = Arc::new(StreamIngestor::open(
+                    Arc::clone(&index),
+                    wal,
+                    IngestConfig {
+                        auto_flush_interval: None,
+                        ..IngestConfig::default()
+                    },
+                )?);
+                config.flush_hook = Some(Box::new(move || ingestor.flush()));
+            }
+            let maintainer = Maintainer::new(Arc::clone(&index), config);
+            let report = maintainer.run_once()?;
+            w.save()?;
+            println!(
+                "maintenance pass: reclaimed {} deferred file(s), flushed {} batch(es), \
+                 compacted {} file(s) across {} GFU(s), reclaimed {} KV log byte(s)",
+                report.reclaimed_files,
+                report.flushed_batches,
+                report.compacted_files,
+                report.compacted_gfus,
+                report.kv_reclaimed_bytes,
+            );
+            match report.adapted {
+                Some(desc) => println!("grid adapted: {desc}"),
+                None => println!("grid unchanged"),
+            }
             Ok(())
         }
         "advise" => {

@@ -29,6 +29,7 @@ use std::time::Duration;
 
 use dgfindex::common::DgfError;
 use dgfindex::core::txn::{STAGE_PREFIX, TXN_MANIFEST_KEY};
+use dgfindex::core::{MaintenanceConfig, Maintainer};
 use dgfindex::ingest::IngestConfig;
 use dgfindex::kvstore::{KvPair, KvStats};
 use dgfindex::prelude::*;
@@ -675,6 +676,116 @@ proptest! {
                 "seed {seed} split {split}: observation {i} is a torn read:\n  got  {obs:?}\n  pre  {pre:?}\n  post {post:?}"
             );
         }
+    }
+}
+
+/// Seed the index and pile up delta files with fault-free appends so a
+/// maintenance pass has something to compact; returns the batch count.
+fn seed_with_deltas(w: &World, batches: usize) -> usize {
+    let (_, rest) = seed_index(w);
+    let quiet = Arc::new(FaultPlan::new(FaultConfig::quiet(0)));
+    let writer = open_with(w, Arc::clone(&w.inner), &quiet);
+    let chunk = (rest.len() / batches).max(1);
+    let mut n = 0;
+    for batch in rest.chunks(chunk) {
+        writer.append(batch).unwrap();
+        n += 1;
+    }
+    n
+}
+
+/// Tentpole (maintenance), writer = delta compaction. Compaction is
+/// pure data movement — headers verbatim, per-GFU row order preserved —
+/// so concurrent readers have exactly ONE legal answer the whole time,
+/// and it must hold in **float bits**, not within a tolerance: a
+/// re-folded aggregate or a torn old/new slice mix shifts the low bits
+/// long before it shifts 1e-9.
+#[test]
+fn queries_during_compaction_never_waver_in_float_bits() {
+    for seed in stress_seeds().into_iter().take(3) {
+        let w = world(&format!("compact{seed}"));
+        let cfg = meter_cfg();
+        seed_with_deltas(&w, 5);
+
+        let plan = interleave(seed ^ 0xC0A7);
+        let index = open_with(&w, Arc::clone(&w.inner), &plan);
+        let maintainer = Maintainer::new(
+            Arc::clone(&index),
+            MaintenanceConfig {
+                delta_file_budget: 2,
+                ..MaintenanceConfig::default()
+            },
+        );
+
+        let pre = answers(&index, &cfg);
+        let mut report = None;
+        let seen = observe_during(&index, &cfg, 3, || {
+            report = Some(maintainer.run_once().unwrap());
+        });
+        let post = answers(&index, &cfg);
+
+        let report = report.unwrap();
+        assert!(
+            report.compacted_files > 0,
+            "seed {seed}: nothing compacted — harness is vacuous: {report:?}"
+        );
+        assert!(!seen.is_empty(), "seed {seed}: readers never ran");
+        assert!(
+            bits_eq(&post, &pre),
+            "seed {seed}: compaction moved float bits:\n  pre  {pre:?}\n  post {post:?}"
+        );
+        for (i, obs) in seen.iter().enumerate() {
+            assert!(
+                bits_eq(obs, &pre),
+                "seed {seed}: observation {i} wavered during compaction:\n  got {obs:?}\n  want {pre:?}"
+            );
+        }
+    }
+}
+
+/// Tentpole (maintenance), writer = grid adaptation. A regrid re-cells
+/// every record under a finer policy through one staged commit whose
+/// manifest also retires the old-granularity keys. Readers racing it
+/// must see wholly the old grid or wholly the new one: a blend pairs
+/// one epoch's cell geometry with the other's values and double-counts
+/// boundary rows. (The published view carries its own policy precisely
+/// so a pinned plan can never make that pairing.)
+#[test]
+fn queries_during_regrid_see_pre_or_post_state_only() {
+    for seed in stress_seeds().into_iter().take(3) {
+        let w = world(&format!("regrid{seed}"));
+        let cfg = meter_cfg();
+        seed_with_deltas(&w, 3);
+
+        let plan = interleave(seed ^ 0x5EED);
+        let index = open_with(&w, Arc::clone(&w.inner), &plan);
+        let maintainer = Maintainer::new(Arc::clone(&index), MaintenanceConfig::default());
+        let mut dims = grid(&cfg).dims().to_vec();
+        dims[0] = DimPolicy::int("user_id", 0, 2);
+        let finer = SplittingPolicy::new(dims).unwrap();
+
+        let pre = answers(&index, &cfg);
+        let seen = observe_during(&index, &cfg, 3, || {
+            maintainer.regrid_to(finer.clone()).unwrap();
+        });
+        let post = answers(&index, &cfg);
+
+        // The regrid preserves answers (different fold order, same
+        // rows) — so pre ≈ post, and every observation must match one
+        // of them; a torn read double-counts whole boundary cells and
+        // lands far outside the tolerance.
+        assert!(
+            matches(&post, &pre),
+            "seed {seed}: regrid changed answers:\n  pre  {pre:?}\n  post {post:?}"
+        );
+        assert!(!seen.is_empty(), "seed {seed}: readers never ran");
+        for (i, obs) in seen.iter().enumerate() {
+            assert!(
+                obs_ok(obs, &pre, &post),
+                "seed {seed}: observation {i} tore during regrid:\n  got  {obs:?}\n  pre  {pre:?}\n  post {post:?}"
+            );
+        }
+        assert_eq!(*index.policy(), finer, "regrid did not install the finer grid");
     }
 }
 

@@ -173,7 +173,7 @@ fn dgf_index_survives_kv_restart() {
         vec![AggFunc::Sum("power_consumed".into())],
     )
     .unwrap();
-    assert_eq!(index.policy, policy(&cfg));
+    assert_eq!(*index.policy(), policy(&cfg));
     let index = Arc::new(index);
     let got = DgfEngine::new(Arc::clone(&index)).run(&q).unwrap().result;
     assert!(got.approx_eq(&expected, 1e-9));

@@ -19,6 +19,7 @@ use std::sync::Arc;
 
 use dgfindex::common::DgfError;
 use dgfindex::core::txn::{STAGE_PREFIX, TXN_MANIFEST_KEY};
+use dgfindex::format::{is_sidecar_path, sidecar_path};
 use dgfindex::ingest::IngestConfig;
 use dgfindex::prelude::*;
 use dgfindex::workload::{generate_meter_data, meter_schema, stream_meter_data, MeterConfig};
@@ -676,5 +677,117 @@ proptest! {
                 "streamed vs one-shot diverged: {a:?} vs {b:?}"
             );
         }
+    }
+}
+
+/// Satellite (maintenance PR): a streaming flush on an RcFile-backed
+/// index writes a `.scx` sidecar beside every slice file it lands —
+/// the sidecar rides the flush's staged-commit renames exactly like a
+/// build's — and queries over the flushed data actually consult them
+/// (`scan.sidecar.*` counters move) while answering in the same float
+/// bits as the sidecar-free scan. Before the fix, flushed deltas were
+/// the one write path without sidecars, so a long-streamed index
+/// silently lost sub-slice pruning on exactly its newest (hottest)
+/// data.
+#[test]
+fn flush_emits_consultable_sidecars_on_rcfile_indexes() {
+    let cfg = meter_cfg();
+    let rows = generate_meter_data(&cfg);
+    let per_day = rows.len() / cfg.days as usize;
+    let (seeded, streamed) = rows.split_at(2 * per_day);
+
+    let tmp = TempDir::new("stream-scx").unwrap();
+    let hdfs = SimHdfs::open(tmp.path()).unwrap();
+    let ctx = HiveContext::new(hdfs, MrEngine::new(1));
+    let created = ctx
+        .create_table("meter_rc", meter_schema(), FileFormat::RcFile)
+        .unwrap();
+    // Small row groups so the flushed slices hold several groups each —
+    // otherwise there is nothing sub-slice for a sidecar to skip.
+    let mut desc = (*created).clone();
+    desc.rows_per_group = 8;
+    let base: TableRef = Arc::new(desc);
+    ctx.load_rows(&base, seeded, 2).unwrap();
+    let (index, _) = DgfIndex::build(
+        Arc::clone(&ctx),
+        Arc::clone(&base),
+        grid(&cfg),
+        aggs(),
+        Arc::new(MemKvStore::new()),
+        INDEX,
+    )
+    .unwrap();
+    let index = Arc::new(index);
+
+    let before: std::collections::HashSet<String> = ctx
+        .hdfs
+        .list_files(&index.data.location)
+        .into_iter()
+        .map(|(p, _)| p)
+        .collect();
+
+    let ingestor = dgfindex::ingest::StreamIngestor::open(
+        Arc::clone(&index),
+        tmp.path().join("ingest.wal"),
+        IngestConfig {
+            flush_rows: u64::MAX,
+            auto_flush_interval: None,
+            ..IngestConfig::default()
+        },
+    )
+    .unwrap();
+    ingestor.ingest(streamed).unwrap();
+    ingestor.flush().unwrap();
+
+    // Every slice file the flush landed has its sidecar twin.
+    let flushed: Vec<String> = ctx
+        .hdfs
+        .list_files(&index.data.location)
+        .into_iter()
+        .map(|(p, _)| p)
+        .filter(|p| !before.contains(p) && !is_sidecar_path(p))
+        .collect();
+    assert!(!flushed.is_empty(), "flush landed no slice files");
+    for f in &flushed {
+        assert!(
+            ctx.hdfs.file_exists(&sidecar_path(f)),
+            "flushed slice {f} has no .scx sidecar"
+        );
+    }
+
+    // The misaligned range covers a flushed day, so its boundary scan
+    // reads flushed slices: pruning must consult their sidecars and the
+    // answer must not move a single float bit.
+    let q = &queries(&cfg)[1];
+    ctx.set_scan_options(ScanOptions {
+        columnar: true,
+        prefetch: true,
+        sidecar: false,
+    });
+    let off = DgfEngine::new(Arc::clone(&index)).run(q).unwrap();
+    assert_eq!(
+        off.stats.scan.sidecar_hits + off.stats.scan.sidecar_misses,
+        0,
+        "pruning disabled but sidecars were consulted"
+    );
+    ctx.set_scan_options(ScanOptions {
+        columnar: true,
+        prefetch: true,
+        sidecar: true,
+    });
+    let on = DgfEngine::new(Arc::clone(&index)).run(q).unwrap();
+    assert!(
+        on.stats.scan.sidecar_hits > 0,
+        "query over flushed data never consulted a sidecar: {:?}",
+        on.stats.scan
+    );
+    let (a, b) = (off.result.into_scalars(), on.result.into_scalars());
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        let same = match (x, y) {
+            (Value::Float(p), Value::Float(q)) => p.to_bits() == q.to_bits(),
+            _ => x == y,
+        };
+        assert!(same, "sidecar pruning moved float bits: {a:?} vs {b:?}");
     }
 }

@@ -1,0 +1,653 @@
+//! Maintenance daemon end-to-end (DESIGN.md §16).
+//!
+//! Long-running indexes leak four ways: streaming flushes scatter
+//! slices across ever more delta files, retired files linger, the
+//! append-only KV log keeps dead bytes forever (serving never calls
+//! `flush()`), and the `(generation, gfu)` header cache accumulates
+//! dead epochs. Each test here pins one counter-measure:
+//!
+//! * delta compaction keeps the live data-file count within a fixed
+//!   budget under repeated append+maintain cycles, with answers
+//!   **bit-identical** across every pass (headers copied verbatim);
+//! * retired files get exactly one round of GC grace before deletion;
+//! * `KvStore::maintain` bounds the log without any flush;
+//! * a published view retires every older header-cache generation;
+//! * a regrid after a compaction re-reads only *live* slice bytes —
+//!   the regression for the double-count bug where whole-file splits
+//!   re-read dead ranges of retained files;
+//! * boundary heat drives the split/merge decision and the rewrite
+//!   preserves answers;
+//! * a crash at any instrumented `maint.*` / `apply.*` site recovers
+//!   to a store that agrees with a ground-truth scan and still
+//!   converges to the file budget.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use dgfindex::core::{all_gfus, DimScale, MaintenanceConfig, Maintainer};
+use dgfindex::core::txn::{STAGE_PREFIX, TXN_MANIFEST_KEY};
+use dgfindex::format::is_sidecar_path;
+use dgfindex::kvstore::LogKvConfig;
+use dgfindex::prelude::*;
+use dgfindex::workload::{generate_meter_data, meter_schema, MeterConfig};
+
+const INDEX: &str = "dgf_maint";
+
+fn retry() -> RetryPolicy {
+    RetryPolicy::fast(40)
+}
+
+fn aggs() -> Vec<AggFunc> {
+    vec![AggFunc::Sum("power_consumed".into()), AggFunc::Count]
+}
+
+fn meter_cfg() -> MeterConfig {
+    MeterConfig {
+        users: 8,
+        days: 4,
+        ..MeterConfig::default()
+    }
+}
+
+fn grid(cfg: &MeterConfig) -> SplittingPolicy {
+    SplittingPolicy::new(vec![
+        DimPolicy::int("user_id", 0, 4),
+        DimPolicy::date("ts", cfg.start_day, 1),
+    ])
+    .unwrap()
+}
+
+/// Full COUNT, misaligned range aggregate (boundary slices + inner
+/// headers), GROUP BY — the mix that exposes moved or double-counted
+/// rows.
+fn queries(cfg: &MeterConfig) -> Vec<Query> {
+    let range = Predicate::all()
+        .and(
+            "user_id",
+            ColumnRange::half_open(Value::Int(1), Value::Int(7)),
+        )
+        .and(
+            "ts",
+            ColumnRange::half_open(
+                Value::Date(cfg.start_day + 1),
+                Value::Date(cfg.start_day + 3),
+            ),
+        );
+    vec![
+        Query::Aggregate {
+            aggs: vec![AggFunc::Count],
+            predicate: Predicate::all(),
+        },
+        Query::Aggregate {
+            aggs: aggs(),
+            predicate: range.clone(),
+        },
+        Query::GroupBy {
+            key: "user_id".into(),
+            aggs: aggs(),
+            predicate: range,
+        },
+    ]
+}
+
+struct World {
+    _tmp: TempDir,
+    ctx: Arc<HiveContext>,
+    base: TableRef,
+    inner: Arc<dyn KvStore>,
+}
+
+fn world(tag: &str) -> World {
+    world_on(tag, Arc::new(MemKvStore::new()))
+}
+
+fn world_on(tag: &str, kv: Arc<dyn KvStore>) -> World {
+    let tmp = TempDir::new(&format!("maint-{tag}")).unwrap();
+    let hdfs = SimHdfs::open(tmp.path()).unwrap();
+    let ctx = HiveContext::new(hdfs, MrEngine::new(1));
+    let base = ctx
+        .create_table("meter", meter_schema(), FileFormat::Text)
+        .unwrap();
+    World {
+        _tmp: tmp,
+        ctx,
+        base,
+        inner: kv,
+    }
+}
+
+/// Bulk-build the first two days, then append the rest in `batches`
+/// small batches — each append lands one delta file, so the data
+/// directory ends up with `batches` deltas on top of the build output.
+fn seed_with_deltas(w: &World, batches: usize) -> (Arc<DgfIndex>, MeterConfig) {
+    let cfg = meter_cfg();
+    let rows = generate_meter_data(&cfg);
+    let per_day = rows.len() / cfg.days as usize;
+    let (seeded, rest) = rows.split_at(2 * per_day);
+    w.ctx.load_rows(&w.base, seeded, 2).unwrap();
+    let (index, _) = DgfIndex::build(
+        Arc::clone(&w.ctx),
+        Arc::clone(&w.base),
+        grid(&cfg),
+        aggs(),
+        Arc::clone(&w.inner),
+        INDEX,
+    )
+    .unwrap();
+    let index = Arc::new(index);
+    let chunk = (rest.len() / batches).max(1);
+    for batch in rest.chunks(chunk) {
+        index.append(batch).unwrap();
+    }
+    (index, cfg)
+}
+
+/// Data files currently on disk (sidecars excluded, retired-but-not-
+/// yet-reclaimed files included).
+fn disk_files(index: &DgfIndex) -> Vec<(String, u64)> {
+    let mut v: Vec<(String, u64)> = index
+        .ctx
+        .hdfs
+        .list_files(&index.data.location)
+        .into_iter()
+        .filter(|(p, _)| !is_sidecar_path(p))
+        .collect();
+    v.sort();
+    v
+}
+
+/// Files still serving at least one committed slice.
+fn live_files(index: &DgfIndex) -> Vec<(String, u64)> {
+    let gc: std::collections::HashSet<String> = index.gc_list().unwrap().into_iter().collect();
+    disk_files(index)
+        .into_iter()
+        .filter(|(p, _)| !gc.contains(p))
+        .collect()
+}
+
+fn answers(index: &Arc<DgfIndex>, cfg: &MeterConfig) -> Vec<QueryResult> {
+    let engine = DgfEngine::new(Arc::clone(index));
+    queries(cfg)
+        .iter()
+        .map(|q| engine.run(q).unwrap().result)
+        .collect()
+}
+
+/// Exact-bits equality: compaction is pure data movement, so answers
+/// must survive it to the last float ulp — a tolerance would mask a
+/// re-folded aggregate.
+fn bits_eq(a: &[QueryResult], b: &[QueryResult]) -> bool {
+    fn val(a: &Value, b: &Value) -> bool {
+        match (a, b) {
+            (Value::Float(x), Value::Float(y)) => x.to_bits() == y.to_bits(),
+            _ => a == b,
+        }
+    }
+    fn one(a: &QueryResult, b: &QueryResult) -> bool {
+        match (a, b) {
+            (QueryResult::Scalars(x), QueryResult::Scalars(y)) => {
+                x.len() == y.len() && x.iter().zip(y).all(|(p, q)| val(p, q))
+            }
+            (QueryResult::Groups(x), QueryResult::Groups(y)) => {
+                x.len() == y.len()
+                    && x.iter().zip(y).all(|((ka, va), (kb, vb))| {
+                        val(ka, kb)
+                            && va.len() == vb.len()
+                            && va.iter().zip(vb).all(|(p, q)| val(p, q))
+                    })
+            }
+            _ => a == b,
+        }
+    }
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| one(x, y))
+}
+
+fn assert_matches_scan(w: &World, index: &Arc<DgfIndex>, cfg: &MeterConfig, label: &str) {
+    let scan = ScanEngine::new(Arc::clone(&w.ctx), Arc::clone(&w.base));
+    let engine = DgfEngine::new(Arc::clone(index));
+    for (qi, q) in queries(cfg).iter().enumerate() {
+        let truth = scan.run(q).unwrap().result;
+        let got = engine.run(q).unwrap().result;
+        assert!(
+            got.approx_eq(&truth, 1e-9),
+            "{label} q{qi}: index disagrees with scan:\n  got   {got:?}\n  truth {truth:?}"
+        );
+    }
+}
+
+/// Tentpole: repeated append+maintain cycles keep the live data-file
+/// count within the delta budget, retired files get exactly one round
+/// of grace, and every answer stays bit-identical throughout.
+#[test]
+fn compaction_bounds_live_files_and_preserves_answer_bits() {
+    let w = world("budget");
+    let (index, cfg) = seed_with_deltas(&w, 6);
+    let budget = 3;
+    assert!(
+        live_files(&index).len() > budget,
+        "setup produced too few delta files for the harness to bite"
+    );
+
+    let oracle = answers(&index, &cfg);
+    let maintainer = Maintainer::new(
+        Arc::clone(&index),
+        MaintenanceConfig {
+            delta_file_budget: budget,
+            ..MaintenanceConfig::default()
+        },
+    );
+
+    // First pass: compaction retires the small deltas but leaves them
+    // on disk — readers pinned to the prior view get one full round.
+    let r1 = maintainer.run_once().unwrap();
+    assert!(r1.compacted_files > 0, "nothing compacted: {r1:?}");
+    assert!(r1.compacted_gfus > 0);
+    assert_eq!(r1.reclaimed_files, 0, "no earlier round to reclaim yet");
+    let gc = index.gc_list().unwrap();
+    assert_eq!(gc.len(), r1.compacted_files);
+    for path in &gc {
+        assert!(
+            w.ctx.hdfs.file_exists(path),
+            "{path} deleted at commit instead of deferred"
+        );
+    }
+    assert!(
+        live_files(&index).len() <= budget,
+        "live files over budget after compaction: {:?}",
+        live_files(&index)
+    );
+    assert!(bits_eq(&answers(&index, &cfg), &oracle), "compaction moved float bits");
+
+    // Second pass: the grace round ends, the retired files disappear,
+    // and with the store under budget nothing new compacts.
+    let r2 = maintainer.run_once().unwrap();
+    assert_eq!(r2.reclaimed_files, r1.compacted_files);
+    assert_eq!(r2.compacted_files, 0);
+    for path in &gc {
+        assert!(!w.ctx.hdfs.file_exists(path), "{path} survived its grace round");
+    }
+    assert!(index.gc_list().unwrap().is_empty());
+    assert!(disk_files(&index).len() <= budget);
+    assert!(bits_eq(&answers(&index, &cfg), &oracle));
+
+    // Sustained churn: more flush-like appends, more passes — the bound
+    // and the bits hold at every step.
+    let extra = generate_meter_data(&MeterConfig {
+        users: cfg.users,
+        days: 2,
+        start_day: cfg.start_day + cfg.days as i64,
+        seed: 99,
+        ..cfg.clone()
+    });
+    let chunk = (extra.len() / 4).max(1);
+    for (i, batch) in extra.chunks(chunk).enumerate() {
+        index.append(batch).unwrap();
+        let oracle = answers(&index, &cfg);
+        let report = maintainer.run_once().unwrap();
+        assert!(
+            live_files(&index).len() <= budget,
+            "cycle {i}: live files over budget after {report:?}"
+        );
+        assert!(
+            bits_eq(&answers(&index, &cfg), &oracle),
+            "cycle {i}: maintenance moved float bits"
+        );
+    }
+    assert_matches_scan(&w, &index, &cfg, "after churn");
+}
+
+/// Satellite: the KV log stays bounded through `maintain()` alone — no
+/// serving path ever calls `flush()`, so without the threshold-gated
+/// compaction the dead bytes of overwritten GFU values would grow
+/// without bound.
+#[test]
+fn kv_log_stays_bounded_without_flush() {
+    let tmp = TempDir::new("maint-kvlog").unwrap();
+    let log = Arc::new(
+        LogKvStore::open_with(
+            tmp.path().join("gfu.log"),
+            LogKvConfig {
+                // No flush-time trigger: the daemon is the only bound.
+                auto_compact: false,
+                compact_min_bytes: 1 << 12,
+                compact_dead_ratio: 0.5,
+            },
+        )
+        .unwrap(),
+    );
+    let w = world_on("kvlog", Arc::clone(&log) as Arc<dyn KvStore>);
+    let (index, cfg) = seed_with_deltas(&w, 2);
+    let maintainer = Maintainer::new(
+        Arc::clone(&index),
+        MaintenanceConfig {
+            // Large enough that file compaction stays out of the way:
+            // this test isolates the KV log bound.
+            delta_file_budget: 1 << 16,
+            ..MaintenanceConfig::default()
+        },
+    );
+
+    let churn = generate_meter_data(&MeterConfig {
+        users: cfg.users,
+        days: 6,
+        start_day: cfg.start_day + cfg.days as i64,
+        seed: 7,
+        ..cfg.clone()
+    });
+    let chunk = (churn.len() / 12).max(1);
+    let mut reclaimed_total = 0;
+    for batch in churn.chunks(chunk) {
+        // Every append overwrites live GFU values, the view, and the
+        // extents — all dead bytes in an append-only log.
+        index.append(batch).unwrap();
+        let report = maintainer.run_once().unwrap();
+        reclaimed_total += report.kv_reclaimed_bytes;
+        // The maintained invariant: dead bytes never exceed the
+        // configured fraction of a log worth compacting.
+        let (len, dead) = (log.log_len(), log.dead_bytes());
+        assert!(
+            len < (1 << 12) || (dead as f64) / (len as f64) <= 0.5,
+            "log unbounded: {len} bytes, {dead} dead"
+        );
+    }
+    assert!(
+        reclaimed_total > 0,
+        "churn never tripped the maintenance compaction — harness is vacuous"
+    );
+    assert_matches_scan(&w, &index, &cfg, "after kv churn");
+}
+
+/// Satellite: publishing a view retires every older header-cache
+/// generation eagerly. Before the fix the cache held one dead epoch of
+/// entries per append until capacity eviction got around to them.
+#[test]
+fn header_cache_drops_dead_generations_on_view_advance() {
+    let w = world("cache");
+    let (index, cfg) = seed_with_deltas(&w, 2);
+    // Force the per-cell header path (the pyramid would answer inner
+    // regions without touching the cache).
+    let engine = DgfEngine::new(Arc::clone(&index)).without_precompute();
+    let q = &queries(&cfg)[1];
+
+    engine.run(q).unwrap();
+    let cache = index.header_cache();
+    assert!(!cache.is_empty(), "query filled no headers");
+    assert_eq!(cache.live_generations().len(), 1);
+
+    let extra = generate_meter_data(&MeterConfig {
+        users: cfg.users,
+        days: 3,
+        start_day: cfg.start_day + cfg.days as i64,
+        seed: 11,
+        ..cfg.clone()
+    });
+    let chunk = (extra.len() / 3).max(1);
+    for (i, batch) in extra.chunks(chunk).enumerate() {
+        index.append(batch).unwrap();
+        engine.run(q).unwrap();
+        let gens = cache.live_generations();
+        assert_eq!(
+            gens.len(),
+            1,
+            "cycle {i}: dead generations linger in the cache: {gens:?}"
+        );
+        // Occupancy is bounded by the live grid, not by history.
+        let cells = all_gfus(w.inner.as_ref(), 2).unwrap().len();
+        assert!(
+            cache.len() <= cells,
+            "cycle {i}: {} cached headers for {cells} live cells",
+            cache.len()
+        );
+    }
+}
+
+/// Regression: regrid after compaction must read only *live* slice
+/// ranges. A file retained through compaction (because an untouched
+/// GFU still references part of it) holds dead byte ranges whose rows
+/// were rewritten into the compacted file; whole-file splits re-read
+/// them and double-count. Narrow appends guarantee such a file exists
+/// before the regrid.
+#[test]
+fn regrid_after_compaction_does_not_double_count() {
+    let w = world("regrid");
+    let cfg = meter_cfg();
+    let rows = generate_meter_data(&cfg);
+    let per_day = rows.len() / cfg.days as usize;
+    let seeded = &rows[..2 * per_day];
+    w.ctx.load_rows(&w.base, seeded, 2).unwrap();
+    let (index, _) = DgfIndex::build(
+        Arc::clone(&w.ctx),
+        Arc::clone(&w.base),
+        grid(&cfg),
+        aggs(),
+        Arc::clone(&w.inner),
+        INDEX,
+    )
+    .unwrap();
+    let index = Arc::new(index);
+    // Narrow deltas: only users 0–1, so compaction rewrites the low
+    // user cells while the high cells keep their seed-file slices —
+    // the seed files survive with dead ranges inside.
+    let narrow = generate_meter_data(&MeterConfig {
+        users: 2,
+        days: cfg.days,
+        seed: 5,
+        ..cfg.clone()
+    });
+    let chunk = (narrow.len() / 4).max(1);
+    for batch in narrow.chunks(chunk) {
+        index.append(batch).unwrap();
+    }
+
+    let maintainer = Maintainer::new(
+        Arc::clone(&index),
+        MaintenanceConfig {
+            delta_file_budget: 4,
+            ..MaintenanceConfig::default()
+        },
+    );
+    let report = maintainer.run_once().unwrap();
+    assert!(report.compacted_files > 0);
+
+    // Precondition for the regression to have teeth: some retained
+    // file holds bytes no live slice covers.
+    let mut live_bytes: HashMap<String, u64> = HashMap::new();
+    for (_, v) in all_gfus(index.kv.as_ref(), 2).unwrap() {
+        for s in &v.slices {
+            *live_bytes.entry(s.file.clone()).or_default() += s.end - s.start;
+        }
+    }
+    let has_dead_range = live_files(&index)
+        .iter()
+        .any(|(p, size)| live_bytes.get(p).copied().unwrap_or(0) < *size);
+    assert!(
+        has_dead_range,
+        "no retained file with dead ranges — regression scenario not reproduced"
+    );
+
+    // Halve the user_id interval: the rewrite re-cells every record.
+    // Before the fix this double-counted the dead ranges (COUNT jumped
+    // by the compacted rows; the scan comparison below caught it).
+    let mut dims = grid(&cfg).dims().to_vec();
+    dims[0] = DimPolicy::int("user_id", 0, 2);
+    maintainer.regrid_to(SplittingPolicy::new(dims).unwrap()).unwrap();
+    assert_matches_scan(&w, &index, &cfg, "after halving regrid");
+
+    // And back out to a coarser grid over the regridded store.
+    let mut dims = grid(&cfg).dims().to_vec();
+    dims[0] = DimPolicy::int("user_id", 0, 8);
+    maintainer.regrid_to(SplittingPolicy::new(dims).unwrap()).unwrap();
+    assert_matches_scan(&w, &index, &cfg, "after doubling regrid");
+}
+
+/// Satellite: planner boundary heat drives the adaptation decision —
+/// the misaligned dimension splits, a later merge pass coarsens it
+/// back — and both rewrites preserve answers.
+#[test]
+fn adaptation_follows_boundary_heat_and_preserves_answers() {
+    let w = world("adapt");
+    let (index, cfg) = seed_with_deltas(&w, 2);
+    // The range query is misaligned on user_id (1..7 against interval
+    // 4) and day-aligned on ts, so only user_id accumulates heat.
+    let engine = DgfEngine::new(Arc::clone(&index));
+    for _ in 0..3 {
+        engine.run(&queries(&cfg)[1]).unwrap();
+    }
+    let heat = index.heat().snapshot();
+    assert!(heat[0] > heat[1], "expected user_id to be the hot dimension: {heat:?}");
+
+    let split = Maintainer::new(
+        Arc::clone(&index),
+        MaintenanceConfig {
+            delta_file_budget: 1 << 16,
+            adapt: true,
+            split_records_per_cell: 1,
+            merge_records_per_cell: 0,
+            ..MaintenanceConfig::default()
+        },
+    );
+    let report = split.run_once().unwrap();
+    let desc = report.adapted.expect("overfull cells should have split");
+    assert!(desc.starts_with("user_id"), "split the wrong dimension: {desc}");
+    assert_eq!(
+        index.policy().dims()[0].scale,
+        DimScale::Int { min: 0, interval: 2 }
+    );
+    assert_matches_scan(&w, &index, &cfg, "after heat-driven split");
+
+    let merge = Maintainer::new(
+        Arc::clone(&index),
+        MaintenanceConfig {
+            delta_file_budget: 1 << 16,
+            adapt: true,
+            split_records_per_cell: u64::MAX,
+            merge_records_per_cell: u64::MAX,
+            ..MaintenanceConfig::default()
+        },
+    );
+    let report = merge.run_once().unwrap();
+    // The scan comparison above re-ran the misaligned query, so user_id
+    // is hot again and the merge coarsens the *coldest* dimension: ts.
+    let desc = report.adapted.expect("underfull cells should have merged");
+    assert!(desc.starts_with("ts"), "merged the wrong dimension: {desc}");
+    assert_eq!(
+        index.policy().dims()[0].scale,
+        DimScale::Int { min: 0, interval: 2 },
+        "the hot dimension must keep its fine interval"
+    );
+    assert_matches_scan(&w, &index, &cfg, "after merge");
+}
+
+/// Drive one maintenance pass over chaos handles; returns whether the
+/// plan's scheduled crash fired.
+fn crash_maintain(w: &World, budget: usize, plan: &Arc<FaultPlan>) -> bool {
+    w.ctx.hdfs.enable_faults(Arc::clone(plan), retry());
+    let kv: Arc<dyn KvStore> = Arc::new(ChaosKv::new(Arc::clone(&w.inner), Arc::clone(plan)));
+    let outcome = (|| -> dgfindex::common::Result<()> {
+        let writer = DgfIndex::open_with_options(
+            Arc::clone(&w.ctx),
+            Arc::clone(&w.base),
+            kv,
+            INDEX,
+            aggs(),
+            IndexOptions {
+                retry: retry(),
+                fault: Some(Arc::clone(plan)),
+                ..IndexOptions::default()
+            },
+        )?;
+        Maintainer::new(
+            Arc::new(writer),
+            MaintenanceConfig {
+                delta_file_budget: budget,
+                ..MaintenanceConfig::default()
+            },
+        )
+        .run_once()?;
+        Ok(())
+    })();
+    w.ctx.hdfs.disable_faults();
+    if plan.crashed() {
+        assert!(outcome.is_err(), "crash fired but maintenance succeeded");
+    }
+    plan.crashed()
+}
+
+/// Satellite: crash the compaction at sites spanning the whole commit
+/// window — intent, staging, around the commit point, apply, cleanup.
+/// Recovery must leave no transaction residue, answers must equal a
+/// ground-truth scan, and a clean pass afterwards must still converge
+/// to the file budget.
+#[test]
+fn crashes_across_the_maintenance_window_recover_cleanly() {
+    let budget = 3;
+    // Count the crash ordinals one fault-free pass walks through.
+    let sites = {
+        let w = world("crash-record");
+        seed_with_deltas(&w, 6);
+        let quiet = Arc::new(FaultPlan::new(FaultConfig::quiet(0)));
+        assert!(!crash_maintain(&w, budget, &quiet));
+        let n = quiet.points_hit();
+        assert!(n >= 6, "expected a rich maintenance crash-site space, got {n}");
+        n
+    };
+    let picks = [
+        0,
+        sites / 5,
+        sites / 3,
+        sites / 2,
+        2 * sites / 3,
+        4 * sites / 5,
+        sites - 1,
+    ];
+    for (k, &site) in picks.iter().enumerate() {
+        let w = world(&format!("crash{k}"));
+        let (_, cfg) = seed_with_deltas(&w, 6);
+        let crash = Arc::new(FaultPlan::new(FaultConfig::crash_at(site, site)));
+        assert!(
+            crash_maintain(&w, budget, &crash),
+            "site {site}: scheduled crash did not fire"
+        );
+
+        DgfIndex::recover(&w.ctx.hdfs, &w.inner, retry()).unwrap();
+        assert!(
+            w.inner.scan_prefix(STAGE_PREFIX).unwrap().is_empty(),
+            "site {site}: staged keys survived recovery"
+        );
+        assert!(
+            w.inner.get(TXN_MANIFEST_KEY).unwrap().is_none(),
+            "site {site}: manifest survived recovery"
+        );
+
+        let index = Arc::new(
+            DgfIndex::open(
+                Arc::clone(&w.ctx),
+                Arc::clone(&w.base),
+                Arc::clone(&w.inner),
+                INDEX,
+                aggs(),
+            )
+            .unwrap(),
+        );
+        assert_matches_scan(&w, &index, &cfg, &format!("site {site} recovered"));
+
+        // The daemon still converges after the crash: one pass to get
+        // back within budget, one more to end the grace round.
+        let maintainer = Maintainer::new(
+            Arc::clone(&index),
+            MaintenanceConfig {
+                delta_file_budget: budget,
+                ..MaintenanceConfig::default()
+            },
+        );
+        maintainer.run_once().unwrap();
+        maintainer.run_once().unwrap();
+        assert!(
+            disk_files(&index).len() <= budget,
+            "site {site}: post-recovery maintenance left {} files on disk",
+            disk_files(&index).len()
+        );
+        assert!(index.gc_list().unwrap().is_empty() || disk_files(&index).len() <= budget);
+        assert_matches_scan(&w, &index, &cfg, &format!("site {site} post-maintenance"));
+    }
+}
